@@ -1,0 +1,59 @@
+//! Criterion micro-bench: cache-layer primitives (get / set / gets+cas /
+//! codec round-trip) across cluster sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genie_cache::{CacheCluster, CacheOrigin, ClusterConfig, Payload};
+use genie_storage::row;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let payload = Payload::Rows(vec![
+        row![1i64, "user1", "some bio text", 123i64],
+        row![2i64, "user2", "another bio", 456i64],
+    ]);
+
+    let mut group = c.benchmark_group("cache_ops");
+    for servers in [1usize, 4] {
+        let cluster = CacheCluster::new(ClusterConfig {
+            servers,
+            ..Default::default()
+        });
+        let h = cluster.handle(CacheOrigin::Application);
+        for i in 0..1000 {
+            h.set_payload(&format!("k{i}"), &payload, None).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("get", servers), &servers, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 13) % 1000;
+                black_box(h.get(&format!("k{i}")).is_some())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("set", servers), &servers, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 13) % 1000;
+                h.set_payload(&format!("k{i}"), &payload, None).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gets_cas", servers), &servers, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 13) % 1000;
+                let key = format!("k{i}");
+                let (p, token) = h.gets_payload(&key).unwrap().unwrap();
+                h.cas_payload(&key, &p, token, None).unwrap();
+            })
+        });
+    }
+    group.bench_function("codec_roundtrip", |b| {
+        b.iter(|| {
+            let enc = payload.encode();
+            black_box(Payload::decode(&enc).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

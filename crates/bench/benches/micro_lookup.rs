@@ -1,0 +1,51 @@
+//! Criterion micro-bench: raw engine speed of database point lookups vs
+//! cache gets (the real-time counterpart of the §5.3 modelled numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_cache::{CacheCluster, CacheOrigin, ClusterConfig, Payload};
+use genie_storage::{Database, Value};
+use std::hint::black_box;
+
+fn bench_lookups(c: &mut Criterion) {
+    let db = Database::default();
+    db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+        .unwrap();
+    for i in 0..10_000i64 {
+        db.execute_sql("INSERT INTO t VALUES ($1, 'value')", &[Value::Int(i)])
+            .unwrap();
+    }
+    let cluster = CacheCluster::new(ClusterConfig::default());
+    let cache = cluster.handle(CacheOrigin::Application);
+    for i in 0..10_000i64 {
+        cache
+            .set_payload(
+                &format!("t:{i}"),
+                &Payload::Rows(vec![genie_storage::row![i, "value"]]),
+                None,
+            )
+            .unwrap();
+    }
+
+    let mut group = c.benchmark_group("point_lookup");
+    group.bench_function("db_pk_select", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            let out = db
+                .execute_sql("SELECT * FROM t WHERE id = $1", &[Value::Int(i)])
+                .unwrap();
+            black_box(out.result.rows.len())
+        })
+    });
+    group.bench_function("cache_get", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(cache.get_payload(&format!("t:{i}")).unwrap().is_some())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-bench: INSERT cost with 0, 1 no-op, and CacheGenie
+//! triggers attached (the engine-level counterpart of §5.3's trigger
+//! overhead measurement).
+
+use cachegenie::{CacheGenie, CacheableDef, SortOrder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_cache::{CacheCluster, ClusterConfig};
+use genie_orm::{FieldDef, ModelDef, ModelRegistry};
+use genie_storage::{Database, Trigger, TriggerCtx, TriggerEvent, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn registry() -> Arc<ModelRegistry> {
+    let mut reg = ModelRegistry::new();
+    reg.register(
+        ModelDef::builder("WallPost", "wall")
+            .field(FieldDef::new("user_id", genie_storage::ValueType::Int).indexed())
+            .field(FieldDef::new("date_posted", genie_storage::ValueType::Timestamp).indexed())
+            .build(),
+    )
+    .unwrap();
+    Arc::new(reg)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+
+    // Plain insert.
+    {
+        let reg = registry();
+        let db = Database::default();
+        reg.sync(&db).unwrap();
+        let mut i = 0i64;
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(
+                    db.execute_sql(
+                        "INSERT INTO wall VALUES ($1, 1, TS(1))",
+                        &[Value::Int(i)],
+                    )
+                    .unwrap()
+                    .result
+                    .rows_affected,
+                )
+            })
+        });
+    }
+
+    // No-op trigger.
+    {
+        let reg = registry();
+        let db = Database::default();
+        reg.sync(&db).unwrap();
+        db.create_trigger(Trigger::new(
+            "noop",
+            "wall",
+            TriggerEvent::Insert,
+            |_: &mut TriggerCtx<'_>| Ok(()),
+        ))
+        .unwrap();
+        let mut i = 0i64;
+        group.bench_function("noop_trigger", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(
+                    db.execute_sql(
+                        "INSERT INTO wall VALUES ($1, 1, TS(1))",
+                        &[Value::Int(i)],
+                    )
+                    .unwrap()
+                    .result
+                    .rows_affected,
+                )
+            })
+        });
+    }
+
+    // A real CacheGenie Top-K maintenance trigger with a warm cached list.
+    {
+        let reg = registry();
+        let db = Database::default();
+        reg.sync(&db).unwrap();
+        let genie = CacheGenie::new(
+            db.clone(),
+            CacheCluster::new(ClusterConfig::default()),
+            Arc::clone(&reg),
+            Default::default(),
+        );
+        genie
+            .cacheable(
+                CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 20)
+                    .where_fields(&["user_id"]),
+            )
+            .unwrap();
+        genie.evaluate("latest", &[Value::Int(1)]).unwrap(); // warm key
+        let mut i = 0i64;
+        group.bench_function("cachegenie_topk_trigger", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(
+                    db.execute_sql(
+                        "INSERT INTO wall VALUES ($1, 1, $2)",
+                        &[Value::Int(i), Value::Timestamp(i)],
+                    )
+                    .unwrap()
+                    .result
+                    .rows_affected,
+                )
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

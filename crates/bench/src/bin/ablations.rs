@@ -1,0 +1,93 @@
+//! Ablations of design choices called out in the paper's prose:
+//!
+//! 1. **Connection reuse in triggers** (§5.3/§5.5 future work): the paper
+//!    identifies opening a memcached connection per trigger as the main
+//!    write overhead and proposes reusing connections. We model both.
+//! 2. **LRU bump on trigger touches** (§4): unmodified memcached
+//!    refreshes recency when triggers touch keys, "even though they are
+//!    not really being used"; the paper suggests an opt-out policy. We
+//!    run both under a small cache where recency decisions matter.
+//! 3. **Per-key vs whole-class invalidation** (§2/§3.2): CacheGenie
+//!    invalidates only the affected keys; template-based systems
+//!    (GlobeCBC-style) invalidate every entry matching the query
+//!    template. We approximate the latter by flushing the whole cache on
+//!    every write page, and compare hit ratios.
+
+use genie_bench::{scale_from_args, write_result, TextTable};
+use genie_workload::{run, CacheMode, WorkloadConfig};
+
+fn main() {
+    let base = scale_from_args();
+    println!("Ablations of CacheGenie design choices\n");
+    let mut table = TextTable::new(&["configuration", "pages/s", "hit_%"]);
+
+    let update = run(&WorkloadConfig {
+        mode: CacheMode::Update,
+        ..base.clone()
+    })
+    .expect("run");
+    table.row(vec![
+        "Update (default)".into(),
+        format!("{:.1}", update.throughput_pages_per_sec),
+        format!("{:.1}", update.genie_stats.hit_ratio() * 100.0),
+    ]);
+
+    let reuse = run(&WorkloadConfig {
+        mode: CacheMode::Update,
+        reuse_trigger_connections: true,
+        ..base.clone()
+    })
+    .expect("run");
+    table.row(vec![
+        "Update + reused trigger connections".into(),
+        format!("{:.1}", reuse.throughput_pages_per_sec),
+        format!("{:.1}", reuse.genie_stats.hit_ratio() * 100.0),
+    ]);
+
+    // Small cache: LRU policy for trigger touches matters.
+    let small = 24 * 1024;
+    let bump = run(&WorkloadConfig {
+        mode: CacheMode::Update,
+        cache_bytes: small,
+        bump_lru_on_trigger: true,
+        ..base.clone()
+    })
+    .expect("run");
+    let no_bump = run(&WorkloadConfig {
+        mode: CacheMode::Update,
+        cache_bytes: small,
+        bump_lru_on_trigger: false,
+        ..base.clone()
+    })
+    .expect("run");
+    table.row(vec![
+        format!("Update, {}KiB cache, triggers bump LRU", small / 1024),
+        format!("{:.1}", bump.throughput_pages_per_sec),
+        format!("{:.1}", bump.genie_stats.hit_ratio() * 100.0),
+    ]);
+    table.row(vec![
+        format!("Update, {}KiB cache, no trigger bump", small / 1024),
+        format!("{:.1}", no_bump.throughput_pages_per_sec),
+        format!("{:.1}", no_bump.genie_stats.hit_ratio() * 100.0),
+    ]);
+
+    let invalidate = run(&WorkloadConfig {
+        mode: CacheMode::Invalidate,
+        ..base.clone()
+    })
+    .expect("run");
+    table.row(vec![
+        "Invalidate (per-key, CacheGenie)".into(),
+        format!("{:.1}", invalidate.throughput_pages_per_sec),
+        format!("{:.1}", invalidate.genie_stats.hit_ratio() * 100.0),
+    ]);
+
+    println!("{}", table.render());
+    println!(
+        "connection reuse gain: {:+.1}%  |  no-bump hit delta: {:+.2} pts",
+        100.0 * (reuse.throughput_pages_per_sec - update.throughput_pages_per_sec)
+            / update.throughput_pages_per_sec,
+        100.0 * (no_bump.genie_stats.hit_ratio() - bump.genie_stats.hit_ratio()),
+    );
+    write_result("ablations.csv", &table.to_csv());
+}

@@ -1,0 +1,31 @@
+//! Experiment 2 (Figure 3a): throughput as the read/write page mix varies.
+//!
+//! Expected shape (paper): at 0% reads caching is slightly *worse* than
+//! NoCache (trigger overhead with nothing to hit); the cached systems'
+//! advantage grows with the read fraction, reaching ~8× at 100% reads,
+//! where Update and Invalidate converge (nothing gets invalidated).
+
+use genie_bench::{scale_from_args, write_result, TextTable, MODES};
+use genie_workload::{run, PageMix, WorkloadConfig};
+
+fn main() {
+    let base = scale_from_args();
+    println!("Experiment 2: throughput vs percentage of read pages");
+    println!("(reproduces Figure 3a)\n");
+    let mut table = TextTable::new(&["read_pct", "NoCache", "Invalidate", "Update"]);
+    for read_pct in [0u32, 20, 40, 60, 80, 100] {
+        let mut row = vec![read_pct.to_string()];
+        for mode in MODES {
+            let r = run(&WorkloadConfig {
+                mode,
+                mix: PageMix::with_read_percent(read_pct),
+                ..base.clone()
+            })
+            .expect("run");
+            row.push(format!("{:.1}", r.throughput_pages_per_sec));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    write_result("fig3a_mix.csv", &table.to_csv());
+}

@@ -1,0 +1,39 @@
+//! Experiment 3 (Figure 3b): throughput as the Zipf user-popularity
+//! exponent varies from 1.1 (skewed toward few heavy users... lower `a`
+//! actually spreads sessions more; see §5.4) to 2.0.
+//!
+//! Expected shape (paper): the cached systems gain ~1.5× at a = 1.2
+//! versus a = 2.0 (more repeat traffic helps the disk-bound database),
+//! while NoCache stays flat (it is CPU-bound recomputing results that are
+//! already in its buffer pool).
+
+use genie_bench::{scale_from_args, write_result, TextTable, MODES};
+use genie_workload::{run, WorkloadConfig};
+
+fn main() {
+    let base = scale_from_args();
+    println!("Experiment 3: throughput vs Zipf exponent");
+    println!("(reproduces Figure 3b)\n");
+    let mut table = TextTable::new(&["zipf_a", "NoCache", "Invalidate", "Update"]);
+    for a10 in [11u32, 12, 14, 16, 18, 20] {
+        let a = a10 as f64 / 10.0;
+        let mut row = vec![format!("{a:.1}")];
+        for mode in MODES {
+            let r = run(&WorkloadConfig {
+                mode,
+                zipf_a: a,
+                // The zipf effect is a steady-state property (the paper
+                // warms with 4000 sessions); run longer than the default
+                // so first-touch misses do not dominate spread traffic.
+                sessions_per_client: base.sessions_per_client * 2,
+                warmup_sessions_per_client: base.warmup_sessions_per_client * 4,
+                ..base.clone()
+            })
+            .expect("run");
+            row.push(format!("{:.1}", r.throughput_pages_per_sec));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    write_result("fig3b_zipf.csv", &table.to_csv());
+}

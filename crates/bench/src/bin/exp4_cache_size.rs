@@ -1,0 +1,76 @@
+//! Experiment 4 (Figure 3c): throughput of the cached systems as cache
+//! capacity shrinks, plus the colocated-memcached coda.
+//!
+//! Expected shape (paper): Update plateaus at a larger cache than
+//! Invalidate (it never deletes, so it needs more space), both remain
+//! ≥2× NoCache even at the smallest size, and colocating the cache with
+//! the database costs both cached systems throughput while still beating
+//! NoCache.
+
+use genie_bench::{scale_from_args, write_result, TextTable};
+use genie_workload::{run, CacheMode, WorkloadConfig};
+
+fn main() {
+    let base = scale_from_args();
+    println!("Experiment 4: throughput vs cache size");
+    println!("(reproduces Figure 3c and the colocated-cache variant)\n");
+
+    // The paper sweeps 64–512 MB against a ~10 GB dataset; our dataset is
+    // ~2500× smaller, so the sweep scales to tens–hundreds of KiB.
+    let sizes_kib = [16usize, 24, 32, 48, 64, 96, 128, 256];
+    let mut table = TextTable::new(&["cache_kib", "Invalidate", "Update", "Inval_hit%", "Upd_hit%"]);
+    for &kib in &sizes_kib {
+        let mut row = vec![kib.to_string()];
+        let mut hits = Vec::new();
+        for mode in [CacheMode::Invalidate, CacheMode::Update] {
+            let r = run(&WorkloadConfig {
+                mode,
+                cache_bytes: kib * 1024,
+                ..base.clone()
+            })
+            .expect("run");
+            row.push(format!("{:.1}", r.throughput_pages_per_sec));
+            hits.push(format!("{:.1}", r.genie_stats.hit_ratio() * 100.0));
+        }
+        row.extend(hits);
+        table.row(row);
+    }
+    let nocache = run(&WorkloadConfig {
+        mode: CacheMode::NoCache,
+        ..base.clone()
+    })
+    .expect("run");
+    println!("{}", table.render());
+    println!("NoCache reference: {:.1} pages/s\n", nocache.throughput_pages_per_sec);
+    write_result("fig3c_cache_size.csv", &table.to_csv());
+
+    // Colocated coda: memcached on the DB machine.
+    let mut coda = TextTable::new(&["mode", "separate", "colocated"]);
+    for mode in [CacheMode::Update, CacheMode::Invalidate] {
+        let sep = run(&WorkloadConfig {
+            mode,
+            ..base.clone()
+        })
+        .expect("run");
+        let col = run(&WorkloadConfig {
+            mode,
+            colocated_cache: true,
+            // The DB loses memory to memcached: shrink its buffer pool.
+            db_buffer_pool_bytes: base.db_buffer_pool_bytes / 2,
+            ..base.clone()
+        })
+        .expect("run");
+        coda.row(vec![
+            mode.label().to_owned(),
+            format!("{:.1}", sep.throughput_pages_per_sec),
+            format!("{:.1}", col.throughput_pages_per_sec),
+        ]);
+    }
+    coda.row(vec![
+        "NoCache".into(),
+        format!("{:.1}", nocache.throughput_pages_per_sec),
+        format!("{:.1}", nocache.throughput_pages_per_sec),
+    ]);
+    println!("Colocated-cache variant (pages/s):\n{}", coda.render());
+    write_result("exp4_colocated.csv", &coda.to_csv());
+}

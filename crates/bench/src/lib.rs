@@ -1,0 +1,193 @@
+//! # genie-bench
+//!
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the CacheGenie paper (see `src/bin/`), plus
+//! Criterion micro-benchmarks of the substrate crates (`benches/`).
+//!
+//! Run everything with `cargo run --release -p genie-bench --bin run_all`.
+
+use genie_social::SeedConfig;
+use genie_workload::{CacheMode, RunResult, WorkloadConfig};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// The reproduction's standard scale: the paper's 1 M-user / 10 GB / 2 GB
+/// testbed shrunk ~2500× with the buffer-pool : dataset ratio preserved,
+/// so the DB still cannot hold the working set in memory.
+pub fn paper_scale() -> WorkloadConfig {
+    WorkloadConfig {
+        mode: CacheMode::Update,
+        clients: 15,
+        sessions_per_client: 12,
+        warmup_sessions_per_client: 8,
+        pages_per_session: 10,
+        mix: Default::default(),
+        zipf_a: 2.0,
+        seed: SeedConfig {
+            users: 400,
+            unique_bookmarks: 150,
+            // The paper's per-user ranges: 1-20 bookmark instances,
+            // 1-50 friends, 1-100 pending invitations (scaled ~2x down).
+            max_instances_per_user: 15,
+            max_friends: 32,
+            max_pending_invitations: 20,
+            groups: 25,
+            max_groups_per_user: 3,
+            max_wall_posts_per_user: 10,
+            rng_seed: 42,
+        },
+        db_buffer_pool_bytes: 2 * 1024 * 1024,
+        cache_bytes: 8 * 1024 * 1024,
+        cache_servers: 1,
+        colocated_cache: false,
+        triggers_enabled: true,
+        bump_lru_on_trigger: true,
+        reuse_trigger_connections: false,
+        cost: Default::default(),
+        rng_seed: 1,
+    }
+}
+
+/// A quick scale for CI / smoke runs (`--quick` on every binary).
+pub fn quick_scale() -> WorkloadConfig {
+    WorkloadConfig {
+        sessions_per_client: 6,
+        warmup_sessions_per_client: 2,
+        seed: SeedConfig {
+            users: 120,
+            unique_bookmarks: 60,
+            ..paper_scale().seed
+        },
+        db_buffer_pool_bytes: 256 * 1024,
+        ..paper_scale()
+    }
+}
+
+/// Picks the scale from argv (`--quick` anywhere selects the small one).
+pub fn scale_from_args() -> WorkloadConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_scale()
+    } else {
+        paper_scale()
+    }
+}
+
+/// All three systems compared throughout §5.4.
+pub const MODES: [CacheMode; 3] = [CacheMode::NoCache, CacheMode::Invalidate, CacheMode::Update];
+
+/// Where experiment outputs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `content` under `results/<name>` and echoes the path.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  wrote {}", path.display());
+    }
+}
+
+/// A plain-text table builder for experiment output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", c, width = widths.get(i).copied().unwrap_or(8));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One row of the standard mode-comparison summaries.
+pub fn summarize(r: &RunResult) -> String {
+    format!(
+        "{:<10}  {:>7.1} pages/s  mean {:>6.3}s  hit {:>5.1}%  bottleneck {} ({:.0}%)",
+        r.mode.label(),
+        r.throughput_pages_per_sec,
+        r.mean_latency_s(),
+        r.cache_stats.hit_ratio() * 100.0,
+        r.bottleneck().0,
+        r.bottleneck().1 * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["clients", "Update", "NoCache"]);
+        t.row(vec!["5".into(), "70.1".into(), "30.0".into()]);
+        let s = t.render();
+        assert!(s.contains("clients"));
+        assert!(s.lines().count() >= 3);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("clients,Update,NoCache\n"));
+        assert!(csv.contains("5,70.1,30.0"));
+    }
+
+    #[test]
+    fn scales_are_consistent() {
+        let p = paper_scale();
+        assert_eq!(p.clients, 15);
+        assert!(p.seed.users >= 100);
+        let q = quick_scale();
+        assert!(q.sessions_per_client < p.sessions_per_client);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cache error types.
+
+use std::fmt;
+
+/// Errors from cache operations or payload decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A stored payload failed to decode (corruption or version skew).
+    Codec(String),
+    /// A CAS store lost the race: the token no longer matches.
+    CasConflict,
+    /// `add` found the key already present.
+    AlreadyStored,
+    /// The cluster has no servers.
+    NoServers,
+    /// The value exceeds the per-item size limit.
+    ValueTooLarge { size: usize, limit: usize },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Codec(m) => write!(f, "payload codec error: {m}"),
+            CacheError::CasConflict => f.write_str("compare-and-swap token mismatch"),
+            CacheError::AlreadyStored => f.write_str("key already stored"),
+            CacheError::NoServers => f.write_str("cache cluster has no servers"),
+            CacheError::ValueTooLarge { size, limit } => {
+                write!(f, "value of {size} bytes exceeds item limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Convenience result alias for cache operations.
+pub type Result<T> = std::result::Result<T, CacheError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CacheError::CasConflict.to_string().contains("compare-and-swap"));
+        assert!(CacheError::Codec("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CacheError>();
+    }
+}

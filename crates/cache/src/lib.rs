@@ -1,0 +1,30 @@
+//! # genie-cache
+//!
+//! A memcached-like distributed in-memory cache, the caching layer of the
+//! CacheGenie reproduction. Feature-parity targets what the paper uses
+//! from memcached 1.4.5:
+//!
+//! * per-server LRU stores with byte-accurate memory accounting and TTL
+//!   expiry ([`CacheStore`]);
+//! * `get`/`gets`/`set`/`add`/`cas`/`delete`/`incr` — including the CAS
+//!   loop the paper's generated Top-K trigger relies on;
+//! * a consistent-hash **cluster** presenting one logical cache across
+//!   servers ([`CacheCluster`]), with distinct application/trigger origins
+//!   so the "triggers bump LRU" behaviour called out in §4 of the paper
+//!   can be toggled;
+//! * a typed, checksummed payload codec ([`Payload`]) so trigger bodies do
+//!   real decode–modify–encode work, as the Python triggers do;
+//! * the §3.3 strict-consistency **key lock table** ([`KeyLockTable`]) —
+//!   designed but not built in the paper; implemented here as an extension.
+
+pub mod cluster;
+pub mod codec;
+pub mod error;
+pub mod lock;
+pub mod store;
+
+pub use cluster::{CacheCluster, CacheHandle, CacheOrigin, ClusterConfig, ClusterStats};
+pub use codec::{hash_key, Payload};
+pub use error::{CacheError, Result};
+pub use lock::{KeyLockTable, LockOutcome, TxnId};
+pub use store::{CacheStore, StoreConfig, StoreStats, ValueWithCas};

@@ -1,0 +1,201 @@
+//! Key-granularity read/write lock table — the §3.3 strict-consistency
+//! extension.
+//!
+//! The paper *designs* (but does not implement) full transactional
+//! consistency: memcached tracks `readers_k` and `writer_k` per key, blocks
+//! conflicting transactions per two-phase locking, and relies on
+//! timeout-based deadlock detection. This module implements that lock
+//! table. Blocking is cooperative: `try_read`/`try_write` return
+//! [`LockOutcome::Blocked`] and the caller (CacheGenie's strict mode)
+//! retries, times out, and aborts — exactly the protocol sketched in the
+//! paper.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Transaction identifier agreed between application and database (§3.3).
+pub type TxnId = u64;
+
+/// Outcome of a lock attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held; proceed.
+    Granted,
+    /// A conflicting transaction holds the key; retry or abort.
+    Blocked,
+}
+
+#[derive(Debug, Default)]
+struct KeyLock {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+impl KeyLock {
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+}
+
+/// A shared lock table over cache keys.
+///
+/// Lock state exists independently of the cached data: the paper notes
+/// readers/writers must be tracked "even if the key has been removed from
+/// the cache" (invalidated) or never added.
+#[derive(Debug, Default)]
+pub struct KeyLockTable {
+    locks: Mutex<HashMap<String, KeyLock>>,
+}
+
+impl KeyLockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        KeyLockTable::default()
+    }
+
+    /// Attempts a read lock: blocked iff another transaction holds the
+    /// write lock (`writer_k != None ∧ writer_k != T`).
+    pub fn try_read(&self, tid: TxnId, key: &str) -> LockOutcome {
+        let mut locks = self.locks.lock();
+        let entry = locks.entry(key.to_owned()).or_default();
+        match entry.writer {
+            Some(w) if w != tid => LockOutcome::Blocked,
+            _ => {
+                entry.readers.insert(tid);
+                LockOutcome::Granted
+            }
+        }
+    }
+
+    /// Attempts a write lock: blocked iff another transaction writes, or
+    /// any *other* transaction reads
+    /// (`writer_k ∉ {None, T} ∨ readers_k − {T} ≠ ∅`).
+    pub fn try_write(&self, tid: TxnId, key: &str) -> LockOutcome {
+        let mut locks = self.locks.lock();
+        let entry = locks.entry(key.to_owned()).or_default();
+        let other_writer = matches!(entry.writer, Some(w) if w != tid);
+        let other_readers = entry.readers.iter().any(|&r| r != tid);
+        if other_writer || other_readers {
+            return LockOutcome::Blocked;
+        }
+        entry.writer = Some(tid);
+        LockOutcome::Granted
+    }
+
+    /// Releases every lock held by `tid` (commit or abort), returning the
+    /// keys it had *written* — on abort the caller must drop those keys
+    /// from the cache so subsequent reads go to the database.
+    pub fn release_all(&self, tid: TxnId) -> Vec<String> {
+        let mut locks = self.locks.lock();
+        let mut written = Vec::new();
+        locks.retain(|key, l| {
+            if l.writer == Some(tid) {
+                l.writer = None;
+                written.push(key.clone());
+            }
+            l.readers.remove(&tid);
+            !l.is_free()
+        });
+        written
+    }
+
+    /// Keys currently locked (for diagnostics and tests).
+    pub fn locked_keys(&self) -> usize {
+        self.locks.lock().len()
+    }
+
+    /// Whether `tid` holds any lock on `key`.
+    pub fn holds(&self, tid: TxnId, key: &str) -> bool {
+        let locks = self.locks.lock();
+        locks
+            .get(key)
+            .map(|l| l.writer == Some(tid) || l.readers.contains(&tid))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_share() {
+        let t = KeyLockTable::new();
+        assert_eq!(t.try_read(1, "k"), LockOutcome::Granted);
+        assert_eq!(t.try_read(2, "k"), LockOutcome::Granted);
+        assert!(t.holds(1, "k") && t.holds(2, "k"));
+    }
+
+    #[test]
+    fn writer_blocks_readers_and_writers() {
+        let t = KeyLockTable::new();
+        assert_eq!(t.try_write(1, "k"), LockOutcome::Granted);
+        assert_eq!(t.try_read(2, "k"), LockOutcome::Blocked);
+        assert_eq!(t.try_write(2, "k"), LockOutcome::Blocked);
+        // The owner itself is never blocked.
+        assert_eq!(t.try_read(1, "k"), LockOutcome::Granted);
+        assert_eq!(t.try_write(1, "k"), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn readers_block_writers_but_not_self_upgrade() {
+        let t = KeyLockTable::new();
+        assert_eq!(t.try_read(1, "k"), LockOutcome::Granted);
+        assert_eq!(t.try_write(2, "k"), LockOutcome::Blocked);
+        // Sole reader may upgrade.
+        assert_eq!(t.try_write(1, "k"), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn upgrade_blocked_with_other_readers() {
+        let t = KeyLockTable::new();
+        t.try_read(1, "k");
+        t.try_read(2, "k");
+        assert_eq!(t.try_write(1, "k"), LockOutcome::Blocked);
+    }
+
+    #[test]
+    fn release_returns_written_keys_and_unblocks() {
+        let t = KeyLockTable::new();
+        t.try_read(1, "a");
+        t.try_write(1, "b");
+        t.try_write(1, "c");
+        assert_eq!(t.try_write(2, "b"), LockOutcome::Blocked);
+        let mut written = t.release_all(1);
+        written.sort();
+        assert_eq!(written, vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(t.try_write(2, "b"), LockOutcome::Granted);
+        assert_eq!(t.locked_keys(), 1, "only b remains locked (by 2)");
+    }
+
+    #[test]
+    fn release_of_unknown_tid_is_noop() {
+        let t = KeyLockTable::new();
+        t.try_read(1, "a");
+        assert!(t.release_all(99).is_empty());
+        assert!(t.holds(1, "a"));
+    }
+
+    #[test]
+    fn lock_state_outlives_cache_entries() {
+        // Locks are pure metadata: locking a key that was never cached
+        // works, per the paper's invalidation discussion.
+        let t = KeyLockTable::new();
+        assert_eq!(t.try_read(7, "never-cached-key"), LockOutcome::Granted);
+        assert_eq!(t.locked_keys(), 1);
+    }
+
+    #[test]
+    fn deadlock_shape_is_detectable_by_caller() {
+        // T1 reads a then wants b; T2 reads b then wants a. Both block —
+        // the caller's timeout policy must abort one.
+        let t = KeyLockTable::new();
+        t.try_read(1, "a");
+        t.try_read(2, "b");
+        assert_eq!(t.try_write(1, "b"), LockOutcome::Blocked);
+        assert_eq!(t.try_write(2, "a"), LockOutcome::Blocked);
+        // Abort T2: its locks release, T1 can proceed.
+        t.release_all(2);
+        assert_eq!(t.try_write(1, "b"), LockOutcome::Granted);
+    }
+}

@@ -1,0 +1,535 @@
+//! A single cache server: LRU store with byte-accurate memory accounting,
+//! TTL expiry, and CAS — the feature set memcached 1.4.5 offers the paper.
+
+use crate::error::{CacheError, Result};
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-item bookkeeping overhead we model (hash entry, LRU link, CAS).
+const ITEM_OVERHEAD: usize = 60;
+
+/// Configuration of one cache server.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Memory budget in bytes; LRU eviction keeps usage at or below this.
+    pub capacity_bytes: usize,
+    /// Per-item size limit (memcached defaults to 1 MiB).
+    pub item_limit_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            capacity_bytes: 64 * 1024 * 1024,
+            item_limit_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Counters for one server since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// get/gets calls.
+    pub gets: u64,
+    /// get/gets that returned a value.
+    pub hits: u64,
+    /// get/gets that found nothing (or an expired entry).
+    pub misses: u64,
+    /// set/add/cas stores that succeeded.
+    pub sets: u64,
+    /// delete calls that removed an entry.
+    pub deletes: u64,
+    /// Entries evicted by the LRU for space.
+    pub evictions: u64,
+    /// cas attempts.
+    pub cas_ops: u64,
+    /// cas attempts that lost the race.
+    pub cas_conflicts: u64,
+    /// Entries dropped because their TTL lapsed.
+    pub expired: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Bytes,
+    stamp: u64,
+    cas: u64,
+    /// Absolute expiry instant (same unit as the caller's `now`), if any.
+    expires_at: Option<u64>,
+}
+
+impl Entry {
+    fn size(&self, key: &str) -> usize {
+        key.len() + self.data.len() + ITEM_OVERHEAD
+    }
+
+    fn expired(&self, now: u64) -> bool {
+        matches!(self.expires_at, Some(t) if now >= t)
+    }
+}
+
+/// One cache server. Single-threaded by itself; the cluster wraps each
+/// server in its own lock.
+#[derive(Debug)]
+pub struct CacheStore {
+    config: StoreConfig,
+    map: HashMap<String, Entry>,
+    /// stamp -> key, oldest first. Stamps are unique.
+    lru: BTreeMap<u64, String>,
+    next_stamp: u64,
+    next_cas: u64,
+    bytes: usize,
+    stats: StoreStats,
+}
+
+/// Result of a `gets`: the value plus its CAS token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueWithCas {
+    /// The stored bytes.
+    pub data: Bytes,
+    /// Token to pass back to [`CacheStore::cas`].
+    pub cas: u64,
+}
+
+impl CacheStore {
+    /// Creates a store with the given configuration.
+    pub fn new(config: StoreConfig) -> Self {
+        CacheStore {
+            config,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            next_cas: 1,
+            bytes: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Fetches `key`. `now` drives TTL expiry; `bump` controls whether the
+    /// hit refreshes LRU recency (the paper notes trigger touches bump LRU
+    /// in unmodified memcached and suggests an opt-out).
+    pub fn get(&mut self, key: &str, now: u64, bump: bool) -> Option<Bytes> {
+        self.gets(key, now, bump).map(|v| v.data)
+    }
+
+    /// Like [`CacheStore::get`] but also returns the CAS token.
+    pub fn gets(&mut self, key: &str, now: u64, bump: bool) -> Option<ValueWithCas> {
+        self.stats.gets += 1;
+        if self.purge_if_expired(key, now) {
+            self.stats.misses += 1;
+            return None;
+        }
+        // Split borrow: compute new stamp first.
+        let stamp = self.next_stamp;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                let out = ValueWithCas {
+                    data: e.data.clone(),
+                    cas: e.cas,
+                };
+                if bump {
+                    let old = e.stamp;
+                    e.stamp = stamp;
+                    self.next_stamp += 1;
+                    self.lru.remove(&old);
+                    self.lru.insert(stamp, key.to_owned());
+                }
+                Some(out)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `key`, replacing any existing value. `ttl` is a relative
+    /// duration in the caller's time unit; `None` means no expiry.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::ValueTooLarge`] if the value exceeds the item limit.
+    pub fn set(&mut self, key: &str, data: Bytes, ttl: Option<u64>, now: u64) -> Result<()> {
+        self.check_size(&data)?;
+        self.remove_entry(key);
+        self.insert_entry(key, data, ttl, now);
+        self.stats.sets += 1;
+        self.evict_to_capacity();
+        Ok(())
+    }
+
+    /// Stores `key` only if absent (memcached `add`).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::AlreadyStored`] if a live entry exists;
+    /// [`CacheError::ValueTooLarge`] for oversized values.
+    pub fn add(&mut self, key: &str, data: Bytes, ttl: Option<u64>, now: u64) -> Result<()> {
+        self.check_size(&data)?;
+        self.purge_if_expired(key, now);
+        if self.map.contains_key(key) {
+            return Err(CacheError::AlreadyStored);
+        }
+        self.insert_entry(key, data, ttl, now);
+        self.stats.sets += 1;
+        self.evict_to_capacity();
+        Ok(())
+    }
+
+    /// Compare-and-swap: stores only if `token` still matches the entry's
+    /// CAS value (memcached `cas`). A missing or replaced entry conflicts.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::CasConflict`] if the token no longer matches;
+    /// [`CacheError::ValueTooLarge`] for oversized values.
+    pub fn cas(
+        &mut self,
+        key: &str,
+        data: Bytes,
+        token: u64,
+        ttl: Option<u64>,
+        now: u64,
+    ) -> Result<()> {
+        self.check_size(&data)?;
+        self.stats.cas_ops += 1;
+        self.purge_if_expired(key, now);
+        match self.map.get(key) {
+            Some(e) if e.cas == token => {
+                self.remove_entry(key);
+                self.insert_entry(key, data, ttl, now);
+                self.stats.sets += 1;
+                self.evict_to_capacity();
+                Ok(())
+            }
+            _ => {
+                self.stats.cas_conflicts += 1;
+                Err(CacheError::CasConflict)
+            }
+        }
+    }
+
+    /// Deletes `key`; returns whether a live entry was removed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        let existed = self.remove_entry(key);
+        if existed {
+            self.stats.deletes += 1;
+        }
+        existed
+    }
+
+    /// Atomically adds `delta` to a [`crate::Payload::Count`] entry,
+    /// returning the new value, or `None` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Codec`] if the entry is not a count payload.
+    pub fn incr(&mut self, key: &str, delta: i64, now: u64) -> Result<Option<i64>> {
+        self.purge_if_expired(key, now);
+        let Some(e) = self.map.get(key) else {
+            return Ok(None);
+        };
+        let payload = crate::Payload::decode(&e.data)?;
+        let n = payload
+            .as_count()
+            .ok_or_else(|| CacheError::Codec("incr target is not a count".into()))?;
+        let new = n + delta;
+        let ttl_rest = e.expires_at.map(|t| t.saturating_sub(now));
+        let token = e.cas;
+        self.cas(key, crate::Payload::Count(new).encode(), token, ttl_rest, now)?;
+        Ok(Some(new))
+    }
+
+    /// True if a live (unexpired) entry exists; does not touch LRU.
+    pub fn contains(&mut self, key: &str, now: u64) -> bool {
+        !self.purge_if_expired(key, now) && self.map.contains_key(key)
+    }
+
+    /// Removes everything (memcached `flush_all`).
+    pub fn flush_all(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.bytes = 0;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Zeroes counters without touching stored data.
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently accounted (values + keys + modelled overhead).
+    pub fn bytes_used(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.config.capacity_bytes
+    }
+
+    // ----- internals -----
+
+    fn check_size(&self, data: &Bytes) -> Result<()> {
+        if data.len() > self.config.item_limit_bytes {
+            return Err(CacheError::ValueTooLarge {
+                size: data.len(),
+                limit: self.config.item_limit_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Removes `key` if its TTL lapsed; returns true if it was expired.
+    fn purge_if_expired(&mut self, key: &str, now: u64) -> bool {
+        let expired = matches!(self.map.get(key), Some(e) if e.expired(now));
+        if expired {
+            self.remove_entry(key);
+            self.stats.expired += 1;
+        }
+        expired
+    }
+
+    fn insert_entry(&mut self, key: &str, data: Bytes, ttl: Option<u64>, now: u64) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let cas = self.next_cas;
+        self.next_cas += 1;
+        let entry = Entry {
+            data,
+            stamp,
+            cas,
+            expires_at: ttl.map(|d| now.saturating_add(d)),
+        };
+        self.bytes += entry.size(key);
+        self.lru.insert(stamp, key.to_owned());
+        self.map.insert(key.to_owned(), entry);
+    }
+
+    fn remove_entry(&mut self, key: &str) -> bool {
+        if let Some(e) = self.map.remove(key) {
+            self.bytes -= e.size(key);
+            self.lru.remove(&e.stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.bytes > self.config.capacity_bytes {
+            let Some((&stamp, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let key = self.lru.remove(&stamp).expect("stamp present");
+            if let Some(e) = self.map.remove(&key) {
+                self.bytes -= e.size(&key);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    fn small_store(capacity: usize) -> CacheStore {
+        CacheStore::new(StoreConfig {
+            capacity_bytes: capacity,
+            item_limit_bytes: 1024,
+        })
+    }
+
+    fn bytes_of(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("v"), None, 0).unwrap();
+        assert_eq!(s.get("k", 0, true).unwrap(), bytes_of("v"));
+        assert_eq!(s.stats().hits, 1);
+        assert!(s.get("nope", 0, true).is_none());
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Each entry ~ key(2) + data(10) + 60 ≈ 72 bytes; room for ~3.
+        let mut s = small_store(220);
+        for i in 0..3 {
+            s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
+                .unwrap();
+        }
+        // Touch k0 so k1 becomes coldest.
+        s.get("k0", 0, true);
+        s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
+        assert!(s.get("k0", 0, true).is_some(), "k0 was touched, survives");
+        assert!(s.get("k1", 0, true).is_none(), "k1 was coldest, evicted");
+        assert!(s.stats().evictions >= 1);
+        assert!(s.bytes_used() <= s.capacity_bytes());
+    }
+
+    #[test]
+    fn no_bump_get_leaves_lru_order() {
+        let mut s = small_store(220);
+        for i in 0..3 {
+            s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
+                .unwrap();
+        }
+        // Touch k0 WITHOUT bump: k0 stays coldest and is evicted next.
+        s.get("k0", 0, false);
+        s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
+        assert!(s.get("k0", 0, false).is_none(), "k0 not bumped, evicted");
+        assert!(s.get("k1", 0, false).is_some());
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("v"), Some(100), 1000).unwrap();
+        assert!(s.get("k", 1050, true).is_some());
+        assert!(s.get("k", 1100, true).is_none(), "expired exactly at ttl");
+        assert_eq!(s.stats().expired, 1);
+        assert!(!s.contains("k", 1100));
+    }
+
+    #[test]
+    fn add_only_when_absent() {
+        let mut s = small_store(10_000);
+        s.add("k", bytes_of("a"), None, 0).unwrap();
+        assert!(matches!(
+            s.add("k", bytes_of("b"), None, 0),
+            Err(CacheError::AlreadyStored)
+        ));
+        // After expiry, add succeeds again.
+        s.set("e", bytes_of("x"), Some(10), 0).unwrap();
+        s.add("e", bytes_of("y"), None, 20).unwrap();
+        assert_eq!(s.get("e", 20, true).unwrap(), bytes_of("y"));
+    }
+
+    #[test]
+    fn cas_happy_path_and_conflict() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("v1"), None, 0).unwrap();
+        let v = s.gets("k", 0, true).unwrap();
+        s.cas("k", bytes_of("v2"), v.cas, None, 0).unwrap();
+        assert_eq!(s.get("k", 0, true).unwrap(), bytes_of("v2"));
+        // Old token now conflicts.
+        assert!(matches!(
+            s.cas("k", bytes_of("v3"), v.cas, None, 0),
+            Err(CacheError::CasConflict)
+        ));
+        assert_eq!(s.stats().cas_conflicts, 1);
+    }
+
+    #[test]
+    fn cas_on_missing_key_conflicts() {
+        let mut s = small_store(10_000);
+        assert!(matches!(
+            s.cas("ghost", bytes_of("v"), 1, None, 0),
+            Err(CacheError::CasConflict)
+        ));
+    }
+
+    #[test]
+    fn cas_token_changes_on_every_store() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("a"), None, 0).unwrap();
+        let t1 = s.gets("k", 0, true).unwrap().cas;
+        s.set("k", bytes_of("b"), None, 0).unwrap();
+        let t2 = s.gets("k", 0, true).unwrap().cas;
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn delete_frees_bytes() {
+        let mut s = small_store(10_000);
+        s.set("k", Bytes::from(vec![0u8; 100]), None, 0).unwrap();
+        let used = s.bytes_used();
+        assert!(used > 100);
+        assert!(s.delete("k"));
+        assert_eq!(s.bytes_used(), 0);
+        assert!(!s.delete("k"));
+        assert_eq!(s.stats().deletes, 1);
+    }
+
+    #[test]
+    fn incr_on_count_payload() {
+        let mut s = small_store(10_000);
+        s.set("n", Payload::Count(10).encode(), None, 0).unwrap();
+        assert_eq!(s.incr("n", 5, 0).unwrap(), Some(15));
+        assert_eq!(s.incr("n", -3, 0).unwrap(), Some(12));
+        let got = Payload::decode(&s.get("n", 0, true).unwrap()).unwrap();
+        assert_eq!(got, Payload::Count(12));
+        assert_eq!(s.incr("missing", 1, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn incr_on_non_count_errors() {
+        let mut s = small_store(10_000);
+        s.set("r", Payload::Rows(vec![]).encode(), None, 0).unwrap();
+        assert!(s.incr("r", 1, 0).is_err());
+    }
+
+    #[test]
+    fn value_too_large_rejected() {
+        let mut s = small_store(10_000);
+        let err = s.set("k", Bytes::from(vec![0u8; 2048]), None, 0).unwrap_err();
+        assert!(matches!(err, CacheError::ValueTooLarge { .. }));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut s = small_store(10_000);
+        s.set("a", bytes_of("1"), None, 0).unwrap();
+        s.set("b", bytes_of("2"), None, 0).unwrap();
+        s.flush_all();
+        assert!(s.is_empty());
+        assert_eq!(s.bytes_used(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_accounting() {
+        let mut s = small_store(10_000);
+        s.set("k", Bytes::from(vec![0u8; 100]), None, 0).unwrap();
+        let big = s.bytes_used();
+        s.set("k", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
+        assert!(s.bytes_used() < big);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memory_bound_never_exceeded_under_churn() {
+        let mut s = small_store(500);
+        for i in 0..200 {
+            s.set(&format!("key{i}"), Bytes::from(vec![0u8; (i % 40) as usize]), None, 0)
+                .unwrap();
+            assert!(
+                s.bytes_used() <= s.capacity_bytes(),
+                "iteration {i}: {} > {}",
+                s.bytes_used(),
+                s.capacity_bytes()
+            );
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Cached-object definitions: the programmer's declaration surface.
+//!
+//! This is the paper's `cacheable(...)` call (§3.1): the developer names a
+//! *cache class* (FeatureQuery, LinkQuery, CountQuery, TopKQuery), the main
+//! model, the key fields, and optionally a consistency strategy — and
+//! CacheGenie derives the query template, cache keys, and triggers.
+
+use genie_storage::{Result, StorageError};
+
+/// How a cached object is kept consistent with the database (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyStrategy {
+    /// Triggers incrementally update the cached value in place — the
+    /// paper's default, and the configuration it shows winning.
+    UpdateInPlace,
+    /// Triggers delete exactly the affected keys; the next read refetches.
+    Invalidate,
+    /// No triggers: entries simply expire after `ttl` (the "easy but
+    /// insufficient for dynamic sites" baseline the paper describes).
+    Expire {
+        /// Relative TTL in the cache clock's unit.
+        ttl: u64,
+    },
+}
+
+impl Default for ConsistencyStrategy {
+    fn default() -> Self {
+        ConsistencyStrategy::UpdateInPlace
+    }
+}
+
+/// Sort direction for Top-K objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Largest sort value first (newest-first feeds).
+    Descending,
+    /// Smallest first.
+    Ascending,
+}
+
+/// One join step of a LinkQuery: `JOIN target ON
+/// target.<target_col> = base.<base_col>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStep {
+    /// The joined model name.
+    pub target_model: String,
+    /// Column on the base model.
+    pub base_column: String,
+    /// Column on the target model.
+    pub target_column: String,
+}
+
+/// Class-specific definition data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheClassKind {
+    /// Read a (set of) row(s) of one model by equality on `where_fields`
+    /// — e.g. a user's profile by `user_id` (§3.1 class 1).
+    Feature,
+    /// Traverse a relationship: base model filtered by `where_fields`,
+    /// joined through `step` (§3.1 class 2).
+    Link {
+        /// The single join step (the paper's examples use one hop).
+        step: LinkStep,
+    },
+    /// `COUNT(*)` of rows matching `where_fields` (§3.1 class 3).
+    Count,
+    /// Top-K rows by `sort_field`, kept incrementally with a reserve
+    /// beyond K to absorb deletes (§3.1 class 4, §3.2 trigger example).
+    TopK {
+        /// Sort column on the main model.
+        sort_field: String,
+        /// Sort direction.
+        order: SortOrder,
+        /// How many rows the application reads.
+        k: usize,
+        /// Extra rows cached beyond `k` so deletes don't force immediate
+        /// recomputation.
+        reserve: usize,
+    },
+}
+
+impl CacheClassKind {
+    /// Short class name, used in generated trigger names and reports.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            CacheClassKind::Feature => "FeatureQuery",
+            CacheClassKind::Link { .. } => "LinkQuery",
+            CacheClassKind::Count => "CountQuery",
+            CacheClassKind::TopK { .. } => "TopKQuery",
+        }
+    }
+}
+
+/// A complete cached-object declaration. Build with the constructors and
+/// pass to [`crate::CacheGenie::cacheable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheableDef {
+    /// Unique object name; becomes the cache key prefix.
+    pub name: String,
+    /// Main model (Django model name, not table name).
+    pub main_model: String,
+    /// Equality key fields on the main model, in key order.
+    pub where_fields: Vec<String>,
+    /// Class-specific data.
+    pub kind: CacheClassKind,
+    /// Consistency strategy.
+    pub strategy: ConsistencyStrategy,
+    /// When true, matching ORM queries are served from cache without code
+    /// changes; when false the programmer calls `evaluate` explicitly
+    /// (the paper's opt-out for strict-consistency call sites).
+    pub use_transparently: bool,
+}
+
+impl CacheableDef {
+    /// Declares a FeatureQuery cached object.
+    pub fn feature(name: impl Into<String>, main_model: impl Into<String>) -> Self {
+        CacheableDef {
+            name: name.into(),
+            main_model: main_model.into(),
+            where_fields: Vec::new(),
+            kind: CacheClassKind::Feature,
+            strategy: ConsistencyStrategy::default(),
+            use_transparently: true,
+        }
+    }
+
+    /// Declares a CountQuery cached object.
+    pub fn count(name: impl Into<String>, main_model: impl Into<String>) -> Self {
+        CacheableDef {
+            kind: CacheClassKind::Count,
+            ..CacheableDef::feature(name, main_model)
+        }
+    }
+
+    /// Declares a TopKQuery cached object ordered by `sort_field`.
+    pub fn top_k(
+        name: impl Into<String>,
+        main_model: impl Into<String>,
+        sort_field: impl Into<String>,
+        order: SortOrder,
+        k: usize,
+    ) -> Self {
+        CacheableDef {
+            kind: CacheClassKind::TopK {
+                sort_field: sort_field.into(),
+                order,
+                k,
+                // The paper: "plus a few more, to allow for incremental
+                // deletes". A quarter of K, at least 2.
+                reserve: (k / 4).max(2),
+            },
+            ..CacheableDef::feature(name, main_model)
+        }
+    }
+
+    /// Declares a LinkQuery cached object joining one related model.
+    pub fn link(
+        name: impl Into<String>,
+        main_model: impl Into<String>,
+        target_model: impl Into<String>,
+        base_column: impl Into<String>,
+        target_column: impl Into<String>,
+    ) -> Self {
+        CacheableDef {
+            kind: CacheClassKind::Link {
+                step: LinkStep {
+                    target_model: target_model.into(),
+                    base_column: base_column.into(),
+                    target_column: target_column.into(),
+                },
+            },
+            ..CacheableDef::feature(name, main_model)
+        }
+    }
+
+    /// Sets the equality key fields (replaces previous).
+    pub fn where_fields(mut self, fields: &[&str]) -> Self {
+        self.where_fields = fields.iter().map(|f| (*f).to_owned()).collect();
+        self
+    }
+
+    /// Sets the consistency strategy.
+    pub fn strategy(mut self, strategy: ConsistencyStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the Top-K reserve size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not a TopKQuery — a definition bug.
+    pub fn reserve(mut self, reserve: usize) -> Self {
+        match &mut self.kind {
+            CacheClassKind::TopK { reserve: r, .. } => *r = reserve,
+            other => panic!("reserve() on {} definition", other.class_name()),
+        }
+        self
+    }
+
+    /// Opts out of transparent interception (§3.3's per-object strict-
+    /// consistency escape hatch).
+    pub fn manual_only(mut self) -> Self {
+        self.use_transparently = false;
+        self
+    }
+
+    /// Validates structural invariants that don't need the model registry.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Parse`] describing the problem.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(StorageError::Parse("cached object needs a name".into()));
+        }
+        if self.where_fields.is_empty() {
+            return Err(StorageError::Parse(format!(
+                "cached object {:?} needs at least one where field",
+                self.name
+            )));
+        }
+        if let CacheClassKind::TopK { k, .. } = &self.kind {
+            if *k == 0 {
+                return Err(StorageError::Parse(format!(
+                    "cached object {:?} has k = 0",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_kinds() {
+        let f = CacheableDef::feature("user_profile", "Profile").where_fields(&["user_id"]);
+        assert_eq!(f.kind.class_name(), "FeatureQuery");
+        assert!(f.use_transparently);
+        assert_eq!(f.strategy, ConsistencyStrategy::UpdateInPlace);
+
+        let c = CacheableDef::count("friend_count", "Friendship").where_fields(&["user_id"]);
+        assert_eq!(c.kind.class_name(), "CountQuery");
+
+        let t = CacheableDef::top_k("latest_posts", "WallPost", "date_posted", SortOrder::Descending, 20)
+            .where_fields(&["user_id"]);
+        match &t.kind {
+            CacheClassKind::TopK { k, reserve, .. } => {
+                assert_eq!(*k, 20);
+                assert_eq!(*reserve, 5);
+            }
+            _ => panic!(),
+        }
+
+        let l = CacheableDef::link("user_groups", "GroupMembership", "Group", "group_id", "id")
+            .where_fields(&["user_id"]);
+        assert_eq!(l.kind.class_name(), "LinkQuery");
+    }
+
+    #[test]
+    fn validation_catches_misuse() {
+        assert!(CacheableDef::feature("x", "M").validate().is_err(), "no key fields");
+        assert!(CacheableDef::feature("", "M").where_fields(&["a"]).validate().is_err());
+        assert!(
+            CacheableDef::top_k("t", "M", "s", SortOrder::Ascending, 0)
+                .where_fields(&["a"])
+                .validate()
+                .is_err()
+        );
+        assert!(CacheableDef::feature("ok", "M").where_fields(&["a"]).validate().is_ok());
+    }
+
+    #[test]
+    fn reserve_override() {
+        let t = CacheableDef::top_k("t", "M", "s", SortOrder::Descending, 20)
+            .where_fields(&["u"])
+            .reserve(7);
+        match t.kind {
+            CacheClassKind::TopK { reserve, .. } => assert_eq!(reserve, 7),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve() on FeatureQuery")]
+    fn reserve_on_feature_panics() {
+        let _ = CacheableDef::feature("f", "M").reserve(3);
+    }
+
+    #[test]
+    fn manual_only_flag() {
+        let d = CacheableDef::feature("f", "M").where_fields(&["a"]).manual_only();
+        assert!(!d.use_transparently);
+    }
+}

@@ -1,0 +1,447 @@
+//! The CacheGenie middleware registry: declaration, interception, and
+//! read-through fill.
+
+use crate::def::{CacheClassKind, CacheableDef};
+use crate::object::ObjectInner;
+use crate::stats::{GenieStats, GenieStatsSnapshot};
+use crate::triggers::build_triggers;
+use genie_cache::{CacheCluster, CacheHandle, CacheOrigin, Payload};
+use genie_orm::{InterceptOutcome, ModelRegistry, OrmSession, QueryInterceptor};
+use genie_storage::{
+    CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value,
+};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// CacheGenie tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GenieConfig {
+    /// Model the paper's proposed optimization of reusing memcached
+    /// connections across trigger firings (§5.3/§5.5 future work). When
+    /// true, triggers charge no connection-open cost.
+    pub reuse_trigger_connections: bool,
+    /// Bounded retries for the gets/cas loop before falling back to
+    /// invalidation.
+    pub cas_retry_limit: usize,
+}
+
+impl Default for GenieConfig {
+    fn default() -> Self {
+        GenieConfig {
+            reuse_trigger_connections: false,
+            cas_retry_limit: 8,
+        }
+    }
+}
+
+/// Result of a manual [`CacheGenie::evaluate`] call.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Result in executor shape (columns + rows).
+    pub result: QueryResult,
+    /// True if served without touching the database.
+    pub from_cache: bool,
+    /// Cache operations performed.
+    pub cache_ops: u64,
+    /// Database work, if any.
+    pub db_cost: CostReport,
+}
+
+struct GenieShared {
+    db: Database,
+    cluster: CacheCluster,
+    app_cache: CacheHandle,
+    registry: Arc<ModelRegistry>,
+    config: GenieConfig,
+    stats: Arc<GenieStats>,
+    /// fingerprint (canonical SQL) -> object.
+    by_fingerprint: RwLock<HashMap<String, Arc<ObjectInner>>>,
+    /// object name -> object.
+    by_name: RwLock<HashMap<String, Arc<ObjectInner>>>,
+    /// Tables with at least one cached object (fast reject for Pass).
+    tables: RwLock<HashSet<String>>,
+}
+
+/// The caching middleware (Figure 1c): declare cached objects with
+/// [`CacheGenie::cacheable`], install on a session with
+/// [`CacheGenie::install`], and the rest — query generation, trigger
+/// generation, transparent interception, read-through fill, incremental
+/// consistency — is automatic.
+///
+/// # Example
+///
+/// ```
+/// use cachegenie::{CacheGenie, CacheableDef, GenieConfig};
+/// use genie_cache::{CacheCluster, ClusterConfig};
+/// use genie_orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+/// use genie_storage::{Database, Value, ValueType};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), genie_storage::StorageError> {
+/// let mut registry = ModelRegistry::new();
+/// registry.register(
+///     ModelDef::builder("Profile", "profiles")
+///         .field(FieldDef::new("user_id", ValueType::Int).indexed())
+///         .field(FieldDef::new("bio", ValueType::Text))
+///         .build(),
+/// )?;
+/// let registry = Arc::new(registry);
+/// let db = Database::default();
+/// registry.sync(&db)?;
+/// let session = OrmSession::new(db.clone(), Arc::clone(&registry));
+///
+/// let genie = CacheGenie::new(
+///     db,
+///     CacheCluster::new(ClusterConfig::default()),
+///     registry,
+///     GenieConfig::default(),
+/// );
+/// // The paper's profile example: one declaration, no other app changes.
+/// genie.cacheable(
+///     CacheableDef::feature("cached_user_profile", "Profile").where_fields(&["user_id"]),
+/// )?;
+/// genie.install(&session);
+///
+/// session.create("Profile", &[("user_id", Value::Int(42)), ("bio", "hi".into())])?;
+/// let qs = session.objects("Profile")?.filter_eq("user_id", 42i64);
+/// let miss = session.all(&qs)?; // fills the cache
+/// let hit = session.all(&qs)?;  // served from memcached-alike
+/// assert!(!miss.from_cache && hit.from_cache);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct CacheGenie {
+    shared: Arc<GenieShared>,
+}
+
+impl std::fmt::Debug for CacheGenie {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheGenie")
+            .field("objects", &self.shared.by_name.read().len())
+            .finish()
+    }
+}
+
+impl CacheGenie {
+    /// Creates the middleware over a database, cache cluster, and model
+    /// registry.
+    pub fn new(
+        db: Database,
+        cluster: CacheCluster,
+        registry: Arc<ModelRegistry>,
+        config: GenieConfig,
+    ) -> Self {
+        let app_cache = cluster.handle(CacheOrigin::Application);
+        CacheGenie {
+            shared: Arc::new(GenieShared {
+                db,
+                cluster,
+                app_cache,
+                registry,
+                config,
+                stats: Arc::new(GenieStats::new()),
+                by_fingerprint: RwLock::new(HashMap::new()),
+                by_name: RwLock::new(HashMap::new()),
+                tables: RwLock::new(HashSet::new()),
+            }),
+        }
+    }
+
+    /// Declares a cached object: compiles the query template, registers it
+    /// for interception, and installs the consistency triggers — the
+    /// entire `cacheable(...)` call from §3.1.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors, unknown models/fields, or duplicate names.
+    pub fn cacheable(&self, def: CacheableDef) -> Result<()> {
+        if def.name.contains(':') {
+            return Err(StorageError::Parse(
+                "cached object names must not contain ':'".into(),
+            ));
+        }
+        if self.shared.by_name.read().contains_key(&def.name) {
+            return Err(StorageError::AlreadyExists(def.name));
+        }
+        let obj = Arc::new(ObjectInner::compile(def, &self.shared.registry)?);
+        let trigger_handle = self.shared.cluster.handle(CacheOrigin::Trigger);
+        for trigger in build_triggers(&obj, &trigger_handle, &self.shared.stats, &self.shared.config)
+        {
+            self.shared.db.create_trigger(trigger)?;
+        }
+        self.shared
+            .by_fingerprint
+            .write()
+            .insert(obj.fingerprint.clone(), Arc::clone(&obj));
+        self.shared.tables.write().insert(obj.table.clone());
+        self.shared
+            .by_name
+            .write()
+            .insert(obj.def.name.clone(), obj);
+        Ok(())
+    }
+
+    /// Installs this middleware as the session's query interceptor.
+    pub fn install(&self, session: &OrmSession) {
+        session.set_interceptor(Arc::new(self.clone()));
+    }
+
+    /// Evaluates a cached object by name with concrete key values — the
+    /// manual path for objects declared with
+    /// [`CacheableDef::manual_only`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown object names and database errors.
+    pub fn evaluate(&self, name: &str, params: &[Value]) -> Result<EvalOutcome> {
+        let obj = self
+            .shared
+            .by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownIndex(format!("cached object {name}")))?;
+        self.shared.serve(&obj, params)
+    }
+
+    /// The cache key a cached object uses for concrete key values —
+    /// needed by the strict-consistency extension to lock keys, and handy
+    /// for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Unknown object names.
+    pub fn key_for(&self, name: &str, params: &[Value]) -> Result<String> {
+        let obj = self
+            .shared
+            .by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownIndex(format!("cached object {name}")))?;
+        Ok(obj.make_key(params))
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> GenieStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Zeroes statistics (between warm-up and measurement).
+    pub fn reset_stats(&self) {
+        self.shared.stats.reset();
+    }
+
+    /// Number of declared cached objects.
+    pub fn object_count(&self) -> usize {
+        self.shared.by_name.read().len()
+    }
+
+    /// Declared object names, sorted.
+    pub fn object_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.by_name.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total generated trigger-source lines across declared objects (the
+    /// paper's §5.2 programmer-effort metric).
+    pub fn generated_trigger_lines(&self) -> usize {
+        self.shared.db.trigger_source_lines()
+    }
+
+    /// Number of installed triggers.
+    pub fn trigger_count(&self) -> usize {
+        self.shared.db.trigger_count()
+    }
+
+    /// The cache cluster (for stats and experiment plumbing).
+    pub fn cluster(&self) -> &CacheCluster {
+        &self.shared.cluster
+    }
+}
+
+impl GenieShared {
+    /// Serves one cached object for concrete key values: cache hit,
+    /// read-through fill, or (Top-K) internal over-fetch.
+    fn serve(&self, obj: &Arc<ObjectInner>, params: &[Value]) -> Result<EvalOutcome> {
+        let key = obj.make_key(params);
+        match &obj.def.kind {
+            CacheClassKind::TopK { .. } => self.serve_top_k(obj, &key, params),
+            CacheClassKind::Count => {
+                let mut cache_ops = 1;
+                match self.app_cache.get_payload(&key) {
+                    Ok(Some(Payload::Count(n))) => {
+                        self.stats.bump(&self.stats.cache_hits);
+                        return Ok(EvalOutcome {
+                            result: count_result(n),
+                            from_cache: true,
+                            cache_ops,
+                            db_cost: CostReport::new(),
+                        });
+                    }
+                    Ok(Some(_)) | Err(_) => {
+                        // Wrong shape or corrupt: drop and refill.
+                        cache_ops += 1;
+                        self.app_cache.delete(&key);
+                    }
+                    Ok(None) => {}
+                }
+                self.stats.bump(&self.stats.cache_misses);
+                let out = self.db.select(&obj.template, params)?;
+                let n = out
+                    .result
+                    .scalar()
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                cache_ops += 1;
+                let _ = self
+                    .app_cache
+                    .set_payload(&key, &Payload::Count(n), obj.fill_ttl());
+                self.stats.bump(&self.stats.fills);
+                Ok(EvalOutcome {
+                    result: count_result(n),
+                    from_cache: false,
+                    cache_ops,
+                    db_cost: out.cost,
+                })
+            }
+            _ => {
+                let mut cache_ops = 1;
+                match self.app_cache.get_payload(&key) {
+                    Ok(Some(Payload::Rows(rows))) => {
+                        self.stats.bump(&self.stats.cache_hits);
+                        return Ok(EvalOutcome {
+                            result: rows_result(obj, rows),
+                            from_cache: true,
+                            cache_ops,
+                            db_cost: CostReport::new(),
+                        });
+                    }
+                    Ok(Some(_)) | Err(_) => {
+                        cache_ops += 1;
+                        self.app_cache.delete(&key);
+                    }
+                    Ok(None) => {}
+                }
+                self.stats.bump(&self.stats.cache_misses);
+                let out = self.db.select(&obj.template, params)?;
+                cache_ops += 1;
+                let _ = self.app_cache.set_payload(
+                    &key,
+                    &Payload::Rows(out.result.rows.clone()),
+                    obj.fill_ttl(),
+                );
+                self.stats.bump(&self.stats.fills);
+                Ok(EvalOutcome {
+                    result: rows_result(obj, out.result.rows),
+                    from_cache: false,
+                    cache_ops,
+                    db_cost: out.cost,
+                })
+            }
+        }
+    }
+
+    fn serve_top_k(
+        &self,
+        obj: &Arc<ObjectInner>,
+        key: &str,
+        params: &[Value],
+    ) -> Result<EvalOutcome> {
+        let k = obj.k();
+        let mut cache_ops = 1;
+        match self.app_cache.get_payload(key) {
+            Ok(Some(Payload::TopK { rows, complete })) if rows.len() >= k || complete => {
+                self.stats.bump(&self.stats.cache_hits);
+                let served: Vec<Row> = rows.into_iter().take(k).collect();
+                return Ok(EvalOutcome {
+                    result: rows_result(obj, served),
+                    from_cache: true,
+                    cache_ops,
+                    db_cost: CostReport::new(),
+                });
+            }
+            Ok(Some(_)) | Err(_) => {
+                // Short (reserve gone) or wrong shape: recompute.
+                cache_ops += 1;
+                self.app_cache.delete(key);
+            }
+            Ok(None) => {}
+        }
+        self.stats.bump(&self.stats.cache_misses);
+        // Over-fetch K + reserve for incremental delete headroom (§3.2).
+        let fill = obj.fill_template.as_ref().expect("TopK has fill template");
+        let out = self.db.select(fill, params)?;
+        let rows = out.result.rows;
+        let complete = rows.len() < obj.capacity;
+        cache_ops += 1;
+        let _ = self.app_cache.set_payload(
+            key,
+            &Payload::TopK {
+                rows: rows.clone(),
+                complete,
+            },
+            obj.fill_ttl(),
+        );
+        self.stats.bump(&self.stats.fills);
+        let served: Vec<Row> = rows.into_iter().take(k).collect();
+        Ok(EvalOutcome {
+            result: rows_result(obj, served),
+            from_cache: false,
+            cache_ops,
+            db_cost: out.cost,
+        })
+    }
+}
+
+fn rows_result(obj: &ObjectInner, rows: Vec<Row>) -> QueryResult {
+    QueryResult {
+        columns: obj.columns.clone(),
+        rows,
+        rows_affected: 0,
+    }
+}
+
+fn count_result(n: i64) -> QueryResult {
+    QueryResult {
+        columns: vec!["count".to_owned()],
+        rows: vec![Row::new(vec![Value::Int(n)])],
+        rows_affected: 0,
+    }
+}
+
+impl QueryInterceptor for CacheGenie {
+    fn try_serve(&self, select: &Select, params: &[Value]) -> InterceptOutcome {
+        // Fast reject: no cached object involves this base table.
+        if !self.shared.tables.read().contains(&select.from.table) {
+            return InterceptOutcome::Pass;
+        }
+        let fingerprint = select.to_string();
+        let Some(obj) = self.shared.by_fingerprint.read().get(&fingerprint).cloned() else {
+            return InterceptOutcome::Pass;
+        };
+        if !obj.def.use_transparently {
+            return InterceptOutcome::Pass;
+        }
+        match self.shared.serve(&obj, params) {
+            Ok(out) => InterceptOutcome::Served {
+                result: out.result,
+                cache_ops: out.cache_ops,
+                db_cost: out.db_cost,
+                from_cache: out.from_cache,
+            },
+            // Serving errors fall back to the plain database path.
+            Err(_) => InterceptOutcome::Pass,
+        }
+    }
+
+    fn fill(&self, _fill_key: &str, _result: &QueryResult) -> u64 {
+        // Fills happen inside `serve` (the middleware issues its own
+        // database query when needed), so the session-level fill path is
+        // never used by CacheGenie.
+        0
+    }
+}

@@ -1,0 +1,112 @@
+//! CacheGenie runtime statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, updated by the interception path and by
+/// trigger bodies.
+#[derive(Debug, Default)]
+pub struct GenieStats {
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) fills: AtomicU64,
+    pub(crate) inplace_updates: AtomicU64,
+    pub(crate) invalidations: AtomicU64,
+    pub(crate) key_drops: AtomicU64,
+    pub(crate) cas_conflicts: AtomicU64,
+    pub(crate) trigger_noops: AtomicU64,
+}
+
+/// A point-in-time copy of [`GenieStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenieStatsSnapshot {
+    /// Intercepted queries answered from cache.
+    pub cache_hits: u64,
+    /// Intercepted queries that needed the database.
+    pub cache_misses: u64,
+    /// Read-through fills performed.
+    pub fills: u64,
+    /// Trigger-driven incremental updates applied in place.
+    pub inplace_updates: u64,
+    /// Trigger-driven key invalidations (Invalidate strategy, payload
+    /// corruption, or class-specific fallbacks).
+    pub invalidations: u64,
+    /// Top-K keys dropped because the delete reserve was exhausted.
+    pub key_drops: u64,
+    /// CAS attempts that lost their race and retried.
+    pub cas_conflicts: u64,
+    /// Trigger firings that found nothing cached to maintain.
+    pub trigger_noops: u64,
+}
+
+impl GenieStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        GenieStats::default()
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> GenieStatsSnapshot {
+        GenieStatsSnapshot {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            inplace_updates: self.inplace_updates.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            key_drops: self.key_drops.load(Ordering::Relaxed),
+            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
+            trigger_noops: self.trigger_noops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.fills,
+            &self.inplace_updates,
+            &self.invalidations,
+            &self.key_drops,
+            &self.cas_conflicts,
+            &self.trigger_noops,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl GenieStatsSnapshot {
+    /// Interception hit ratio, or 1.0 with no intercepted traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = GenieStats::new();
+        s.bump(&s.cache_hits);
+        s.bump(&s.cache_hits);
+        s.bump(&s.cache_misses);
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.snapshot(), GenieStatsSnapshot::default());
+        assert_eq!(s.snapshot().hit_ratio(), 1.0);
+    }
+}

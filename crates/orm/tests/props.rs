@@ -1,0 +1,129 @@
+//! Property tests for the ORM's query canonicalization — the contract
+//! CacheGenie's interception relies on: *structurally identical query
+//! sets compile to byte-identical SQL templates*, and the template's
+//! canonical text survives a parser round trip.
+
+use genie_orm::{FieldDef, FilterOp, ModelDef, QuerySet};
+use genie_storage::{sql, Statement, Value, ValueType};
+use proptest::prelude::*;
+
+fn model() -> ModelDef {
+    ModelDef::builder("Item", "items")
+        .foreign_key("owner_id", "Owner")
+        .field(FieldDef::new("name", ValueType::Text))
+        .field(FieldDef::new("score", ValueType::Int).indexed())
+        .field(FieldDef::new("at", ValueType::Timestamp).indexed())
+        .build()
+}
+
+fn owner() -> ModelDef {
+    ModelDef::builder("Owner", "owners")
+        .field(FieldDef::new("name", ValueType::Text))
+        .build()
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    filters: Vec<(String, u8)>,
+    join: bool,
+    order_desc: Option<bool>,
+    limit: Option<u64>,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        prop::collection::vec(
+            (
+                prop::sample::select(vec![
+                    "owner_id".to_string(),
+                    "name".to_string(),
+                    "score".to_string(),
+                ]),
+                0u8..4,
+            ),
+            0..3,
+        ),
+        any::<bool>(),
+        proptest::option::of(any::<bool>()),
+        proptest::option::of(1u64..50),
+    )
+        .prop_map(|(filters, join, order_desc, limit)| Shape {
+            filters,
+            join,
+            order_desc,
+            limit,
+        })
+}
+
+fn build(shape: &Shape, value_seed: i64) -> (genie_storage::Select, Vec<Value>) {
+    let mut qs = QuerySet::new(model());
+    if shape.join {
+        qs = qs.join_forward("owner_id", &owner());
+    }
+    for (i, (field, op)) in shape.filters.iter().enumerate() {
+        let v = Value::Int(value_seed + i as i64);
+        qs = match op {
+            0 => qs.filter(field.clone(), FilterOp::Eq, v),
+            1 => qs.filter(field.clone(), FilterOp::Gt, v),
+            2 => qs.filter(field.clone(), FilterOp::Lte, v),
+            _ => qs.filter(field.clone(), FilterOp::Ne, v),
+        };
+    }
+    if let Some(desc) = shape.order_desc {
+        qs = qs.order_by(if desc { "-at" } else { "at" });
+    }
+    if let Some(l) = shape.limit {
+        qs = qs.limit(l);
+    }
+    qs.compile()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same shape + different values => identical template, different
+    /// parameter vectors.
+    #[test]
+    fn canonicalization_is_value_independent(shape in shape_strategy(), a in -1000i64..1000, b in -1000i64..1000) {
+        let (sel_a, params_a) = build(&shape, a);
+        let (sel_b, params_b) = build(&shape, b);
+        prop_assert_eq!(&sel_a, &sel_b);
+        prop_assert_eq!(sel_a.to_string(), sel_b.to_string());
+        prop_assert_eq!(params_a.len(), params_b.len());
+        if a != b && !shape.filters.is_empty() {
+            prop_assert_ne!(params_a, params_b);
+        }
+    }
+
+    /// The canonical text reparses to the same statement.
+    #[test]
+    fn template_text_roundtrips_through_parser(shape in shape_strategy(), seed in -1000i64..1000) {
+        let (sel, _) = build(&shape, seed);
+        let text = sel.to_string();
+        let reparsed = sql::parse(&text).unwrap();
+        prop_assert_eq!(Statement::Select(sel), reparsed);
+    }
+
+    /// COUNT templates are also canonical and strip order/limit.
+    #[test]
+    fn count_templates_canonical(shape in shape_strategy(), a in -1000i64..1000, b in -1000i64..1000) {
+        let s1 = {
+            let mut qs = QuerySet::new(model());
+            for (i, (field, _)) in shape.filters.iter().enumerate() {
+                qs = qs.filter_eq(field.clone(), Value::Int(a + i as i64));
+            }
+            qs = qs.order_by("-at").limit(5);
+            qs.compile_count().0
+        };
+        let s2 = {
+            let mut qs = QuerySet::new(model());
+            for (i, (field, _)) in shape.filters.iter().enumerate() {
+                qs = qs.filter_eq(field.clone(), Value::Int(b + i as i64));
+            }
+            qs.compile_count().0
+        };
+        prop_assert_eq!(&s1, &s2, "order/limit must not leak into count templates");
+        prop_assert!(s1.order_by.is_empty());
+        prop_assert!(s1.limit.is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Sampling distributions used by the workload generator.
+//!
+//! The paper distributes sessions across users with a Zipf distribution
+//! (`p(x) = x^-a / zeta(a)`, Benevenuto et al.'s social-network
+//! measurement), sweeping the parameter `a` in Experiment 3. [`Zipf`] here
+//! is the bounded variant over ranks `1..=n` with an explicit CDF table,
+//! which is exact, O(log n) to sample, and deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Bounded Zipf distribution over ranks `1..=n` with exponent `a`.
+///
+/// Rank 1 is the most probable outcome. The workload maps ranks to user ids
+/// so that a small set of "heavy" users log in most often; lower `a` spreads
+/// the load more uniformly (the x-axis of the paper's Figure 3b).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    a: f64,
+    /// cdf[i] = P(rank <= i+1); last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `1..=n` with exponent `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `a` is not finite and positive; both indicate
+    /// a mis-configured experiment rather than a runtime condition.
+    pub fn new(n: usize, a: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(a.is_finite() && a > 0.0, "zipf exponent must be positive");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            let w = (rank as f64).powf(-a);
+            total += w;
+            weights.push(total);
+        }
+        let mut cdf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { n, a, cdf }
+    }
+
+    /// The size of the support.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exponent the distribution was built with.
+    pub fn exponent(&self) -> f64 {
+        self.a
+    }
+
+    /// Probability mass of `rank` (1-based).
+    ///
+    /// Returns 0.0 for ranks outside `1..=n`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        let hi = self.cdf[rank - 1];
+        let lo = if rank >= 2 { self.cdf[rank - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point returns the count of entries < u, i.e. the 0-based
+        // index of the first cdf entry >= u; +1 converts to a 1-based rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx + 1).min(self.n)
+    }
+}
+
+/// Exponential distribution with the given mean, for think-time sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean` (any unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and non-negative.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean >= 0.0, "mean must be >= 0");
+        Exponential { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws a sample; always non-negative, zero if the mean is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.5);
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 2.0);
+        for r in 1..50 {
+            assert!(z.pmf(r) >= z.pmf(r + 1), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        let z = Zipf::new(10, 1.0);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(11), 0.0);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=7).contains(&s));
+        }
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let skewed = Zipf::new(1000, 2.0);
+        let flat = Zipf::new(1000, 1.1);
+        let count_rank1 = |z: &Zipf, rng: &mut StdRng| {
+            (0..20_000).filter(|_| z.sample(rng) == 1).count()
+        };
+        let s = count_rank1(&skewed, &mut rng);
+        let f = count_rank1(&flat, &mut rng);
+        assert!(s > f, "skewed {s} flat {f}");
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_pmf() {
+        let z = Zipf::new(20, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0usize; 21];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for rank in [1usize, 2, 5, 10] {
+            let emp = counts[rank] as f64 / n as f64;
+            let exp = z.pmf(rank);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {rank}: empirical {emp} vs pmf {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_support_always_returns_one() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+        assert_eq!(z.pmf(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn bad_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let e = Exponential::new(5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_mean_samples_zero() {
+        let e = Exponential::new(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(e.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn exponential_samples_nonnegative() {
+        let e = Exponential::new(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Discrete-event simulation kernel for the CacheGenie reproduction.
+//!
+//! The CacheGenie paper evaluates its middleware on a physical testbed (a
+//! dedicated PostgreSQL server, a memcached server, and a client machine on
+//! gigabit ethernet). This crate is the substitute substrate: it provides a
+//! virtual clock, contended [`Resource`]s with FIFO queueing semantics, and
+//! the sampling distributions (notably [`Zipf`]) the workload generator
+//! needs. The benchmark driver executes queries *functionally* against the
+//! real storage engine and cache, then charges their modelled costs to
+//! simulated resources; throughput and latency are read off the virtual
+//! clock. This yields deterministic, laptop-speed reproductions of the
+//! paper's contention curves.
+//!
+//! # Example
+//!
+//! ```
+//! use genie_sim::{Resource, SimTime, SimDuration};
+//!
+//! // A single-core "database CPU".
+//! let mut cpu = Resource::new("db_cpu", 1);
+//! // Two requests arriving at t=0 are serialized.
+//! let a = cpu.acquire(SimTime::ZERO, SimDuration::from_millis(10));
+//! let b = cpu.acquire(SimTime::ZERO, SimDuration::from_millis(10));
+//! assert_eq!(a.end, SimTime::from_millis(10));
+//! assert_eq!(b.start, SimTime::from_millis(10));
+//! assert_eq!(b.end, SimTime::from_millis(20));
+//! ```
+
+pub mod dist;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Exponential, Zipf};
+pub use resource::{Grant, Resource};
+pub use stats::{OnlineStats, Percentiles};
+pub use time::{SimDuration, SimTime};

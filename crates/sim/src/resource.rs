@@ -1,0 +1,253 @@
+//! Contended resources with FIFO queueing.
+//!
+//! A [`Resource`] models a server with `k` identical units (CPU cores, disk
+//! spindles, cache-server threads). Clients ask for a grant of service time;
+//! the resource schedules the request on the earliest-free unit, FIFO with
+//! respect to request order. Because the benchmark driver always advances
+//! the client with the smallest local clock first, request order closely
+//! approximates arrival-time order, which is the standard
+//! activity-scanning approximation for closed-loop workloads.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The outcome of acquiring service time on a [`Resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service actually began (>= request time if the resource was busy).
+    pub start: SimTime,
+    /// When service completed; the caller's clock should advance to this.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// How long the request waited in queue before service began.
+    pub fn queueing_delay(&self, requested_at: SimTime) -> SimDuration {
+        self.start.saturating_since(requested_at)
+    }
+}
+
+/// A multi-unit FIFO server in virtual time.
+///
+/// Tracks per-unit "free at" horizons plus aggregate busy time so the
+/// harness can report utilization (the paper's Experiments 1-4 hinge on
+/// which resource saturates: DB CPU for NoCache, DB disk for the cached
+/// configurations).
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    /// Earliest instant each unit becomes free.
+    free_at: Vec<SimTime>,
+    busy: SimDuration,
+    grants: u64,
+    queue_delay_total: SimDuration,
+}
+
+impl Resource {
+    /// Creates a resource with `units` identical service units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero: a resource with no capacity can never
+    /// serve a request.
+    pub fn new(name: impl Into<String>, units: usize) -> Self {
+        assert!(units > 0, "resource must have at least one unit");
+        Resource {
+            name: name.into(),
+            free_at: vec![SimTime::ZERO; units],
+            busy: SimDuration::ZERO,
+            grants: 0,
+            queue_delay_total: SimDuration::ZERO,
+        }
+    }
+
+    /// The resource's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of service units.
+    pub fn units(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Requests `service` time starting no earlier than `now`.
+    ///
+    /// Picks the unit that frees up soonest; service begins at
+    /// `max(now, unit_free_at)` and runs without preemption.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let idx = self.earliest_unit();
+        let start = now.max(self.free_at[idx]);
+        let end = start + service;
+        self.free_at[idx] = end;
+        self.busy += service;
+        self.grants += 1;
+        self.queue_delay_total += start.saturating_since(now);
+        Grant { start, end }
+    }
+
+    /// When the next request arriving at `now` would begin service.
+    pub fn next_start(&self, now: SimTime) -> SimTime {
+        now.max(self.free_at[self.earliest_unit()])
+    }
+
+    /// Total service time granted.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Mean queueing delay across grants, or zero if none issued.
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        if self.grants == 0 {
+            SimDuration::ZERO
+        } else {
+            self.queue_delay_total / self.grants
+        }
+    }
+
+    /// Utilization over a horizon: busy time divided by capacity-time.
+    ///
+    /// Values near 1.0 mean the resource is the bottleneck.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let cap = horizon.as_secs_f64() * self.free_at.len() as f64;
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / cap).min(1.0)
+        }
+    }
+
+    /// Resets all scheduling state (used between warm-up and measurement).
+    pub fn reset(&mut self) {
+        for f in &mut self.free_at {
+            *f = SimTime::ZERO;
+        }
+        self.busy = SimDuration::ZERO;
+        self.grants = 0;
+        self.queue_delay_total = SimDuration::ZERO;
+    }
+
+    /// Clears accumulated statistics but keeps the schedule horizon, so a
+    /// measurement interval can start mid-run without a scheduling
+    /// discontinuity.
+    pub fn reset_stats(&mut self) {
+        self.busy = SimDuration::ZERO;
+        self.grants = 0;
+        self.queue_delay_total = SimDuration::ZERO;
+    }
+
+    fn earliest_unit(&self) -> usize {
+        let mut best = 0;
+        for (i, f) in self.free_at.iter().enumerate().skip(1) {
+            if *f < self.free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_unit_serializes() {
+        let mut r = Resource::new("cpu", 1);
+        let a = r.acquire(SimTime::ZERO, ms(10));
+        let b = r.acquire(SimTime::ZERO, ms(5));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::from_millis(10));
+        assert_eq!(b.start, SimTime::from_millis(10));
+        assert_eq!(b.end, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn multi_unit_runs_in_parallel() {
+        let mut r = Resource::new("disks", 2);
+        let a = r.acquire(SimTime::ZERO, ms(10));
+        let b = r.acquire(SimTime::ZERO, ms(10));
+        let c = r.acquire(SimTime::ZERO, ms(10));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        // Third request waits for whichever unit frees first.
+        assert_eq!(c.start, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new("net", 1);
+        let g = r.acquire(SimTime::from_millis(42), ms(1));
+        assert_eq!(g.start, SimTime::from_millis(42));
+        assert_eq!(g.queueing_delay(SimTime::from_millis(42)), ms(0));
+    }
+
+    #[test]
+    fn queueing_delay_is_tracked() {
+        let mut r = Resource::new("cpu", 1);
+        r.acquire(SimTime::ZERO, ms(10));
+        let g = r.acquire(SimTime::ZERO, ms(10));
+        assert_eq!(g.queueing_delay(SimTime::ZERO), ms(10));
+        assert_eq!(r.mean_queue_delay(), ms(5));
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut r = Resource::new("cpu", 1);
+        r.acquire(SimTime::ZERO, ms(250));
+        let u = r.utilization(SimTime::from_millis(1000));
+        assert!((u - 0.25).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn utilization_of_zero_horizon_is_zero() {
+        let r = Resource::new("cpu", 1);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_schedule() {
+        let mut r = Resource::new("cpu", 1);
+        r.acquire(SimTime::ZERO, ms(100));
+        r.reset();
+        let g = r.acquire(SimTime::ZERO, ms(1));
+        assert_eq!(g.start, SimTime::ZERO);
+        assert_eq!(r.grants(), 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_horizon() {
+        let mut r = Resource::new("cpu", 1);
+        r.acquire(SimTime::ZERO, ms(100));
+        r.reset_stats();
+        assert_eq!(r.grants(), 0);
+        // Schedule horizon preserved: next grant still queues.
+        let g = r.acquire(SimTime::ZERO, ms(1));
+        assert_eq!(g.start, SimTime::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = Resource::new("bad", 0);
+    }
+
+    #[test]
+    fn next_start_previews_queue() {
+        let mut r = Resource::new("cpu", 1);
+        r.acquire(SimTime::ZERO, ms(7));
+        assert_eq!(r.next_start(SimTime::ZERO), SimTime::from_millis(7));
+        assert_eq!(
+            r.next_start(SimTime::from_millis(9)),
+            SimTime::from_millis(9)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The social-networking data model (Pinax stand-in).
+//!
+//! Mirrors the three Pinax apps the paper ports — profiles, friends,
+//! bookmarks — plus the wall and groups used in its running examples:
+//! `User`, `Profile`, `Friendship`, `FriendshipInvitation`, `Bookmark` /
+//! `BookmarkInstance` (Pinax splits a unique URL from per-user saves),
+//! `WallPost`, `Group`, `GroupMembership`.
+
+use genie_orm::{FieldDef, ModelDef, ModelRegistry};
+use genie_storage::{Result, ValueType};
+
+/// Invitation state machine values (Pinax uses single-char codes).
+pub mod invitation_status {
+    /// Awaiting a response.
+    pub const PENDING: i64 = 0;
+    /// Accepted; a `Friendship` pair exists.
+    pub const ACCEPTED: i64 = 1;
+    /// Declined.
+    pub const DECLINED: i64 = 2;
+}
+
+/// Builds the full model registry for the social app.
+///
+/// # Errors
+///
+/// Propagates registration errors (duplicate model names).
+pub fn build_registry() -> Result<ModelRegistry> {
+    let mut reg = ModelRegistry::new();
+    reg.register(
+        ModelDef::builder("User", "users")
+            .field(FieldDef::new("username", ValueType::Text).not_null().unique())
+            .field(FieldDef::new("date_joined", ValueType::Timestamp).not_null())
+            .field(FieldDef::new("last_login", ValueType::Timestamp))
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("Profile", "profiles")
+            .foreign_key("user_id", "User")
+            .field(FieldDef::new("name", ValueType::Text))
+            .field(FieldDef::new("about", ValueType::Text))
+            .field(FieldDef::new("location", ValueType::Text))
+            .field(FieldDef::new("website", ValueType::Text))
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("Friendship", "friendships")
+            .foreign_key("user_id", "User")
+            .foreign_key("friend_id", "User")
+            .field(FieldDef::new("added", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("FriendshipInvitation", "friendship_invitations")
+            .foreign_key("from_user_id", "User")
+            .foreign_key("to_user_id", "User")
+            .field(FieldDef::new("status", ValueType::Int).not_null().indexed())
+            .field(FieldDef::new("sent", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("Bookmark", "bookmarks")
+            .field(FieldDef::new("url", ValueType::Text).not_null().unique())
+            .field(FieldDef::new("description", ValueType::Text))
+            .field(FieldDef::new("added", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("BookmarkInstance", "bookmark_instances")
+            .foreign_key("bookmark_id", "Bookmark")
+            .foreign_key("user_id", "User")
+            .field(FieldDef::new("description", ValueType::Text))
+            .field(FieldDef::new("saved", ValueType::Timestamp).not_null().indexed())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("WallPost", "wall_posts")
+            .foreign_key("user_id", "User")
+            .foreign_key("sender_id", "User")
+            .field(FieldDef::new("content", ValueType::Text))
+            .field(FieldDef::new("date_posted", ValueType::Timestamp).not_null().indexed())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("Group", "groups")
+            .field(FieldDef::new("title", ValueType::Text).not_null())
+            .field(FieldDef::new("created", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    reg.register(
+        ModelDef::builder("GroupMembership", "group_memberships")
+            .foreign_key("user_id", "User")
+            .foreign_key("group_id", "Group")
+            .field(FieldDef::new("joined", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    Ok(reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_storage::Database;
+
+    #[test]
+    fn registry_builds_and_syncs() {
+        let reg = build_registry().unwrap();
+        assert_eq!(reg.models().count(), 9);
+        let db = Database::default();
+        reg.sync(&db).unwrap();
+        assert!(db.table_names().contains(&"bookmark_instances".to_string()));
+        assert!(db.table_names().contains(&"friendship_invitations".to_string()));
+    }
+
+    #[test]
+    fn unique_bookmark_url_enforced() {
+        let reg = build_registry().unwrap();
+        let db = Database::default();
+        reg.sync(&db).unwrap();
+        db.execute_sql(
+            "INSERT INTO bookmarks VALUES (1, 'http://a', 'd', TS(0))",
+            &[],
+        )
+        .unwrap();
+        assert!(db
+            .execute_sql(
+                "INSERT INTO bookmarks VALUES (2, 'http://a', 'd', TS(0))",
+                &[],
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Seed-data generator.
+//!
+//! Mirrors the paper's §5.1 initial state at a configurable scale: N users
+//! with profiles, a pool of unique bookmarks with 1–`max_instances` saves
+//! per user, 1–`max_friends` (symmetric) friendships, 1–`max_pending`
+//! pending invitations per user, groups with memberships, and a few wall
+//! posts. The paper seeds 1 M users / 10 GB; the reproduction defaults to
+//! a laptop-scale slice and shrinks the DB buffer pool proportionally so
+//! the disk-vs-CPU dynamics survive the scaling (see DESIGN.md).
+
+use crate::app::SocialApp;
+use crate::models::invitation_status;
+use genie_storage::{Result, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the generated dataset.
+#[derive(Debug, Clone)]
+pub struct SeedConfig {
+    /// Number of users (the paper: 1,000,000).
+    pub users: usize,
+    /// Unique bookmark URLs (the paper: 1,000).
+    pub unique_bookmarks: usize,
+    /// Saved instances per user, uniform in `1..=max` (paper: 1–20).
+    pub max_instances_per_user: usize,
+    /// Friends per user, uniform in `1..=max` (paper: 1–50).
+    pub max_friends: usize,
+    /// Pending invitations per user, uniform in `1..=max` (paper: 1–100).
+    pub max_pending_invitations: usize,
+    /// Number of interest groups.
+    pub groups: usize,
+    /// Groups joined per user, uniform in `0..=max`.
+    pub max_groups_per_user: usize,
+    /// Wall posts per user, uniform in `0..=max`.
+    pub max_wall_posts_per_user: usize,
+    /// RNG seed for reproducibility.
+    pub rng_seed: u64,
+}
+
+impl Default for SeedConfig {
+    fn default() -> Self {
+        SeedConfig {
+            users: 300,
+            unique_bookmarks: 100,
+            max_instances_per_user: 6,
+            max_friends: 8,
+            max_pending_invitations: 5,
+            groups: 20,
+            max_groups_per_user: 3,
+            max_wall_posts_per_user: 5,
+            rng_seed: 42,
+        }
+    }
+}
+
+impl SeedConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SeedConfig {
+            users: 20,
+            unique_bookmarks: 10,
+            max_instances_per_user: 3,
+            max_friends: 4,
+            max_pending_invitations: 3,
+            groups: 4,
+            max_groups_per_user: 2,
+            max_wall_posts_per_user: 3,
+            rng_seed: 7,
+        }
+    }
+}
+
+/// What the seeder created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    /// Users created.
+    pub users: usize,
+    /// Total rows inserted across all tables.
+    pub rows: usize,
+}
+
+/// Populates the database through the ORM. Run *before* declaring cached
+/// objects so seeding does not pay trigger costs (as the paper seeds
+/// before measuring).
+///
+/// # Errors
+///
+/// Database errors (the generator itself never produces constraint
+/// violations).
+pub fn seed(app: &SocialApp, config: &SeedConfig) -> Result<SeedStats> {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let session = app.session();
+    let mut rows = 0usize;
+
+    // Users + profiles.
+    for i in 1..=config.users {
+        let ts = app.next_ts();
+        session.create(
+            "User",
+            &[
+                ("username", format!("user{i}").into()),
+                ("date_joined", Value::Timestamp(ts)),
+                ("last_login", Value::Timestamp(ts)),
+            ],
+        )?;
+        session.create(
+            "Profile",
+            &[
+                ("user_id", (i as i64).into()),
+                ("name", format!("User {i}").into()),
+                ("about", format!("bio of user {i}").into()),
+                ("location", format!("city{}", i % 50).into()),
+                ("website", format!("https://example.org/u/{i}").into()),
+            ],
+        )?;
+        rows += 2;
+    }
+
+    // Unique bookmarks.
+    for b in 1..=config.unique_bookmarks {
+        let ts = app.next_ts();
+        session.create(
+            "Bookmark",
+            &[
+                ("url", format!("http://bookmark.example/{b}").into()),
+                ("description", format!("bookmark {b}").into()),
+                ("added", Value::Timestamp(ts)),
+            ],
+        )?;
+        rows += 1;
+    }
+
+    // Per-user saves.
+    for u in 1..=config.users as i64 {
+        let n = rng.gen_range(1..=config.max_instances_per_user.max(1));
+        for _ in 0..n {
+            let b = rng.gen_range(1..=config.unique_bookmarks.max(1)) as i64;
+            let ts = app.next_ts();
+            session.create(
+                "BookmarkInstance",
+                &[
+                    ("bookmark_id", b.into()),
+                    ("user_id", u.into()),
+                    ("description", "seeded".into()),
+                    ("saved", Value::Timestamp(ts)),
+                ],
+            )?;
+            rows += 1;
+        }
+    }
+
+    // Symmetric friendships (sampled without self-loops; duplicates are
+    // harmless for the workload and mirror follow-style data).
+    for u in 1..=config.users as i64 {
+        let n = rng.gen_range(1..=config.max_friends.max(1));
+        for _ in 0..n {
+            let f = rng.gen_range(1..=config.users as i64);
+            if f == u {
+                continue;
+            }
+            let ts = app.next_ts();
+            session.create(
+                "Friendship",
+                &[
+                    ("user_id", u.into()),
+                    ("friend_id", f.into()),
+                    ("added", Value::Timestamp(ts)),
+                ],
+            )?;
+            session.create(
+                "Friendship",
+                &[
+                    ("user_id", f.into()),
+                    ("friend_id", u.into()),
+                    ("added", Value::Timestamp(ts)),
+                ],
+            )?;
+            rows += 2;
+        }
+    }
+
+    // Pending invitations.
+    for u in 1..=config.users as i64 {
+        let n = rng.gen_range(1..=config.max_pending_invitations.max(1));
+        for _ in 0..n {
+            let from = rng.gen_range(1..=config.users as i64);
+            if from == u {
+                continue;
+            }
+            let ts = app.next_ts();
+            session.create(
+                "FriendshipInvitation",
+                &[
+                    ("from_user_id", from.into()),
+                    ("to_user_id", u.into()),
+                    ("status", invitation_status::PENDING.into()),
+                    ("sent", Value::Timestamp(ts)),
+                ],
+            )?;
+            rows += 1;
+        }
+    }
+
+    // Groups + memberships.
+    for g in 1..=config.groups {
+        let ts = app.next_ts();
+        session.create(
+            "Group",
+            &[
+                ("title", format!("group {g}").into()),
+                ("created", Value::Timestamp(ts)),
+            ],
+        )?;
+        rows += 1;
+    }
+    if config.groups > 0 {
+        for u in 1..=config.users as i64 {
+            let n = rng.gen_range(0..=config.max_groups_per_user);
+            for _ in 0..n {
+                let g = rng.gen_range(1..=config.groups as i64);
+                let ts = app.next_ts();
+                session.create(
+                    "GroupMembership",
+                    &[
+                        ("user_id", u.into()),
+                        ("group_id", g.into()),
+                        ("joined", Value::Timestamp(ts)),
+                    ],
+                )?;
+                rows += 1;
+            }
+        }
+    }
+
+    // Wall posts.
+    for u in 1..=config.users as i64 {
+        let n = rng.gen_range(0..=config.max_wall_posts_per_user);
+        for _ in 0..n {
+            let sender = rng.gen_range(1..=config.users as i64);
+            let ts = app.next_ts();
+            session.create(
+                "WallPost",
+                &[
+                    ("user_id", u.into()),
+                    ("sender_id", sender.into()),
+                    ("content", format!("hello from {sender}").into()),
+                    ("date_posted", Value::Timestamp(ts)),
+                ],
+            )?;
+            rows += 1;
+        }
+    }
+
+    Ok(SeedStats {
+        users: config.users,
+        rows,
+    })
+}

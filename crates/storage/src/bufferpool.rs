@@ -1,0 +1,272 @@
+//! Buffer-pool *model*: tracks which heap pages would be memory-resident.
+//!
+//! Rows live in Rust memory regardless; the pool exists to decide whether a
+//! page touch is a *hit* or a *miss* (disk read) and whether evictions
+//! write back dirty pages. Capacity is configured in bytes, as on the
+//! paper's 2 GB database machine whose 10 GB dataset forces disk traffic.
+//!
+//! The model is page-LRU with a dirty bit, which is close enough to
+//! Postgres' clock sweep for the shapes the evaluation depends on.
+
+use std::collections::HashMap;
+
+/// Identity of one heap page: `(table_id, page_number)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// Dense table identifier assigned by the database catalog.
+    pub table: u32,
+    /// Page number within the table's heap.
+    pub page: u64,
+}
+
+/// Counters describing pool behaviour since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page touches that found the page resident.
+    pub hits: u64,
+    /// Page touches that required a (modelled) disk read.
+    pub misses: u64,
+    /// Dirty pages written back during eviction.
+    pub writebacks: u64,
+    /// Pages currently resident.
+    pub resident: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Position in the LRU clock: larger = more recently used.
+    stamp: u64,
+    dirty: bool,
+}
+
+/// The pool model. Not thread-safe by itself; the database wraps it in its
+/// own lock.
+#[derive(Debug)]
+pub struct BufferPool {
+    page_bytes: usize,
+    capacity_pages: usize,
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// Outcome of touching one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    /// False if the touch required a disk read.
+    pub hit: bool,
+    /// Number of dirty pages written back to make room.
+    pub writebacks: u64,
+}
+
+impl BufferPool {
+    /// Default modelled page size (8 KiB, as in Postgres).
+    pub const DEFAULT_PAGE_BYTES: usize = 8 * 1024;
+
+    /// Creates a pool holding `capacity_bytes` of `page_bytes` pages.
+    ///
+    /// Capacity is floored at one page so the model degrades to "every
+    /// touch after the first on a different page misses".
+    pub fn new(capacity_bytes: usize, page_bytes: usize) -> Self {
+        let page_bytes = page_bytes.max(512);
+        BufferPool {
+            page_bytes,
+            capacity_pages: (capacity_bytes / page_bytes).max(1),
+            frames: HashMap::new(),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Creates a pool with the default page size.
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
+        BufferPool::new(capacity_bytes, Self::DEFAULT_PAGE_BYTES)
+    }
+
+    /// The modelled page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Maximum resident pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Touches `page` for reading; returns hit/miss and eviction effects.
+    pub fn touch(&mut self, page: PageId) -> Touch {
+        self.touch_inner(page, false)
+    }
+
+    /// Touches `page` for writing (marks it dirty).
+    pub fn touch_write(&mut self, page: PageId) -> Touch {
+        self.touch_inner(page, true)
+    }
+
+    fn touch_inner(&mut self, page: PageId, write: bool) -> Touch {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(f) = self.frames.get_mut(&page) {
+            f.stamp = stamp;
+            f.dirty |= write;
+            self.stats.hits += 1;
+            return Touch {
+                hit: true,
+                writebacks: 0,
+            };
+        }
+        self.stats.misses += 1;
+        let mut writebacks = 0;
+        while self.frames.len() >= self.capacity_pages {
+            if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, f)| f.stamp) {
+                let f = self.frames.remove(&victim).expect("victim present");
+                if f.dirty {
+                    writebacks += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        self.stats.writebacks += writebacks;
+        self.frames.insert(
+            page,
+            Frame {
+                stamp,
+                dirty: write,
+            },
+        );
+        self.stats.resident = self.frames.len();
+        Touch {
+            hit: false,
+            writebacks,
+        }
+    }
+
+    /// Drops every frame belonging to `table` (used by DROP TABLE / TRUNCATE).
+    pub fn invalidate_table(&mut self, table: u32) {
+        self.frames.retain(|p, _| p.table != table);
+        self.stats.resident = self.frames.len();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = self.stats;
+        s.resident = self.frames.len();
+        s
+    }
+
+    /// Zeroes the hit/miss counters but keeps residency (used between
+    /// warm-up and measurement intervals).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats {
+            resident: self.frames.len(),
+            ..Default::default()
+        };
+    }
+
+    /// Hit ratio since the last reset, or 1.0 with no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(table: u32, page: u64) -> PageId {
+        PageId { table, page }
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
+        assert!(!bp.touch(pid(1, 0)).hit);
+        assert!(bp.touch(pid(1, 0)).hit);
+        assert_eq!(bp.stats().hits, 1);
+        assert_eq!(bp.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut bp = BufferPool::new(8 * 1024 * 2, 8 * 1024); // 2 pages
+        bp.touch(pid(1, 0));
+        bp.touch(pid(1, 1));
+        bp.touch(pid(1, 0)); // page 0 now hottest
+        bp.touch(pid(1, 2)); // evicts page 1
+        assert!(bp.touch(pid(1, 0)).hit, "page 0 should have survived");
+        assert!(!bp.touch(pid(1, 1)).hit, "page 1 should have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut bp = BufferPool::new(8 * 1024, 8 * 1024); // 1 page
+        bp.touch_write(pid(1, 0));
+        let t = bp.touch(pid(1, 1));
+        assert_eq!(t.writebacks, 1);
+        assert_eq!(bp.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_does_not_write_back() {
+        let mut bp = BufferPool::new(8 * 1024, 8 * 1024);
+        bp.touch(pid(1, 0));
+        let t = bp.touch(pid(1, 1));
+        assert_eq!(t.writebacks, 0);
+    }
+
+    #[test]
+    fn rewrite_keeps_dirty_until_evicted() {
+        let mut bp = BufferPool::new(8 * 1024 * 2, 8 * 1024);
+        bp.touch_write(pid(1, 0));
+        bp.touch(pid(1, 0)); // read does not clean it
+        bp.touch(pid(1, 1));
+        let t = bp.touch(pid(1, 2)); // evicts page 0 (coldest) — dirty
+        assert_eq!(t.writebacks, 1);
+    }
+
+    #[test]
+    fn capacity_floors_at_one_page() {
+        let bp = BufferPool::new(0, 8 * 1024);
+        assert_eq!(bp.capacity_pages(), 1);
+    }
+
+    #[test]
+    fn invalidate_table_drops_frames() {
+        let mut bp = BufferPool::new(8 * 1024 * 8, 8 * 1024);
+        bp.touch(pid(1, 0));
+        bp.touch(pid(2, 0));
+        bp.invalidate_table(1);
+        assert!(!bp.touch(pid(1, 0)).hit);
+        assert!(bp.touch(pid(2, 0)).hit);
+    }
+
+    #[test]
+    fn hit_ratio_and_reset() {
+        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
+        bp.touch(pid(1, 0));
+        bp.touch(pid(1, 0));
+        assert!((bp.hit_ratio() - 0.5).abs() < 1e-9);
+        bp.reset_stats();
+        assert_eq!(bp.hit_ratio(), 1.0);
+        assert_eq!(bp.stats().resident, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_pool_thrashes() {
+        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024); // 4 pages
+        // Cycle through 8 pages twice: LRU gives 0% hit rate on the rescan.
+        for _ in 0..2 {
+            for p in 0..8 {
+                bp.touch(pid(1, p));
+            }
+        }
+        assert_eq!(bp.stats().hits, 0);
+        assert_eq!(bp.stats().misses, 16);
+    }
+}

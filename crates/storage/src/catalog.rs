@@ -1,0 +1,125 @@
+//! The table catalog: name → [`Table`] mapping with dense table ids.
+
+use crate::error::{Result, StorageError};
+use crate::schema::{IndexDef, TableSchema};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// All tables in a database. Wrapped by [`crate::Database`]'s lock.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    next_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table from a validated schema.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AlreadyExists`] if the name is taken.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        let name = schema.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut table = Table::new(schema.clone(), id);
+        // Columns declared UNIQUE get an implicit single-column unique
+        // index, as in Postgres.
+        for col in schema.columns() {
+            if col.unique && col.name != schema.primary_key() {
+                table.create_index(IndexDef {
+                    name: format!("{}_{}_key", schema.name(), col.name),
+                    columns: vec![col.name.clone()],
+                    unique: true,
+                })?;
+            }
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Creates a secondary index on `table`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown-table or index errors from [`Table::create_index`].
+    pub fn create_index(&mut self, table: &str, def: IndexDef) -> Result<()> {
+        self.table_mut(table)?.create_index(def)
+    }
+
+    /// Immutable table lookup.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Whether `name` exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Table names in deterministic (sorted) order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Total rows across all tables (diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::builder(name).pk("id").build().unwrap()
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        c.create_table(schema("a")).unwrap();
+        c.create_table(schema("b")).unwrap();
+        assert!(c.has_table("a"));
+        assert_eq!(c.table("a").unwrap().id(), 0);
+        assert_eq!(c.table("b").unwrap().id(), 1);
+        assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(schema("a")).unwrap();
+        assert!(matches!(
+            c.create_table(schema("a")),
+            Err(StorageError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.table("ghost"),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+}

@@ -1,0 +1,499 @@
+//! The public database facade.
+//!
+//! [`Database`] is a cheaply clonable handle (an `Arc` around the engine
+//! state) exposing statement execution, DDL, triggers, and transactions.
+//! Every call returns an [`ExecOutcome`] carrying both the logical result
+//! and the physical [`CostReport`], which the benchmark harness prices into
+//! simulated time.
+
+use crate::bufferpool::{BufferPool, PoolStats};
+use crate::catalog::Catalog;
+use crate::cost::CostReport;
+use crate::error::{Result, StorageError};
+use crate::exec::{self, RowChange, UndoOp};
+use crate::query::{QueryResult, Select, Statement};
+use crate::schema::{IndexDef, TableSchema};
+use crate::trigger::{Trigger, TriggerCtx, TriggerManager};
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Tuning knobs for a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer-pool capacity in bytes (the paper's DB machine has 2 GB for
+    /// a 10 GB dataset; scaled-down experiments shrink both).
+    pub buffer_pool_bytes: usize,
+    /// Modelled page size in bytes.
+    pub page_bytes: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pool_bytes: 64 * 1024 * 1024,
+            page_bytes: BufferPool::DEFAULT_PAGE_BYTES,
+        }
+    }
+}
+
+/// Aggregate engine statistics since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Statements executed (all kinds).
+    pub statements: u64,
+    /// SELECTs executed.
+    pub selects: u64,
+    /// Write statements executed.
+    pub writes: u64,
+    /// Trigger bodies fired.
+    pub triggers_fired: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions rolled back.
+    pub rollbacks: u64,
+}
+
+/// Result + physical cost of one statement.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Logical result (rows or affected count).
+    pub result: QueryResult,
+    /// Physical work performed, including trigger work.
+    pub cost: CostReport,
+}
+
+struct TxnState {
+    undo: Vec<UndoOp>,
+}
+
+struct Inner {
+    catalog: Catalog,
+    pool: BufferPool,
+    triggers: TriggerManager,
+    txn: Option<TxnState>,
+    stats: DbStats,
+}
+
+/// An embedded relational database with row-level triggers.
+///
+/// Cloning shares the underlying engine. All operations serialize on an
+/// internal lock; the paper's write-write conflict prevention ("writes are
+/// serialized through the database") falls out of this design.
+///
+/// # Example
+///
+/// ```
+/// use genie_storage::{Database, TableSchema, ColumnDef, ValueType, Statement, Insert, Select, Expr, row, Value};
+///
+/// # fn main() -> Result<(), genie_storage::StorageError> {
+/// let db = Database::default();
+/// db.create_table(
+///     TableSchema::builder("users")
+///         .pk("id")
+///         .column(ColumnDef::new("name", ValueType::Text).not_null())
+///         .build()?,
+/// )?;
+/// db.execute_sql("INSERT INTO users (id, name) VALUES (1, 'alice')", &[])?;
+/// let out = db.execute_sql("SELECT name FROM users WHERE id = $1", &[Value::Int(1)])?;
+/// assert_eq!(out.result.rows[0].get(0), &Value::Text("alice".into()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new(DbConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Database")
+            .field("tables", &inner.catalog.table_names())
+            .field("triggers", &inner.triggers.len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates a database with the given configuration.
+    pub fn new(config: DbConfig) -> Self {
+        Database {
+            inner: Arc::new(Mutex::new(Inner {
+                catalog: Catalog::new(),
+                pool: BufferPool::new(config.buffer_pool_bytes, config.page_bytes),
+                triggers: TriggerManager::new(),
+                txn: None,
+                stats: DbStats::default(),
+            })),
+        }
+    }
+
+    // ----- DDL -----
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AlreadyExists`] for duplicate names.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        self.inner.lock().catalog.create_table(schema)
+    }
+
+    /// Creates a secondary index.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Table::create_index`].
+    pub fn create_index(&self, table: &str, def: IndexDef) -> Result<()> {
+        self.inner.lock().catalog.create_index(table, def)
+    }
+
+    /// Registers a trigger.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AlreadyExists`] on duplicate trigger names.
+    pub fn create_trigger(&self, trigger: Trigger) -> Result<()> {
+        self.inner.lock().triggers.register(trigger)
+    }
+
+    /// Drops a trigger by name; returns whether it existed.
+    pub fn drop_trigger(&self, name: &str) -> bool {
+        self.inner.lock().triggers.drop_trigger(name)
+    }
+
+    /// Removes every trigger.
+    pub fn clear_triggers(&self) {
+        self.inner.lock().triggers.clear();
+    }
+
+    /// Globally enables or disables trigger firing (Experiment 5 measures
+    /// the workload with triggers off).
+    pub fn set_triggers_enabled(&self, enabled: bool) {
+        self.inner.lock().triggers.set_enabled(enabled);
+    }
+
+    /// Number of registered triggers.
+    pub fn trigger_count(&self) -> usize {
+        self.inner.lock().triggers.len()
+    }
+
+    /// Total lines of generated trigger source attached to registered
+    /// triggers (the paper's §5.2 metric).
+    pub fn trigger_source_lines(&self) -> usize {
+        self.inner.lock().triggers.generated_source_lines()
+    }
+
+    // ----- statements -----
+
+    /// Executes any statement with positional parameters (`$1` = index 0).
+    ///
+    /// # Errors
+    ///
+    /// All engine errors; a failing trigger aborts the whole statement and
+    /// (when autocommitted) rolls back its row changes.
+    pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        let mut inner = self.inner.lock();
+        inner.execute(stmt, params)
+    }
+
+    /// Parses and executes SQL text.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Parse`] for malformed SQL plus all execution errors.
+    pub fn execute_sql(&self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let stmt = crate::sql::parse(sql)?;
+        self.execute(&stmt, params)
+    }
+
+    /// Convenience wrapper for SELECT statements.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Database::execute`].
+    pub fn select(&self, select: &Select, params: &[Value]) -> Result<ExecOutcome> {
+        self.execute(&Statement::Select(select.clone()), params)
+    }
+
+    /// Runs `f` inside a transaction, committing on `Ok` and rolling back
+    /// on `Err`. The engine lock is held for the duration, serializing the
+    /// transaction against all other database activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns `f`'s error after rollback, or any commit-time error.
+    pub fn transaction<T>(
+        &self,
+        f: impl FnOnce(&mut TxnHandle<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let mut inner = self.inner.lock();
+        inner.begin()?;
+        let result = {
+            let mut handle = TxnHandle {
+                inner: &mut inner,
+                cost: CostReport::new(),
+            };
+            f(&mut handle)
+        };
+        match result {
+            Ok(v) => {
+                inner.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                inner.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    // ----- introspection -----
+
+    /// Engine statistics.
+    pub fn stats(&self) -> DbStats {
+        self.inner.lock().stats
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.lock().pool.stats()
+    }
+
+    /// Resets engine and pool statistics (between warm-up and measurement).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = DbStats::default();
+        inner.pool.reset_stats();
+    }
+
+    /// Table names in deterministic order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.lock().catalog.table_names()
+    }
+
+    /// Row count of `table`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownTable`] if absent.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.inner.lock().catalog.table(table)?.len())
+    }
+
+    /// A clone of `table`'s schema.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownTable`] if absent.
+    pub fn schema(&self, table: &str) -> Result<TableSchema> {
+        Ok(self.inner.lock().catalog.table(table)?.schema().clone())
+    }
+}
+
+/// Handle passed to [`Database::transaction`] closures.
+pub struct TxnHandle<'a> {
+    inner: &'a mut Inner,
+    cost: CostReport,
+}
+
+impl TxnHandle<'_> {
+    /// Executes a statement inside the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors; the caller's closure should propagate them so the
+    /// transaction rolls back.
+    pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<QueryResult> {
+        let out = self.inner.execute(stmt, params)?;
+        self.cost += out.cost;
+        Ok(out.result)
+    }
+
+    /// Parses and executes SQL inside the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Parse and engine errors.
+    pub fn execute_sql(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = crate::sql::parse(sql)?;
+        self.execute(&stmt, params)
+    }
+
+    /// Physical cost accumulated by this transaction so far.
+    pub fn cost(&self) -> CostReport {
+        self.cost
+    }
+}
+
+impl std::fmt::Debug for TxnHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnHandle").field("cost", &self.cost).finish()
+    }
+}
+
+impl Inner {
+    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        self.stats.statements += 1;
+        let mut cost = CostReport::new();
+        match stmt {
+            Statement::Select(sel) => {
+                self.stats.selects += 1;
+                let result = exec::run_select(&self.catalog, &mut self.pool, sel, params, &mut cost)?;
+                Ok(ExecOutcome { result, cost })
+            }
+            Statement::Insert(ins) => {
+                self.stats.writes += 1;
+                let effect = exec::run_insert(&mut self.catalog, &mut self.pool, ins, params, &mut cost)?;
+                self.finish_write(effect, &mut cost)
+            }
+            Statement::Update(upd) => {
+                self.stats.writes += 1;
+                let effect = exec::run_update(&mut self.catalog, &mut self.pool, upd, params, &mut cost)?;
+                self.finish_write(effect, &mut cost)
+            }
+            Statement::Delete(del) => {
+                self.stats.writes += 1;
+                let effect = exec::run_delete(&mut self.catalog, &mut self.pool, del, params, &mut cost)?;
+                self.finish_write(effect, &mut cost)
+            }
+            Statement::CreateTable(schema) => {
+                self.catalog.create_table(schema.clone())?;
+                Ok(ExecOutcome::default())
+            }
+            Statement::CreateIndex { table, def } => {
+                self.catalog.create_index(table, def.clone())?;
+                Ok(ExecOutcome::default())
+            }
+            Statement::Begin => {
+                self.begin()?;
+                Ok(ExecOutcome::default())
+            }
+            Statement::Commit => {
+                self.commit()?;
+                let mut cost = CostReport::new();
+                cost.wal_appends = 1;
+                Ok(ExecOutcome {
+                    result: QueryResult::default(),
+                    cost,
+                })
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                Ok(ExecOutcome::default())
+            }
+        }
+    }
+
+    /// Fires triggers for a completed write, then commits or stashes undo.
+    fn finish_write(
+        &mut self,
+        effect: exec::WriteEffect,
+        cost: &mut CostReport,
+    ) -> Result<ExecOutcome> {
+        let fire_result = self.fire_triggers(&effect.changes, cost);
+        match fire_result {
+            Ok(()) => {
+                match &mut self.txn {
+                    Some(txn) => txn.undo.extend(effect.undo),
+                    None => cost.wal_appends += 1, // autocommit
+                }
+                Ok(ExecOutcome {
+                    result: QueryResult::affected(effect.affected),
+                    cost: *cost,
+                })
+            }
+            Err(e) => {
+                // A failing trigger aborts the statement: undo its row
+                // changes (and, inside a transaction, poison it).
+                exec::apply_undo(&mut self.catalog, effect.undo)?;
+                if self.txn.is_some() {
+                    self.rollback()?;
+                    return Err(StorageError::TransactionAborted(e.to_string()));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn fire_triggers(&mut self, changes: &[RowChange], cost: &mut CostReport) -> Result<()> {
+        if changes.is_empty() || !self.triggers.is_enabled() {
+            return Ok(());
+        }
+        for change in changes {
+            let matching = self.triggers.matching(&change.table, change.event);
+            for trigger in matching {
+                self.stats.triggers_fired += 1;
+                cost.triggers_fired += 1;
+                let mut query_cost = CostReport::new();
+                {
+                    let catalog = &self.catalog;
+                    let pool = &mut self.pool;
+                    let mut query_fn = |sel: &Select, params: &[Value]| {
+                        exec::run_select(catalog, pool, sel, params, &mut query_cost)
+                    };
+                    let mut ctx = TriggerCtx {
+                        event: change.event,
+                        table: &change.table,
+                        old: change.old.as_ref(),
+                        new: change.new.as_ref(),
+                        query_fn: &mut query_fn,
+                        cost,
+                    };
+                    trigger.body.fire(&mut ctx).map_err(|e| {
+                        StorageError::TriggerFailed {
+                            trigger: trigger.name.clone(),
+                            detail: e.to_string(),
+                        }
+                    })?;
+                }
+                // Work done by trigger-issued queries counts as trigger
+                // work plus real page traffic.
+                cost.trigger_rows_scanned += query_cost.rows_scanned;
+                cost.index_probes += query_cost.index_probes;
+                cost.page_hits += query_cost.page_hits;
+                cost.page_misses += query_cost.page_misses;
+                cost.page_writebacks += query_cost.page_writebacks;
+            }
+        }
+        Ok(())
+    }
+
+    fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(StorageError::TransactionAborted(
+                "nested transactions are not supported".into(),
+            ));
+        }
+        self.txn = Some(TxnState { undo: Vec::new() });
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        match self.txn.take() {
+            Some(_) => {
+                self.stats.commits += 1;
+                Ok(())
+            }
+            None => Err(StorageError::NoTransaction),
+        }
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        match self.txn.take() {
+            Some(txn) => {
+                exec::apply_undo(&mut self.catalog, txn.undo)?;
+                self.stats.rollbacks += 1;
+                Ok(())
+            }
+            None => Err(StorageError::NoTransaction),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Any error produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// The named column does not exist on the referenced table.
+    UnknownColumn { table: String, column: String },
+    /// The named index does not exist.
+    UnknownIndex(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A value was incompatible with the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: String,
+        got: String,
+    },
+    /// A NOT NULL column received NULL.
+    NullViolation(String),
+    /// A UNIQUE or PRIMARY KEY constraint was violated.
+    UniqueViolation { index: String, key: String },
+    /// A FOREIGN KEY constraint was violated.
+    ForeignKeyViolation { constraint: String, detail: String },
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// The statement is recognised but unsupported by the engine.
+    Unsupported(String),
+    /// A trigger body returned an error; the statement is aborted.
+    TriggerFailed { trigger: String, detail: String },
+    /// The transaction was aborted (deadlock timeout or explicit rollback).
+    TransactionAborted(String),
+    /// A transactional operation was issued outside a transaction.
+    NoTransaction,
+    /// Row-lock acquisition timed out (write-write conflict).
+    LockTimeout { table: String },
+    /// An arithmetic or evaluation error inside an expression.
+    Eval(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} on table {table:?}")
+            }
+            StorageError::UnknownIndex(i) => write!(f, "unknown index {i:?}"),
+            StorageError::AlreadyExists(n) => write!(f, "object {n:?} already exists"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column {column:?}: expected {expected}, got {got}"
+            ),
+            StorageError::NullViolation(c) => {
+                write!(f, "null value in NOT NULL column {c:?}")
+            }
+            StorageError::UniqueViolation { index, key } => {
+                write!(f, "duplicate key {key} violates unique index {index:?}")
+            }
+            StorageError::ForeignKeyViolation { constraint, detail } => {
+                write!(f, "foreign key {constraint:?} violated: {detail}")
+            }
+            StorageError::Parse(m) => write!(f, "parse error: {m}"),
+            StorageError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            StorageError::TriggerFailed { trigger, detail } => {
+                write!(f, "trigger {trigger:?} failed: {detail}")
+            }
+            StorageError::TransactionAborted(m) => write!(f, "transaction aborted: {m}"),
+            StorageError::NoTransaction => write!(f, "no transaction is active"),
+            StorageError::LockTimeout { table } => {
+                write!(f, "lock timeout on table {table:?}")
+            }
+            StorageError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownColumn {
+            table: "wall".into(),
+            column: "nope".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("wall") && s.contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

@@ -1,0 +1,942 @@
+//! Planner and executor.
+//!
+//! Execution is deliberately simple — index selection on conjunctive
+//! equality predicates, index-nested-loop joins with a sequential-scan
+//! fallback, sort + limit, single-level grouping — because that is exactly
+//! the query surface a Django-style ORM emits. Every physical decision
+//! (page touch, index probe, sort) is recorded in the statement's
+//! [`CostReport`] so the benchmark harness can price it.
+
+use crate::bufferpool::{BufferPool, PageId};
+use crate::catalog::Catalog;
+use crate::cost::CostReport;
+use crate::error::{Result, StorageError};
+use crate::expr::{ColumnRef, Expr};
+use crate::query::{
+    AggFunc, Delete, Insert, JoinKind, QueryResult, Select, SelectItem, Update,
+};
+use crate::row::{Row, RowId};
+use crate::table::Table;
+use crate::trigger::TriggerEvent;
+use crate::value::Value;
+
+/// One row-level change produced by a write statement; drives triggers.
+#[derive(Debug, Clone)]
+pub struct RowChange {
+    /// Affected table.
+    pub table: String,
+    /// Kind of change.
+    pub event: TriggerEvent,
+    /// Pre-image (UPDATE/DELETE).
+    pub old: Option<Row>,
+    /// Post-image (INSERT/UPDATE).
+    pub new: Option<Row>,
+}
+
+/// Undo-log entry for transaction rollback.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Reverse an insert by deleting the row.
+    Insert { table: String, rid: RowId },
+    /// Reverse a delete by restoring the row image.
+    Delete { table: String, rid: RowId, row: Row },
+    /// Reverse an update by restoring the pre-image.
+    Update { table: String, rid: RowId, before: Row },
+}
+
+/// Everything a write statement did, before triggers fire.
+#[derive(Debug, Default)]
+pub struct WriteEffect {
+    /// Row-level changes in application order.
+    pub changes: Vec<RowChange>,
+    /// Undo operations in application order (rolled back in reverse).
+    pub undo: Vec<UndoOp>,
+    /// Rows affected.
+    pub affected: u64,
+}
+
+// ---------------------------------------------------------------------
+// Column layout: maps (binding, column) -> position in the combined row.
+// ---------------------------------------------------------------------
+
+/// The column namespace of a FROM/JOIN chain.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Layout {
+    /// (binding name, column names, offset of first column).
+    entries: Vec<(String, Vec<String>, usize)>,
+    width: usize,
+}
+
+impl Layout {
+    fn push_table(&mut self, binding: &str, table: &Table) {
+        let cols: Vec<String> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let n = cols.len();
+        self.entries.push((binding.to_owned(), cols, self.width));
+        self.width += n;
+    }
+
+    /// Resolves a column reference to a combined-row position.
+    fn resolve(&self, c: &ColumnRef) -> Result<usize> {
+        match &c.table {
+            Some(t) => {
+                for (binding, cols, off) in &self.entries {
+                    if binding == t {
+                        if let Some(p) = cols.iter().position(|n| n == &c.column) {
+                            return Ok(off + p);
+                        }
+                        return Err(StorageError::UnknownColumn {
+                            table: t.clone(),
+                            column: c.column.clone(),
+                        });
+                    }
+                }
+                Err(StorageError::UnknownTable(t.clone()))
+            }
+            None => {
+                let mut found = None;
+                for (_, cols, off) in &self.entries {
+                    if let Some(p) = cols.iter().position(|n| n == &c.column) {
+                        // First match wins; ORMs qualify ambiguous columns.
+                        found = Some(off + p);
+                        break;
+                    }
+                }
+                found.ok_or_else(|| StorageError::UnknownColumn {
+                    table: "<any>".to_owned(),
+                    column: c.column.clone(),
+                })
+            }
+        }
+    }
+
+    /// Output names for a `*` projection: bare column names in layout order.
+    fn all_column_names(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.width);
+        for (_, cols, _) in &self.entries {
+            out.extend(cols.iter().cloned());
+        }
+        out
+    }
+
+    fn binder(&self) -> impl Fn(&ColumnRef) -> Result<usize> + '_ {
+        move |c| self.resolve(c)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access-path planning
+// ---------------------------------------------------------------------
+
+/// Evaluates an expression that must not reference columns (literal/param).
+fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
+    e.eval(&Row::default(), params)
+}
+
+/// Collects `column = value` pairs from `pred` that constrain `binding`'s
+/// columns with row-free right-hand sides.
+fn equality_pairs(
+    pred: Option<&Expr>,
+    binding: &str,
+    table: &Table,
+    params: &[Value],
+) -> Result<Vec<(String, Value)>> {
+    let mut out = Vec::new();
+    if let Some(p) = pred {
+        for c in p.conjuncts() {
+            if let Some((cref, vexpr)) = c.as_column_eq() {
+                let table_ok = match &cref.table {
+                    Some(t) => t == binding,
+                    None => table.schema().column_pos(&cref.column).is_some(),
+                };
+                if table_ok && table.schema().column_pos(&cref.column).is_some() {
+                    let v = eval_const(vexpr, params)?;
+                    out.push((cref.column.clone(), v));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Picks row ids for the base table: PK probe, best matching index, or
+/// `None` for a full scan. Charges probes to `cost`.
+fn plan_base_rids(
+    table: &Table,
+    binding: &str,
+    pred: Option<&Expr>,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<Option<Vec<RowId>>> {
+    let pairs = equality_pairs(pred, binding, table, params)?;
+    if pairs.is_empty() {
+        return Ok(None);
+    }
+    // Primary-key point lookup.
+    let pk = table.schema().primary_key();
+    if let Some((_, v)) = pairs.iter().find(|(c, _)| c == pk) {
+        cost.index_probes += 1;
+        let v = coerce_for(table, pk, v);
+        return Ok(Some(table.find_pk(&v).into_iter().collect()));
+    }
+    // Widest secondary index whose key columns are all constrained.
+    let cols: Vec<&str> = pairs.iter().map(|(c, _)| c.as_str()).collect();
+    if let Some(idx) = table.best_index_for(&cols) {
+        let mut key = Vec::with_capacity(idx.def().columns.len());
+        for col in &idx.def().columns {
+            let (_, v) = pairs
+                .iter()
+                .find(|(c, _)| c == col)
+                .expect("best_index_for guarantees coverage");
+            key.push(coerce_for(table, col, v));
+        }
+        cost.index_probes += 1;
+        return Ok(Some(table.index_lookup(idx, &key)));
+    }
+    Ok(None)
+}
+
+fn coerce_for(table: &Table, column: &str, v: &Value) -> Value {
+    table
+        .schema()
+        .column(column)
+        .and_then(|c| v.coerce_to(c.ty))
+        .unwrap_or_else(|| v.clone())
+}
+
+fn touch_read(pool: &mut BufferPool, table: &Table, rid: RowId, cost: &mut CostReport) {
+    let t = pool.touch(PageId {
+        table: table.id(),
+        page: table.page_of(rid),
+    });
+    if t.hit {
+        cost.page_hits += 1;
+    } else {
+        cost.page_misses += 1;
+    }
+    cost.page_writebacks += t.writebacks;
+}
+
+// ---------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------
+
+/// Executes a SELECT.
+pub(crate) fn run_select(
+    catalog: &Catalog,
+    pool: &mut BufferPool,
+    sel: &Select,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<QueryResult> {
+    let base = catalog.table(&sel.from.table)?;
+    let base_binding = sel.from.binding_name().to_owned();
+    let mut layout = Layout::default();
+    layout.push_table(&base_binding, base);
+
+    // --- base scan ---
+    let rids = plan_base_rids(base, &base_binding, sel.predicate.as_ref(), params, cost)?;
+    let mut current: Vec<Row> = match rids {
+        Some(rids) => {
+            let mut rows = Vec::with_capacity(rids.len());
+            for rid in rids {
+                if let Some(r) = base.get(rid) {
+                    touch_read(pool, base, rid, cost);
+                    cost.rows_scanned += 1;
+                    rows.push(r.clone());
+                }
+            }
+            rows
+        }
+        None => {
+            let mut rows = Vec::with_capacity(base.len());
+            for (rid, r) in base.iter() {
+                touch_read(pool, base, rid, cost);
+                cost.rows_scanned += 1;
+                rows.push(r.clone());
+            }
+            rows
+        }
+    };
+
+    // --- joins ---
+    for join in &sel.joins {
+        let jt = catalog.table(&join.table.table)?;
+        let jbinding = join.table.binding_name().to_owned();
+        let left_layout = layout.clone();
+        layout.push_table(&jbinding, jt);
+        let bound_on = join.on.bind(&layout.binder())?;
+
+        // Equi-join keys: join-table column = expression over left columns.
+        let mut key_cols: Vec<String> = Vec::new();
+        let mut key_exprs: Vec<Expr> = Vec::new();
+        for c in join.on.conjuncts() {
+            if let Expr::Cmp(a, crate::expr::CmpOp::Eq, b) = c {
+                for (side_j, side_l) in [(a, b), (b, a)] {
+                    if let Expr::Column(cj) = side_j.as_ref() {
+                        let j_ok = match &cj.table {
+                            Some(t) => t == &jbinding,
+                            None => jt.schema().column_pos(&cj.column).is_some(),
+                        };
+                        if j_ok
+                            && jt.schema().column_pos(&cj.column).is_some()
+                            && side_l.bind(&left_layout.binder()).is_ok()
+                        {
+                            key_cols.push(cj.column.clone());
+                            key_exprs.push(side_l.bind(&left_layout.binder())?);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let key_col_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
+        let index = jt.best_index_for(&key_col_refs);
+        // Joining on the primary key (the commonest FK traversal) uses
+        // the PK index directly — it is not a secondary index.
+        let pk_join = key_cols
+            .iter()
+            .position(|c| c == jt.schema().primary_key());
+
+        let mut next: Vec<Row> = Vec::new();
+        for left in &current {
+            let candidates: Vec<RowId> = if let Some(pk_pos) = pk_join {
+                let v = key_exprs[pk_pos].eval(left, params)?;
+                cost.index_probes += 1;
+                if v.is_null() {
+                    Vec::new()
+                } else {
+                    let v = coerce_for(jt, jt.schema().primary_key(), &v);
+                    jt.find_pk(&v).into_iter().collect()
+                }
+            } else {
+                match index {
+                Some(idx) => {
+                    let mut key = Vec::with_capacity(idx.def().columns.len());
+                    let mut null_key = false;
+                    for col in &idx.def().columns {
+                        let pos = key_cols.iter().position(|c| c == col).expect("covered");
+                        let v = key_exprs[pos].eval(left, params)?;
+                        if v.is_null() {
+                            null_key = true;
+                            break;
+                        }
+                        key.push(coerce_for(jt, col, &v));
+                    }
+                    cost.index_probes += 1;
+                    if null_key {
+                        Vec::new()
+                    } else {
+                        jt.index_lookup(idx, &key)
+                    }
+                }
+                None => jt.iter().map(|(rid, _)| rid).collect(),
+                }
+            };
+            let mut matched = false;
+            for rid in candidates {
+                let Some(r) = jt.get(rid) else { continue };
+                touch_read(pool, jt, rid, cost);
+                cost.rows_scanned += 1;
+                let mut combined = Vec::with_capacity(left.arity() + r.arity());
+                combined.extend_from_slice(left.values());
+                combined.extend_from_slice(r.values());
+                let combined = Row::new(combined);
+                if bound_on.matches(&combined, params)? {
+                    matched = true;
+                    next.push(combined);
+                }
+            }
+            if !matched && join.kind == JoinKind::Left {
+                let mut combined = Vec::with_capacity(left.arity() + jt.schema().arity());
+                combined.extend_from_slice(left.values());
+                combined.extend(std::iter::repeat(Value::Null).take(jt.schema().arity()));
+                next.push(Row::new(combined));
+            }
+        }
+        current = next;
+    }
+
+    // --- WHERE ---
+    if let Some(pred) = &sel.predicate {
+        let bound = pred.bind(&layout.binder())?;
+        let mut kept = Vec::with_capacity(current.len());
+        for row in current {
+            if bound.matches(&row, params)? {
+                kept.push(row);
+            }
+        }
+        current = kept;
+    }
+
+    // --- aggregates ---
+    if sel.is_aggregate() || !sel.group_by.is_empty() {
+        if !sel.order_by.is_empty() {
+            return Err(StorageError::Unsupported(
+                "ORDER BY combined with aggregates".into(),
+            ));
+        }
+        return run_aggregate(sel, &layout, current, params, cost);
+    }
+
+    // --- ORDER BY ---
+    if !sel.order_by.is_empty() {
+        let keys: Vec<(Expr, bool)> = sel
+            .order_by
+            .iter()
+            .map(|k| Ok((k.expr.bind(&layout.binder())?, k.desc)))
+            .collect::<Result<_>>()?;
+        cost.sorts += 1;
+        cost.sort_rows += current.len() as u64;
+        let mut decorated: Vec<(Vec<Value>, Row)> = current
+            .into_iter()
+            .map(|r| {
+                let kv = keys
+                    .iter()
+                    .map(|(e, _)| e.eval(&r, params))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((kv, r))
+            })
+            .collect::<Result<_>>()?;
+        decorated.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, desc)) in keys.iter().enumerate() {
+                let ord = ka[i].cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        current = decorated.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // --- OFFSET / LIMIT ---
+    let offset = sel.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        current = current.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = sel.limit {
+        current.truncate(limit as usize);
+    }
+
+    // --- projection ---
+    let (columns, rows) = project(sel, &layout, current, params)?;
+    cost.rows_returned += rows.len() as u64;
+    Ok(QueryResult {
+        columns,
+        rows,
+        rows_affected: 0,
+    })
+}
+
+fn project(
+    sel: &Select,
+    layout: &Layout,
+    input: Vec<Row>,
+    params: &[Value],
+) -> Result<(Vec<String>, Vec<Row>)> {
+    // Fast path: bare `SELECT *`.
+    if sel.projection.len() == 1 && matches!(sel.projection[0], SelectItem::Wildcard) {
+        return Ok((layout.all_column_names(), input));
+    }
+    let mut columns = Vec::new();
+    enum Out {
+        All,
+        Expr(Expr),
+    }
+    let mut outs = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard => {
+                columns.extend(layout.all_column_names());
+                outs.push(Out::All);
+            }
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column(c) => c.column.clone(),
+                    other => other.to_string(),
+                }));
+                outs.push(Out::Expr(expr.bind(&layout.binder())?));
+            }
+            SelectItem::Aggregate { .. } => {
+                return Err(StorageError::Unsupported(
+                    "aggregate mixed into a non-aggregate projection".into(),
+                ))
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(input.len());
+    for r in input {
+        let mut vals = Vec::with_capacity(columns.len());
+        for out in &outs {
+            match out {
+                Out::All => vals.extend_from_slice(r.values()),
+                Out::Expr(e) => vals.push(e.eval(&r, params)?),
+            }
+        }
+        rows.push(Row::new(vals));
+    }
+    Ok((columns, rows))
+}
+
+fn run_aggregate(
+    sel: &Select,
+    layout: &Layout,
+    input: Vec<Row>,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<QueryResult> {
+    // Group rows.
+    let group_pos: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|c| layout.resolve(c))
+        .collect::<Result<_>>()?;
+    let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+    if group_pos.is_empty() {
+        groups.push((Vec::new(), input));
+    } else {
+        use std::collections::HashMap;
+        let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
+        for r in input {
+            let key: Vec<Value> = group_pos.iter().map(|&p| r.get(p).clone()).collect();
+            match map.get(&key) {
+                Some(&i) => groups[i].1.push(r),
+                None => {
+                    map.insert(key.clone(), groups.len());
+                    groups.push((key, vec![r]));
+                }
+            }
+        }
+    }
+
+    let mut columns = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Aggregate { func, alias, .. } => columns.push(
+                alias
+                    .clone()
+                    .unwrap_or_else(|| func.to_string().to_lowercase()),
+            ),
+            SelectItem::Expr { expr, alias } => columns.push(alias.clone().unwrap_or_else(
+                || match expr {
+                    Expr::Column(c) => c.column.clone(),
+                    other => other.to_string(),
+                },
+            )),
+            SelectItem::Wildcard => {
+                return Err(StorageError::Unsupported(
+                    "wildcard in aggregate projection".into(),
+                ))
+            }
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (_key, rows) in &groups {
+        let mut vals = Vec::with_capacity(sel.projection.len());
+        for item in &sel.projection {
+            match item {
+                SelectItem::Aggregate { func, arg, .. } => {
+                    let bound = match arg {
+                        Some(e) => Some(e.bind(&layout.binder())?),
+                        None => None,
+                    };
+                    vals.push(aggregate(*func, bound.as_ref(), rows, params)?);
+                }
+                SelectItem::Expr { expr, .. } => {
+                    // Must be a grouped column: evaluate on the first row.
+                    let bound = expr.bind(&layout.binder())?;
+                    let rep = rows.first().cloned().unwrap_or_default();
+                    vals.push(bound.eval(&rep, params)?);
+                }
+                SelectItem::Wildcard => unreachable!("rejected above"),
+            }
+        }
+        out_rows.push(Row::new(vals));
+    }
+    cost.rows_returned += out_rows.len() as u64;
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        rows_affected: 0,
+    })
+}
+
+fn aggregate(func: AggFunc, arg: Option<&Expr>, rows: &[Row], params: &[Value]) -> Result<Value> {
+    match func {
+        AggFunc::Count => match arg {
+            None => Ok(Value::Int(rows.len() as i64)),
+            Some(e) => {
+                let mut n = 0i64;
+                for r in rows {
+                    if !e.eval(r, params)?.is_null() {
+                        n += 1;
+                    }
+                }
+                Ok(Value::Int(n))
+            }
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let e = arg.ok_or_else(|| {
+                StorageError::Unsupported(format!("{func} requires an argument"))
+            })?;
+            let mut sum = 0.0f64;
+            let mut n = 0u64;
+            let mut all_int = true;
+            let mut isum = 0i64;
+            for r in rows {
+                let v = e.eval(r, params)?;
+                match v {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        isum = isum.wrapping_add(i);
+                        sum += i as f64;
+                        n += 1;
+                    }
+                    Value::Float(f) => {
+                        all_int = false;
+                        sum += f;
+                        n += 1;
+                    }
+                    other => {
+                        return Err(StorageError::Eval(format!(
+                            "{func} over non-numeric value {other}"
+                        )))
+                    }
+                }
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(match func {
+                AggFunc::Sum if all_int => Value::Int(isum),
+                AggFunc::Sum => Value::Float(sum),
+                _ => Value::Float(sum / n as f64),
+            })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let e = arg.ok_or_else(|| {
+                StorageError::Unsupported(format!("{func} requires an argument"))
+            })?;
+            let mut best: Option<Value> = None;
+            for r in rows {
+                let v = e.eval(r, params)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match func {
+                            AggFunc::Min => v < b,
+                            _ => v > b,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------
+
+/// Executes an INSERT.
+pub(crate) fn run_insert(
+    catalog: &mut Catalog,
+    pool: &mut BufferPool,
+    ins: &Insert,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<WriteEffect> {
+    // Evaluate all rows up front (no row context in VALUES).
+    let schema = catalog.table(&ins.table)?.schema().clone();
+    let mut full_rows = Vec::with_capacity(ins.rows.len());
+    for exprs in &ins.rows {
+        let row = if ins.columns.is_empty() {
+            if exprs.len() != schema.arity() {
+                return Err(StorageError::TypeMismatch {
+                    column: format!("{}(*)", ins.table),
+                    expected: format!("{} values", schema.arity()),
+                    got: format!("{} values", exprs.len()),
+                });
+            }
+            let vals = exprs
+                .iter()
+                .map(|e| eval_const(e, params))
+                .collect::<Result<Vec<_>>>()?;
+            Row::new(vals)
+        } else {
+            if exprs.len() != ins.columns.len() {
+                return Err(StorageError::TypeMismatch {
+                    column: format!("{}(*)", ins.table),
+                    expected: format!("{} values", ins.columns.len()),
+                    got: format!("{} values", exprs.len()),
+                });
+            }
+            let mut vals = vec![Value::Null; schema.arity()];
+            for (col, e) in ins.columns.iter().zip(exprs) {
+                let pos = schema.require_column(col)?;
+                vals[pos] = eval_const(e, params)?;
+            }
+            Row::new(vals)
+        };
+        full_rows.push(row);
+    }
+
+    // Foreign-key checks (charge one probe per FK per row).
+    for row in &full_rows {
+        check_foreign_keys(catalog, pool, &schema, row, cost)?;
+    }
+
+    let table = catalog.table_mut(&ins.table)?;
+    let mut effect = WriteEffect::default();
+    for row in full_rows {
+        let rid = table.insert(row.clone())?;
+        let stored = table.get(rid).expect("just inserted").clone();
+        // Re-borrow immutably for page math is fine: same table.
+        let page = PageId {
+            table: table.id(),
+            page: table.page_of(rid),
+        };
+        let t = pool.touch_write(page);
+        if t.hit {
+            cost.page_hits += 1;
+        } else {
+            cost.page_misses += 1;
+        }
+        cost.page_writebacks += t.writebacks;
+        cost.rows_written += 1;
+        effect.affected += 1;
+        effect.undo.push(UndoOp::Insert {
+            table: ins.table.clone(),
+            rid,
+        });
+        effect.changes.push(RowChange {
+            table: ins.table.clone(),
+            event: TriggerEvent::Insert,
+            old: None,
+            new: Some(stored),
+        });
+    }
+    Ok(effect)
+}
+
+fn check_foreign_keys(
+    catalog: &Catalog,
+    pool: &mut BufferPool,
+    schema: &crate::schema::TableSchema,
+    row: &Row,
+    cost: &mut CostReport,
+) -> Result<()> {
+    for fk in schema.foreign_keys() {
+        let pos = schema.require_column(&fk.column)?;
+        let v = row.get(pos);
+        if v.is_null() {
+            continue;
+        }
+        let ref_table = catalog.table(&fk.ref_table)?;
+        cost.index_probes += 1;
+        let v = coerce_for(ref_table, &fk.ref_column, v);
+        match ref_table.find_pk(&v) {
+            Some(rid) => touch_read(pool, ref_table, rid, cost),
+            None => {
+                return Err(StorageError::ForeignKeyViolation {
+                    constraint: fk.name.clone(),
+                    detail: format!(
+                        "{} = {v} not present in {}.{}",
+                        fk.column, fk.ref_table, fk.ref_column
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes an UPDATE.
+pub(crate) fn run_update(
+    catalog: &mut Catalog,
+    pool: &mut BufferPool,
+    upd: &Update,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<WriteEffect> {
+    let schema = catalog.table(&upd.table)?.schema().clone();
+    let mut layout = Layout::default();
+    layout.push_table(&upd.table, catalog.table(&upd.table)?);
+
+    // Plan matching rows.
+    let (match_rids, bound_pred) = {
+        let table = catalog.table(&upd.table)?;
+        let rids = plan_base_rids(table, &upd.table, upd.predicate.as_ref(), params, cost)?;
+        let bound = match &upd.predicate {
+            Some(p) => Some(p.bind(&layout.binder())?),
+            None => None,
+        };
+        let candidates: Vec<RowId> = match rids {
+            Some(r) => r,
+            None => table.iter().map(|(rid, _)| rid).collect(),
+        };
+        let mut matched = Vec::new();
+        for rid in candidates {
+            let Some(row) = table.get(rid) else { continue };
+            touch_read(pool, table, rid, cost);
+            cost.rows_scanned += 1;
+            let keep = match &bound {
+                Some(p) => p.matches(row, params)?,
+                None => true,
+            };
+            if keep {
+                matched.push(rid);
+            }
+        }
+        (matched, ())
+    };
+    let _ = bound_pred;
+
+    // Bind SET expressions against the single-table layout.
+    let sets: Vec<(usize, Expr)> = upd
+        .sets
+        .iter()
+        .map(|(c, e)| Ok((schema.require_column(c)?, e.bind(&layout.binder())?)))
+        .collect::<Result<_>>()?;
+
+    let mut effect = WriteEffect::default();
+    for rid in match_rids {
+        let old = catalog
+            .table(&upd.table)?
+            .get(rid)
+            .cloned()
+            .ok_or_else(|| StorageError::Eval("row vanished during update".into()))?;
+        let mut new = old.clone();
+        for (pos, e) in &sets {
+            let v = e.eval(&old, params)?;
+            new.values_mut()[*pos] = v;
+        }
+        // FK checks against the new image.
+        check_foreign_keys(catalog, pool, &schema, &new, cost)?;
+        let table = catalog.table_mut(&upd.table)?;
+        let before = table.update(rid, new.clone())?;
+        let stored = table.get(rid).expect("just updated").clone();
+        touch_write_raw(pool, table.id(), table.page_of(rid), cost);
+        cost.rows_written += 1;
+        effect.affected += 1;
+        effect.undo.push(UndoOp::Update {
+            table: upd.table.clone(),
+            rid,
+            before,
+        });
+        effect.changes.push(RowChange {
+            table: upd.table.clone(),
+            event: TriggerEvent::Update,
+            old: Some(old),
+            new: Some(stored),
+        });
+    }
+    Ok(effect)
+}
+
+fn touch_write_raw(pool: &mut BufferPool, table: u32, page: u64, cost: &mut CostReport) {
+    let t = pool.touch_write(PageId { table, page });
+    if t.hit {
+        cost.page_hits += 1;
+    } else {
+        cost.page_misses += 1;
+    }
+    cost.page_writebacks += t.writebacks;
+}
+
+/// Executes a DELETE.
+pub(crate) fn run_delete(
+    catalog: &mut Catalog,
+    pool: &mut BufferPool,
+    del: &Delete,
+    params: &[Value],
+    cost: &mut CostReport,
+) -> Result<WriteEffect> {
+    let mut layout = Layout::default();
+    layout.push_table(&del.table, catalog.table(&del.table)?);
+    let match_rids = {
+        let table = catalog.table(&del.table)?;
+        let rids = plan_base_rids(table, &del.table, del.predicate.as_ref(), params, cost)?;
+        let bound = match &del.predicate {
+            Some(p) => Some(p.bind(&layout.binder())?),
+            None => None,
+        };
+        let candidates: Vec<RowId> = match rids {
+            Some(r) => r,
+            None => table.iter().map(|(rid, _)| rid).collect(),
+        };
+        let mut matched = Vec::new();
+        for rid in candidates {
+            let Some(row) = table.get(rid) else { continue };
+            touch_read(pool, table, rid, cost);
+            cost.rows_scanned += 1;
+            let keep = match &bound {
+                Some(p) => p.matches(row, params)?,
+                None => true,
+            };
+            if keep {
+                matched.push(rid);
+            }
+        }
+        matched
+    };
+
+    let table = catalog.table_mut(&del.table)?;
+    let mut effect = WriteEffect::default();
+    for rid in match_rids {
+        let Some(old) = table.delete(rid) else { continue };
+        touch_write_raw(pool, table.id(), table.page_of(rid), cost);
+        cost.rows_written += 1;
+        effect.affected += 1;
+        effect.undo.push(UndoOp::Delete {
+            table: del.table.clone(),
+            rid,
+            row: old.clone(),
+        });
+        effect.changes.push(RowChange {
+            table: del.table.clone(),
+            event: TriggerEvent::Delete,
+            old: Some(old),
+            new: None,
+        });
+    }
+    Ok(effect)
+}
+
+/// Applies undo operations in reverse order (transaction rollback).
+pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>) -> Result<()> {
+    for op in undo.into_iter().rev() {
+        match op {
+            UndoOp::Insert { table, rid } => {
+                catalog.table_mut(&table)?.delete(rid);
+            }
+            UndoOp::Delete { table, rid, row } => {
+                catalog.table_mut(&table)?.restore(rid, row);
+            }
+            UndoOp::Update { table, rid, before } => {
+                let t = catalog.table_mut(&table)?;
+                // Restore via delete+restore to bypass constraint checks:
+                // the pre-image was valid when first stored.
+                t.delete(rid);
+                t.restore(rid, before);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! # genie-storage
+//!
+//! An embedded relational engine standing in for PostgreSQL in the
+//! CacheGenie reproduction. It provides exactly the database surface the
+//! paper's middleware depends on:
+//!
+//! * typed tables with primary keys, unique/secondary B-tree indexes, and
+//!   foreign-key checks ([`TableSchema`], [`Table`]);
+//! * a SQL-subset parser and a planner/executor covering the query shapes
+//!   a Django-style ORM emits — point lookups, index scans, inner/left
+//!   joins, aggregates, `ORDER BY ... LIMIT` ([`sql`], [`Select`]);
+//! * **row-level AFTER triggers** fired synchronously inside write
+//!   statements — the primitive CacheGenie uses to keep the cache
+//!   consistent ([`Trigger`], [`TriggerCtx`]);
+//! * transactions with undo-log rollback ([`Database::transaction`]);
+//! * a buffer-pool *model* that classifies page touches as hits or misses
+//!   and emits a per-statement [`CostReport`], which the benchmark harness
+//!   prices into simulated time ([`BufferPool`]).
+//!
+//! # Example
+//!
+//! ```
+//! use genie_storage::{Database, Trigger, TriggerEvent, Value};
+//! use std::sync::{Arc, atomic::{AtomicU64, Ordering}};
+//!
+//! # fn main() -> Result<(), genie_storage::StorageError> {
+//! let db = Database::default();
+//! db.execute_sql("CREATE TABLE wall (post_id INT PRIMARY KEY, user_id INT NOT NULL)", &[])?;
+//!
+//! // A trigger that counts inserts — CacheGenie installs triggers like
+//! // this to push cache updates.
+//! let fired = Arc::new(AtomicU64::new(0));
+//! let fired2 = Arc::clone(&fired);
+//! db.create_trigger(Trigger::new(
+//!     "count_inserts",
+//!     "wall",
+//!     TriggerEvent::Insert,
+//!     move |_ctx: &mut genie_storage::TriggerCtx<'_>| {
+//!         fired2.fetch_add(1, Ordering::SeqCst);
+//!         Ok(())
+//!     },
+//! ))?;
+//!
+//! db.execute_sql("INSERT INTO wall VALUES (1, 42)", &[])?;
+//! assert_eq!(fired.load(Ordering::SeqCst), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod cost;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod trigger;
+pub mod value;
+
+pub use bufferpool::{BufferPool, PageId, PoolStats};
+pub use cost::CostReport;
+pub use db::{Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
+pub use error::{Result, StorageError};
+pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
+pub use query::{
+    AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem,
+    Statement, TableRef, Update,
+};
+pub use row::{Row, RowId};
+pub use schema::{ColumnDef, ForeignKeyDef, IndexDef, TableSchema, TableSchemaBuilder};
+pub use table::Table;
+pub use trigger::{Trigger, TriggerBody, TriggerCtx, TriggerEvent, TriggerManager};
+pub use value::{Value, ValueType};

@@ -1,0 +1,148 @@
+//! Rows and row identities.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Internal identity of a stored row (heap slot number).
+///
+/// Stable for the lifetime of the row; never reused within a table's
+/// lifetime so undo logs and triggers can refer to rows unambiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rid:{}", self.0)
+    }
+}
+
+/// A single tuple: one value per schema column, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from its column values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values (used by UPDATE execution).
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// The value at column position `i`, or NULL if out of range.
+    ///
+    /// Out-of-range access returns NULL rather than panicking because
+    /// projection lists are validated before execution; a miss here means a
+    /// ragged literal row in tests.
+    pub fn get(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.get(i).unwrap_or(&NULL)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Consumes the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Approximate in-memory footprint, used by the buffer-pool model and
+    /// the cache's memory accounting.
+    pub fn byte_size(&self) -> usize {
+        8 + self.values.iter().map(Value::byte_size).sum::<usize>()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Builds a [`Row`] from a list of values convertible to [`Value`].
+///
+/// ```
+/// use genie_storage::row;
+/// let r = row![1i64, "alice", true];
+/// assert_eq!(r.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_out_of_range_is_null() {
+        let r = Row::new(vec![Value::Int(1)]);
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert!(r.get(5).is_null());
+    }
+
+    #[test]
+    fn row_macro_converts() {
+        let r = row![42i64, "bob", false];
+        assert_eq!(r.get(0), &Value::Int(42));
+        assert_eq!(r.get(1), &Value::Text("bob".into()));
+        assert_eq!(r.get(2), &Value::Bool(false));
+    }
+
+    #[test]
+    fn display_renders_tuple() {
+        let r = row![1i64, "x"];
+        assert_eq!(r.to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn byte_size_is_positive() {
+        assert!(Row::default().byte_size() > 0);
+        assert!(row![1i64].byte_size() > Row::default().byte_size());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let r: Row = (0..3).map(Value::Int).collect();
+        assert_eq!(r.arity(), 3);
+    }
+}

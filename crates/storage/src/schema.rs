@@ -1,0 +1,343 @@
+//! Table schemas: columns, constraints, indexes, foreign keys.
+
+use crate::error::{Result, StorageError};
+use crate::value::ValueType;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive, by convention lower_snake).
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+    /// Whether NULL is rejected.
+    pub not_null: bool,
+    /// Whether a single-column unique index is implied.
+    pub unique: bool,
+}
+
+impl ColumnDef {
+    /// Creates a nullable, non-unique column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            not_null: false,
+            unique: false,
+        }
+    }
+
+    /// Marks the column NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Marks the column UNIQUE.
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+}
+
+/// A foreign-key constraint from one column of this table to the primary
+/// key of another table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeyDef {
+    /// Constraint name (auto-derived if built through the builder).
+    pub name: String,
+    /// Referencing column on this table.
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced column (must be the referenced table's primary key).
+    pub ref_column: String,
+}
+
+/// A secondary index over one or more columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within the database.
+    pub name: String,
+    /// Indexed columns, in key order.
+    pub columns: Vec<String>,
+    /// Whether the index enforces uniqueness.
+    pub unique: bool,
+}
+
+/// Schema of a single table.
+///
+/// Built with [`TableSchema::builder`]; the first column is conventionally
+/// the integer primary key (the ORM layer always generates an `id` column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: String,
+    foreign_keys: Vec<ForeignKeyDef>,
+    /// Approximate bytes per row used by the buffer-pool model when rows
+    /// are absent (e.g. planning); actual rows report their real size.
+    pub rows_per_page_hint: usize,
+}
+
+impl TableSchema {
+    /// Starts building a schema for `name`.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+            rows_per_page_hint: 64,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All columns, in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The primary-key column name.
+    pub fn primary_key(&self) -> &str {
+        &self.primary_key
+    }
+
+    /// Index of the primary-key column.
+    pub fn primary_key_pos(&self) -> usize {
+        self.column_pos(&self.primary_key)
+            .expect("primary key validated at build time")
+    }
+
+    /// Declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKeyDef] {
+        &self.foreign_keys
+    }
+
+    /// Position of `column`, or `None` if absent.
+    pub fn column_pos(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == column)
+    }
+
+    /// Position of `column`, as a storage error if absent.
+    pub fn require_column(&self, column: &str) -> Result<usize> {
+        self.column_pos(column).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.name.clone(),
+            column: column.to_owned(),
+        })
+    }
+
+    /// The column definition for `column`, if present.
+    pub fn column(&self, column: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == column)
+    }
+}
+
+/// Builder for [`TableSchema`]; see [`TableSchema::builder`].
+#[derive(Debug, Clone)]
+pub struct TableSchemaBuilder {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: Option<String>,
+    foreign_keys: Vec<ForeignKeyDef>,
+    rows_per_page_hint: usize,
+}
+
+impl TableSchemaBuilder {
+    /// Adds a column.
+    pub fn column(mut self, def: ColumnDef) -> Self {
+        self.columns.push(def);
+        self
+    }
+
+    /// Shorthand: adds a NOT NULL integer primary-key column named `name`
+    /// and marks it as the primary key.
+    pub fn pk(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        self.columns
+            .push(ColumnDef::new(name.clone(), ValueType::Int).not_null());
+        self.primary_key = Some(name);
+        self
+    }
+
+    /// Declares which existing column is the primary key.
+    pub fn primary_key(mut self, column: impl Into<String>) -> Self {
+        self.primary_key = Some(column.into());
+        self
+    }
+
+    /// Adds a foreign key from `column` to `ref_table(ref_column)`.
+    pub fn foreign_key(
+        mut self,
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Self {
+        let column = column.into();
+        let ref_table = ref_table.into();
+        let name = format!("fk_{}_{}_{}", self.name, column, ref_table);
+        self.foreign_keys.push(ForeignKeyDef {
+            name,
+            column,
+            ref_table,
+            ref_column: ref_column.into(),
+        });
+        self
+    }
+
+    /// Overrides the buffer-pool rows-per-page hint for this table.
+    pub fn rows_per_page(mut self, rows: usize) -> Self {
+        self.rows_per_page_hint = rows.max(1);
+        self
+    }
+
+    /// Validates and builds the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Parse`] for an empty column list, a
+    /// duplicate column name, a missing/unknown primary key, or a foreign
+    /// key referencing an unknown local column.
+    pub fn build(self) -> Result<TableSchema> {
+        if self.columns.is_empty() {
+            return Err(StorageError::Parse(format!(
+                "table {:?} has no columns",
+                self.name
+            )));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::Parse(format!(
+                    "duplicate column {:?} in table {:?}",
+                    c.name, self.name
+                )));
+            }
+        }
+        let primary_key = self.primary_key.ok_or_else(|| {
+            StorageError::Parse(format!("table {:?} has no primary key", self.name))
+        })?;
+        if !self.columns.iter().any(|c| c.name == primary_key) {
+            return Err(StorageError::Parse(format!(
+                "primary key {primary_key:?} is not a column of {:?}",
+                self.name
+            )));
+        }
+        for fk in &self.foreign_keys {
+            if !self.columns.iter().any(|c| c.name == fk.column) {
+                return Err(StorageError::Parse(format!(
+                    "foreign key column {:?} is not a column of {:?}",
+                    fk.column, self.name
+                )));
+            }
+        }
+        Ok(TableSchema {
+            name: self.name,
+            columns: self.columns,
+            primary_key,
+            foreign_keys: self.foreign_keys,
+            rows_per_page_hint: self.rows_per_page_hint,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall_schema() -> TableSchema {
+        TableSchema::builder("wall")
+            .pk("post_id")
+            .column(ColumnDef::new("user_id", ValueType::Int).not_null())
+            .column(ColumnDef::new("content", ValueType::Text))
+            .column(ColumnDef::new("sender_id", ValueType::Int).not_null())
+            .column(ColumnDef::new("date_posted", ValueType::Timestamp).not_null())
+            .foreign_key("user_id", "users", "id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_schema() {
+        let s = wall_schema();
+        assert_eq!(s.name(), "wall");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.primary_key(), "post_id");
+        assert_eq!(s.primary_key_pos(), 0);
+        assert_eq!(s.column_pos("content"), Some(2));
+        assert_eq!(s.foreign_keys().len(), 1);
+        assert_eq!(s.foreign_keys()[0].ref_table, "users");
+    }
+
+    #[test]
+    fn require_column_reports_table() {
+        let s = wall_schema();
+        let err = s.require_column("missing").unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::UnknownColumn {
+                table: "wall".into(),
+                column: "missing".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let err = TableSchema::builder("t").build().unwrap_err();
+        assert!(matches!(err, StorageError::Parse(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::builder("t")
+            .pk("id")
+            .column(ColumnDef::new("id", ValueType::Text))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate column"));
+    }
+
+    #[test]
+    fn missing_primary_key_rejected() {
+        let err = TableSchema::builder("t")
+            .column(ColumnDef::new("x", ValueType::Int))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no primary key"));
+    }
+
+    #[test]
+    fn unknown_pk_column_rejected() {
+        let err = TableSchema::builder("t")
+            .column(ColumnDef::new("x", ValueType::Int))
+            .primary_key("y")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("not a column"));
+    }
+
+    #[test]
+    fn fk_on_unknown_column_rejected() {
+        let err = TableSchema::builder("t")
+            .pk("id")
+            .foreign_key("ghost", "users", "id")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rows_per_page_clamps_to_one() {
+        let s = TableSchema::builder("t").pk("id").rows_per_page(0).build().unwrap();
+        assert_eq!(s.rows_per_page_hint, 1);
+    }
+}

@@ -1,0 +1,650 @@
+//! Heap tables with B-tree secondary indexes.
+//!
+//! Rows are stored in a `BTreeMap<RowId, Row>` heap ordered by insertion;
+//! every table has an implicit unique index on its primary key plus any
+//! number of secondary indexes (`BTreeMap<Vec<Value>, BTreeSet<RowId>>`).
+//! All index maintenance happens inside [`Table::insert`],
+//! [`Table::update`], and [`Table::delete`], so the executor can never
+//! leave an index stale.
+
+use crate::error::{Result, StorageError};
+use crate::row::{Row, RowId};
+use crate::schema::{IndexDef, TableSchema};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A live secondary index.
+#[derive(Debug, Clone)]
+pub struct Index {
+    def: IndexDef,
+    /// Column positions of the key, precomputed from the schema.
+    key_pos: Vec<usize>,
+    map: BTreeMap<Vec<Value>, BTreeSet<RowId>>,
+}
+
+impl Index {
+    /// The index definition.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.key_pos.iter().map(|&p| row.get(p).clone()).collect()
+    }
+}
+
+/// A heap table plus its indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    /// Dense id assigned by the catalog; keys buffer-pool pages.
+    id: u32,
+    rows: BTreeMap<RowId, Row>,
+    next_rid: u64,
+    /// Implicit unique index: pk value -> row id.
+    pk_index: BTreeMap<Value, RowId>,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table with catalog id `id`.
+    pub fn new(schema: TableSchema, id: u32) -> Self {
+        Table {
+            schema,
+            id,
+            rows: BTreeMap::new(),
+            next_rid: 0,
+            pk_index: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The catalog id (used for buffer-pool page keys).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The heap page number a row lives on (model; see [`crate::bufferpool`]).
+    pub fn page_of(&self, rid: RowId) -> u64 {
+        rid.0 / self.schema.rows_per_page_hint as u64
+    }
+
+    /// Validates a row against the schema: arity, type compatibility
+    /// (coercing where allowed), NOT NULL.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific constraint error; the row is not modified on
+    /// failure.
+    pub fn validate(&self, row: &Row) -> Result<Row> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::TypeMismatch {
+                column: format!("{}(*)", self.schema.name()),
+                expected: format!("{} columns", self.schema.arity()),
+                got: format!("{} columns", row.arity()),
+            });
+        }
+        let mut out = Vec::with_capacity(row.arity());
+        for (col, v) in self.schema.columns().iter().zip(row.values()) {
+            if v.is_null() {
+                if col.not_null {
+                    return Err(StorageError::NullViolation(format!(
+                        "{}.{}",
+                        self.schema.name(),
+                        col.name
+                    )));
+                }
+                out.push(Value::Null);
+                continue;
+            }
+            match v.coerce_to(col.ty) {
+                Some(cv) => out.push(cv),
+                None => {
+                    return Err(StorageError::TypeMismatch {
+                        column: format!("{}.{}", self.schema.name(), col.name),
+                        expected: col.ty.to_string(),
+                        got: format!("{v}"),
+                    })
+                }
+            }
+        }
+        Ok(Row::new(out))
+    }
+
+    /// Inserts a row, enforcing PK and unique-index constraints.
+    ///
+    /// Returns the new row's heap id.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UniqueViolation`] on a duplicate key; validation
+    /// errors per [`Table::validate`].
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        let row = self.validate(&row)?;
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        if !pk.is_null() && self.pk_index.contains_key(&pk) {
+            return Err(StorageError::UniqueViolation {
+                index: format!("{}_pkey", self.schema.name()),
+                key: pk.to_string(),
+            });
+        }
+        for idx in &self.indexes {
+            if idx.def.unique {
+                let key = idx.key_of(&row);
+                if !key.iter().any(Value::is_null) {
+                    if let Some(set) = idx.map.get(&key) {
+                        if !set.is_empty() {
+                            return Err(StorageError::UniqueViolation {
+                                index: idx.def.name.clone(),
+                                key: format!("{key:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let rid = RowId(self.next_rid);
+        self.next_rid += 1;
+        if !pk.is_null() {
+            self.pk_index.insert(pk, rid);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.map.entry(key).or_default().insert(rid);
+        }
+        self.rows.insert(rid, row);
+        Ok(rid)
+    }
+
+    /// Reinserts a row under a specific id (transaction rollback path).
+    ///
+    /// Bypasses validation — the row was valid when it was first stored.
+    pub(crate) fn restore(&mut self, rid: RowId, row: Row) {
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        if !pk.is_null() {
+            self.pk_index.insert(pk, rid);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.map.entry(key).or_default().insert(rid);
+        }
+        self.next_rid = self.next_rid.max(rid.0 + 1);
+        self.rows.insert(rid, row);
+    }
+
+    /// Fetches a row by heap id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(&rid)
+    }
+
+    /// Looks up a row id by primary-key value.
+    pub fn find_pk(&self, pk: &Value) -> Option<RowId> {
+        self.pk_index.get(pk).copied()
+    }
+
+    /// Replaces the row at `rid`, maintaining all indexes.
+    ///
+    /// Returns the previous row image.
+    ///
+    /// # Errors
+    ///
+    /// Validation and uniqueness errors as for insert; unknown `rid`
+    /// reports an internal error via [`StorageError::Eval`].
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<Row> {
+        let new_row = self.validate(&new_row)?;
+        let old_row = self
+            .rows
+            .get(&rid)
+            .cloned()
+            .ok_or_else(|| StorageError::Eval(format!("update of missing row {rid}")))?;
+        let pk_pos = self.schema.primary_key_pos();
+        let (old_pk, new_pk) = (old_row.get(pk_pos), new_row.get(pk_pos));
+        if old_pk != new_pk {
+            if !new_pk.is_null() && self.pk_index.contains_key(new_pk) {
+                return Err(StorageError::UniqueViolation {
+                    index: format!("{}_pkey", self.schema.name()),
+                    key: new_pk.to_string(),
+                });
+            }
+        }
+        for idx in &self.indexes {
+            if idx.def.unique {
+                let new_key = idx.key_of(&new_row);
+                if new_key != idx.key_of(&old_row) && !new_key.iter().any(Value::is_null) {
+                    if let Some(set) = idx.map.get(&new_key) {
+                        if set.iter().any(|r| *r != rid) {
+                            return Err(StorageError::UniqueViolation {
+                                index: idx.def.name.clone(),
+                                key: format!("{new_key:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Constraints hold; apply index maintenance.
+        if old_pk != new_pk {
+            self.pk_index.remove(old_pk);
+            if !new_pk.is_null() {
+                self.pk_index.insert(new_pk.clone(), rid);
+            }
+        }
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(&old_row);
+            let new_key = idx.key_of(&new_row);
+            if old_key != new_key {
+                if let Some(set) = idx.map.get_mut(&old_key) {
+                    set.remove(&rid);
+                    if set.is_empty() {
+                        idx.map.remove(&old_key);
+                    }
+                }
+                idx.map.entry(new_key).or_default().insert(rid);
+            }
+        }
+        self.rows.insert(rid, new_row);
+        Ok(old_row)
+    }
+
+    /// Deletes the row at `rid`, returning its final image.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let row = self.rows.remove(&rid)?;
+        let pk = row.get(self.schema.primary_key_pos());
+        if !pk.is_null() {
+            self.pk_index.remove(pk);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            if let Some(set) = idx.map.get_mut(&key) {
+                set.remove(&rid);
+                if set.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Iterates over `(RowId, &Row)` in heap order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().map(|(r, row)| (*r, row))
+    }
+
+    /// Creates a secondary index, backfilling existing rows.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AlreadyExists`] for a duplicate name; unknown
+    /// columns report [`StorageError::UnknownColumn`]; a unique index over
+    /// data that already contains duplicates reports
+    /// [`StorageError::UniqueViolation`].
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        if self.indexes.iter().any(|i| i.def.name == def.name) {
+            return Err(StorageError::AlreadyExists(def.name));
+        }
+        let key_pos: Vec<usize> = def
+            .columns
+            .iter()
+            .map(|c| self.schema.require_column(c))
+            .collect::<Result<_>>()?;
+        let mut idx = Index {
+            def,
+            key_pos,
+            map: BTreeMap::new(),
+        };
+        for (rid, row) in &self.rows {
+            let key = idx.key_of(row);
+            let set = idx.map.entry(key.clone()).or_default();
+            if idx.def.unique && !set.is_empty() && !key.iter().any(Value::is_null) {
+                return Err(StorageError::UniqueViolation {
+                    index: idx.def.name.clone(),
+                    key: format!("{key:?}"),
+                });
+            }
+            set.insert(*rid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// The index whose key columns exactly match `columns`, if any.
+    pub fn index_on(&self, columns: &[String]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.def.columns == columns)
+    }
+
+    /// The index whose key is a prefix of `columns` usable for an
+    /// equality lookup on all its key columns. Among candidates of equal
+    /// width, prefers the most selective (most distinct keys) — e.g. for
+    /// `WHERE to_user_id = ? AND status = ?` the FK index beats the
+    /// low-cardinality status index.
+    pub fn best_index_for(&self, eq_columns: &[&str]) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .filter(|i| {
+                i.def
+                    .columns
+                    .iter()
+                    .all(|c| eq_columns.contains(&c.as_str()))
+            })
+            .max_by_key(|i| (i.def.columns.len(), i.distinct_keys()))
+    }
+
+    /// Row ids matching an exact key on `idx`.
+    pub fn index_lookup(&self, idx: &Index, key: &[Value]) -> Vec<RowId> {
+        idx.map
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Removes every row (used by tests and reseeding); indexes are kept
+    /// but emptied, and row ids are *not* reused.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.pk_index.clear();
+        for idx in &mut self.indexes {
+            idx.map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::ValueType;
+
+    fn users_table() -> Table {
+        let schema = TableSchema::builder("users")
+            .pk("id")
+            .column(ColumnDef::new("name", ValueType::Text).not_null())
+            .column(ColumnDef::new("email", ValueType::Text).unique())
+            .column(ColumnDef::new("age", ValueType::Int))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema, 1);
+        t.create_index(IndexDef {
+            name: "users_email".into(),
+            columns: vec!["email".into()],
+            unique: true,
+        })
+        .unwrap();
+        t.create_index(IndexDef {
+            name: "users_age".into(),
+            columns: vec!["age".into()],
+            unique: false,
+        })
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "alice", "a@x", 30i64]).unwrap();
+        assert_eq!(t.get(rid).unwrap().get(1), &Value::Text("alice".into()));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_pk(&Value::Int(1)), Some(rid));
+    }
+
+    #[test]
+    fn pk_duplicate_rejected() {
+        let mut t = users_table();
+        t.insert(row![1i64, "a", "a@x", 1i64]).unwrap();
+        let err = t.insert(row![1i64, "b", "b@x", 2i64]).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        assert_eq!(t.len(), 1, "failed insert must not leave residue");
+    }
+
+    #[test]
+    fn unique_index_rejected() {
+        let mut t = users_table();
+        t.insert(row![1i64, "a", "same@x", 1i64]).unwrap();
+        let err = t.insert(row![2i64, "b", "same@x", 2i64]).unwrap_err();
+        assert!(err.to_string().contains("users_email"));
+    }
+
+    #[test]
+    fn unique_index_allows_nulls() {
+        let mut t = users_table();
+        t.insert(row![1i64, "a", Value::Null, 1i64]).unwrap();
+        t.insert(row![2i64, "b", Value::Null, 2i64]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = users_table();
+        let err = t.insert(row![1i64, Value::Null, "a@x", 1i64]).unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = users_table();
+        let err = t.insert(row![1i64, "a"]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn type_coercion_on_insert() {
+        let schema = TableSchema::builder("m")
+            .pk("id")
+            .column(ColumnDef::new("score", ValueType::Float))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema, 2);
+        let rid = t.insert(row![1i64, 5i64]).unwrap();
+        assert_eq!(t.get(rid).unwrap().get(1), &Value::Float(5.0));
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        t.insert(row![2i64, "b", "b@x", 30i64]).unwrap();
+        let idx = t.index_on(&["age".to_string()]).unwrap();
+        assert_eq!(t.index_lookup(idx, &[Value::Int(30)]).len(), 2);
+        let old = t.update(rid, row![1i64, "a", "a@x", 31i64]).unwrap();
+        assert_eq!(old.get(3), &Value::Int(30));
+        let idx = t.index_on(&["age".to_string()]).unwrap();
+        assert_eq!(t.index_lookup(idx, &[Value::Int(30)]).len(), 1);
+        assert_eq!(t.index_lookup(idx, &[Value::Int(31)]).len(), 1);
+    }
+
+    #[test]
+    fn update_to_conflicting_unique_rejected_without_damage() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 1i64]).unwrap();
+        t.insert(row![2i64, "b", "b@x", 2i64]).unwrap();
+        let err = t.update(rid, row![1i64, "a", "b@x", 1i64]).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        // Old index entries intact.
+        let idx = t.index_on(&["email".to_string()]).unwrap();
+        assert_eq!(
+            t.index_lookup(idx, &[Value::Text("a@x".into())]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn update_pk_change() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 1i64]).unwrap();
+        t.update(rid, row![9i64, "a", "a@x", 1i64]).unwrap();
+        assert_eq!(t.find_pk(&Value::Int(9)), Some(rid));
+        assert_eq!(t.find_pk(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        let row = t.delete(rid).unwrap();
+        assert_eq!(row.get(0), &Value::Int(1));
+        assert!(t.is_empty());
+        assert_eq!(t.find_pk(&Value::Int(1)), None);
+        let idx = t.index_on(&["age".to_string()]).unwrap();
+        assert!(t.index_lookup(idx, &[Value::Int(30)]).is_empty());
+        assert!(t.delete(rid).is_none(), "double delete returns None");
+    }
+
+    #[test]
+    fn restore_preserves_rid_and_indexes() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        let row = t.delete(rid).unwrap();
+        t.restore(rid, row);
+        assert_eq!(t.find_pk(&Value::Int(1)), Some(rid));
+        let idx = t.index_on(&["age".to_string()]).unwrap();
+        assert_eq!(t.index_lookup(idx, &[Value::Int(30)]), vec![rid]);
+    }
+
+    #[test]
+    fn create_index_backfills() {
+        let mut t = users_table();
+        t.insert(row![1i64, "a", "a@x", 10i64]).unwrap();
+        t.insert(row![2i64, "b", "b@x", 10i64]).unwrap();
+        t.create_index(IndexDef {
+            name: "users_name".into(),
+            columns: vec!["name".into()],
+            unique: false,
+        })
+        .unwrap();
+        let idx = t.index_on(&["name".to_string()]).unwrap();
+        assert_eq!(
+            t.index_lookup(idx, &[Value::Text("a".into())]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = users_table();
+        let err = t
+            .create_index(IndexDef {
+                name: "users_email".into(),
+                columns: vec!["name".into()],
+                unique: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn unique_backfill_over_duplicates_fails() {
+        let mut t = users_table();
+        t.insert(row![1i64, "same", "a@x", 1i64]).unwrap();
+        t.insert(row![2i64, "same", "b@x", 2i64]).unwrap();
+        let err = t
+            .create_index(IndexDef {
+                name: "users_name_u".into(),
+                columns: vec!["name".into()],
+                unique: true,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn best_index_prefers_widest_match() {
+        let schema = TableSchema::builder("t")
+            .pk("id")
+            .column(ColumnDef::new("a", ValueType::Int))
+            .column(ColumnDef::new("b", ValueType::Int))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema, 3);
+        t.create_index(IndexDef {
+            name: "t_a".into(),
+            columns: vec!["a".into()],
+            unique: false,
+        })
+        .unwrap();
+        t.create_index(IndexDef {
+            name: "t_ab".into(),
+            columns: vec!["a".into(), "b".into()],
+            unique: false,
+        })
+        .unwrap();
+        let best = t.best_index_for(&["a", "b"]).unwrap();
+        assert_eq!(best.def().name, "t_ab");
+        let only_a = t.best_index_for(&["a"]).unwrap();
+        assert_eq!(only_a.def().name, "t_a");
+        assert!(t.best_index_for(&["b"]).is_none() || t.best_index_for(&["b"]).unwrap().def().columns == vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn best_index_breaks_ties_by_selectivity() {
+        let schema = TableSchema::builder("inv")
+            .pk("id")
+            .column(ColumnDef::new("to_user", ValueType::Int))
+            .column(ColumnDef::new("status", ValueType::Int))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema, 9);
+        t.create_index(IndexDef {
+            name: "inv_status".into(),
+            columns: vec!["status".into()],
+            unique: false,
+        })
+        .unwrap();
+        t.create_index(IndexDef {
+            name: "inv_to_user".into(),
+            columns: vec!["to_user".into()],
+            unique: false,
+        })
+        .unwrap();
+        // Many users, two statuses: the user index is far more selective.
+        for i in 0..100i64 {
+            t.insert(row![i, i % 50, i % 2]).unwrap();
+        }
+        let best = t.best_index_for(&["to_user", "status"]).unwrap();
+        assert_eq!(best.def().name, "inv_to_user");
+    }
+
+    #[test]
+    fn page_of_groups_rows() {
+        let schema = TableSchema::builder("t").pk("id").rows_per_page(4).build().unwrap();
+        let t = Table::new(schema, 4);
+        assert_eq!(t.page_of(RowId(0)), 0);
+        assert_eq!(t.page_of(RowId(3)), 0);
+        assert_eq!(t.page_of(RowId(4)), 1);
+    }
+
+    #[test]
+    fn truncate_clears_but_keeps_rid_monotone() {
+        let mut t = users_table();
+        t.insert(row![1i64, "a", "a@x", 1i64]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        let rid = t.insert(row![1i64, "a", "a@x", 1i64]).unwrap();
+        assert!(rid.0 >= 1, "row ids are not reused after truncate");
+    }
+}

@@ -1,0 +1,423 @@
+//! Typed values stored in tables and passed through queries.
+//!
+//! [`Value`] is the dynamic value type of the engine. It has *two*
+//! comparison notions, mirroring real SQL engines:
+//!
+//! * **SQL comparison** ([`Value::sql_cmp`]): `NULL` compares as unknown
+//!   (`None`), numeric types compare cross-type (`Int(1) == Float(1.0)`).
+//!   Used by expression evaluation (`WHERE` clauses).
+//! * **Storage order** (the `Ord` impl): a total order used for index keys
+//!   and `ORDER BY`, where `NULL` sorts first and floats use IEEE total
+//!   ordering. This is what lets B-tree indexes hold any value.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The dynamic type tag of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer (also used for booleans' backing type).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Microseconds since the Unix epoch; the engine's timestamp type.
+    Timestamp,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "INT",
+            ValueType::Float => "FLOAT",
+            ValueType::Text => "TEXT",
+            ValueType::Bool => "BOOL",
+            ValueType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Microseconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Timestamp(_) => Some(ValueType::Timestamp),
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float content, widening `Int` to float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The text content, if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The timestamp content (microseconds), if this is `Timestamp`.
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness: `Bool(b)` is `b`, everything else (incl. NULL) is
+    /// "not true". Matches `WHERE` semantics where only TRUE selects a row.
+    pub fn is_sql_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Whether the value is storable in a column of type `ty`.
+    ///
+    /// NULL is compatible with every type; `Int` is accepted by `Float` and
+    /// `Timestamp` columns (widening), mirroring lenient ORM bindings.
+    pub fn compatible_with(&self, ty: ValueType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), ValueType::Int)
+            | (Value::Int(_), ValueType::Float)
+            | (Value::Int(_), ValueType::Timestamp) => true,
+            (Value::Float(_), ValueType::Float) => true,
+            (Value::Text(_), ValueType::Text) => true,
+            (Value::Bool(_), ValueType::Bool) => true,
+            (Value::Timestamp(_), ValueType::Timestamp) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerces the value for storage in a column of type `ty`, widening
+    /// integers where allowed. Returns `None` when incompatible.
+    pub fn coerce_to(&self, ty: ValueType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (Value::Int(v), ValueType::Float) => Some(Value::Float(*v as f64)),
+            (Value::Int(v), ValueType::Timestamp) => Some(Value::Timestamp(*v)),
+            _ if self.compatible_with(ty) => Some(self.clone()),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Timestamp(a), Value::Timestamp(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Timestamp(b)) | (Value::Timestamp(a), Value::Int(b)) => {
+                Some(a.cmp(b))
+            }
+            _ => None,
+        }
+    }
+
+    /// SQL equality as three-valued logic (`None` = unknown).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the cache codec
+    /// and the buffer-pool row-size model.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Timestamp(_) => 9,
+            Value::Float(_) => 9,
+            Value::Bool(_) => 2,
+            Value::Text(s) => 5 + s.len(),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // numerics interleave in storage order
+            Value::Timestamp(_) => 3,
+            Value::Text(_) => 4,
+        }
+    }
+}
+
+/// Storage (total) equality: NULL == NULL, floats by bit-pattern class via
+/// total ordering. Distinct from [`Value::sql_eq`].
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Storage (total) order: NULL < Bool < numerics < Timestamp < Text; floats
+/// use IEEE `total_cmp` so NaN has a defined position.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => unreachable!("type ranks matched but variants did not"),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            // Numerics hash through the f64 bit pattern of their widened
+            // form so Int(1) and Float(1.0) (equal in storage order when
+            // exactly representable) hash identically.
+            Value::Int(v) => (*v as f64).to_bits().hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Timestamp(t) => t.hash(state),
+            Value::Text(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Value::Timestamp(t) => write!(f, "TS({t})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_cross_numeric() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
+        assert_eq!(
+            Value::Float(0.5).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_incomparable_types() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Text("1".into())), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn storage_order_is_total() {
+        let mut vals = vec![
+            Value::Text("b".into()),
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Int(3),
+            Value::Bool(false),
+            Value::Timestamp(5),
+            Value::Float(-1.0),
+        ];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(false));
+        // NaN sorts after all finite numerics under total_cmp.
+        assert_eq!(vals[2], Value::Float(-1.0));
+        assert_eq!(vals[3], Value::Int(3));
+    }
+
+    #[test]
+    fn storage_eq_treats_null_equal() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn hash_consistent_with_storage_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+        assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn coercion_widens_ints() {
+        assert_eq!(
+            Value::Int(3).coerce_to(ValueType::Float),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(
+            Value::Int(99).coerce_to(ValueType::Timestamp),
+            Some(Value::Timestamp(99))
+        );
+        assert_eq!(Value::Text("x".into()).coerce_to(ValueType::Int), None);
+        assert_eq!(Value::Null.coerce_to(ValueType::Text), Some(Value::Null));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_sql_true());
+        assert!(!Value::Bool(false).is_sql_true());
+        assert!(!Value::Null.is_sql_true());
+        assert!(!Value::Int(1).is_sql_true());
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(Value::Text("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn byte_size_scales_with_text() {
+        assert!(Value::Text("hello".into()).byte_size() > Value::Text("".into()).byte_size());
+        assert_eq!(Value::Int(0).byte_size(), 9);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+}

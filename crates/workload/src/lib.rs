@@ -1,0 +1,33 @@
+//! # genie-workload
+//!
+//! The benchmark harness of the CacheGenie reproduction: workload
+//! generation (sessions, the 50:30:10:10 action mix, Zipf user
+//! popularity), a cost model calibrated to the paper's §5.3
+//! microbenchmarks, and a virtual-time driver that executes pages
+//! functionally against the real stack while charging their physical
+//! costs to contended simulated resources.
+//!
+//! One call runs one configuration:
+//!
+//! ```
+//! use genie_workload::{run, WorkloadConfig, CacheMode};
+//!
+//! # fn main() -> Result<(), genie_storage::StorageError> {
+//! let result = run(&WorkloadConfig {
+//!     mode: CacheMode::Update,
+//!     ..WorkloadConfig::smoke()
+//! })?;
+//! assert!(result.throughput_pages_per_sec > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod costmodel;
+pub mod driver;
+pub mod metrics;
+pub mod spec;
+
+pub use costmodel::CostParams;
+pub use driver::run;
+pub use metrics::{PageTypeMetrics, RunResult};
+pub use spec::{CacheMode, PageKind, PageMix, WorkloadConfig};

@@ -1,0 +1,144 @@
+//! Run results and per-page-type metrics.
+
+use crate::spec::{CacheMode, PageKind};
+use cachegenie::GenieStatsSnapshot;
+use genie_cache::ClusterStats;
+use genie_sim::{Percentiles, SimDuration};
+use genie_storage::{DbStats, PoolStats};
+use std::collections::BTreeMap;
+
+/// Latency statistics for one page type (a Table 2 cell).
+#[derive(Debug, Clone, Default)]
+pub struct PageTypeMetrics {
+    latencies: Percentiles,
+    total: SimDuration,
+}
+
+impl PageTypeMetrics {
+    /// Records one page-load latency.
+    pub fn push(&mut self, latency: SimDuration) {
+        self.latencies.push(latency.as_secs_f64());
+        self.total += latency;
+    }
+
+    /// Pages recorded.
+    pub fn count(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Mean latency in seconds.
+    pub fn mean_s(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() / self.count() as f64
+        }
+    }
+
+    /// p95 latency in seconds.
+    pub fn p95_s(&mut self) -> f64 {
+        self.latencies.percentile(95.0).unwrap_or(0.0)
+    }
+}
+
+/// Everything one workload run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which system was measured.
+    pub mode: CacheMode,
+    /// Measured (post-warm-up) page loads.
+    pub pages_completed: u64,
+    /// Measured virtual duration.
+    pub duration: SimDuration,
+    /// Page loads per virtual second — the paper's y-axis.
+    pub throughput_pages_per_sec: f64,
+    /// Per-page-type latency breakdown (Table 2).
+    pub per_page: BTreeMap<PageKind, PageTypeMetrics>,
+    /// Cache-layer counters.
+    pub cache_stats: ClusterStats,
+    /// Middleware counters.
+    pub genie_stats: GenieStatsSnapshot,
+    /// Database counters.
+    pub db_stats: DbStats,
+    /// Buffer-pool counters.
+    pub pool_stats: PoolStats,
+    /// DB CPU busy fraction over the measured window.
+    pub db_cpu_utilization: f64,
+    /// DB disk busy fraction.
+    pub db_disk_utilization: f64,
+    /// Cache-server busy fraction.
+    pub cache_utilization: f64,
+}
+
+impl RunResult {
+    /// Mean page latency across all page types, in seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        let (mut total, mut n) = (0.0, 0usize);
+        for m in self.per_page.values() {
+            total += m.mean_s() * m.count() as f64;
+            n += m.count();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// The resource closest to saturation, for bottleneck reporting.
+    pub fn bottleneck(&self) -> (&'static str, f64) {
+        let mut best = ("db_cpu", self.db_cpu_utilization);
+        for (name, u) in [
+            ("db_disk", self.db_disk_utilization),
+            ("cache", self.cache_utilization),
+        ] {
+            if u > best.1 {
+                best = (name, u);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_metrics_mean() {
+        let mut m = PageTypeMetrics::default();
+        m.push(SimDuration::from_millis(100));
+        m.push(SimDuration::from_millis(300));
+        assert_eq!(m.count(), 2);
+        assert!((m.mean_s() - 0.2).abs() < 1e-9);
+        assert!(m.p95_s() >= 0.1);
+    }
+
+    #[test]
+    fn run_result_mean_weights_by_count() {
+        let mut per_page = BTreeMap::new();
+        let mut a = PageTypeMetrics::default();
+        a.push(SimDuration::from_millis(100));
+        a.push(SimDuration::from_millis(100));
+        let mut b = PageTypeMetrics::default();
+        b.push(SimDuration::from_millis(400));
+        per_page.insert(PageKind::LookupBM, a);
+        per_page.insert(PageKind::CreateBM, b);
+        let r = RunResult {
+            mode: CacheMode::Update,
+            pages_completed: 3,
+            duration: SimDuration::from_secs(1),
+            throughput_pages_per_sec: 3.0,
+            per_page,
+            cache_stats: Default::default(),
+            genie_stats: Default::default(),
+            db_stats: Default::default(),
+            pool_stats: Default::default(),
+            db_cpu_utilization: 0.5,
+            db_disk_utilization: 0.9,
+            cache_utilization: 0.1,
+        };
+        assert!((r.mean_latency_s() - 0.2).abs() < 1e-9);
+        assert_eq!(r.bottleneck(), ("db_disk", 0.9));
+    }
+}

@@ -1,0 +1,240 @@
+//! Workload specification: the experiment parameters of §5.1/§5.4.
+
+use crate::costmodel::CostParams;
+use genie_social::SeedConfig;
+
+/// Which caching configuration to run — the paper's three systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheMode {
+    /// Every request served by the database (paper: "NoCache").
+    NoCache,
+    /// CacheGenie with per-key invalidation triggers.
+    Invalidate,
+    /// CacheGenie with incremental update-in-place triggers (default).
+    Update,
+}
+
+impl CacheMode {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheMode::NoCache => "NoCache",
+            CacheMode::Invalidate => "Invalidate",
+            CacheMode::Update => "Update",
+        }
+    }
+}
+
+/// The page types of the workload (Table 2's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageKind {
+    /// Session start (includes a `last_login` write).
+    Login,
+    /// Session end.
+    Logout,
+    /// Look up own bookmarks (read).
+    LookupBM,
+    /// Look up friends' bookmarks (read, join-heavy).
+    LookupFBM,
+    /// Create a bookmark (write).
+    CreateBM,
+    /// Accept a friend request (write).
+    AcceptFR,
+}
+
+impl PageKind {
+    /// Display label matching Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PageKind::Login => "Login",
+            PageKind::Logout => "Logout",
+            PageKind::LookupBM => "LookupBM",
+            PageKind::LookupFBM => "LookupFBM",
+            PageKind::CreateBM => "CreateBM",
+            PageKind::AcceptFR => "AcceptFR",
+        }
+    }
+
+    /// All page kinds in Table 2 order.
+    pub fn all() -> [PageKind; 6] {
+        [
+            PageKind::Login,
+            PageKind::Logout,
+            PageKind::LookupBM,
+            PageKind::LookupFBM,
+            PageKind::CreateBM,
+            PageKind::AcceptFR,
+        ]
+    }
+}
+
+/// The in-session action mix (default 50:30:10:10 — 80% read pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMix {
+    /// LookupBM weight.
+    pub lookup_bm: u32,
+    /// LookupFBM weight.
+    pub lookup_fbm: u32,
+    /// CreateBM weight.
+    pub create_bm: u32,
+    /// AcceptFR weight.
+    pub accept_fr: u32,
+}
+
+impl Default for PageMix {
+    fn default() -> Self {
+        PageMix {
+            lookup_bm: 50,
+            lookup_fbm: 30,
+            create_bm: 10,
+            accept_fr: 10,
+        }
+    }
+}
+
+impl PageMix {
+    /// A mix with `read_pct` percent read pages, preserving the paper's
+    /// internal 50:30 read and 10:10 write proportions (Experiment 2's
+    /// x-axis).
+    pub fn with_read_percent(read_pct: u32) -> Self {
+        let read = read_pct.min(100);
+        let write = 100 - read;
+        PageMix {
+            lookup_bm: read * 5 / 8,
+            lookup_fbm: read - read * 5 / 8,
+            create_bm: write / 2,
+            accept_fr: write - write / 2,
+        }
+    }
+
+    /// Total weight (0 means "no action pages").
+    pub fn total(&self) -> u32 {
+        self.lookup_bm + self.lookup_fbm + self.create_bm + self.accept_fr
+    }
+
+    /// Fraction of action pages that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.lookup_bm + self.lookup_fbm) as f64 / t as f64
+    }
+}
+
+/// Full workload configuration (defaults reproduce §5.4's setup at
+/// laptop scale).
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Caching configuration under test.
+    pub mode: CacheMode,
+    /// Parallel closed-loop clients (paper default: 15).
+    pub clients: usize,
+    /// Measured sessions per client (paper: 100).
+    pub sessions_per_client: usize,
+    /// Warm-up sessions per client, excluded from metrics.
+    pub warmup_sessions_per_client: usize,
+    /// Action page loads per session (paper: 10, plus login/logout).
+    pub pages_per_session: usize,
+    /// Action mix.
+    pub mix: PageMix,
+    /// Zipf exponent for user popularity (paper: 2.0).
+    pub zipf_a: f64,
+    /// Seed-data scale.
+    pub seed: SeedConfig,
+    /// DB buffer-pool bytes (paper: 2 GB for a 10 GB dataset; scale
+    /// proportionally to the seed).
+    pub db_buffer_pool_bytes: usize,
+    /// Total cache capacity in bytes (Experiment 4's x-axis).
+    pub cache_bytes: usize,
+    /// Cache servers.
+    pub cache_servers: usize,
+    /// Run memcached on the DB box: cache work occupies the DB CPU
+    /// (Experiment 4's coda).
+    pub colocated_cache: bool,
+    /// Trigger firing enabled (Experiment 5 replays with `false`).
+    pub triggers_enabled: bool,
+    /// Whether trigger reads refresh cache LRU (ablation; memcached
+    /// default is `true`).
+    pub bump_lru_on_trigger: bool,
+    /// Model reused trigger→cache connections (ablation of the paper's
+    /// proposed optimization).
+    pub reuse_trigger_connections: bool,
+    /// Cost-model parameters.
+    pub cost: CostParams,
+    /// Driver RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mode: CacheMode::Update,
+            clients: 15,
+            sessions_per_client: 20,
+            warmup_sessions_per_client: 4,
+            pages_per_session: 10,
+            mix: PageMix::default(),
+            zipf_a: 2.0,
+            seed: SeedConfig::default(),
+            db_buffer_pool_bytes: 256 * 1024,
+            cache_bytes: 8 * 1024 * 1024,
+            cache_servers: 1,
+            colocated_cache: false,
+            triggers_enabled: true,
+            bump_lru_on_trigger: true,
+            reuse_trigger_connections: false,
+            cost: CostParams::default(),
+            rng_seed: 1,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for unit tests.
+    pub fn smoke() -> Self {
+        WorkloadConfig {
+            clients: 3,
+            sessions_per_client: 3,
+            warmup_sessions_per_client: 1,
+            pages_per_session: 4,
+            seed: SeedConfig::tiny(),
+            db_buffer_pool_bytes: 64 * 1024,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_80_20() {
+        let m = PageMix::default();
+        assert_eq!(m.total(), 100);
+        assert!((m.read_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_percent_sweep() {
+        for pct in [0u32, 20, 40, 60, 80, 100] {
+            let m = PageMix::with_read_percent(pct);
+            assert_eq!(m.total(), 100, "{pct}%");
+            assert!(
+                (m.read_fraction() - pct as f64 / 100.0).abs() < 0.011,
+                "{pct}%: {}",
+                m.read_fraction()
+            );
+        }
+        assert_eq!(PageMix::with_read_percent(0).lookup_bm, 0);
+        assert_eq!(PageMix::with_read_percent(100).create_bm, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CacheMode::Update.label(), "Update");
+        assert_eq!(PageKind::LookupFBM.label(), "LookupFBM");
+        assert_eq!(PageKind::all().len(), 6);
+    }
+}

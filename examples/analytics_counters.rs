@@ -1,0 +1,84 @@
+//! Dashboard counters on CacheGenie's Count cache class, comparing the
+//! two consistency strategies side by side: update-in-place keeps serving
+//! from the cache across writes (incr/decr in the trigger), while
+//! invalidation pays a database recompute after every write.
+//!
+//! Run with: `cargo run --example analytics_counters`
+
+use cachegenie::{CacheGenie, CacheableDef, ConsistencyStrategy, GenieConfig};
+use cachegenie_repro::cache::{CacheCluster, ClusterConfig};
+use cachegenie_repro::orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+use cachegenie_repro::storage::{Database, Value, ValueType};
+use std::error::Error;
+use std::sync::Arc;
+
+fn deploy(strategy: ConsistencyStrategy) -> Result<(OrmSession, CacheGenie), Box<dyn Error>> {
+    let mut registry = ModelRegistry::new();
+    registry.register(
+        ModelDef::builder("Event", "events")
+            .field(FieldDef::new("kind", ValueType::Text).not_null().indexed())
+            .field(FieldDef::new("at", ValueType::Timestamp).not_null())
+            .build(),
+    )?;
+    let registry = Arc::new(registry);
+    let db = Database::default();
+    registry.sync(&db)?;
+    let session = OrmSession::new(db.clone(), Arc::clone(&registry));
+    let genie = CacheGenie::new(
+        db,
+        CacheCluster::new(ClusterConfig::default()),
+        registry,
+        GenieConfig::default(),
+    );
+    genie.cacheable(
+        CacheableDef::count("events_by_kind", "Event")
+            .where_fields(&["kind"])
+            .strategy(strategy),
+    )?;
+    genie.install(&session);
+    Ok((session, genie))
+}
+
+fn drive(
+    label: &str,
+    session: &OrmSession,
+    genie: &CacheGenie,
+) -> Result<(), Box<dyn Error>> {
+    let count_of = |kind: &str| -> Result<(i64, bool), Box<dyn Error>> {
+        let qs = session.objects("Event")?.filter_eq("kind", kind);
+        let (n, out) = session.count(&qs)?;
+        Ok((n, out.from_cache))
+    };
+    // Warm the two counters.
+    for kind in ["signup", "click"] {
+        count_of(kind)?;
+    }
+    // A burst of writes...
+    for i in 0..10i64 {
+        let kind = if i % 3 == 0 { "signup" } else { "click" };
+        session.create(
+            "Event",
+            &[("kind", kind.into()), ("at", Value::Timestamp(i))],
+        )?;
+    }
+    // ...then dashboard reads.
+    let (signups, s_cached) = count_of("signup")?;
+    let (clicks, c_cached) = count_of("click")?;
+    let stats = genie.stats();
+    println!(
+        "{label:<16} signups={signups} (cached={s_cached})  clicks={clicks} (cached={c_cached})  \
+         in-place updates={}  invalidations={}  db misses={}",
+        stats.inplace_updates, stats.invalidations, stats.cache_misses
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let (s1, g1) = deploy(ConsistencyStrategy::UpdateInPlace)?;
+    drive("update-in-place", &s1, &g1)?;
+    let (s2, g2) = deploy(ConsistencyStrategy::Invalidate)?;
+    drive("invalidate", &s2, &g2)?;
+    println!("\nBoth strategies return identical counts; update-in-place keeps serving");
+    println!("them from the cache, which is the paper's throughput advantage.");
+    Ok(())
+}

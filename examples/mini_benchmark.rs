@@ -1,0 +1,45 @@
+//! A miniature end-to-end run of the paper's evaluation: seed a small
+//! social network, run the 50:30:10:10 workload in all three caching
+//! modes, and print the throughput comparison (Figure 2a's 15-client
+//! point, at example scale).
+//!
+//! Run with: `cargo run --release --example mini_benchmark`
+
+use cachegenie_repro::workload::{run, CacheMode, WorkloadConfig};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let base = WorkloadConfig {
+        clients: 10,
+        sessions_per_client: 8,
+        warmup_sessions_per_client: 2,
+        ..WorkloadConfig::default()
+    };
+    println!("mode        pages/s   mean_latency  cache_hit%  bottleneck");
+    let mut nocache = 0.0;
+    for mode in [CacheMode::NoCache, CacheMode::Invalidate, CacheMode::Update] {
+        let r = run(&WorkloadConfig {
+            mode,
+            ..base.clone()
+        })?;
+        if mode == CacheMode::NoCache {
+            nocache = r.throughput_pages_per_sec;
+        }
+        println!(
+            "{:<10}  {:>7.1}   {:>10.3}s   {:>8.1}   {} ({:.0}%)",
+            mode.label(),
+            r.throughput_pages_per_sec,
+            r.mean_latency_s(),
+            r.cache_stats.hit_ratio() * 100.0,
+            r.bottleneck().0,
+            r.bottleneck().1 * 100.0,
+        );
+        if mode == CacheMode::Update {
+            println!(
+                "\nUpdate vs NoCache: {:.2}x (paper reports 2-2.5x)",
+                r.throughput_pages_per_sec / nocache
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's §3.1 user-profile example, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Shows the whole CacheGenie loop: declare one cached object, keep
+//! application code unchanged, and watch reads come from the cache while
+//! a database trigger keeps the cached entry fresh across writes.
+
+use cachegenie::{CacheGenie, CacheableDef, GenieConfig};
+use cachegenie_repro::cache::{CacheCluster, ClusterConfig};
+use cachegenie_repro::orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+use cachegenie_repro::storage::{Database, Value, ValueType};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Models, database, session — ordinary ORM setup.
+    let mut registry = ModelRegistry::new();
+    registry.register(
+        ModelDef::builder("User", "users")
+            .field(FieldDef::new("username", ValueType::Text).not_null())
+            .build(),
+    )?;
+    registry.register(
+        ModelDef::builder("Profile", "profiles")
+            .foreign_key("user_id", "User")
+            .field(FieldDef::new("bio", ValueType::Text))
+            .build(),
+    )?;
+    let registry = Arc::new(registry);
+    let db = Database::default();
+    registry.sync(&db)?;
+    let session = OrmSession::new(db.clone(), Arc::clone(&registry));
+
+    session.create("User", &[("username", "alice".into())])?;
+    // user 42 doesn't exist yet: foreign keys are enforced.
+    assert!(session
+        .create("Profile", &[("user_id", 42i64.into()), ("bio", "x".into())])
+        .is_err());
+    let profile_id = session
+        .create("Profile", &[("user_id", 1i64.into()), ("bio", "hello world".into())])?
+        .new_id
+        .expect("create returns the new id");
+
+    // 2. CacheGenie: one declaration — the paper's `cacheable(...)` call.
+    let genie = CacheGenie::new(
+        db,
+        CacheCluster::new(ClusterConfig::default()),
+        registry,
+        GenieConfig::default(),
+    );
+    genie.cacheable(
+        CacheableDef::feature("cached_user_profile", "Profile").where_fields(&["user_id"]),
+    )?;
+    genie.install(&session);
+    println!(
+        "declared 1 cached object -> {} triggers, {} lines of generated trigger code",
+        genie.trigger_count(),
+        genie.generated_trigger_lines()
+    );
+
+    // 3. Application code is UNCHANGED: the same query now hits the cache.
+    let qs = session.objects("Profile")?.filter_eq("user_id", 1i64);
+    let first = session.all(&qs)?;
+    println!(
+        "first read : from_cache={} bio={}",
+        first.from_cache,
+        first.rows[0].get("bio")
+    );
+    let second = session.all(&qs)?;
+    println!(
+        "second read: from_cache={} bio={}",
+        second.from_cache,
+        second.rows[0].get("bio")
+    );
+    assert!(second.from_cache);
+
+    // 4. A write fires the generated trigger, which updates the cached
+    //    entry in place — the next read is fresh AND from the cache.
+    session.update_by_id("Profile", profile_id, &[("bio", "updated!".into())])?;
+    let third = session.all(&qs)?;
+    println!(
+        "after write: from_cache={} bio={}",
+        third.from_cache,
+        third.rows[0].get("bio")
+    );
+    assert!(third.from_cache);
+    assert_eq!(third.rows[0].get("bio"), &Value::Text("updated!".into()));
+
+    println!("stats: {:?}", genie.stats());
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! A social feed on CacheGenie's Top-K cache class — the paper's §3.2
+//! wall example: the latest-20 list is maintained *incrementally* by
+//! database triggers (insert at sort position, reserve absorbs deletes,
+//! recompute only when the reserve runs out).
+//!
+//! Run with: `cargo run --example social_feed`
+
+use cachegenie::SortOrder;
+use cachegenie_repro::genie::{CacheGenie, CacheableDef, GenieConfig};
+use cachegenie_repro::cache::{CacheCluster, ClusterConfig};
+use cachegenie_repro::social::build_registry;
+use cachegenie_repro::orm::OrmSession;
+use cachegenie_repro::storage::{Database, Value};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let registry = Arc::new(build_registry()?);
+    let db = Database::default();
+    registry.sync(&db)?;
+    let session = OrmSession::new(db.clone(), Arc::clone(&registry));
+    let app = cachegenie_repro::social::SocialApp::new(session.clone());
+
+    // Two users; user 1 owns the wall we watch.
+    for name in ["walter", "wanda"] {
+        session.create(
+            "User",
+            &[
+                ("username", name.into()),
+                ("date_joined", Value::Timestamp(0)),
+                ("last_login", Value::Timestamp(0)),
+            ],
+        )?;
+    }
+
+    let genie = CacheGenie::new(
+        db,
+        CacheCluster::new(ClusterConfig::default()),
+        registry,
+        GenieConfig::default(),
+    );
+    genie.cacheable(
+        CacheableDef::top_k("latest_wall_posts", "WallPost", "date_posted", SortOrder::Descending, 5)
+            .where_fields(&["user_id"])
+            .reserve(2),
+    )?;
+    genie.install(&session);
+
+    // Fill the feed.
+    for i in 1..=8 {
+        app.post_wall(1, 2, &format!("post #{i}"))?;
+    }
+    // The cached object uses K=5; build the matching query shape (the
+    // app's standard wall page uses K=20).
+    let feed_qs = || -> Result<_, Box<dyn Error>> {
+        Ok(session
+            .objects("WallPost")?
+            .filter_eq("user_id", 1i64)
+            .order_by("-date_posted")
+            .limit(5))
+    };
+    let feed = |label: &str| -> Result<(), Box<dyn Error>> {
+        let out = session.all(&feed_qs()?)?;
+        let posts: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r.get("content").as_text().unwrap_or("?").to_owned())
+            .collect();
+        println!(
+            "{label:<28} from_cache={:<5} -> {posts:?}",
+            out.from_cache
+        );
+        Ok(())
+    };
+    feed("initial feed")?;
+    feed("warm feed")?;
+
+    // New posts enter the cached list at the right position via triggers.
+    app.post_wall(1, 2, "breaking news!")?;
+    feed("after a new post")?;
+
+    // Deletes are absorbed by the reserve...
+    let newest = session
+        .all(&feed_qs()?)?
+        .rows
+        .first()
+        .map(|r| r.id())
+        .expect("feed nonempty");
+    session.delete_by_id("WallPost", newest)?;
+    feed("after deleting the newest")?;
+
+    // ...until it runs out, which forces one recompute.
+    for _ in 0..4 {
+        let id = session
+            .all(&feed_qs()?)?
+            .rows
+            .first()
+            .map(|r| r.id())
+            .expect("feed nonempty");
+        session.delete_by_id("WallPost", id)?;
+    }
+    feed("after exhausting reserve")?;
+    println!("\nmiddleware stats: {:?}", genie.stats());
+    Ok(())
+}

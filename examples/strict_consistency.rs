@@ -1,0 +1,80 @@
+//! The §3.3 strict-consistency extension: two-phase locking over cache
+//! keys, with timeout-based deadlock resolution and abort-time key drops.
+//! The paper designs this protocol but leaves it unimplemented; this
+//! reproduction builds it.
+//!
+//! Run with: `cargo run --example strict_consistency`
+
+use cachegenie::{CacheGenie, CacheableDef, GenieConfig, StrictTxnManager};
+use cachegenie_repro::cache::{CacheCluster, ClusterConfig};
+use cachegenie_repro::orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+use cachegenie_repro::storage::{Database, Value, ValueType};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut registry = ModelRegistry::new();
+    registry.register(
+        ModelDef::builder("Account", "accounts")
+            .field(FieldDef::new("owner", ValueType::Int).not_null().indexed())
+            .field(FieldDef::new("balance", ValueType::Int).not_null())
+            .build(),
+    )?;
+    let registry = Arc::new(registry);
+    let db = Database::default();
+    registry.sync(&db)?;
+    let session = OrmSession::new(db.clone(), Arc::clone(&registry));
+    let genie = CacheGenie::new(
+        db,
+        CacheCluster::new(ClusterConfig::default()),
+        registry,
+        GenieConfig::default(),
+    );
+    // Strict-mode objects opt out of transparent fetching (§3.3's escape
+    // hatch) and are read through transactions instead.
+    genie.cacheable(
+        CacheableDef::feature("account_by_owner", "Account")
+            .where_fields(&["owner"])
+            .manual_only(),
+    )?;
+    session.create("Account", &[("owner", 7i64.into()), ("balance", 100i64.into())])?;
+
+    let mgr = StrictTxnManager::new();
+
+    // T1 reads owner 7's account under a read lock.
+    let mut t1 = mgr.begin(&genie);
+    let out = t1.read("account_by_owner", &[Value::Int(7)])?;
+    println!(
+        "T1 read balance={} (from_cache={})",
+        out.result.rows[0].get(2),
+        out.from_cache
+    );
+
+    // T2 wants to write the same key: blocked by 2PL, then times out —
+    // the paper's deadlock/conflict handling.
+    let mut t2 = mgr.begin(&genie);
+    match t2.write_lock("account_by_owner", &[Value::Int(7)]) {
+        Err(e) => println!("T2 write blocked as expected: {e}"),
+        Ok(()) => unreachable!("reader holds the key"),
+    }
+    println!("T2 aborts: {:?}", t2.abort());
+
+    // T1 upgrades (sole reader), writes through the DB, commits.
+    t1.write_lock("account_by_owner", &[Value::Int(7)])?;
+    session.update_by_id("Account", 1, &[("balance", 175i64.into())])?;
+    println!("T1 commits: {:?}", t1.commit());
+
+    // A fresh transaction sees the committed balance.
+    let mut t3 = mgr.begin(&genie);
+    let out = t3.read("account_by_owner", &[Value::Int(7)])?;
+    println!(
+        "T3 read balance={} (from_cache={})",
+        out.result.rows[0].get(2),
+        out.from_cache
+    );
+    assert_eq!(out.result.rows[0].get(2), &Value::Int(175));
+    t3.commit();
+    assert_eq!(mgr.locked_keys(), 0);
+    println!("all locks released; done");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # cachegenie-repro
+//!
+//! Workspace facade for the Rust reproduction of *"A Trigger-Based
+//! Middleware Cache for ORMs"* (Gupta, Zeldovich, Madden — MIDDLEWARE 2011).
+//!
+//! Re-exports every layer of the system so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`sim`] — discrete-event simulation kernel (testbed substitute)
+//! * [`storage`] — embedded relational engine with triggers (PostgreSQL substitute)
+//! * [`cache`] — memcached-like distributed cache
+//! * [`orm`] — Django-flavoured ORM
+//! * [`genie`] — CacheGenie itself: cache classes + trigger-based consistency
+//! * [`social`] — the Pinax-like evaluation application
+//! * [`workload`] — workload generator and benchmark driver
+
+pub use genie_cache as cache;
+pub use genie_orm as orm;
+pub use genie_sim as sim;
+pub use genie_social as social;
+pub use genie_storage as storage;
+pub use genie_workload as workload;
+
+/// The paper's primary contribution: declarative cache classes with
+/// automatic trigger-based consistency.
+pub use cachegenie as genie;

@@ -1,0 +1,184 @@
+//! Full-stack integration tests spanning every crate: storage → ORM →
+//! CacheGenie → social app → workload driver.
+
+use cachegenie_repro::genie::ConsistencyStrategy;
+use cachegenie_repro::social::{build_app, AppConfig, SeedConfig};
+use cachegenie_repro::workload::{run, CacheMode, PageKind, WorkloadConfig};
+
+fn tiny_app(strategy: Option<ConsistencyStrategy>) -> cachegenie_repro::social::AppEnv {
+    build_app(&AppConfig {
+        seed: SeedConfig::tiny(),
+        strategy,
+        ..Default::default()
+    })
+    .expect("build app")
+}
+
+#[test]
+fn full_stack_page_loads_with_cache() {
+    let env = tiny_app(Some(ConsistencyStrategy::UpdateInPlace));
+    // Cold then warm render of a read page.
+    let cold = env.app.lookup_fbm(1).unwrap();
+    let warm = env.app.lookup_fbm(1).unwrap();
+    assert!(warm.cache_hit_queries >= cold.cache_hit_queries);
+    assert!(warm.db_cost.rows_scanned <= cold.db_cost.rows_scanned);
+}
+
+#[test]
+fn cache_and_database_agree_after_a_busy_day() {
+    // Interleave many page loads (reads + writes) and then verify every
+    // cached object against a bypass query for a sample of users.
+    let env = tiny_app(Some(ConsistencyStrategy::UpdateInPlace));
+    for round in 0..5 {
+        for user in 1..=10i64 {
+            env.app.lookup_bm(user).unwrap();
+            env.app.lookup_fbm(user).unwrap();
+            if round % 2 == 0 {
+                env.app
+                    .create_bm(user, &format!("http://bookmark.example/{}", round * 3 + 1))
+                    .unwrap();
+            } else {
+                env.app.accept_fr(user, (user % 10) + 1).unwrap();
+            }
+            env.app.view_wall(user).unwrap();
+            env.app.post_wall(user, (user % 10) + 1, "hey").unwrap();
+        }
+    }
+    let session = env.app.session();
+    for user in 1..=10i64 {
+        // Cached read.
+        let qs = env.app.user_bookmarks_qs(user).unwrap();
+        let cached = session.all(&qs).unwrap();
+        // Ground truth with interception off.
+        session.clear_interceptor();
+        let truth = session.all(&qs).unwrap();
+        env.genie.install(session);
+        let key = |rows: &[cachegenie_repro::orm::OrmRow]| {
+            let mut v: Vec<(i64, String)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.id(),
+                        r.get("url").as_text().unwrap_or_default().to_owned(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&cached.rows), key(&truth.rows), "user {user} bookmarks");
+
+        let (cached_n, _) = session
+            .count(&env.app.friends_qs(user).unwrap())
+            .unwrap();
+        session.clear_interceptor();
+        let (truth_n, _) = session
+            .count(&env.app.friends_qs(user).unwrap())
+            .unwrap();
+        env.genie.install(session);
+        assert_eq!(cached_n, truth_n, "user {user} friend count");
+    }
+}
+
+#[test]
+fn workload_all_modes_complete_and_order_sensibly() {
+    let base = WorkloadConfig {
+        clients: 5,
+        sessions_per_client: 5,
+        warmup_sessions_per_client: 1,
+        pages_per_session: 6,
+        seed: SeedConfig::tiny(),
+        ..Default::default()
+    };
+    let mut results = Vec::new();
+    for mode in [CacheMode::NoCache, CacheMode::Invalidate, CacheMode::Update] {
+        results.push(run(&WorkloadConfig {
+            mode,
+            ..base.clone()
+        })
+        .unwrap());
+    }
+    let (nocache, invalidate, update) = (&results[0], &results[1], &results[2]);
+    // The paper's headline ordering.
+    assert!(
+        update.throughput_pages_per_sec >= invalidate.throughput_pages_per_sec,
+        "Update {:.1} >= Invalidate {:.1}",
+        update.throughput_pages_per_sec,
+        invalidate.throughput_pages_per_sec
+    );
+    assert!(
+        invalidate.throughput_pages_per_sec > nocache.throughput_pages_per_sec,
+        "Invalidate {:.1} > NoCache {:.1}",
+        invalidate.throughput_pages_per_sec,
+        nocache.throughput_pages_per_sec
+    );
+    // Latency ordering is the mirror image.
+    assert!(update.mean_latency_s() <= invalidate.mean_latency_s());
+    assert!(invalidate.mean_latency_s() < nocache.mean_latency_s());
+    // Every page type was exercised.
+    for kind in PageKind::all() {
+        assert!(
+            update.per_page.contains_key(&kind),
+            "missing page type {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn write_pages_slower_cached_read_pages_faster() {
+    // Table 2's qualitative content.
+    let base = WorkloadConfig {
+        clients: 5,
+        sessions_per_client: 6,
+        warmup_sessions_per_client: 1,
+        pages_per_session: 8,
+        seed: SeedConfig::tiny(),
+        ..Default::default()
+    };
+    let nocache = run(&WorkloadConfig {
+        mode: CacheMode::NoCache,
+        ..base.clone()
+    })
+    .unwrap();
+    let update = run(&WorkloadConfig {
+        mode: CacheMode::Update,
+        ..base
+    })
+    .unwrap();
+    let mean = |r: &cachegenie_repro::workload::RunResult, k: PageKind| {
+        r.per_page.get(&k).map(|m| m.mean_s()).unwrap_or(0.0)
+    };
+    // Reads: dramatically faster with the cache.
+    assert!(
+        mean(&update, PageKind::LookupFBM) < mean(&nocache, PageKind::LookupFBM),
+        "LookupFBM cached {:.3}s vs NoCache {:.3}s",
+        mean(&update, PageKind::LookupFBM),
+        mean(&nocache, PageKind::LookupFBM)
+    );
+}
+
+#[test]
+fn nocache_and_cached_serve_identical_results_via_workload_seed() {
+    // Two full deployments from the same seed are row-for-row identical
+    // in what pages observe (the cache is an optimization, not a fork).
+    let a = tiny_app(None);
+    let b = tiny_app(Some(ConsistencyStrategy::Invalidate));
+    for user in 1..=10i64 {
+        let qa = a.app.session().all(&a.app.friends_qs(user).unwrap()).unwrap();
+        let qb = b.app.session().all(&b.app.friends_qs(user).unwrap()).unwrap();
+        assert_eq!(qa.rows.len(), qb.rows.len(), "user {user}");
+    }
+}
+
+#[test]
+fn facade_reexports_compile_together() {
+    // The facade exposes every layer under one roof.
+    use cachegenie_repro::{cache, genie, orm, sim, social, storage, workload};
+    let _ = sim::SimTime::ZERO;
+    let _ = storage::Value::Int(1);
+    let _ = cache::Payload::Count(1);
+    let _: Option<orm::FilterOp> = None;
+    let _ = genie::SortOrder::Descending;
+    let _ = social::SeedConfig::tiny();
+    let _ = workload::CacheMode::Update;
+}
