@@ -35,13 +35,10 @@ fn bench_insert(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 black_box(
-                    db.execute_sql(
-                        "INSERT INTO wall VALUES ($1, 1, TS(1))",
-                        &[Value::Int(i)],
-                    )
-                    .unwrap()
-                    .result
-                    .rows_affected,
+                    db.execute_sql("INSERT INTO wall VALUES ($1, 1, TS(1))", &[Value::Int(i)])
+                        .unwrap()
+                        .result
+                        .rows_affected,
                 )
             })
         });
@@ -64,13 +61,10 @@ fn bench_insert(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 black_box(
-                    db.execute_sql(
-                        "INSERT INTO wall VALUES ($1, 1, TS(1))",
-                        &[Value::Int(i)],
-                    )
-                    .unwrap()
-                    .result
-                    .rows_affected,
+                    db.execute_sql("INSERT INTO wall VALUES ($1, 1, TS(1))", &[Value::Int(i)])
+                        .unwrap()
+                        .result
+                        .rows_affected,
                 )
             })
         });
@@ -89,8 +83,14 @@ fn bench_insert(c: &mut Criterion) {
         );
         genie
             .cacheable(
-                CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 20)
-                    .where_fields(&["user_id"]),
+                CacheableDef::top_k(
+                    "latest",
+                    "WallPost",
+                    "date_posted",
+                    SortOrder::Descending,
+                    20,
+                )
+                .where_fields(&["user_id"]),
             )
             .unwrap();
         genie.evaluate("latest", &[Value::Int(1)]).unwrap(); // warm key

@@ -44,7 +44,10 @@ fn main() {
         lat.row(lt);
     }
 
-    println!("\nFigure 2a — page-load throughput (pages/s):\n{}", tput.render());
+    println!(
+        "\nFigure 2a — page-load throughput (pages/s):\n{}",
+        tput.render()
+    );
     println!("Figure 2b — mean page latency (s):\n{}", lat.render());
     write_result("fig2a_throughput.csv", &tput.to_csv());
     write_result("fig2b_latency.csv", &lat.to_csv());

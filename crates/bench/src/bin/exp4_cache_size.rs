@@ -18,7 +18,13 @@ fn main() {
     // The paper sweeps 64–512 MB against a ~10 GB dataset; our dataset is
     // ~2500× smaller, so the sweep scales to tens–hundreds of KiB.
     let sizes_kib = [16usize, 24, 32, 48, 64, 96, 128, 256];
-    let mut table = TextTable::new(&["cache_kib", "Invalidate", "Update", "Inval_hit%", "Upd_hit%"]);
+    let mut table = TextTable::new(&[
+        "cache_kib",
+        "Invalidate",
+        "Update",
+        "Inval_hit%",
+        "Upd_hit%",
+    ]);
     for &kib in &sizes_kib {
         let mut row = vec![kib.to_string()];
         let mut hits = Vec::new();
@@ -41,7 +47,10 @@ fn main() {
     })
     .expect("run");
     println!("{}", table.render());
-    println!("NoCache reference: {:.1} pages/s\n", nocache.throughput_pages_per_sec);
+    println!(
+        "NoCache reference: {:.1} pages/s\n",
+        nocache.throughput_pages_per_sec
+    );
     write_result("fig3c_cache_size.csv", &table.to_csv());
 
     // Colocated coda: memcached on the DB machine.

@@ -25,8 +25,7 @@ fn main() {
             ..base.clone()
         })
         .expect("run");
-        let overhead = 100.0
-            * (ideal.throughput_pages_per_sec - real.throughput_pages_per_sec)
+        let overhead = 100.0 * (ideal.throughput_pages_per_sec - real.throughput_pages_per_sec)
             / ideal.throughput_pages_per_sec.max(f64::EPSILON);
         table.row(vec![
             mode.label().to_owned(),

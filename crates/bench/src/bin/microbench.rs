@@ -14,21 +14,16 @@ fn main() {
     println!("Microbenchmarks (reproduces §5.3)\n");
     let cost = CostParams::default();
     let db = Database::default();
-    db.execute_sql(
-        "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",
-        &[],
-    )
-    .expect("ddl");
+    db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+        .expect("ddl");
     for i in 0..1000i64 {
-        db.execute_sql(
-            "INSERT INTO t VALUES ($1, 'row')",
-            &[Value::Int(i)],
-        )
-        .expect("seed");
+        db.execute_sql("INSERT INTO t VALUES ($1, 'row')", &[Value::Int(i)])
+            .expect("seed");
     }
 
     // Simple B+Tree lookup (warm).
-    db.execute_sql("SELECT * FROM t WHERE id = 1", &[]).expect("warm");
+    db.execute_sql("SELECT * FROM t WHERE id = 1", &[])
+        .expect("warm");
     let lookup = db
         .execute_sql("SELECT * FROM t WHERE id = $1", &[Value::Int(500)])
         .expect("lookup");
@@ -42,7 +37,10 @@ fn main() {
     let plain = db
         .execute_sql("INSERT INTO t VALUES (2000, 'x')", &[])
         .expect("insert");
-    let plain_ms = cost.page_charge(&plain.cost, 0, 1, 0).total().as_millis_f64();
+    let plain_ms = cost
+        .page_charge(&plain.cost, 0, 1, 0)
+        .total()
+        .as_millis_f64();
 
     db.create_trigger(Trigger::new(
         "noop",
@@ -54,7 +52,10 @@ fn main() {
     let noop = db
         .execute_sql("INSERT INTO t VALUES (2001, 'x')", &[])
         .expect("insert");
-    let noop_ms = cost.page_charge(&noop.cost, 0, 1, 0).total().as_millis_f64();
+    let noop_ms = cost
+        .page_charge(&noop.cost, 0, 1, 0)
+        .total()
+        .as_millis_f64();
 
     db.clear_triggers();
     db.create_trigger(Trigger::new(
@@ -70,7 +71,10 @@ fn main() {
     let conn = db
         .execute_sql("INSERT INTO t VALUES (2002, 'x')", &[])
         .expect("insert");
-    let conn_ms = cost.page_charge(&conn.cost, 0, 1, 0).total().as_millis_f64();
+    let conn_ms = cost
+        .page_charge(&conn.cost, 0, 1, 0)
+        .total()
+        .as_millis_f64();
 
     db.clear_triggers();
     db.create_trigger(Trigger::new(

@@ -1,0 +1,124 @@
+//! Prints the access-path plan and measured cost for each social-app
+//! page query — the EXPLAIN audit for the storage planner.
+//!
+//! For every query-set a page load issues, shows the plan the cost-based
+//! planner picks (path kind, index, estimated rows/cost) next to the
+//! measured `CostReport` of actually running it (rows scanned, index
+//! probes, sorts). Run with:
+//!
+//! ```text
+//! cargo run --release -p genie-bench --bin plan_audit
+//! ```
+
+use genie_social::{build_app, AppConfig, SeedConfig};
+use genie_storage::{QueryResult, Select, Value};
+
+fn main() {
+    let env = build_app(&AppConfig {
+        seed: SeedConfig {
+            users: 200,
+            rng_seed: 7,
+            ..Default::default()
+        },
+        // NoCache: audit raw database access paths without interception.
+        strategy: None,
+        ..Default::default()
+    })
+    .expect("build social app");
+
+    println!(
+        "plan audit over {} users / {} rows total",
+        env.seeded.users,
+        env.db
+            .table_names()
+            .iter()
+            .map(|t| env.db.row_count(t).unwrap_or(0))
+            .sum::<usize>()
+    );
+    println!();
+    println!(
+        "{:<28} {:<58} {:>6} {:>7} {:>6} {:>5}",
+        "page query", "chosen plan", "rows", "scanned", "probes", "sorts"
+    );
+
+    let app = &env.app;
+    let user = 3i64;
+    let queries: Vec<(&str, (Select, Vec<Value>))> = vec![
+        ("login: user by pk", app.user_qs(user).unwrap().compile()),
+        ("login: profile", app.profile_qs(user).unwrap().compile()),
+        (
+            "lookup_bm: friends",
+            app.friends_qs(user).unwrap().compile(),
+        ),
+        (
+            "accept_fr: pending invites",
+            app.pending_invitations_qs(user).unwrap().compile(),
+        ),
+        (
+            "lookup_bm: own bookmarks",
+            app.user_bookmarks_qs(user).unwrap().compile(),
+        ),
+        (
+            "view_wall: top-20 posts",
+            app.wall_qs(user).unwrap().compile(),
+        ),
+        (
+            "view_groups: memberships",
+            app.user_groups_qs(user).unwrap().compile(),
+        ),
+    ];
+
+    for (name, (select, params)) in queries {
+        let plan = env.db.explain(&select, &params).expect("explain");
+        let out = env.db.select(&select, &params).expect("execute");
+        report(name, &plan, &out.result, &out.cost);
+    }
+
+    println!();
+    println!("range / IN shapes the ORM emits for feeds and digests:");
+    let ranged = [
+        (
+            "wall since timestamp",
+            "SELECT * FROM wall_posts WHERE user_id = $1 AND date_posted > TS(500) \
+             ORDER BY date_posted DESC",
+            vec![Value::Int(user)],
+        ),
+        (
+            "invites by status IN",
+            "SELECT * FROM friendship_invitations WHERE to_user_id = $1 AND status IN (0, 2)",
+            vec![Value::Int(user)],
+        ),
+        (
+            "bookmark id batch",
+            "SELECT * FROM bookmarks WHERE id IN (1, 2, 3, 5, 8, 13)",
+            vec![],
+        ),
+        (
+            "recent saves BETWEEN",
+            "SELECT * FROM bookmark_instances WHERE saved BETWEEN TS(100) AND TS(400)",
+            vec![],
+        ),
+    ];
+    for (name, sql, params) in ranged {
+        let plan = env.db.explain_sql(sql, &params).expect("explain");
+        let out = env.db.execute_sql(sql, &params).expect("execute");
+        report(name, &plan, &out.result, &out.cost);
+    }
+}
+
+fn report(
+    name: &str,
+    plan: &genie_storage::Plan,
+    result: &QueryResult,
+    cost: &genie_storage::CostReport,
+) {
+    println!(
+        "{:<28} {:<58} {:>6} {:>7} {:>6} {:>5}",
+        name,
+        plan.to_string(),
+        result.rows.len(),
+        cost.rows_scanned,
+        cost.index_probes,
+        cost.sorts,
+    );
+}

@@ -16,7 +16,9 @@ fn main() {
         .status();
     match status {
         Ok(s) if s.success() => {}
-        other => eprintln!("warning: could not rebuild experiment binaries ({other:?}); running as-is"),
+        other => {
+            eprintln!("warning: could not rebuild experiment binaries ({other:?}); running as-is")
+        }
     }
     let bins = [
         "microbench",
@@ -37,9 +39,9 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to launch {bin}: {e} (build with --release first)")
-        });
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build with --release first)"));
         assert!(status.success(), "{bin} failed");
     }
     println!("\nAll experiments complete; outputs in results/.");

@@ -11,14 +11,19 @@ use genie_workload::{run, PageKind, WorkloadConfig};
 
 fn main() {
     let base = scale_from_args();
-    println!("Table 2: mean latency (s) by page type, {} clients\n", base.clients);
+    println!(
+        "Table 2: mean latency (s) by page type, {} clients\n",
+        base.clients
+    );
     let mut results = Vec::new();
     for mode in MODES {
-        results.push(run(&WorkloadConfig {
-            mode,
-            ..base.clone()
-        })
-        .expect("run"));
+        results.push(
+            run(&WorkloadConfig {
+                mode,
+                ..base.clone()
+            })
+            .expect("run"),
+        );
     }
     let mut table = TextTable::new(&["page", "Update", "Invalidate", "NoCache"]);
     // Paper column order: Update, Inval., NoCache.
@@ -31,12 +36,7 @@ fn main() {
                 .unwrap_or_else(|| "-".into())
         };
         // results[] is MODES order: NoCache, Invalidate, Update.
-        table.row(vec![
-            kind.label().to_owned(),
-            cell(2),
-            cell(1),
-            cell(0),
-        ]);
+        table.row(vec![kind.label().to_owned(), cell(2), cell(1), cell(0)]);
     }
     println!("{}", table.render());
     write_result("table2_page_latency.csv", &table.to_csv());

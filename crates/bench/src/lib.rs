@@ -126,7 +126,12 @@ impl TextTable {
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
             for (i, c) in cells.iter().enumerate() {
-                let _ = write!(out, "{:>width$}  ", c, width = widths.get(i).copied().unwrap_or(8));
+                let _ = write!(
+                    out,
+                    "{:>width$}  ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(8)
+                );
             }
             out.push('\n');
         };

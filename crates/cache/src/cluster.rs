@@ -242,7 +242,9 @@ pub struct CacheHandle {
 
 impl std::fmt::Debug for CacheHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CacheHandle").field("bump", &self.bump).finish()
+        f.debug_struct("CacheHandle")
+            .field("bump", &self.bump)
+            .finish()
     }
 }
 
@@ -265,7 +267,8 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::ValueTooLarge`] for oversized values.
     pub fn set(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
-        self.inner.with_server(key, |s, now| s.set(key, data, ttl, now))
+        self.inner
+            .with_server(key, |s, now| s.set(key, data, ttl, now))
     }
 
     /// Stores only if absent.
@@ -274,7 +277,8 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::AlreadyStored`] if present.
     pub fn add(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
-        self.inner.with_server(key, |s, now| s.add(key, data, ttl, now))
+        self.inner
+            .with_server(key, |s, now| s.add(key, data, ttl, now))
     }
 
     /// Compare-and-swap store.
@@ -298,7 +302,8 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::Codec`] if the entry is not a count.
     pub fn incr(&self, key: &str, delta: i64) -> Result<Option<i64>> {
-        self.inner.with_server(key, |s, now| s.incr(key, delta, now))
+        self.inner
+            .with_server(key, |s, now| s.incr(key, delta, now))
     }
 
     /// True if the key currently holds a live entry.
@@ -358,8 +363,8 @@ impl CacheHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use genie_storage::row;
     use crate::CacheError;
+    use genie_storage::row;
 
     fn cluster(servers: usize, capacity: usize) -> CacheCluster {
         CacheCluster::new(ClusterConfig {
@@ -381,7 +386,10 @@ mod tests {
         // Any handle sees every key, wherever it hashed to.
         for i in 0..100 {
             assert_eq!(
-                trig.get_payload(&format!("k{i}")).unwrap().unwrap().as_count(),
+                trig.get_payload(&format!("k{i}"))
+                    .unwrap()
+                    .unwrap()
+                    .as_count(),
                 Some(i)
             );
         }
@@ -503,7 +511,8 @@ mod tests {
         let c = cluster(3, 1024 * 1024);
         let h = c.handle(CacheOrigin::Application);
         for i in 0..30 {
-            h.set(&format!("k{i}"), Bytes::from_static(b"v"), None).unwrap();
+            h.set(&format!("k{i}"), Bytes::from_static(b"v"), None)
+                .unwrap();
         }
         c.flush_all();
         assert_eq!(c.stats().items, 0);

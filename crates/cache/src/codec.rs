@@ -325,10 +325,7 @@ mod tests {
         let p = Payload::Count(42);
         let mut bytes = p.encode().to_vec();
         bytes[5] ^= 0xFF;
-        assert!(matches!(
-            Payload::decode(&bytes),
-            Err(CacheError::Codec(_))
-        ));
+        assert!(matches!(Payload::decode(&bytes), Err(CacheError::Codec(_))));
     }
 
     #[test]
@@ -374,8 +371,11 @@ mod tests {
         let rows = Payload::Rows(vec![row![1i64]]);
         assert_eq!(rows.as_rows().unwrap().len(), 1);
         assert_eq!(rows.as_count(), None);
-        let tk = Payload::TopK { rows: vec![row![1i64]], complete: true };
-        assert_eq!(tk.as_top_k().unwrap().1, true);
+        let tk = Payload::TopK {
+            rows: vec![row![1i64]],
+            complete: true,
+        };
+        assert!(tk.as_top_k().unwrap().1);
         assert!(rows.as_top_k().is_none());
     }
 

@@ -42,7 +42,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CacheError::CasConflict.to_string().contains("compare-and-swap"));
+        assert!(CacheError::CasConflict
+            .to_string()
+            .contains("compare-and-swap"));
         assert!(CacheError::Codec("bad".into()).to_string().contains("bad"));
     }
 

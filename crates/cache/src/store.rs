@@ -237,7 +237,13 @@ impl CacheStore {
         let new = n + delta;
         let ttl_rest = e.expires_at.map(|t| t.saturating_sub(now));
         let token = e.cas;
-        self.cas(key, crate::Payload::Count(new).encode(), token, ttl_rest, now)?;
+        self.cas(
+            key,
+            crate::Payload::Count(new).encode(),
+            token,
+            ttl_rest,
+            now,
+        )?;
         Ok(Some(new))
     }
 
@@ -493,7 +499,9 @@ mod tests {
     #[test]
     fn value_too_large_rejected() {
         let mut s = small_store(10_000);
-        let err = s.set("k", Bytes::from(vec![0u8; 2048]), None, 0).unwrap_err();
+        let err = s
+            .set("k", Bytes::from(vec![0u8; 2048]), None, 0)
+            .unwrap_err();
         assert!(matches!(err, CacheError::ValueTooLarge { .. }));
         assert!(s.is_empty());
     }
@@ -522,8 +530,13 @@ mod tests {
     fn memory_bound_never_exceeded_under_churn() {
         let mut s = small_store(500);
         for i in 0..200 {
-            s.set(&format!("key{i}"), Bytes::from(vec![0u8; (i % 40) as usize]), None, 0)
-                .unwrap();
+            s.set(
+                &format!("key{i}"),
+                Bytes::from(vec![0u8; (i % 40) as usize]),
+                None,
+                0,
+            )
+            .unwrap();
             assert!(
                 s.bytes_used() <= s.capacity_bytes(),
                 "iteration {i}: {} > {}",

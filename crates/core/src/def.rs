@@ -8,10 +8,11 @@
 use genie_storage::{Result, StorageError};
 
 /// How a cached object is kept consistent with the database (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConsistencyStrategy {
     /// Triggers incrementally update the cached value in place — the
     /// paper's default, and the configuration it shows winning.
+    #[default]
     UpdateInPlace,
     /// Triggers delete exactly the affected keys; the next read refetches.
     Invalidate,
@@ -21,12 +22,6 @@ pub enum ConsistencyStrategy {
         /// Relative TTL in the cache clock's unit.
         ttl: u64,
     },
-}
-
-impl Default for ConsistencyStrategy {
-    fn default() -> Self {
-        ConsistencyStrategy::UpdateInPlace
-    }
 }
 
 /// Sort direction for Top-K objects.
@@ -246,8 +241,14 @@ mod tests {
         let c = CacheableDef::count("friend_count", "Friendship").where_fields(&["user_id"]);
         assert_eq!(c.kind.class_name(), "CountQuery");
 
-        let t = CacheableDef::top_k("latest_posts", "WallPost", "date_posted", SortOrder::Descending, 20)
-            .where_fields(&["user_id"]);
+        let t = CacheableDef::top_k(
+            "latest_posts",
+            "WallPost",
+            "date_posted",
+            SortOrder::Descending,
+            20,
+        )
+        .where_fields(&["user_id"]);
         match &t.kind {
             CacheClassKind::TopK { k, reserve, .. } => {
                 assert_eq!(*k, 20);
@@ -263,15 +264,22 @@ mod tests {
 
     #[test]
     fn validation_catches_misuse() {
-        assert!(CacheableDef::feature("x", "M").validate().is_err(), "no key fields");
-        assert!(CacheableDef::feature("", "M").where_fields(&["a"]).validate().is_err());
         assert!(
-            CacheableDef::top_k("t", "M", "s", SortOrder::Ascending, 0)
-                .where_fields(&["a"])
-                .validate()
-                .is_err()
+            CacheableDef::feature("x", "M").validate().is_err(),
+            "no key fields"
         );
-        assert!(CacheableDef::feature("ok", "M").where_fields(&["a"]).validate().is_ok());
+        assert!(CacheableDef::feature("", "M")
+            .where_fields(&["a"])
+            .validate()
+            .is_err());
+        assert!(CacheableDef::top_k("t", "M", "s", SortOrder::Ascending, 0)
+            .where_fields(&["a"])
+            .validate()
+            .is_err());
+        assert!(CacheableDef::feature("ok", "M")
+            .where_fields(&["a"])
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -293,7 +301,9 @@ mod tests {
 
     #[test]
     fn manual_only_flag() {
-        let d = CacheableDef::feature("f", "M").where_fields(&["a"]).manual_only();
+        let d = CacheableDef::feature("f", "M")
+            .where_fields(&["a"])
+            .manual_only();
         assert!(!d.use_transparently);
     }
 }

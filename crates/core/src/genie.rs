@@ -7,9 +7,7 @@ use crate::stats::{GenieStats, GenieStatsSnapshot};
 use crate::triggers::build_triggers;
 use genie_cache::{CacheCluster, CacheHandle, CacheOrigin, Payload};
 use genie_orm::{InterceptOutcome, ModelRegistry, OrmSession, QueryInterceptor};
-use genie_storage::{
-    CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value,
-};
+use genie_storage::{CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -167,8 +165,12 @@ impl CacheGenie {
         }
         let obj = Arc::new(ObjectInner::compile(def, &self.shared.registry)?);
         let trigger_handle = self.shared.cluster.handle(CacheOrigin::Trigger);
-        for trigger in build_triggers(&obj, &trigger_handle, &self.shared.stats, &self.shared.config)
-        {
+        for trigger in build_triggers(
+            &obj,
+            &trigger_handle,
+            &self.shared.stats,
+            &self.shared.config,
+        ) {
             self.shared.db.create_trigger(trigger)?;
         }
         self.shared
@@ -291,11 +293,7 @@ impl GenieShared {
                 }
                 self.stats.bump(&self.stats.cache_misses);
                 let out = self.db.select(&obj.template, params)?;
-                let n = out
-                    .result
-                    .scalar()
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
+                let n = out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0);
                 cache_ops += 1;
                 let _ = self
                     .app_cache

@@ -64,19 +64,18 @@ impl ObjectInner {
         let model = registry.model(&def.main_model)?.clone();
         let schema = model.to_schema()?;
         let base_cols = model.columns();
-        let key_positions: Vec<usize> = def
-            .where_fields
-            .iter()
-            .map(|f| {
-                base_cols
-                    .iter()
-                    .position(|c| c == f)
-                    .ok_or_else(|| StorageError::UnknownColumn {
-                        table: model.table().to_owned(),
-                        column: f.clone(),
+        let key_positions: Vec<usize> =
+            def.where_fields
+                .iter()
+                .map(|f| {
+                    base_cols.iter().position(|c| c == f).ok_or_else(|| {
+                        StorageError::UnknownColumn {
+                            table: model.table().to_owned(),
+                            column: f.clone(),
+                        }
                     })
-            })
-            .collect::<Result<_>>()?;
+                })
+                .collect::<Result<_>>()?;
         let _ = schema; // validated model shape
 
         // Build the template with dummy parameters through the same
@@ -238,7 +237,7 @@ impl ObjectInner {
 fn render_key_value(out: &mut String, v: &Value) {
     use std::fmt::Write;
     match v {
-        Value::Null => out.push_str("~"),
+        Value::Null => out.push('~'),
         Value::Int(i) => {
             let _ = write!(out, "{i}");
         }
@@ -312,8 +311,14 @@ mod tests {
     fn template_matches_application_queryset() {
         let reg = registry();
         let obj = ObjectInner::compile(
-            CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 20)
-                .where_fields(&["user_id"]),
+            CacheableDef::top_k(
+                "latest",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                20,
+            )
+            .where_fields(&["user_id"]),
             &reg,
         )
         .unwrap();
@@ -347,8 +352,14 @@ mod tests {
     fn top_k_capacity_and_fill_template() {
         let reg = registry();
         let obj = ObjectInner::compile(
-            CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 20)
-                .where_fields(&["user_id"]),
+            CacheableDef::top_k(
+                "latest",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                20,
+            )
+            .where_fields(&["user_id"]),
             &reg,
         )
         .unwrap();
@@ -435,8 +446,14 @@ mod tests {
     fn rank_cmp_respects_order() {
         let reg = registry();
         let obj = ObjectInner::compile(
-            CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 5)
-                .where_fields(&["user_id"]),
+            CacheableDef::top_k(
+                "latest",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                5,
+            )
+            .where_fields(&["user_id"]),
             &reg,
         )
         .unwrap();

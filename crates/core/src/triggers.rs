@@ -36,12 +36,22 @@ pub(crate) fn build_triggers(
         TriggerEvent::Delete,
     ];
     for event in events {
-        out.push(make_trigger(obj, cache, stats, config, &obj.table.clone(), event, false));
+        out.push(make_trigger(
+            obj,
+            cache,
+            stats,
+            config,
+            &obj.table.clone(),
+            event,
+            false,
+        ));
     }
     if let Some(link) = &obj.link {
         let target = link.target_table.clone();
         for event in events {
-            out.push(make_trigger(obj, cache, stats, config, &target, event, true));
+            out.push(make_trigger(
+                obj, cache, stats, config, &target, event, true,
+            ));
         }
     }
     out
@@ -221,20 +231,28 @@ fn fire_feature(
     match ctx.event {
         TriggerEvent::Insert => {
             let new = ctx.new.expect("insert has NEW").clone();
-            mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
-                match p {
+            mutate_key(
+                cache,
+                stats,
+                retries,
+                &obj.key_from_row(&new),
+                move |p| match p {
                     Payload::Rows(mut rows) => {
                         rows.push(new.clone());
                         Mutation::Keep(Payload::Rows(rows))
                     }
                     _ => Mutation::Drop,
-                }
-            })
+                },
+            )
         }
         TriggerEvent::Delete => {
             let old = ctx.old.expect("delete has OLD").clone();
-            mutate_key(cache, stats, retries, &obj.key_from_row(&old), move |p| {
-                match p {
+            mutate_key(
+                cache,
+                stats,
+                retries,
+                &obj.key_from_row(&old),
+                move |p| match p {
                     Payload::Rows(mut rows) => {
                         let before = rows.len();
                         rows.retain(|r| pk_of(r) != pk_of(&old));
@@ -245,8 +263,8 @@ fn fire_feature(
                         }
                     }
                     _ => Mutation::Drop,
-                }
-            })
+                },
+            )
         }
         TriggerEvent::Update => {
             let old = ctx.old.expect("update has OLD").clone();
@@ -267,15 +285,19 @@ fn fire_feature(
                     },
                 );
                 let new2 = new.clone();
-                ops += mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
-                    match p {
+                ops += mutate_key(
+                    cache,
+                    stats,
+                    retries,
+                    &obj.key_from_row(&new),
+                    move |p| match p {
                         Payload::Rows(mut rows) => {
                             rows.push(new2.clone());
                             Mutation::Keep(Payload::Rows(rows))
                         }
                         _ => Mutation::Drop,
-                    }
-                });
+                    },
+                );
                 ops
             } else {
                 mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
@@ -337,12 +359,7 @@ fn fire_count(
 
 /// Inserts `row` into a Top-K list per the paper's §3.2 algorithm,
 /// honouring the completeness flag.
-fn top_k_insert(
-    obj: &ObjectInner,
-    mut rows: Vec<Row>,
-    mut complete: bool,
-    row: &Row,
-) -> Mutation {
+fn top_k_insert(obj: &ObjectInner, mut rows: Vec<Row>, mut complete: bool, row: &Row) -> Mutation {
     let pos = rows
         .iter()
         .position(|r| obj.rank_cmp(row, r) == std::cmp::Ordering::Less)
@@ -380,21 +397,22 @@ fn fire_top_k(
     match ctx.event {
         TriggerEvent::Insert => {
             let new = ctx.new.expect("NEW").clone();
-            mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
-                match p {
+            mutate_key(
+                cache,
+                stats,
+                retries,
+                &obj.key_from_row(&new),
+                move |p| match p {
                     Payload::TopK { rows, complete } => top_k_insert(obj, rows, complete, &new),
                     _ => Mutation::Drop,
-                }
-            })
+                },
+            )
         }
         TriggerEvent::Delete => {
             let old = ctx.old.expect("OLD").clone();
             mutate_key(cache, stats, retries, &obj.key_from_row(&old), move |p| {
                 match p {
-                    Payload::TopK {
-                        mut rows,
-                        complete,
-                    } => {
+                    Payload::TopK { mut rows, complete } => {
                         if !top_k_remove(obj, &mut rows, pk_of(&old)) {
                             return Mutation::Noop;
                         }
@@ -421,10 +439,7 @@ fn fire_top_k(
                     retries,
                     &obj.key_from_row(&old),
                     move |p| match p {
-                        Payload::TopK {
-                            mut rows,
-                            complete,
-                        } => {
+                        Payload::TopK { mut rows, complete } => {
                             if !top_k_remove(obj, &mut rows, pk_of(&old2)) {
                                 return Mutation::Noop;
                             }
@@ -438,23 +453,24 @@ fn fire_top_k(
                     },
                 );
                 let new2 = new.clone();
-                ops += mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
-                    match p {
+                ops += mutate_key(
+                    cache,
+                    stats,
+                    retries,
+                    &obj.key_from_row(&new),
+                    move |p| match p {
                         Payload::TopK { rows, complete } => {
                             top_k_insert(obj, rows, complete, &new2)
                         }
                         _ => Mutation::Drop,
-                    }
-                });
+                    },
+                );
                 ops
             } else {
                 // Same list: reposition (sort value may have changed).
                 mutate_key(cache, stats, retries, &obj.key_from_row(&new), move |p| {
                     match p {
-                        Payload::TopK {
-                            mut rows,
-                            complete,
-                        } => {
+                        Payload::TopK { mut rows, complete } => {
                             let was_cached = top_k_remove(obj, &mut rows, pk_of(&old));
                             match top_k_insert(obj, rows, complete, &new) {
                                 Mutation::Noop if was_cached => {
@@ -485,7 +501,7 @@ fn link_rows_for_base(
     base_pk: &Value,
 ) -> Result<Vec<Row>> {
     let link = obj.link.as_ref().expect("link object");
-    let result = ctx.query(&link.by_pk_template, &[base_pk.clone()])?;
+    let result = ctx.query(&link.by_pk_template, std::slice::from_ref(base_pk))?;
     Ok(result.rows)
 }
 
@@ -592,7 +608,7 @@ fn fire_link_target(
     let base_arity = obj.base_arity;
 
     let affected_keys = |ctx: &mut TriggerCtx<'_>, join_value: &Value| -> Result<Vec<String>> {
-        let result = ctx.query(&link.reverse_template, &[join_value.clone()])?;
+        let result = ctx.query(&link.reverse_template, std::slice::from_ref(join_value))?;
         let mut keys: Vec<String> = result.rows.iter().map(|r| obj.key_from_row(r)).collect();
         keys.sort();
         keys.dedup();
@@ -622,12 +638,8 @@ fn fire_link_target(
             let bases = ctx.query(&link.reverse_template, &[v])?;
             for base in &bases.rows {
                 let key = obj.key_from_row(base);
-                let combined: Vec<Value> = base
-                    .values()
-                    .iter()
-                    .chain(new.values())
-                    .cloned()
-                    .collect();
+                let combined: Vec<Value> =
+                    base.values().iter().chain(new.values()).cloned().collect();
                 let combined = Row::new(combined);
                 ops += mutate_key(cache, stats, retries, &key, move |p| match p {
                     Payload::Rows(mut rows) => {
@@ -681,12 +693,8 @@ fn fire_link_target(
                 let bases = ctx.query(&link.reverse_template, &[v_new])?;
                 for base in &bases.rows {
                     let key = obj.key_from_row(base);
-                    let combined: Vec<Value> = base
-                        .values()
-                        .iter()
-                        .chain(new.values())
-                        .cloned()
-                        .collect();
+                    let combined: Vec<Value> =
+                        base.values().iter().chain(new.values()).cloned().collect();
                     let combined = Row::new(combined);
                     ops += mutate_key(cache, stats, retries, &key, move |p| match p {
                         Payload::Rows(mut rows) => {
@@ -754,14 +762,13 @@ pub(crate) fn render_source(
         "# Auto-generated by CacheGenie: {class} object '{}'\n",
         obj.def.name
     ));
-    s.push_str(&format!("# AFTER {ev} ON {table} FOR EACH ROW ({strategy})\n"));
+    s.push_str(&format!(
+        "# AFTER {ev} ON {table} FOR EACH ROW ({strategy})\n"
+    ));
     s.push_str("import memcache\n");
     s.push_str("cache = memcache.Client(['cachehost:11211'])\n");
     s.push_str(&format!("table = '{table}'\n"));
-    s.push_str(&format!(
-        "key_columns = {:?}\n",
-        obj.def.where_fields
-    ));
+    s.push_str(&format!("key_columns = {:?}\n", obj.def.where_fields));
     match event {
         TriggerEvent::Insert => s.push_str("row = trigger_data['new']\n"),
         TriggerEvent::Delete => s.push_str("row = trigger_data['old']\n"),
@@ -812,7 +819,10 @@ pub(crate) fn render_source(
             s.push_str(&format!("        cached = cached {delta}\n"));
         }
         CacheClassKind::TopK {
-            sort_field, k, reserve, ..
+            sort_field,
+            k,
+            reserve,
+            ..
         } => {
             s.push_str(&format!("        sort_column = '{sort_field}'\n"));
             s.push_str(&format!("        capacity = {k} + {reserve}\n"));
@@ -851,7 +861,9 @@ pub(crate) fn render_source(
                 s.push_str("        cached = [r for r in cached if r['id'] != row['id']]\n");
             }
             TriggerEvent::Update => {
-                s.push_str("        cached = [row if r['id'] == row['id'] else r for r in cached]\n");
+                s.push_str(
+                    "        cached = [row if r['id'] == row['id'] else r for r in cached]\n",
+                );
             }
         },
     }
@@ -889,9 +901,15 @@ mod tests {
     fn top_k_obj() -> Arc<ObjectInner> {
         Arc::new(
             ObjectInner::compile(
-                CacheableDef::top_k("latest", "WallPost", "date_posted", SortOrder::Descending, 3)
-                    .where_fields(&["user_id"])
-                    .reserve(2),
+                CacheableDef::top_k(
+                    "latest",
+                    "WallPost",
+                    "date_posted",
+                    SortOrder::Descending,
+                    3,
+                )
+                .where_fields(&["user_id"])
+                .reserve(2),
                 &registry(),
             )
             .unwrap(),
@@ -911,7 +929,10 @@ mod tests {
         match m {
             Mutation::Keep(Payload::TopK { rows, complete }) => {
                 assert!(complete);
-                let ts: Vec<i64> = rows.iter().map(|r| r.get(2).as_timestamp().unwrap()).collect();
+                let ts: Vec<i64> = rows
+                    .iter()
+                    .map(|r| r.get(2).as_timestamp().unwrap())
+                    .collect();
                 assert_eq!(ts, vec![100, 75, 50]);
             }
             _ => panic!("expected keep"),

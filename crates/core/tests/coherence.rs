@@ -109,10 +109,16 @@ fn env(strategy: ConsistencyStrategy) -> Env {
     }
     genie
         .cacheable(
-            CacheableDef::top_k("wall_topk", "WallPost", "date_posted", SortOrder::Descending, K)
-                .where_fields(&["user_id"])
-                .reserve(2)
-                .strategy(strategy),
+            CacheableDef::top_k(
+                "wall_topk",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                K,
+            )
+            .where_fields(&["user_id"])
+            .reserve(2)
+            .strategy(strategy),
         )
         .unwrap();
     genie
@@ -158,12 +164,7 @@ fn wall_ids_by_recency(e: &Env, user: i64, limit: u64) -> Vec<(i64, i64)> {
         .unwrap()
         .rows
         .iter()
-        .map(|r| {
-            (
-                r.get("date_posted").as_timestamp().unwrap(),
-                r.id(),
-            )
-        })
+        .map(|r| (r.get("date_posted").as_timestamp().unwrap(), r.id()))
         .collect()
 }
 
@@ -173,7 +174,10 @@ fn apply(e: &mut Env, op: &Op) {
             e.session
                 .create(
                     "WallPost",
-                    &[("user_id", (*user).into()), ("date_posted", Value::Timestamp(*ts))],
+                    &[
+                        ("user_id", (*user).into()),
+                        ("date_posted", Value::Timestamp(*ts)),
+                    ],
                 )
                 .unwrap();
         }
@@ -343,10 +347,7 @@ fn check_user(e: &Env, user: i64) {
             .collect::<Vec<_>>()
     });
     truth_pairs.sort();
-    assert_eq!(
-        cached_pairs, truth_pairs,
-        "link divergence for user {user}"
-    );
+    assert_eq!(cached_pairs, truth_pairs, "link divergence for user {user}");
 }
 
 fn run_coherence(strategy: ConsistencyStrategy, ops: &[Op]) {

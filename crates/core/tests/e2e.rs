@@ -97,9 +97,16 @@ fn feature_query_hit_after_fill() {
     let e = env();
     e.genie.cacheable(profile_def()).unwrap();
     e.session
-        .create("Profile", &[("user_id", 1i64.into()), ("bio", "hello".into())])
+        .create(
+            "Profile",
+            &[("user_id", 1i64.into()), ("bio", "hello".into())],
+        )
         .unwrap();
-    let qs = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     let miss = e.session.all(&qs).unwrap();
     assert!(!miss.from_cache);
     assert_eq!(miss.rows.len(), 1);
@@ -119,11 +126,18 @@ fn feature_update_in_place_keeps_serving_fresh_data_from_cache() {
     e.genie.cacheable(profile_def()).unwrap();
     let id = e
         .session
-        .create("Profile", &[("user_id", 1i64.into()), ("bio", "old".into())])
+        .create(
+            "Profile",
+            &[("user_id", 1i64.into()), ("bio", "old".into())],
+        )
         .unwrap()
         .new_id
         .unwrap();
-    let qs = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     e.session.all(&qs).unwrap(); // fill
 
     // The paper's §3.2 example: an UPDATE refreshes the cached entry.
@@ -149,12 +163,22 @@ fn per_key_precision_only_affected_entry_changes() {
             .create("Profile", &[("user_id", u.into()), ("bio", bio.into())])
             .unwrap();
     }
-    let qs1 = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
-    let qs2 = e.session.objects("Profile").unwrap().filter_eq("user_id", 2i64);
+    let qs1 = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
+    let qs2 = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 2i64);
     e.session.all(&qs1).unwrap();
     e.session.all(&qs2).unwrap();
     // Write touching user 1 only.
-    e.session.update_by_id("Profile", 1, &[("bio", "a2".into())]).unwrap();
+    e.session
+        .update_by_id("Profile", 1, &[("bio", "a2".into())])
+        .unwrap();
     let r2 = e.session.all(&qs2).unwrap();
     assert!(r2.from_cache, "user 2's entry must survive user 1's write");
     let r1 = e.session.all(&qs1).unwrap();
@@ -174,9 +198,15 @@ fn invalidate_strategy_deletes_then_refills() {
         .unwrap()
         .new_id
         .unwrap();
-    let qs = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     e.session.all(&qs).unwrap();
-    e.session.update_by_id("Profile", id, &[("bio", "y".into())]).unwrap();
+    e.session
+        .update_by_id("Profile", id, &[("bio", "y".into())])
+        .unwrap();
     assert!(e.genie.stats().invalidations >= 1);
     let refill = e.session.all(&qs).unwrap();
     assert!(!refill.from_cache);
@@ -192,17 +222,27 @@ fn count_query_incremental_updates() {
         .unwrap();
     for f in 2..=4i64 {
         e.session
-            .create("Friendship", &[("user_id", 1i64.into()), ("friend_id", f.into())])
+            .create(
+                "Friendship",
+                &[("user_id", 1i64.into()), ("friend_id", f.into())],
+            )
             .unwrap();
     }
-    let qs = e.session.objects("Friendship").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Friendship")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     let (n, out) = e.session.count(&qs).unwrap();
     assert_eq!(n, 3);
     assert!(!out.from_cache);
     // Insert: the cached count is bumped in place, not recomputed.
     let w = e
         .session
-        .create("Friendship", &[("user_id", 1i64.into()), ("friend_id", 5i64.into())])
+        .create(
+            "Friendship",
+            &[("user_id", 1i64.into()), ("friend_id", 5i64.into())],
+        )
         .unwrap();
     assert!(w.db_cost.triggers_fired >= 1);
     let (n, out) = e.session.count(&qs).unwrap();
@@ -216,7 +256,9 @@ fn count_query_incremental_updates() {
         .filter_eq("user_id", 1i64)
         .filter_eq("friend_id", 5i64);
     let (victim, _) = e.session.get(&fr).unwrap();
-    e.session.delete_by_id("Friendship", victim.unwrap().id()).unwrap();
+    e.session
+        .delete_by_id("Friendship", victim.unwrap().id())
+        .unwrap();
     let (n, out) = e.session.count(&qs).unwrap();
     assert_eq!(n, 3);
     assert!(out.from_cache);
@@ -231,15 +273,29 @@ fn count_update_moving_key_adjusts_both_counts() {
         .unwrap();
     let fid = e
         .session
-        .create("Friendship", &[("user_id", 1i64.into()), ("friend_id", 9i64.into())])
+        .create(
+            "Friendship",
+            &[("user_id", 1i64.into()), ("friend_id", 9i64.into())],
+        )
         .unwrap()
         .new_id
         .unwrap();
     e.session
-        .create("Friendship", &[("user_id", 2i64.into()), ("friend_id", 9i64.into())])
+        .create(
+            "Friendship",
+            &[("user_id", 2i64.into()), ("friend_id", 9i64.into())],
+        )
         .unwrap();
-    let qs1 = e.session.objects("Friendship").unwrap().filter_eq("user_id", 1i64);
-    let qs2 = e.session.objects("Friendship").unwrap().filter_eq("user_id", 2i64);
+    let qs1 = e
+        .session
+        .objects("Friendship")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
+    let qs2 = e
+        .session
+        .objects("Friendship")
+        .unwrap()
+        .filter_eq("user_id", 2i64);
     assert_eq!(e.session.count(&qs1).unwrap().0, 1);
     assert_eq!(e.session.count(&qs2).unwrap().0, 1);
     // Move the friendship from user 1 to user 2.
@@ -249,7 +305,10 @@ fn count_update_moving_key_adjusts_both_counts() {
     let (n1, o1) = e.session.count(&qs1).unwrap();
     let (n2, o2) = e.session.count(&qs2).unwrap();
     assert_eq!((n1, n2), (0, 2));
-    assert!(o1.from_cache && o2.from_cache, "both counts updated in place");
+    assert!(
+        o1.from_cache && o2.from_cache,
+        "both counts updated in place"
+    );
 }
 
 fn wall_def(k: usize) -> CacheableDef {
@@ -360,7 +419,11 @@ fn top_k_complete_list_serves_short_results() {
     let fill = e.session.all(&qs).unwrap();
     assert_eq!(fill.rows.len(), 2);
     // Deleting from a complete short list keeps serving from cache.
-    let all = e.session.objects("WallPost").unwrap().filter_eq("user_id", 1i64);
+    let all = e
+        .session
+        .objects("WallPost")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     let rows = e.session.all(&all).unwrap();
     // (that read is not the cached template; it passes through)
     let first_id = rows.rows.iter().map(|r| r.id()).min().unwrap();
@@ -404,10 +467,23 @@ fn link_query_served_and_maintained() {
                 .where_fields(&["user_id"]),
         )
         .unwrap();
-    let g1 = e.session.create("Group", &[("title", "rustaceans".into())]).unwrap().new_id.unwrap();
-    let g2 = e.session.create("Group", &[("title", "cyclists".into())]).unwrap().new_id.unwrap();
+    let g1 = e
+        .session
+        .create("Group", &[("title", "rustaceans".into())])
+        .unwrap()
+        .new_id
+        .unwrap();
+    let g2 = e
+        .session
+        .create("Group", &[("title", "cyclists".into())])
+        .unwrap()
+        .new_id
+        .unwrap();
     e.session
-        .create("GroupMembership", &[("user_id", 1i64.into()), ("group_id", g1.into())])
+        .create(
+            "GroupMembership",
+            &[("user_id", 1i64.into()), ("group_id", g1.into())],
+        )
         .unwrap();
 
     let group_model = e.session.registry().model("Group").unwrap().clone();
@@ -424,7 +500,10 @@ fn link_query_served_and_maintained() {
 
     // Joining a second group extends the cached list via the trigger.
     e.session
-        .create("GroupMembership", &[("user_id", 1i64.into()), ("group_id", g2.into())])
+        .create(
+            "GroupMembership",
+            &[("user_id", 1i64.into()), ("group_id", g2.into())],
+        )
         .unwrap();
     let hit = e.session.all(&qs).unwrap();
     assert!(hit.from_cache, "membership insert updated in place");
@@ -438,7 +517,10 @@ fn link_query_served_and_maintained() {
     let hit = e.session.all(&qs).unwrap();
     assert!(hit.from_cache, "group rename updated in place");
     let titles: Vec<&Value> = hit.rows.iter().map(|r| r.get("title")).collect();
-    assert!(titles.contains(&&Value::Text("crustaceans".into())), "{titles:?}");
+    assert!(
+        titles.contains(&&Value::Text("crustaceans".into())),
+        "{titles:?}"
+    );
 
     // Leaving a group removes its row from the cached list.
     let m = e
@@ -464,15 +546,25 @@ fn expire_strategy_has_no_triggers_and_times_out() {
     e.genie
         .cacheable(profile_def().strategy(ConsistencyStrategy::Expire { ttl: 1_000 }))
         .unwrap();
-    assert_eq!(e.genie.trigger_count(), before, "expire installs no triggers");
+    assert_eq!(
+        e.genie.trigger_count(),
+        before,
+        "expire installs no triggers"
+    );
     e.session
         .create("Profile", &[("user_id", 1i64.into()), ("bio", "x".into())])
         .unwrap();
-    let qs = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     e.session.all(&qs).unwrap();
     assert!(e.session.all(&qs).unwrap().from_cache);
     // Writes do NOT refresh the entry (that's the point of this mode)...
-    e.session.update_by_id("Profile", 1, &[("bio", "stale?".into())]).unwrap();
+    e.session
+        .update_by_id("Profile", 1, &[("bio", "stale?".into())])
+        .unwrap();
     assert!(e.session.all(&qs).unwrap().from_cache, "stale until expiry");
     // ...until the TTL lapses on the cluster clock.
     e.genie.cluster().set_now(2_000);
@@ -488,14 +580,24 @@ fn manual_only_objects_do_not_intercept() {
     e.session
         .create("Profile", &[("user_id", 1i64.into()), ("bio", "m".into())])
         .unwrap();
-    let qs = e.session.objects("Profile").unwrap().filter_eq("user_id", 1i64);
+    let qs = e
+        .session
+        .objects("Profile")
+        .unwrap()
+        .filter_eq("user_id", 1i64);
     e.session.all(&qs).unwrap();
     let second = e.session.all(&qs).unwrap();
     assert!(!second.from_cache, "manual objects never intercept");
     // But explicit evaluate uses the cache.
-    let first = e.genie.evaluate("cached_user_profile", &[Value::Int(1)]).unwrap();
+    let first = e
+        .genie
+        .evaluate("cached_user_profile", &[Value::Int(1)])
+        .unwrap();
     assert!(!first.from_cache);
-    let again = e.genie.evaluate("cached_user_profile", &[Value::Int(1)]).unwrap();
+    let again = e
+        .genie
+        .evaluate("cached_user_profile", &[Value::Int(1)])
+        .unwrap();
     assert!(again.from_cache);
     assert_eq!(again.result.rows.len(), 1);
 }
@@ -618,7 +720,8 @@ fn strict_txn_conflicts_and_abort_cleanup() {
     ));
     assert_eq!(t1.commit(), TxnOutcome::Committed);
     // After commit the writer proceeds.
-    t2.write_lock("cached_user_profile", &[Value::Int(1)]).unwrap();
+    t2.write_lock("cached_user_profile", &[Value::Int(1)])
+        .unwrap();
 
     // Abort removes written keys from the cache so readers refetch.
     let key_cached_before = e
@@ -650,11 +753,16 @@ fn strict_txn_deadlock_resolved_by_abort() {
     t1.read("cached_user_profile", &[Value::Int(1)]).unwrap();
     t2.read("cached_user_profile", &[Value::Int(2)]).unwrap();
     // Cross writes: both block — the paper's timeout aborts one.
-    assert!(t1.write_lock("cached_user_profile", &[Value::Int(2)]).is_err());
-    assert!(t2.write_lock("cached_user_profile", &[Value::Int(1)]).is_err());
+    assert!(t1
+        .write_lock("cached_user_profile", &[Value::Int(2)])
+        .is_err());
+    assert!(t2
+        .write_lock("cached_user_profile", &[Value::Int(1)])
+        .is_err());
     t2.abort();
     // With T2 gone, T1 acquires the lock.
-    t1.write_lock("cached_user_profile", &[Value::Int(2)]).unwrap();
+    t1.write_lock("cached_user_profile", &[Value::Int(2)])
+        .unwrap();
     t1.commit();
     assert_eq!(mgr.locked_keys(), 0);
 }

@@ -5,9 +5,7 @@
 //! implicit integer primary key `id`. The registry turns model definitions
 //! into storage schemas (Django's `syncdb`).
 
-use genie_storage::{
-    ColumnDef, Database, IndexDef, Result, StorageError, TableSchema, ValueType,
-};
+use genie_storage::{ColumnDef, Database, IndexDef, Result, StorageError, TableSchema, ValueType};
 use std::collections::BTreeMap;
 
 /// One scalar field of a model (the implicit `id` is not listed).
@@ -74,6 +72,7 @@ pub struct ModelDef {
     table: String,
     fields: Vec<FieldDef>,
     foreign_keys: Vec<ForeignKeyField>,
+    index_together: Vec<Vec<String>>,
 }
 
 impl ModelDef {
@@ -84,6 +83,7 @@ impl ModelDef {
             table: table.into(),
             fields: Vec::new(),
             foreign_keys: Vec::new(),
+            index_together: Vec::new(),
         }
     }
 
@@ -105,6 +105,11 @@ impl ModelDef {
     /// Foreign keys.
     pub fn foreign_keys(&self) -> &[ForeignKeyField] {
         &self.foreign_keys
+    }
+
+    /// Composite indexes (Django's `index_together`).
+    pub fn index_together(&self) -> &[Vec<String>] {
+        &self.index_together
     }
 
     /// All column names in schema order: `id`, FK columns, scalar fields.
@@ -151,6 +156,7 @@ pub struct ModelDefBuilder {
     table: String,
     fields: Vec<FieldDef>,
     foreign_keys: Vec<ForeignKeyField>,
+    index_together: Vec<Vec<String>>,
 }
 
 impl ModelDefBuilder {
@@ -184,6 +190,19 @@ impl ModelDefBuilder {
         self
     }
 
+    /// Declares a composite index over `columns`, in key order (Django's
+    /// `index_together`). The planner uses it for equality-prefix, range,
+    /// and ORDER BY-satisfying scans.
+    pub fn index_together<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.index_together
+            .push(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
     /// Finalizes the definition.
     pub fn build(self) -> ModelDef {
         ModelDef {
@@ -191,6 +210,7 @@ impl ModelDefBuilder {
             table: self.table,
             fields: self.fields,
             foreign_keys: self.foreign_keys,
+            index_together: self.index_together,
         }
     }
 }
@@ -283,6 +303,16 @@ impl ModelRegistry {
                     )?;
                 }
             }
+            for cols in model.index_together() {
+                db.create_index(
+                    model.table(),
+                    IndexDef {
+                        name: format!("{}_{}_idx", model.table(), cols.join("_")),
+                        columns: cols.clone(),
+                        unique: false,
+                    },
+                )?;
+            }
         }
         Ok(())
     }
@@ -294,7 +324,11 @@ mod tests {
 
     fn user_model() -> ModelDef {
         ModelDef::builder("User", "users")
-            .field(FieldDef::new("username", ValueType::Text).not_null().unique())
+            .field(
+                FieldDef::new("username", ValueType::Text)
+                    .not_null()
+                    .unique(),
+            )
             .field(FieldDef::new("joined", ValueType::Timestamp).not_null())
             .build()
     }
@@ -320,18 +354,15 @@ mod tests {
         reg.register(profile_model()).unwrap();
         let db = Database::default();
         reg.sync(&db).unwrap();
-        assert_eq!(db.table_names(), vec!["profiles".to_string(), "users".to_string()]);
+        assert_eq!(
+            db.table_names(),
+            vec!["profiles".to_string(), "users".to_string()]
+        );
         // FK columns are indexed: a filtered select must not full-scan.
-        db.execute_sql(
-            "INSERT INTO users VALUES (1, 'alice', TS(0))",
-            &[],
-        )
-        .unwrap();
-        db.execute_sql(
-            "INSERT INTO profiles VALUES (1, 1, 'hi', 'cambridge')",
-            &[],
-        )
-        .unwrap();
+        db.execute_sql("INSERT INTO users VALUES (1, 'alice', TS(0))", &[])
+            .unwrap();
+        db.execute_sql("INSERT INTO profiles VALUES (1, 1, 'hi', 'cambridge')", &[])
+            .unwrap();
         let out = db
             .execute_sql("SELECT * FROM profiles WHERE user_id = 1", &[])
             .unwrap();

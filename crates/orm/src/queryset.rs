@@ -9,9 +9,7 @@
 //! family of SQL shapes.
 
 use crate::model::ModelDef;
-use genie_storage::{
-    CmpOp, Expr, QueryResult, Row, Select, SelectItem, TableRef, Value,
-};
+use genie_storage::{CmpOp, Expr, QueryResult, Row, Select, SelectItem, TableRef, Value};
 
 /// A filter operator (Django lookup).
 #[derive(Debug, Clone, PartialEq)]
@@ -159,7 +157,12 @@ impl QuerySet {
     }
 
     /// Adds `field <op> value` on the base model.
-    pub fn filter(mut self, field: impl Into<String>, op: FilterOp, value: impl Into<Value>) -> Self {
+    pub fn filter(
+        mut self,
+        field: impl Into<String>,
+        op: FilterOp,
+        value: impl Into<Value>,
+    ) -> Self {
         self.filters.push(Filter {
             binding: self.model.table().to_owned(),
             field: field.into(),
@@ -286,7 +289,11 @@ impl QuerySet {
         for f in &self.filters {
             let col = Expr::qcol(&f.binding, &f.field);
             let e = match &f.op {
-                FilterOp::Eq | FilterOp::Ne | FilterOp::Lt | FilterOp::Lte | FilterOp::Gt
+                FilterOp::Eq
+                | FilterOp::Ne
+                | FilterOp::Lt
+                | FilterOp::Lte
+                | FilterOp::Gt
                 | FilterOp::Gte => {
                     let v = f.value.clone().expect("comparison filter carries a value");
                     params.push(v);
@@ -299,11 +306,7 @@ impl QuerySet {
                         FilterOp::Gte => CmpOp::Ge,
                         _ => unreachable!(),
                     };
-                    Expr::Cmp(
-                        Box::new(col),
-                        op,
-                        Box::new(Expr::Param(params.len() - 1)),
-                    )
+                    Expr::Cmp(Box::new(col), op, Box::new(Expr::Param(params.len() - 1)))
                 }
                 FilterOp::In(vals) => {
                     // IN lists are structural (length matters), so inline
@@ -494,7 +497,9 @@ mod tests {
             .join_forward("user_id", &user())
             .values(&[("wall", "content"), ("users", "name")])
             .compile();
-        assert!(sel.to_string().starts_with("SELECT wall.content, users.name"));
+        assert!(sel
+            .to_string()
+            .starts_with("SELECT wall.content, users.name"));
     }
 
     #[test]

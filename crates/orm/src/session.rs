@@ -310,9 +310,7 @@ impl OrmSession {
                 "DELETE across joined relations".into(),
             ));
         }
-        let pred = sel
-            .predicate
-            .map(|p| p.substitute_params(&params));
+        let pred = sel.predicate.map(|p| p.substitute_params(&params));
         let stmt = Statement::Delete(Delete {
             table: sel.from.table,
             predicate: pred,
@@ -344,15 +342,10 @@ impl OrmSession {
             }
             None => {
                 // Initialize from MAX(id) in the table.
-                let out = self.db.execute_sql(
-                    &format!("SELECT MAX(id) FROM {}", def.table()),
-                    &[],
-                )?;
-                let max = out
-                    .result
-                    .scalar()
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
+                let out = self
+                    .db
+                    .execute_sql(&format!("SELECT MAX(id) FROM {}", def.table()), &[])?;
+                let max = out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0);
                 ids.insert(def.name().to_owned(), max + 1);
                 max + 1
             }
@@ -392,8 +385,12 @@ mod tests {
     #[test]
     fn create_allocates_sequential_ids() {
         let s = session();
-        let a = s.create("User", &[("name", "a".into()), ("age", 1i64.into())]).unwrap();
-        let b = s.create("User", &[("name", "b".into()), ("age", 2i64.into())]).unwrap();
+        let a = s
+            .create("User", &[("name", "a".into()), ("age", 1i64.into())])
+            .unwrap();
+        let b = s
+            .create("User", &[("name", "b".into()), ("age", 2i64.into())])
+            .unwrap();
         assert_eq!(a.new_id, Some(1));
         assert_eq!(b.new_id, Some(2));
         assert_eq!(a.affected, 1);
@@ -405,7 +402,9 @@ mod tests {
         s.database()
             .execute_sql("INSERT INTO users VALUES (100, 'seed', 5)", &[])
             .unwrap();
-        let out = s.create("User", &[("name", "next".into()), ("age", 1i64.into())]).unwrap();
+        let out = s
+            .create("User", &[("name", "next".into()), ("age", 1i64.into())])
+            .unwrap();
         assert_eq!(out.new_id, Some(101));
     }
 
@@ -413,9 +412,14 @@ mod tests {
     fn query_set_roundtrip() {
         let s = session();
         for (n, a) in [("alice", 30i64), ("bob", 30), ("carol", 40)] {
-            s.create("User", &[("name", n.into()), ("age", a.into())]).unwrap();
+            s.create("User", &[("name", n.into()), ("age", a.into())])
+                .unwrap();
         }
-        let qs = s.objects("User").unwrap().filter_eq("age", 30i64).order_by("name");
+        let qs = s
+            .objects("User")
+            .unwrap()
+            .filter_eq("age", 30i64)
+            .order_by("name");
         let out = s.all(&qs).unwrap();
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows[0].get("name"), &Value::Text("alice".into()));
@@ -426,7 +430,8 @@ mod tests {
     #[test]
     fn get_returns_first_or_none() {
         let s = session();
-        s.create("User", &[("name", "x".into()), ("age", 1i64.into())]).unwrap();
+        s.create("User", &[("name", "x".into()), ("age", 1i64.into())])
+            .unwrap();
         let (row, _) = s.get_by_id("User", 1).unwrap();
         assert_eq!(row.unwrap().get("name"), &Value::Text("x".into()));
         let (row, _) = s.get_by_id("User", 999).unwrap();
@@ -437,8 +442,11 @@ mod tests {
     fn count_matches() {
         let s = session();
         for i in 0..5i64 {
-            s.create("User", &[("name", format!("u{i}").into()), ("age", (i % 2).into())])
-                .unwrap();
+            s.create(
+                "User",
+                &[("name", format!("u{i}").into()), ("age", (i % 2).into())],
+            )
+            .unwrap();
         }
         let qs = s.objects("User").unwrap().filter_eq("age", 0i64);
         let (n, _) = s.count(&qs).unwrap();
@@ -448,8 +456,11 @@ mod tests {
     #[test]
     fn update_and_delete_by_id() {
         let s = session();
-        s.create("User", &[("name", "old".into()), ("age", 1i64.into())]).unwrap();
-        let w = s.update_by_id("User", 1, &[("name", "new".into())]).unwrap();
+        s.create("User", &[("name", "old".into()), ("age", 1i64.into())])
+            .unwrap();
+        let w = s
+            .update_by_id("User", 1, &[("name", "new".into())])
+            .unwrap();
         assert_eq!(w.affected, 1);
         let (row, _) = s.get_by_id("User", 1).unwrap();
         assert_eq!(row.unwrap().get("name"), &Value::Text("new".into()));
@@ -462,8 +473,11 @@ mod tests {
     fn delete_matching_applies_filters() {
         let s = session();
         for i in 0..6i64 {
-            s.create("User", &[("name", format!("u{i}").into()), ("age", (i % 3).into())])
-                .unwrap();
+            s.create(
+                "User",
+                &[("name", format!("u{i}").into()), ("age", (i % 3).into())],
+            )
+            .unwrap();
         }
         let qs = s.objects("User").unwrap().filter_eq("age", 0i64);
         let w = s.delete_matching(&qs).unwrap();
@@ -485,7 +499,8 @@ mod tests {
     #[test]
     fn fk_relation_join_through_orm() {
         let s = session();
-        s.create("User", &[("name", "alice".into()), ("age", 1i64.into())]).unwrap();
+        s.create("User", &[("name", "alice".into()), ("age", 1i64.into())])
+            .unwrap();
         s.create(
             "Bookmark",
             &[("user_id", 1i64.into()), ("url", "http://a".into())],
@@ -551,12 +566,14 @@ mod tests {
             }
             fn fill(&self, key: &str, r: &QueryResult) -> u64 {
                 assert_eq!(key, "k");
-                self.filled_rows.store(r.rows.len() as u64, Ordering::SeqCst);
+                self.filled_rows
+                    .store(r.rows.len() as u64, Ordering::SeqCst);
                 1
             }
         }
         let s = session();
-        s.create("User", &[("name", "a".into()), ("age", 1i64.into())]).unwrap();
+        s.create("User", &[("name", "a".into()), ("age", 1i64.into())])
+            .unwrap();
         let ic = Arc::new(MissThenFill {
             filled_rows: AtomicU64::new(99),
         });

@@ -152,9 +152,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let skewed = Zipf::new(1000, 2.0);
         let flat = Zipf::new(1000, 1.1);
-        let count_rank1 = |z: &Zipf, rng: &mut StdRng| {
-            (0..20_000).filter(|_| z.sample(rng) == 1).count()
-        };
+        let count_rank1 =
+            |z: &Zipf, rng: &mut StdRng| (0..20_000).filter(|_| z.sample(rng) == 1).count();
         let s = count_rank1(&skewed, &mut rng);
         let f = count_rank1(&flat, &mut rng);
         assert!(s > f, "skewed {s} flat {f}");
@@ -165,7 +164,7 @@ mod tests {
         let z = Zipf::new(20, 1.5);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 200_000;
-        let mut counts = vec![0usize; 21];
+        let mut counts = [0usize; 21];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }

@@ -276,7 +276,10 @@ mod tests {
             SimDuration::from_millis(3) * 4,
             SimDuration::from_millis(12)
         );
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
         // Division by zero clamps to division by one rather than panicking.
         assert_eq!(SimDuration::from_millis(5) / 0, SimDuration::from_millis(5));
     }

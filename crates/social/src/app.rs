@@ -187,11 +187,17 @@ impl SocialApp {
     /// membership check, and a recent-activity lookup.
     fn uncached_chrome(&self, user: i64, stats: &mut PageStats) -> Result<()> {
         stats.read(
+            &self.session.all(
+                &self
+                    .qs("FriendshipInvitation")?
+                    .filter_eq("from_user_id", user),
+            )?,
+        );
+        stats.read(
             &self
                 .session
-                .all(&self.qs("FriendshipInvitation")?.filter_eq("from_user_id", user))?,
+                .all(&self.qs("WallPost")?.filter_eq("sender_id", user))?,
         );
-        stats.read(&self.session.all(&self.qs("WallPost")?.filter_eq("sender_id", user))?);
         let (_, out) = self.session.count(
             &self
                 .qs("GroupMembership")?
@@ -210,12 +216,22 @@ impl SocialApp {
         );
         // Reverse-direction friendship check (keyed on friend_id, which no
         // cached object covers).
-        stats.read(&self.session.all(&self.qs("Friendship")?.filter_eq("friend_id", user))?);
+        stats.read(
+            &self
+                .session
+                .all(&self.qs("Friendship")?.filter_eq("friend_id", user))?,
+        );
         // "People you may know" sidebar: a suggested peer's outgoing posts
         // and activity volume.
         let peer = user % 17 + 1;
-        stats.read(&self.session.all(&self.qs("WallPost")?.filter_eq("sender_id", peer))?);
-        let (_, out) = self.session.count(&self.qs("WallPost")?.filter_eq("sender_id", peer))?;
+        stats.read(
+            &self
+                .session
+                .all(&self.qs("WallPost")?.filter_eq("sender_id", peer))?,
+        );
+        let (_, out) = self
+            .session
+            .count(&self.qs("WallPost")?.filter_eq("sender_id", peer))?;
         stats.read(&out);
         // Django-middleware-style per-request queries whose projections
         // differ from any cached template (projection changes the shape).
@@ -254,13 +270,13 @@ impl SocialApp {
             user,
             &[("last_login", Value::Timestamp(ts))],
         )?);
-        let (_, out) = self.session.count(
-            &self
-                .qs("BookmarkInstance")?
-                .filter_eq("user_id", user),
-        )?;
+        let (_, out) = self
+            .session
+            .count(&self.qs("BookmarkInstance")?.filter_eq("user_id", user))?;
         stats.read(&out);
-        let (_, out) = self.session.count(&self.qs("WallPost")?.filter_eq("user_id", user))?;
+        let (_, out) = self
+            .session
+            .count(&self.qs("WallPost")?.filter_eq("user_id", user))?;
         stats.read(&out);
         Ok(stats)
     }
@@ -294,18 +310,14 @@ impl SocialApp {
             .take(5)
             .collect();
         stats.read(&list);
-        let (_, out) = self.session.count(
-            &self
-                .qs("BookmarkInstance")?
-                .filter_eq("user_id", user),
-        )?;
+        let (_, out) = self
+            .session
+            .count(&self.qs("BookmarkInstance")?.filter_eq("user_id", user))?;
         stats.read(&out);
         for b in bookmark_ids {
-            let (_, out) = self.session.count(
-                &self
-                    .qs("BookmarkInstance")?
-                    .filter_eq("bookmark_id", b),
-            )?;
+            let (_, out) = self
+                .session
+                .count(&self.qs("BookmarkInstance")?.filter_eq("bookmark_id", b))?;
             stats.read(&out);
         }
         Ok(stats)
@@ -332,11 +344,9 @@ impl SocialApp {
         stats.read(&fbm);
         for f in friend_ids {
             stats.read(&self.session.all(&self.profile_qs(f)?)?);
-            let (_, out) = self.session.count(
-                &self
-                    .qs("BookmarkInstance")?
-                    .filter_eq("user_id", f),
-            )?;
+            let (_, out) = self
+                .session
+                .count(&self.qs("BookmarkInstance")?.filter_eq("user_id", f))?;
             stats.read(&out);
         }
         Ok(stats)
@@ -353,7 +363,9 @@ impl SocialApp {
         self.chrome(user, &mut stats)?;
         // Find-or-create the unique bookmark (not a cached pattern;
         // passes through).
-        let existing = self.session.all(&self.qs("Bookmark")?.filter_eq("url", url))?;
+        let existing = self
+            .session
+            .all(&self.qs("Bookmark")?.filter_eq("url", url))?;
         let bookmark_id = match existing.rows.first() {
             Some(row) => {
                 stats.read(&existing);
@@ -388,11 +400,9 @@ impl SocialApp {
         stats.write(&w);
         // Re-render: the user must see her own write immediately.
         stats.read(&self.session.all(&self.user_bookmarks_qs(user)?)?);
-        let (_, out) = self.session.count(
-            &self
-                .qs("BookmarkInstance")?
-                .filter_eq("user_id", user),
-        )?;
+        let (_, out) = self
+            .session
+            .count(&self.qs("BookmarkInstance")?.filter_eq("user_id", user))?;
         stats.read(&out);
         Ok(stats)
     }
@@ -407,12 +417,10 @@ impl SocialApp {
         let mut stats = PageStats::default();
         self.chrome(user, &mut stats)?;
         let pending = self.session.all(&self.pending_invitations_qs(user)?)?;
-        let first = pending.rows.first().map(|r| {
-            (
-                r.id(),
-                r.get("from_user_id").as_int().expect("fk is int"),
-            )
-        });
+        let first = pending
+            .rows
+            .first()
+            .map(|r| (r.id(), r.get("from_user_id").as_int().expect("fk is int")));
         stats.read(&pending);
         match first {
             Some((invitation_id, from_user)) => {
@@ -474,7 +482,9 @@ impl SocialApp {
         let mut stats = PageStats::default();
         self.chrome(user, &mut stats)?;
         stats.read(&self.session.all(&self.wall_qs(user)?)?);
-        let (_, out) = self.session.count(&self.qs("WallPost")?.filter_eq("user_id", user))?;
+        let (_, out) = self
+            .session
+            .count(&self.qs("WallPost")?.filter_eq("user_id", user))?;
         stats.read(&out);
         Ok(stats)
     }
@@ -517,11 +527,9 @@ impl SocialApp {
             .collect();
         stats.read(&memberships);
         for g in group_ids {
-            let (_, out) = self.session.count(
-                &self
-                    .qs("GroupMembership")?
-                    .filter_eq("group_id", g),
-            )?;
+            let (_, out) = self
+                .session
+                .count(&self.qs("GroupMembership")?.filter_eq("group_id", g))?;
             stats.read(&out);
         }
         Ok(stats)

@@ -12,10 +12,7 @@ use genie_storage::Result;
 /// # Errors
 ///
 /// Propagates definition/compilation errors.
-pub fn define_cached_objects(
-    genie: &CacheGenie,
-    strategy: ConsistencyStrategy,
-) -> Result<usize> {
+pub fn define_cached_objects(genie: &CacheGenie, strategy: ConsistencyStrategy) -> Result<usize> {
     let defs = cached_object_defs(strategy);
     let n = defs.len();
     for def in defs {
@@ -88,15 +85,9 @@ pub fn cached_object_defs(strategy: ConsistencyStrategy) -> Vec<CacheableDef> {
             .where_fields(&["user_id"])
             .strategy(s),
         // --- groups ---
-        CacheableDef::link(
-            "user_groups",
-            "GroupMembership",
-            "Group",
-            "group_id",
-            "id",
-        )
-        .where_fields(&["user_id"])
-        .strategy(s),
+        CacheableDef::link("user_groups", "GroupMembership", "Group", "group_id", "id")
+            .where_fields(&["user_id"])
+            .strategy(s),
         CacheableDef::count("group_member_count", "GroupMembership")
             .where_fields(&["group_id"])
             .strategy(s),

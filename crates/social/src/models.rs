@@ -28,7 +28,11 @@ pub fn build_registry() -> Result<ModelRegistry> {
     let mut reg = ModelRegistry::new();
     reg.register(
         ModelDef::builder("User", "users")
-            .field(FieldDef::new("username", ValueType::Text).not_null().unique())
+            .field(
+                FieldDef::new("username", ValueType::Text)
+                    .not_null()
+                    .unique(),
+            )
             .field(FieldDef::new("date_joined", ValueType::Timestamp).not_null())
             .field(FieldDef::new("last_login", ValueType::Timestamp))
             .build(),
@@ -55,6 +59,10 @@ pub fn build_registry() -> Result<ModelRegistry> {
             .foreign_key("to_user_id", "User")
             .field(FieldDef::new("status", ValueType::Int).not_null().indexed())
             .field(FieldDef::new("sent", ValueType::Timestamp).not_null())
+            // The pending-invitations page filters on both columns; the
+            // composite index answers it without touching accepted or
+            // declined invitations.
+            .index_together(["to_user_id", "status"])
             .build(),
     )?;
     reg.register(
@@ -69,7 +77,11 @@ pub fn build_registry() -> Result<ModelRegistry> {
             .foreign_key("bookmark_id", "Bookmark")
             .foreign_key("user_id", "User")
             .field(FieldDef::new("description", ValueType::Text))
-            .field(FieldDef::new("saved", ValueType::Timestamp).not_null().indexed())
+            .field(
+                FieldDef::new("saved", ValueType::Timestamp)
+                    .not_null()
+                    .indexed(),
+            )
             .build(),
     )?;
     reg.register(
@@ -77,7 +89,15 @@ pub fn build_registry() -> Result<ModelRegistry> {
             .foreign_key("user_id", "User")
             .foreign_key("sender_id", "User")
             .field(FieldDef::new("content", ValueType::Text))
-            .field(FieldDef::new("date_posted", ValueType::Timestamp).not_null().indexed())
+            .field(
+                FieldDef::new("date_posted", ValueType::Timestamp)
+                    .not_null()
+                    .indexed(),
+            )
+            // The wall page is `user_id = ? ORDER BY date_posted DESC
+            // LIMIT k`: a reverse scan of this index yields the top-k
+            // without sorting.
+            .index_together(["user_id", "date_posted"])
             .build(),
     )?;
     reg.register(
@@ -108,7 +128,9 @@ mod tests {
         let db = Database::default();
         reg.sync(&db).unwrap();
         assert!(db.table_names().contains(&"bookmark_instances".to_string()));
-        assert!(db.table_names().contains(&"friendship_invitations".to_string()));
+        assert!(db
+            .table_names()
+            .contains(&"friendship_invitations".to_string()));
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn all_pages_run_and_report_queries() {
         ("login", a.login(1).unwrap()),
         ("lookup_bm", a.lookup_bm(1).unwrap()),
         ("lookup_fbm", a.lookup_fbm(1).unwrap()),
-        ("create_bm", a.create_bm(1, "http://bookmark.example/1").unwrap()),
+        (
+            "create_bm",
+            a.create_bm(1, "http://bookmark.example/1").unwrap(),
+        ),
         ("accept_fr", a.accept_fr(1, 2).unwrap()),
         ("view_wall", a.view_wall(1).unwrap()),
         ("post_wall", a.post_wall(1, 2, "hi").unwrap()),
@@ -56,7 +59,10 @@ fn all_pages_run_and_report_queries() {
 #[test]
 fn write_pages_actually_write() {
     let env = build_app(&cfg(Some(ConsistencyStrategy::UpdateInPlace))).unwrap();
-    assert!(env.app.login(1).unwrap().writes >= 1, "login updates last_login");
+    assert!(
+        env.app.login(1).unwrap().writes >= 1,
+        "login updates last_login"
+    );
     assert!(env.app.create_bm(1, "http://new.example/x").unwrap().writes >= 1);
     assert!(env.app.accept_fr(1, 3).unwrap().writes >= 1);
     assert!(env.app.lookup_bm(1).unwrap().writes == 0);
@@ -97,13 +103,17 @@ fn create_bm_visible_immediately_from_cache() {
 fn accept_fr_consumes_pending_invitation() {
     let env = build_app(&cfg(Some(ConsistencyStrategy::UpdateInPlace))).unwrap();
     let sess = env.app.session();
-    let (before, _) = sess.count(&env.app.pending_invitations_qs(1).unwrap()).unwrap();
+    let (before, _) = sess
+        .count(&env.app.pending_invitations_qs(1).unwrap())
+        .unwrap();
     if before == 0 {
         return; // tiny seed may leave user 1 without invitations
     }
     let (friends_before, _) = sess.count(&env.app.friends_qs(1).unwrap()).unwrap();
     env.app.accept_fr(1, 2).unwrap();
-    let (after, out) = sess.count(&env.app.pending_invitations_qs(1).unwrap()).unwrap();
+    let (after, out) = sess
+        .count(&env.app.pending_invitations_qs(1).unwrap())
+        .unwrap();
     assert_eq!(after, before - 1);
     assert!(out.from_cache, "pending count maintained in place");
     let (friends_after, _) = sess.count(&env.app.friends_qs(1).unwrap()).unwrap();
@@ -118,15 +128,32 @@ fn caching_never_changes_page_results() {
     let cached = build_app(&cfg(Some(ConsistencyStrategy::UpdateInPlace))).unwrap();
     for user in 1..=10i64 {
         for (a, b) in [
-            (plain.app.lookup_bm(user).unwrap(), cached.app.lookup_bm(user).unwrap()),
-            (plain.app.lookup_fbm(user).unwrap(), cached.app.lookup_fbm(user).unwrap()),
-            (plain.app.view_wall(user).unwrap(), cached.app.view_wall(user).unwrap()),
+            (
+                plain.app.lookup_bm(user).unwrap(),
+                cached.app.lookup_bm(user).unwrap(),
+            ),
+            (
+                plain.app.lookup_fbm(user).unwrap(),
+                cached.app.lookup_fbm(user).unwrap(),
+            ),
+            (
+                plain.app.view_wall(user).unwrap(),
+                cached.app.view_wall(user).unwrap(),
+            ),
         ] {
             assert_eq!(a.queries, b.queries, "user {user}");
         }
         // Independent data-level check on the bookmark list itself.
-        let pa = plain.app.session().all(&plain.app.user_bookmarks_qs(user).unwrap()).unwrap();
-        let pb = cached.app.session().all(&cached.app.user_bookmarks_qs(user).unwrap()).unwrap();
+        let pa = plain
+            .app
+            .session()
+            .all(&plain.app.user_bookmarks_qs(user).unwrap())
+            .unwrap();
+        let pb = cached
+            .app
+            .session()
+            .all(&cached.app.user_bookmarks_qs(user).unwrap())
+            .unwrap();
         let urls = |rows: &[genie_orm::OrmRow]| {
             let mut v: Vec<String> = rows
                 .iter()

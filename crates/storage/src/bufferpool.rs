@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_pool_thrashes() {
         let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024); // 4 pages
-        // Cycle through 8 pages twice: LRU gives 0% hit rate on the rescan.
+                                                              // Cycle through 8 pages twice: LRU gives 0% hit rate on the rescan.
         for _ in 0..2 {
             for p in 0..8 {
                 bp.touch(pid(1, p));

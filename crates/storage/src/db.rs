@@ -230,10 +230,7 @@ impl Database {
     /// # Errors
     ///
     /// Returns `f`'s error after rollback, or any commit-time error.
-    pub fn transaction<T>(
-        &self,
-        f: impl FnOnce(&mut TxnHandle<'_>) -> Result<T>,
-    ) -> Result<T> {
+    pub fn transaction<T>(&self, f: impl FnOnce(&mut TxnHandle<'_>) -> Result<T>) -> Result<T> {
         let mut inner = self.inner.lock();
         inner.begin()?;
         let result = {
@@ -256,6 +253,36 @@ impl Database {
     }
 
     // ----- introspection -----
+
+    /// EXPLAIN: returns the access-path [`Plan`](crate::plan::Plan) the
+    /// planner would choose for `select`'s base table, without executing
+    /// anything. `params` fills `$n` holes referenced by the predicate
+    /// (pass the same vector you would execute with).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownTable`] for an unknown FROM table, plus any
+    /// predicate-evaluation error (e.g. a missing parameter).
+    pub fn explain(&self, select: &Select, params: &[Value]) -> Result<crate::plan::Plan> {
+        let inner = self.inner.lock();
+        let table = inner.catalog.table(&select.from.table)?;
+        crate::plan::plan_select(table, select, params)
+    }
+
+    /// Parses `sql` (which must be a SELECT) and explains it.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, non-SELECT statements, and the errors of
+    /// [`Database::explain`].
+    pub fn explain_sql(&self, sql: &str, params: &[Value]) -> Result<crate::plan::Plan> {
+        match crate::sql::parse(sql)? {
+            Statement::Select(sel) => self.explain(&sel, params),
+            other => Err(StorageError::Unsupported(format!(
+                "EXPLAIN of non-SELECT statement {other:?}"
+            ))),
+        }
+    }
 
     /// Engine statistics.
     pub fn stats(&self) -> DbStats {
@@ -335,7 +362,9 @@ impl TxnHandle<'_> {
 
 impl std::fmt::Debug for TxnHandle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxnHandle").field("cost", &self.cost).finish()
+        f.debug_struct("TxnHandle")
+            .field("cost", &self.cost)
+            .finish()
     }
 }
 
@@ -346,22 +375,26 @@ impl Inner {
         match stmt {
             Statement::Select(sel) => {
                 self.stats.selects += 1;
-                let result = exec::run_select(&self.catalog, &mut self.pool, sel, params, &mut cost)?;
+                let result =
+                    exec::run_select(&self.catalog, &mut self.pool, sel, params, &mut cost)?;
                 Ok(ExecOutcome { result, cost })
             }
             Statement::Insert(ins) => {
                 self.stats.writes += 1;
-                let effect = exec::run_insert(&mut self.catalog, &mut self.pool, ins, params, &mut cost)?;
+                let effect =
+                    exec::run_insert(&mut self.catalog, &mut self.pool, ins, params, &mut cost)?;
                 self.finish_write(effect, &mut cost)
             }
             Statement::Update(upd) => {
                 self.stats.writes += 1;
-                let effect = exec::run_update(&mut self.catalog, &mut self.pool, upd, params, &mut cost)?;
+                let effect =
+                    exec::run_update(&mut self.catalog, &mut self.pool, upd, params, &mut cost)?;
                 self.finish_write(effect, &mut cost)
             }
             Statement::Delete(del) => {
                 self.stats.writes += 1;
-                let effect = exec::run_delete(&mut self.catalog, &mut self.pool, del, params, &mut cost)?;
+                let effect =
+                    exec::run_delete(&mut self.catalog, &mut self.pool, del, params, &mut cost)?;
                 self.finish_write(effect, &mut cost)
             }
             Statement::CreateTable(schema) => {
@@ -447,12 +480,13 @@ impl Inner {
                         query_fn: &mut query_fn,
                         cost,
                     };
-                    trigger.body.fire(&mut ctx).map_err(|e| {
-                        StorageError::TriggerFailed {
+                    trigger
+                        .body
+                        .fire(&mut ctx)
+                        .map_err(|e| StorageError::TriggerFailed {
                             trigger: trigger.name.clone(),
                             detail: e.to_string(),
-                        }
-                    })?;
+                        })?;
                 }
                 // Work done by trigger-issued queries counts as trigger
                 // work plus real page traffic.

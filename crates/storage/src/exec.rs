@@ -12,9 +12,7 @@ use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
 use crate::expr::{ColumnRef, Expr};
-use crate::query::{
-    AggFunc, Delete, Insert, JoinKind, QueryResult, Select, SelectItem, Update,
-};
+use crate::query::{AggFunc, Delete, Insert, JoinKind, QueryResult, Select, SelectItem, Update};
 use crate::row::{Row, RowId};
 use crate::table::Table;
 use crate::trigger::TriggerEvent;
@@ -41,7 +39,11 @@ pub enum UndoOp {
     /// Reverse a delete by restoring the row image.
     Delete { table: String, rid: RowId, row: Row },
     /// Reverse an update by restoring the pre-image.
-    Update { table: String, rid: RowId, before: Row },
+    Update {
+        table: String,
+        rid: RowId,
+        before: Row,
+    },
 }
 
 /// Everything a write statement did, before triggers fire.
@@ -129,75 +131,30 @@ impl Layout {
 }
 
 // ---------------------------------------------------------------------
-// Access-path planning
+// Access-path planning — see crate::plan. The executor asks the planner
+// for a Plan and mechanically walks whatever path it chose.
 // ---------------------------------------------------------------------
 
-/// Evaluates an expression that must not reference columns (literal/param).
-fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
-    e.eval(&Row::default(), params)
-}
+use crate::plan::eval_const;
 
-/// Collects `column = value` pairs from `pred` that constrain `binding`'s
-/// columns with row-free right-hand sides.
-fn equality_pairs(
-    pred: Option<&Expr>,
-    binding: &str,
-    table: &Table,
-    params: &[Value],
-) -> Result<Vec<(String, Value)>> {
-    let mut out = Vec::new();
-    if let Some(p) = pred {
-        for c in p.conjuncts() {
-            if let Some((cref, vexpr)) = c.as_column_eq() {
-                let table_ok = match &cref.table {
-                    Some(t) => t == binding,
-                    None => table.schema().column_pos(&cref.column).is_some(),
-                };
-                if table_ok && table.schema().column_pos(&cref.column).is_some() {
-                    let v = eval_const(vexpr, params)?;
-                    out.push((cref.column.clone(), v));
-                }
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Picks row ids for the base table: PK probe, best matching index, or
-/// `None` for a full scan. Charges probes to `cost`.
-fn plan_base_rids(
+/// Plans and runs the base-table access for a write statement's
+/// predicate. Charges probes to `cost`; `None` means full heap scan.
+fn plan_write_rids(
     table: &Table,
     binding: &str,
     pred: Option<&Expr>,
     params: &[Value],
     cost: &mut CostReport,
 ) -> Result<Option<Vec<RowId>>> {
-    let pairs = equality_pairs(pred, binding, table, params)?;
-    if pairs.is_empty() {
-        return Ok(None);
-    }
-    // Primary-key point lookup.
-    let pk = table.schema().primary_key();
-    if let Some((_, v)) = pairs.iter().find(|(c, _)| c == pk) {
-        cost.index_probes += 1;
-        let v = coerce_for(table, pk, v);
-        return Ok(Some(table.find_pk(&v).into_iter().collect()));
-    }
-    // Widest secondary index whose key columns are all constrained.
-    let cols: Vec<&str> = pairs.iter().map(|(c, _)| c.as_str()).collect();
-    if let Some(idx) = table.best_index_for(&cols) {
-        let mut key = Vec::with_capacity(idx.def().columns.len());
-        for col in &idx.def().columns {
-            let (_, v) = pairs
-                .iter()
-                .find(|(c, _)| c == col)
-                .expect("best_index_for guarantees coverage");
-            key.push(coerce_for(table, col, v));
-        }
-        cost.index_probes += 1;
-        return Ok(Some(table.index_lookup(idx, &key)));
-    }
-    Ok(None)
+    let plan = crate::plan::plan_access(table, binding, pred, &[], params)?;
+    Ok(
+        crate::plan::execute_path(table, &plan, cost).map(|mut rids| {
+            // Writes process rows in heap order whatever path found them, so
+            // trigger firing order matches the pre-planner engine.
+            rids.sort_unstable();
+            rids
+        }),
+    )
 }
 
 fn coerce_for(table: &Table, column: &str, v: &Value) -> Value {
@@ -239,7 +196,17 @@ pub(crate) fn run_select(
     layout.push_table(&base_binding, base);
 
     // --- base scan ---
-    let rids = plan_base_rids(base, &base_binding, sel.predicate.as_ref(), params, cost)?;
+    let plan = crate::plan::plan_select(base, sel, params)?;
+    let mut rids = crate::plan::execute_path(base, &plan, cost);
+    if let Some(r) = rids.as_mut() {
+        if !plan.order_satisfied {
+            // Path order only matters when the executor keeps it (sort
+            // skipped). Otherwise restore heap order so the stable sort
+            // breaks ties identically with and without indexes — and
+            // unordered queries return heap order like a full scan.
+            r.sort_unstable();
+        }
+    }
     let mut current: Vec<Row> = match rids {
         Some(rids) => {
             let mut rows = Vec::with_capacity(rids.len());
@@ -298,9 +265,7 @@ pub(crate) fn run_select(
         let index = jt.best_index_for(&key_col_refs);
         // Joining on the primary key (the commonest FK traversal) uses
         // the PK index directly — it is not a secondary index.
-        let pk_join = key_cols
-            .iter()
-            .position(|c| c == jt.schema().primary_key());
+        let pk_join = key_cols.iter().position(|c| c == jt.schema().primary_key());
 
         let mut next: Vec<Row> = Vec::new();
         for left in &current {
@@ -315,26 +280,26 @@ pub(crate) fn run_select(
                 }
             } else {
                 match index {
-                Some(idx) => {
-                    let mut key = Vec::with_capacity(idx.def().columns.len());
-                    let mut null_key = false;
-                    for col in &idx.def().columns {
-                        let pos = key_cols.iter().position(|c| c == col).expect("covered");
-                        let v = key_exprs[pos].eval(left, params)?;
-                        if v.is_null() {
-                            null_key = true;
-                            break;
+                    Some(idx) => {
+                        let mut key = Vec::with_capacity(idx.def().columns.len());
+                        let mut null_key = false;
+                        for col in &idx.def().columns {
+                            let pos = key_cols.iter().position(|c| c == col).expect("covered");
+                            let v = key_exprs[pos].eval(left, params)?;
+                            if v.is_null() {
+                                null_key = true;
+                                break;
+                            }
+                            key.push(coerce_for(jt, col, &v));
                         }
-                        key.push(coerce_for(jt, col, &v));
+                        cost.index_probes += 1;
+                        if null_key {
+                            Vec::new()
+                        } else {
+                            jt.index_lookup(idx, &key)
+                        }
                     }
-                    cost.index_probes += 1;
-                    if null_key {
-                        Vec::new()
-                    } else {
-                        jt.index_lookup(idx, &key)
-                    }
-                }
-                None => jt.iter().map(|(rid, _)| rid).collect(),
+                    None => jt.iter().map(|(rid, _)| rid).collect(),
                 }
             };
             let mut matched = false;
@@ -354,7 +319,7 @@ pub(crate) fn run_select(
             if !matched && join.kind == JoinKind::Left {
                 let mut combined = Vec::with_capacity(left.arity() + jt.schema().arity());
                 combined.extend_from_slice(left.values());
-                combined.extend(std::iter::repeat(Value::Null).take(jt.schema().arity()));
+                combined.extend(std::iter::repeat_n(Value::Null, jt.schema().arity()));
                 next.push(Row::new(combined));
             }
         }
@@ -384,7 +349,10 @@ pub(crate) fn run_select(
     }
 
     // --- ORDER BY ---
-    if !sel.order_by.is_empty() {
+    // When the chosen access path already yields the requested order
+    // (index scans produce key order; residual filtering preserves it),
+    // the sort — and its cost — is skipped entirely.
+    if !sel.order_by.is_empty() && !plan.order_satisfied {
         let keys: Vec<(Expr, bool)> = sel
             .order_by
             .iter()
@@ -523,12 +491,12 @@ fn run_aggregate(
                     .clone()
                     .unwrap_or_else(|| func.to_string().to_lowercase()),
             ),
-            SelectItem::Expr { expr, alias } => columns.push(alias.clone().unwrap_or_else(
-                || match expr {
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| match expr {
                     Expr::Column(c) => c.column.clone(),
                     other => other.to_string(),
-                },
-            )),
+                }))
+            }
             SelectItem::Wildcard => {
                 return Err(StorageError::Unsupported(
                     "wildcard in aggregate projection".into(),
@@ -583,9 +551,8 @@ fn aggregate(func: AggFunc, arg: Option<&Expr>, rows: &[Row], params: &[Value]) 
             }
         },
         AggFunc::Sum | AggFunc::Avg => {
-            let e = arg.ok_or_else(|| {
-                StorageError::Unsupported(format!("{func} requires an argument"))
-            })?;
+            let e = arg
+                .ok_or_else(|| StorageError::Unsupported(format!("{func} requires an argument")))?;
             let mut sum = 0.0f64;
             let mut n = 0u64;
             let mut all_int = true;
@@ -621,9 +588,8 @@ fn aggregate(func: AggFunc, arg: Option<&Expr>, rows: &[Row], params: &[Value]) 
             })
         }
         AggFunc::Min | AggFunc::Max => {
-            let e = arg.ok_or_else(|| {
-                StorageError::Unsupported(format!("{func} requires an argument"))
-            })?;
+            let e = arg
+                .ok_or_else(|| StorageError::Unsupported(format!("{func} requires an argument")))?;
             let mut best: Option<Value> = None;
             for r in rows {
                 let v = e.eval(r, params)?;
@@ -780,9 +746,9 @@ pub(crate) fn run_update(
     layout.push_table(&upd.table, catalog.table(&upd.table)?);
 
     // Plan matching rows.
-    let (match_rids, bound_pred) = {
+    let match_rids = {
         let table = catalog.table(&upd.table)?;
-        let rids = plan_base_rids(table, &upd.table, upd.predicate.as_ref(), params, cost)?;
+        let rids = plan_write_rids(table, &upd.table, upd.predicate.as_ref(), params, cost)?;
         let bound = match &upd.predicate {
             Some(p) => Some(p.bind(&layout.binder())?),
             None => None,
@@ -804,9 +770,8 @@ pub(crate) fn run_update(
                 matched.push(rid);
             }
         }
-        (matched, ())
+        matched
     };
-    let _ = bound_pred;
 
     // Bind SET expressions against the single-table layout.
     let sets: Vec<(usize, Expr)> = upd
@@ -872,7 +837,7 @@ pub(crate) fn run_delete(
     layout.push_table(&del.table, catalog.table(&del.table)?);
     let match_rids = {
         let table = catalog.table(&del.table)?;
-        let rids = plan_base_rids(table, &del.table, del.predicate.as_ref(), params, cost)?;
+        let rids = plan_write_rids(table, &del.table, del.predicate.as_ref(), params, cost)?;
         let bound = match &del.predicate {
             Some(p) => Some(p.bind(&layout.binder())?),
             None => None,
@@ -900,7 +865,9 @@ pub(crate) fn run_delete(
     let table = catalog.table_mut(&del.table)?;
     let mut effect = WriteEffect::default();
     for rid in match_rids {
-        let Some(old) = table.delete(rid) else { continue };
+        let Some(old) = table.delete(rid) else {
+            continue;
+        };
         touch_write_raw(pool, table.id(), table.page_of(rid), cost);
         cost.rows_written += 1;
         effect.affected += 1;

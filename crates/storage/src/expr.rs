@@ -205,7 +205,10 @@ impl Expr {
             },
             Expr::InList { expr, list } => Expr::InList {
                 expr: Box::new(expr.bind(resolve)?),
-                list: list.iter().map(|e| e.bind(resolve)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| e.bind(resolve))
+                    .collect::<Result<_>>()?,
             },
             Expr::Like { expr, pattern } => Expr::Like {
                 expr: Box::new(expr.bind(resolve)?),
@@ -331,7 +334,11 @@ impl Expr {
                         None => saw_null = true,
                     }
                 }
-                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                })
             }
             Expr::Like { expr, pattern } => {
                 let v = expr.eval(row, params)?;
@@ -387,6 +394,83 @@ impl Expr {
         } else {
             None
         }
+    }
+
+    /// If this conjunct is `column <op> <literal or param>` for a
+    /// comparison operator, returns `(column, op, rhs)` with the operator
+    /// normalized to the column-on-the-left orientation (`5 < col`
+    /// becomes `col > 5`).
+    pub fn as_column_cmp(&self) -> Option<(&ColumnRef, CmpOp, &Expr)> {
+        let Expr::Cmp(a, op, b) = self else {
+            return None;
+        };
+        match (a.as_ref(), b.as_ref()) {
+            (Expr::Column(c), v @ (Expr::Literal(_) | Expr::Param(_))) => Some((c, *op, v)),
+            (v @ (Expr::Literal(_) | Expr::Param(_)), Expr::Column(c)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Eq => CmpOp::Eq,
+                    CmpOp::Ne => CmpOp::Ne,
+                };
+                Some((c, flipped, v))
+            }
+            _ => None,
+        }
+    }
+
+    /// If this conjunct is `column IN (c1, c2, ...)` with every list item
+    /// a literal or parameter, returns the column and the items.
+    pub fn as_column_in(&self) -> Option<(&ColumnRef, &[Expr])> {
+        let Expr::InList { expr, list } = self else {
+            return None;
+        };
+        let Expr::Column(c) = expr.as_ref() else {
+            return None;
+        };
+        if list
+            .iter()
+            .all(|e| matches!(e, Expr::Literal(_) | Expr::Param(_)))
+        {
+            Some((c, list))
+        } else {
+            None
+        }
+    }
+
+    /// If this conjunct is a disjunction whose every arm is an equality
+    /// on the *same* column (`a = 1 OR a = 2 OR a = $1`), returns the
+    /// column and the right-hand sides — the planner turns this into a
+    /// multi-key index lookup, exactly like `IN`.
+    pub fn as_or_column_eqs(&self) -> Option<(&ColumnRef, Vec<&Expr>)> {
+        if !matches!(self, Expr::Or(..)) {
+            return None;
+        }
+        let mut arms = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut arms);
+        let mut col: Option<&ColumnRef> = None;
+        let mut values = Vec::with_capacity(arms.len());
+        for arm in arms {
+            let (c, v) = arm.as_column_eq()?;
+            match col {
+                None => col = Some(c),
+                Some(prev) if prev == c => {}
+                Some(_) => return None,
+            }
+            values.push(v);
+        }
+        col.map(|c| (c, values))
     }
 
     /// Collects every column referenced by the (unbound) expression.
@@ -496,9 +580,7 @@ fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|k| rec(&s[k..], rest))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
             Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
             Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
         }
@@ -546,7 +628,10 @@ mod tests {
             null.clone().and(f_.clone()).eval(&r, &[]).unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(null.clone().and(t.clone()).eval(&r, &[]).unwrap(), Value::Null);
+        assert_eq!(
+            null.clone().and(t.clone()).eval(&r, &[]).unwrap(),
+            Value::Null
+        );
         // NULL OR TRUE = TRUE; NULL OR FALSE = NULL
         assert_eq!(null.clone().or(t).eval(&r, &[]).unwrap(), Value::Bool(true));
         assert_eq!(null.or(f_).eval(&r, &[]).unwrap(), Value::Null);
@@ -586,10 +671,7 @@ mod tests {
         let e = b(&Expr::col("b").eq(Expr::Param(0)));
         let r = row![0i64, 42i64, 0i64];
         assert!(e.matches(&r, &[Value::Int(42)]).unwrap());
-        assert!(matches!(
-            e.eval(&r, &[]),
-            Err(StorageError::Eval(_))
-        ));
+        assert!(matches!(e.eval(&r, &[]), Err(StorageError::Eval(_))));
     }
 
     #[test]
@@ -612,10 +694,7 @@ mod tests {
             expr: Box::new(Expr::col("a")),
             list: vec![Expr::lit(1i64), Expr::lit(Value::Null)],
         });
-        assert_eq!(
-            e2.eval(&row![3i64, 0i64, 0i64], &[]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(e2.eval(&row![3i64, 0i64, 0i64], &[]).unwrap(), Value::Null);
     }
 
     #[test]
@@ -641,9 +720,17 @@ mod tests {
     #[test]
     fn arithmetic() {
         let r = Row::default();
-        let add = Expr::Arith(Box::new(Expr::lit(2i64)), ArithOp::Add, Box::new(Expr::lit(3i64)));
+        let add = Expr::Arith(
+            Box::new(Expr::lit(2i64)),
+            ArithOp::Add,
+            Box::new(Expr::lit(3i64)),
+        );
         assert_eq!(add.eval(&r, &[]).unwrap(), Value::Int(5));
-        let div = Expr::Arith(Box::new(Expr::lit(7i64)), ArithOp::Div, Box::new(Expr::lit(2i64)));
+        let div = Expr::Arith(
+            Box::new(Expr::lit(7i64)),
+            ArithOp::Div,
+            Box::new(Expr::lit(2i64)),
+        );
         assert_eq!(div.eval(&r, &[]).unwrap(), Value::Int(3));
         let fdiv = Expr::Arith(
             Box::new(Expr::lit(7.0f64)),
@@ -656,7 +743,11 @@ mod tests {
     #[test]
     fn division_by_zero_errors() {
         let r = Row::default();
-        let div = Expr::Arith(Box::new(Expr::lit(1i64)), ArithOp::Div, Box::new(Expr::lit(0i64)));
+        let div = Expr::Arith(
+            Box::new(Expr::lit(1i64)),
+            ArithOp::Div,
+            Box::new(Expr::lit(0i64)),
+        );
         assert!(div.eval(&r, &[]).is_err());
     }
 
@@ -684,9 +775,11 @@ mod tests {
 
     #[test]
     fn conjuncts_flatten() {
-        let e = Expr::col("a")
-            .eq(Expr::lit(1i64))
-            .and(Expr::col("b").eq(Expr::lit(2i64)).and(Expr::col("c").eq(Expr::lit(3i64))));
+        let e = Expr::col("a").eq(Expr::lit(1i64)).and(
+            Expr::col("b")
+                .eq(Expr::lit(2i64))
+                .and(Expr::col("c").eq(Expr::lit(3i64))),
+        );
         assert_eq!(e.conjuncts().len(), 3);
     }
 
@@ -721,7 +814,9 @@ mod tests {
 
     #[test]
     fn display_round_readable() {
-        let e = Expr::col("a").eq(Expr::Param(0)).and(Expr::col("b").eq(Expr::lit("x")));
+        let e = Expr::col("a")
+            .eq(Expr::Param(0))
+            .and(Expr::col("b").eq(Expr::lit("x")));
         assert_eq!(e.to_string(), "((a = $1) AND (b = 'x'))");
     }
 

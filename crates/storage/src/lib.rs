@@ -54,6 +54,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod plan;
 pub mod query;
 pub mod row;
 pub mod schema;
@@ -67,9 +68,10 @@ pub use cost::CostReport;
 pub use db::{Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
+pub use plan::{AccessPath, Bound, Plan};
 pub use query::{
-    AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem,
-    Statement, TableRef, Update,
+    AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem, Statement,
+    TableRef, Update,
 };
 pub use row::{Row, RowId};
 pub use schema::{ColumnDef, ForeignKeyDef, IndexDef, TableSchema, TableSchemaBuilder};

@@ -176,7 +176,12 @@ pub struct OrderKey {
 
 impl fmt::Display for OrderKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.expr, if self.desc { " DESC" } else { " ASC" })
+        write!(
+            f,
+            "{}{}",
+            self.expr,
+            if self.desc { " DESC" } else { " ASC" }
+        )
     }
 }
 
@@ -509,7 +514,10 @@ mod tests {
             columns: vec!["id".into(), "name".into()],
             rows: vec![vec![Expr::lit(1i64), Expr::lit("alice")]],
         };
-        assert_eq!(i.to_string(), "INSERT INTO users (id, name) VALUES (1, 'alice')");
+        assert_eq!(
+            i.to_string(),
+            "INSERT INTO users (id, name) VALUES (1, 'alice')"
+        );
     }
 
     #[test]
@@ -519,7 +527,10 @@ mod tests {
             sets: vec![("name".into(), Expr::lit("bob"))],
             predicate: Some(Expr::col("id").eq(Expr::lit(1i64))),
         };
-        assert_eq!(u.to_string(), "UPDATE users SET name = 'bob' WHERE (id = 1)");
+        assert_eq!(
+            u.to_string(),
+            "UPDATE users SET name = 'bob' WHERE (id = 1)"
+        );
         let d = Delete {
             table: "users".into(),
             predicate: None,

@@ -130,10 +130,11 @@ impl TableSchema {
 
     /// Position of `column`, as a storage error if absent.
     pub fn require_column(&self, column: &str) -> Result<usize> {
-        self.column_pos(column).ok_or_else(|| StorageError::UnknownColumn {
-            table: self.name.clone(),
-            column: column.to_owned(),
-        })
+        self.column_pos(column)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: column.to_owned(),
+            })
     }
 
     /// The column definition for `column`, if present.
@@ -337,7 +338,11 @@ mod tests {
 
     #[test]
     fn rows_per_page_clamps_to_one() {
-        let s = TableSchema::builder("t").pk("id").rows_per_page(0).build().unwrap();
+        let s = TableSchema::builder("t")
+            .pk("id")
+            .rows_per_page(0)
+            .build()
+            .unwrap();
         assert_eq!(s.rows_per_page_hint, 1);
     }
 }

@@ -560,10 +560,8 @@ impl Parser {
         let mut builder = TableSchema::builder(&name);
         let mut first = true;
         loop {
-            if !first {
-                if !self.eat_sym(",") {
-                    break;
-                }
+            if !first && !self.eat_sym(",") {
+                break;
             }
             first = false;
             if self.eat_kw("FOREIGN") {
@@ -663,6 +661,20 @@ impl Parser {
                 negated,
             });
         }
+        if self.eat_kw("BETWEEN") {
+            // Desugars to `lhs >= lo AND lhs <= hi`, which the planner's
+            // conjunct extraction turns into one index range scan.
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(
+                Expr::Cmp(Box::new(lhs.clone()), CmpOp::Ge, Box::new(lo)).and(Expr::Cmp(
+                    Box::new(lhs),
+                    CmpOp::Le,
+                    Box::new(hi),
+                )),
+            );
+        }
         if self.eat_kw("IN") {
             self.expect_sym("(")?;
             let mut list = vec![self.expr()?];
@@ -751,11 +763,7 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Value::Int(v)) => Expr::Literal(Value::Int(-v)),
                 Expr::Literal(Value::Float(v)) => Expr::Literal(Value::Float(-v)),
-                other => Expr::Arith(
-                    Box::new(Expr::lit(0i64)),
-                    ArithOp::Sub,
-                    Box::new(other),
-                ),
+                other => Expr::Arith(Box::new(Expr::lit(0i64)), ArithOp::Sub, Box::new(other)),
             });
         }
         match self.next() {
@@ -859,8 +867,7 @@ mod tests {
             };
             assert_eq!(sel.joins[0].kind, JoinKind::Left);
         }
-        let Statement::Select(sel) =
-            parse("SELECT * FROM a INNER JOIN b ON b.x = a.x").unwrap()
+        let Statement::Select(sel) = parse("SELECT * FROM a INNER JOIN b ON b.x = a.x").unwrap()
         else {
             panic!()
         };
@@ -869,8 +876,7 @@ mod tests {
 
     #[test]
     fn insert_forms() {
-        let Statement::Insert(i) =
-            parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap()
+        let Statement::Insert(i) = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap()
         else {
             panic!()
         };
@@ -884,8 +890,7 @@ mod tests {
 
     #[test]
     fn update_and_delete() {
-        let Statement::Update(u) =
-            parse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3").unwrap()
+        let Statement::Update(u) = parse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3").unwrap()
         else {
             panic!()
         };

@@ -38,6 +38,38 @@ impl Index {
     }
 }
 
+/// Flattens per-key posting blocks into one rid list. `reverse` flips
+/// the *key* order only: rows sharing an index key stay in rid (heap)
+/// order, which is the tie order the executor's stable sort produces —
+/// so ordered index scans and scan+sort return identical row sequences,
+/// with or without the index.
+fn flatten_key_blocks(blocks: Vec<Vec<RowId>>, reverse: bool) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+    if reverse {
+        for block in blocks.into_iter().rev() {
+            out.extend(block);
+        }
+    } else {
+        for block in blocks {
+            out.extend(block);
+        }
+    }
+    out
+}
+
+/// True when a `(lo, hi)` pair describes an empty interval —
+/// `BTreeMap::range` panics on inverted bounds instead of yielding
+/// nothing.
+fn range_is_empty(lo: &std::ops::Bound<Value>, hi: &std::ops::Bound<Value>) -> bool {
+    use std::ops::Bound as B;
+    match (lo, hi) {
+        (B::Included(a), B::Included(b)) => a > b,
+        (B::Included(a), B::Excluded(b)) | (B::Excluded(a), B::Included(b)) => a >= b,
+        (B::Excluded(a), B::Excluded(b)) => a >= b,
+        (B::Unbounded, _) | (_, B::Unbounded) => false,
+    }
+}
+
 /// A heap table plus its indexes.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -219,13 +251,11 @@ impl Table {
             .ok_or_else(|| StorageError::Eval(format!("update of missing row {rid}")))?;
         let pk_pos = self.schema.primary_key_pos();
         let (old_pk, new_pk) = (old_row.get(pk_pos), new_row.get(pk_pos));
-        if old_pk != new_pk {
-            if !new_pk.is_null() && self.pk_index.contains_key(new_pk) {
-                return Err(StorageError::UniqueViolation {
-                    index: format!("{}_pkey", self.schema.name()),
-                    key: new_pk.to_string(),
-                });
-            }
+        if old_pk != new_pk && !new_pk.is_null() && self.pk_index.contains_key(new_pk) {
+            return Err(StorageError::UniqueViolation {
+                index: format!("{}_pkey", self.schema.name()),
+                key: new_pk.to_string(),
+            });
         }
         for idx in &self.indexes {
             if idx.def.unique {
@@ -332,11 +362,20 @@ impl Table {
         self.indexes.iter().find(|i| i.def.columns == columns)
     }
 
+    /// The index named `name`, if any.
+    pub fn index_by_name(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.def.name == name)
+    }
+
     /// The index whose key is a prefix of `columns` usable for an
-    /// equality lookup on all its key columns. Among candidates of equal
-    /// width, prefers the most selective (most distinct keys) — e.g. for
+    /// equality lookup on all its key columns.
+    ///
+    /// Fully deterministic: prefers the widest covering index, then the
+    /// most selective (most distinct keys) — e.g. for
     /// `WHERE to_user_id = ? AND status = ?` the FK index beats the
-    /// low-cardinality status index.
+    /// low-cardinality status index — and finally the lexicographically
+    /// smallest index name, so equal-width equal-selectivity candidates
+    /// never flip-flop between runs.
     pub fn best_index_for(&self, eq_columns: &[&str]) -> Option<&Index> {
         self.indexes
             .iter()
@@ -346,7 +385,13 @@ impl Table {
                     .iter()
                     .all(|c| eq_columns.contains(&c.as_str()))
             })
-            .max_by_key(|i| (i.def.columns.len(), i.distinct_keys()))
+            .max_by_key(|i| {
+                (
+                    i.def.columns.len(),
+                    i.distinct_keys(),
+                    std::cmp::Reverse(i.def.name.as_str()),
+                )
+            })
     }
 
     /// Row ids matching an exact key on `idx`.
@@ -355,6 +400,143 @@ impl Table {
             .get(key)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Row ids whose primary key falls in `[from, to]`, in key order
+    /// (reversed when `reverse`).
+    pub fn pk_range_scan(
+        &self,
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+    ) -> Vec<RowId> {
+        use std::ops::Bound as B;
+        let lo = match from {
+            crate::plan::Bound::Unbounded => B::Unbounded,
+            crate::plan::Bound::Included(v) => B::Included(v.clone()),
+            crate::plan::Bound::Excluded(v) => B::Excluded(v.clone()),
+        };
+        let hi = match to {
+            crate::plan::Bound::Unbounded => B::Unbounded,
+            crate::plan::Bound::Included(v) => B::Included(v.clone()),
+            crate::plan::Bound::Excluded(v) => B::Excluded(v.clone()),
+        };
+        if range_is_empty(&lo, &hi) {
+            return Vec::new();
+        }
+        let mut out: Vec<RowId> = self.pk_index.range((lo, hi)).map(|(_, r)| *r).collect();
+        if reverse {
+            out.reverse();
+        }
+        out
+    }
+
+    /// Row ids from `idx` whose key starts with `eq_prefix` and whose
+    /// next key column lies within `[from, to]`, in full key order
+    /// (reversed when `reverse`).
+    pub fn index_range_scan(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+    ) -> Vec<RowId> {
+        use std::ops::Bound as B;
+        let p = eq_prefix.len();
+        debug_assert!(p < idx.def.columns.len(), "range column must exist");
+        // Start at the first key >= prefix + lower endpoint; keys sharing
+        // the endpoint value but carrying longer suffixes sort after the
+        // bare endpoint key, so Included over the extended prefix is a
+        // correct lower bound for Excluded endpoints too (the equal run
+        // is skipped below).
+        let start: B<Vec<Value>> = match from {
+            crate::plan::Bound::Unbounded => {
+                if p == 0 {
+                    B::Unbounded
+                } else {
+                    B::Included(eq_prefix.to_vec())
+                }
+            }
+            crate::plan::Bound::Included(v) | crate::plan::Bound::Excluded(v) => {
+                let mut k = eq_prefix.to_vec();
+                k.push(v.clone());
+                B::Included(k)
+            }
+        };
+        let mut blocks: Vec<Vec<RowId>> = Vec::new();
+        for (key, rids) in idx.map.range((start, B::Unbounded)) {
+            if key.len() <= p || key[..p] != eq_prefix[..] {
+                break;
+            }
+            let kv = &key[p];
+            if let crate::plan::Bound::Excluded(v) = from {
+                if kv == v {
+                    continue;
+                }
+            }
+            match to {
+                crate::plan::Bound::Included(v) => {
+                    if kv > v {
+                        break;
+                    }
+                }
+                crate::plan::Bound::Excluded(v) => {
+                    if kv >= v {
+                        break;
+                    }
+                }
+                crate::plan::Bound::Unbounded => {}
+            }
+            blocks.push(rids.iter().copied().collect());
+        }
+        flatten_key_blocks(blocks, reverse)
+    }
+
+    /// Row ids from `idx` whose key starts with `prefix` (a proper prefix
+    /// of the key columns), in full key order (reversed when `reverse`).
+    pub fn index_prefix_scan(&self, idx: &Index, prefix: &[Value], reverse: bool) -> Vec<RowId> {
+        use std::ops::Bound as B;
+        let p = prefix.len();
+        let start: B<Vec<Value>> = if p == 0 {
+            B::Unbounded
+        } else {
+            B::Included(prefix.to_vec())
+        };
+        let mut blocks: Vec<Vec<RowId>> = Vec::new();
+        for (key, rids) in idx.map.range((start, B::Unbounded)) {
+            if key.len() < p || key[..p] != prefix[..] {
+                break;
+            }
+            blocks.push(rids.iter().copied().collect());
+        }
+        flatten_key_blocks(blocks, reverse)
+    }
+
+    /// Row ids matching any of `keys` on `idx`'s first key column, in
+    /// key order (`keys` must be sorted; reversed when `reverse`). Used
+    /// for `IN (...)` and OR-equality chains.
+    pub fn index_multi_lookup(&self, idx: &Index, keys: &[Value], reverse: bool) -> Vec<RowId> {
+        let mut out = Vec::new();
+        let ordered_keys: Vec<&Value> = if reverse {
+            keys.iter().rev().collect()
+        } else {
+            keys.iter().collect()
+        };
+        if idx.def.columns.len() == 1 {
+            // Within one key, postings stay in rid (heap) order even when
+            // the key order is reversed — see flatten_key_blocks.
+            for key in ordered_keys {
+                if let Some(set) = idx.map.get(std::slice::from_ref(key)) {
+                    out.extend(set.iter().copied());
+                }
+            }
+        } else {
+            for key in ordered_keys {
+                out.extend(self.index_prefix_scan(idx, std::slice::from_ref(key), reverse));
+            }
+        }
+        out
     }
 
     /// All secondary indexes.
@@ -487,10 +669,7 @@ mod tests {
         assert!(matches!(err, StorageError::UniqueViolation { .. }));
         // Old index entries intact.
         let idx = t.index_on(&["email".to_string()]).unwrap();
-        assert_eq!(
-            t.index_lookup(idx, &[Value::Text("a@x".into())]).len(),
-            1
-        );
+        assert_eq!(t.index_lookup(idx, &[Value::Text("a@x".into())]).len(), 1);
     }
 
     #[test]
@@ -538,10 +717,7 @@ mod tests {
         })
         .unwrap();
         let idx = t.index_on(&["name".to_string()]).unwrap();
-        assert_eq!(
-            t.index_lookup(idx, &[Value::Text("a".into())]).len(),
-            1
-        );
+        assert_eq!(t.index_lookup(idx, &[Value::Text("a".into())]).len(), 1);
     }
 
     #[test]
@@ -597,7 +773,10 @@ mod tests {
         assert_eq!(best.def().name, "t_ab");
         let only_a = t.best_index_for(&["a"]).unwrap();
         assert_eq!(only_a.def().name, "t_a");
-        assert!(t.best_index_for(&["b"]).is_none() || t.best_index_for(&["b"]).unwrap().def().columns == vec!["b".to_string()]);
+        assert!(
+            t.best_index_for(&["b"]).is_none()
+                || t.best_index_for(&["b"]).unwrap().def().columns == vec!["b".to_string()]
+        );
     }
 
     #[test]
@@ -630,8 +809,68 @@ mod tests {
     }
 
     #[test]
+    fn best_index_tie_breaks_by_name() {
+        let schema = TableSchema::builder("t")
+            .pk("id")
+            .column(ColumnDef::new("a", ValueType::Int))
+            .column(ColumnDef::new("b", ValueType::Int))
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema, 7);
+        // Two single-column indexes over columns with identical
+        // cardinality: width and selectivity tie, so the name decides —
+        // deterministically, regardless of creation order.
+        t.create_index(IndexDef {
+            name: "t_zz".into(),
+            columns: vec!["a".into()],
+            unique: false,
+        })
+        .unwrap();
+        t.create_index(IndexDef {
+            name: "t_aa".into(),
+            columns: vec!["b".into()],
+            unique: false,
+        })
+        .unwrap();
+        for i in 0..10i64 {
+            t.insert(row![i, i % 5, i % 5]).unwrap();
+        }
+        assert_eq!(t.best_index_for(&["a", "b"]).unwrap().def().name, "t_aa");
+
+        // Same table with the indexes created in the opposite order
+        // picks the same winner.
+        let schema = TableSchema::builder("t")
+            .pk("id")
+            .column(ColumnDef::new("a", ValueType::Int))
+            .column(ColumnDef::new("b", ValueType::Int))
+            .build()
+            .unwrap();
+        let mut t2 = Table::new(schema, 8);
+        t2.create_index(IndexDef {
+            name: "t_aa".into(),
+            columns: vec!["b".into()],
+            unique: false,
+        })
+        .unwrap();
+        t2.create_index(IndexDef {
+            name: "t_zz".into(),
+            columns: vec!["a".into()],
+            unique: false,
+        })
+        .unwrap();
+        for i in 0..10i64 {
+            t2.insert(row![i, i % 5, i % 5]).unwrap();
+        }
+        assert_eq!(t2.best_index_for(&["a", "b"]).unwrap().def().name, "t_aa");
+    }
+
+    #[test]
     fn page_of_groups_rows() {
-        let schema = TableSchema::builder("t").pk("id").rows_per_page(4).build().unwrap();
+        let schema = TableSchema::builder("t")
+            .pk("id")
+            .rows_per_page(4)
+            .build()
+            .unwrap();
         let t = Table::new(schema, 4);
         assert_eq!(t.page_of(RowId(0)), 0);
         assert_eq!(t.page_of(RowId(3)), 0);

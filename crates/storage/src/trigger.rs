@@ -56,8 +56,7 @@ pub struct TriggerCtx<'a> {
     pub new: Option<&'a Row>,
     /// Read-only query callback into the engine. Boxed so `trigger.rs`
     /// stays decoupled from the executor internals.
-    pub(crate) query_fn:
-        &'a mut dyn FnMut(&Select, &[Value]) -> Result<QueryResult>,
+    pub(crate) query_fn: &'a mut dyn FnMut(&Select, &[Value]) -> Result<QueryResult>,
     /// Cost sink for work done inside the trigger.
     pub(crate) cost: &'a mut CostReport,
 }
@@ -319,8 +318,7 @@ mod tests {
     fn source_line_accounting() {
         let mut m = TriggerManager::new();
         m.register(
-            Trigger::new("t", "a", TriggerEvent::Insert, noop())
-                .with_source("line1\nline2\nline3"),
+            Trigger::new("t", "a", TriggerEvent::Insert, noop()).with_source("line1\nline2\nline3"),
         )
         .unwrap();
         m.register(Trigger::new("u", "a", TriggerEvent::Delete, noop()))

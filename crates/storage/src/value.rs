@@ -128,17 +128,17 @@ impl Value {
     /// NULL is compatible with every type; `Int` is accepted by `Float` and
     /// `Timestamp` columns (widening), mirroring lenient ORM bindings.
     pub fn compatible_with(&self, ty: ValueType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), ValueType::Int)
-            | (Value::Int(_), ValueType::Float)
-            | (Value::Int(_), ValueType::Timestamp) => true,
-            (Value::Float(_), ValueType::Float) => true,
-            (Value::Text(_), ValueType::Text) => true,
-            (Value::Bool(_), ValueType::Bool) => true,
-            (Value::Timestamp(_), ValueType::Timestamp) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), ValueType::Int)
+                | (Value::Int(_), ValueType::Float)
+                | (Value::Int(_), ValueType::Timestamp)
+                | (Value::Float(_), ValueType::Float)
+                | (Value::Text(_), ValueType::Text)
+                | (Value::Bool(_), ValueType::Bool)
+                | (Value::Timestamp(_), ValueType::Timestamp)
+        )
     }
 
     /// Coerces the value for storage in a column of type `ty`, widening
@@ -342,7 +342,7 @@ mod tests {
 
     #[test]
     fn storage_order_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("b".into()),
             Value::Null,
             Value::Float(f64::NAN),

@@ -2,8 +2,8 @@
 //! API: DDL, DML, joins, aggregates, triggers, transactions, cost reports.
 
 use genie_storage::{
-    row, ColumnDef, Database, DbConfig, Expr, IndexDef, Select, SelectItem, StorageError,
-    TableRef, TableSchema, Trigger, TriggerEvent, Value, ValueType,
+    row, ColumnDef, Database, DbConfig, Expr, Select, SelectItem, StorageError, TableRef,
+    TableSchema, Trigger, TriggerEvent, Value, ValueType,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,10 +68,7 @@ fn secondary_index_scan() {
         post(&db, p, 1 + (p % 2), 2, p);
     }
     let out = db
-        .execute_sql(
-            "SELECT * FROM wall WHERE user_id = $1",
-            &[Value::Int(1)],
-        )
+        .execute_sql("SELECT * FROM wall WHERE user_id = $1", &[Value::Int(1)])
         .unwrap();
     assert_eq!(out.result.rows.len(), 5);
     assert_eq!(out.cost.rows_scanned, 5, "index scan visits only matches");
@@ -164,10 +161,12 @@ fn join_on_primary_key_uses_pk_index() {
 #[test]
 fn left_join_pads_nulls() {
     let db = Database::default();
-    db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)", &[]).unwrap();
+    db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)", &[])
+        .unwrap();
     db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY, a_id INT)", &[])
         .unwrap();
-    db.execute_sql("INSERT INTO a VALUES (1), (2)", &[]).unwrap();
+    db.execute_sql("INSERT INTO a VALUES (1), (2)", &[])
+        .unwrap();
     db.execute_sql("INSERT INTO b VALUES (10, 1)", &[]).unwrap();
     let out = db
         .execute_sql(
@@ -239,7 +238,10 @@ fn aggregates_over_empty_input() {
     db.execute_sql("CREATE TABLE m (id INT PRIMARY KEY, v INT)", &[])
         .unwrap();
     let out = db
-        .execute_sql("SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo FROM m", &[])
+        .execute_sql(
+            "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo FROM m",
+            &[],
+        )
         .unwrap();
     let r = &out.result.rows[0];
     assert_eq!(r.get(0), &Value::Int(0));
@@ -254,10 +256,7 @@ fn update_and_delete_with_predicates() {
         post(&db, p, 1, 2, p);
     }
     let out = db
-        .execute_sql(
-            "UPDATE wall SET content = 'edited' WHERE post_id < 2",
-            &[],
-        )
+        .execute_sql("UPDATE wall SET content = 'edited' WHERE post_id < 2", &[])
         .unwrap();
     assert_eq!(out.result.rows_affected, 2);
     let out = db
@@ -275,10 +274,7 @@ fn update_and_delete_with_predicates() {
 fn foreign_key_enforced() {
     let db = social_db();
     let err = db
-        .execute_sql(
-            "INSERT INTO wall VALUES (1, 999, 'x', 1, TS(0))",
-            &[],
-        )
+        .execute_sql("INSERT INTO wall VALUES (1, 999, 'x', 1, TS(0))", &[])
         .unwrap_err();
     assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
     // Null FK is allowed at the FK level (NOT NULL would catch separately).
@@ -333,8 +329,11 @@ fn update_trigger_sees_old_and_new() {
         },
     ))
     .unwrap();
-    db.execute_sql("UPDATE wall SET date_posted = TS(99) WHERE post_id = 1", &[])
-        .unwrap();
+    db.execute_sql(
+        "UPDATE wall SET date_posted = TS(99) WHERE post_id = 1",
+        &[],
+    )
+    .unwrap();
     assert_eq!(ok.load(Ordering::SeqCst), 1);
 }
 
@@ -350,7 +349,10 @@ fn trigger_can_query_database() {
         move |ctx: &mut genie_storage::TriggerCtx<'_>| {
             let sel = Select::star("wall").project(vec![SelectItem::count_star()]);
             let r = ctx.query(&sel, &[])?;
-            c2.store(r.scalar().unwrap().as_int().unwrap() as u64, Ordering::SeqCst);
+            c2.store(
+                r.scalar().unwrap().as_int().unwrap() as u64,
+                Ordering::SeqCst,
+            );
             Ok(())
         },
     ))
@@ -368,9 +370,7 @@ fn failing_trigger_aborts_statement() {
         "wall_fail",
         "wall",
         TriggerEvent::Insert,
-        |_: &mut genie_storage::TriggerCtx<'_>| {
-            Err(StorageError::Eval("boom".into()))
-        },
+        |_: &mut genie_storage::TriggerCtx<'_>| Err(StorageError::Eval("boom".into())),
     ))
     .unwrap();
     let err = db
@@ -438,7 +438,11 @@ fn transaction_commit_and_rollback() {
     let out = db
         .execute_sql("SELECT COUNT(*) FROM wall WHERE post_id = 2", &[])
         .unwrap();
-    assert_eq!(out.result.scalar(), Some(&Value::Int(1)), "delete rolled back");
+    assert_eq!(
+        out.result.scalar(),
+        Some(&Value::Int(1)),
+        "delete rolled back"
+    );
     assert_eq!(db.stats().rollbacks, 1);
     assert_eq!(db.stats().commits, 1);
 }
@@ -533,12 +537,10 @@ fn repeated_point_reads_hit_pool() {
 #[test]
 fn unique_index_via_sql() {
     let db = Database::default();
-    db.execute_sql(
-        "CREATE TABLE b (id INT PRIMARY KEY, url TEXT UNIQUE)",
-        &[],
-    )
-    .unwrap();
-    db.execute_sql("INSERT INTO b VALUES (1, 'http://x')", &[]).unwrap();
+    db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY, url TEXT UNIQUE)", &[])
+        .unwrap();
+    db.execute_sql("INSERT INTO b VALUES (1, 'http://x')", &[])
+        .unwrap();
     let err = db
         .execute_sql("INSERT INTO b VALUES (2, 'http://x')", &[])
         .unwrap_err();
@@ -550,7 +552,8 @@ fn create_index_unique_via_sql_then_enforced() {
     let db = Database::default();
     db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, k INT)", &[])
         .unwrap();
-    db.execute_sql("CREATE UNIQUE INDEX t_k ON t (k)", &[]).unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX t_k ON t (k)", &[])
+        .unwrap();
     db.execute_sql("INSERT INTO t VALUES (1, 7)", &[]).unwrap();
     assert!(db.execute_sql("INSERT INTO t VALUES (2, 7)", &[]).is_err());
 }
@@ -559,7 +562,10 @@ fn create_index_unique_via_sql_then_enforced() {
 fn in_list_and_like_filters() {
     let db = social_db();
     let out = db
-        .execute_sql("SELECT * FROM users WHERE id IN (1, 3, 5) ORDER BY id ASC", &[])
+        .execute_sql(
+            "SELECT * FROM users WHERE id IN (1, 3, 5) ORDER BY id ASC",
+            &[],
+        )
         .unwrap();
     assert_eq!(out.result.rows.len(), 3);
     let out = db
@@ -633,7 +639,8 @@ fn update_with_self_reference() {
     db.execute_sql("CREATE TABLE c (id INT PRIMARY KEY, n INT)", &[])
         .unwrap();
     db.execute_sql("INSERT INTO c VALUES (1, 10)", &[]).unwrap();
-    db.execute_sql("UPDATE c SET n = n + 1 WHERE id = 1", &[]).unwrap();
+    db.execute_sql("UPDATE c SET n = n + 1 WHERE id = 1", &[])
+        .unwrap();
     let out = db.execute_sql("SELECT n FROM c WHERE id = 1", &[]).unwrap();
     assert_eq!(out.result.rows[0].get(0), &Value::Int(11));
 }

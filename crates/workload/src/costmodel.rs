@@ -114,8 +114,7 @@ impl CostParams {
         let disk_ms = cost.page_misses as f64 * self.disk_page_read_ms
             + cost.page_writebacks as f64 * self.disk_page_write_ms
             + cost.wal_appends as f64 * self.wal_append_ms;
-        let cache_ms =
-            (client_cache_ops + cost.trigger_cache_ops) as f64 * self.cache_op_ms;
+        let cache_ms = (client_cache_ops + cost.trigger_cache_ops) as f64 * self.cache_op_ms;
         PageCharge {
             db_cpu: SimDuration::from_millis_f64(cpu_ms),
             db_disk: SimDuration::from_millis_f64(disk_ms),
@@ -159,7 +158,7 @@ mod tests {
         );
 
         // A trigger opening a remote connection roughly doubles it.
-        let mut with_conn = with_noop.clone();
+        let mut with_conn = with_noop;
         with_conn.trigger_connections = 1;
         let conn = p.page_charge(&with_conn, 0, 1, 0).total().as_millis_f64();
         assert!(

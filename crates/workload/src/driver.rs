@@ -10,7 +10,6 @@
 //! Clients advance in smallest-local-time order (activity scanning), so
 //! functional execution order tracks virtual time.
 
-
 use crate::metrics::{PageTypeMetrics, RunResult};
 use crate::spec::{CacheMode, PageKind, WorkloadConfig};
 use cachegenie::ConsistencyStrategy;
@@ -146,12 +145,10 @@ pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
 
         // Price it and advance virtual time through the resources.
         let db_reads = (stats.queries - stats.writes).saturating_sub(stats.cache_hit_queries);
-        let charge = config.cost.page_charge(
-            &stats.db_cost,
-            db_reads,
-            stats.writes,
-            stats.cache_ops,
-        );
+        let charge =
+            config
+                .cost
+                .page_charge(&stats.db_cost, db_reads, stats.writes, stats.cache_ops);
         let start = c.now;
         let mut t = start;
         let (cpu_demand, cache_demand) = if config.colocated_cache {
@@ -174,8 +171,8 @@ pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
 
         // Warm-up bookkeeping: a client is "measured" once it has consumed
         // its warm-up sessions.
-        let in_warmup = c.sessions_left + usize::from(c.session.is_some())
-            > config.sessions_per_client;
+        let in_warmup =
+            c.sessions_left + usize::from(c.session.is_some()) > config.sessions_per_client;
         if in_warmup {
             warmup_done_at = warmup_done_at.max(t);
         } else {
@@ -199,7 +196,10 @@ pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
         }
     }
 
-    let end = clients.iter().map(|c| c.now).fold(SimTime::ZERO, SimTime::max);
+    let end = clients
+        .iter()
+        .map(|c| c.now)
+        .fold(SimTime::ZERO, SimTime::max);
     let measure_start = measure_start.unwrap_or(warmup_done_at);
     let duration = end.saturating_since(measure_start);
     let horizon = SimTime::ZERO + duration;
@@ -282,7 +282,8 @@ fn execute_page(
             // brand-new bookmark.
             let pool = config.seed.unique_bookmarks.max(1);
             let n = rng.gen_range(1..=pool + pool / 4 + 1);
-            env.app.create_bm(user, &format!("http://bookmark.example/{n}"))
+            env.app
+                .create_bm(user, &format!("http://bookmark.example/{n}"))
         }
         PageKind::AcceptFR => {
             let peer = rng.gen_range(1..=config.seed.users.max(2)) as i64;

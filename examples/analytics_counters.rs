@@ -39,11 +39,7 @@ fn deploy(strategy: ConsistencyStrategy) -> Result<(OrmSession, CacheGenie), Box
     Ok((session, genie))
 }
 
-fn drive(
-    label: &str,
-    session: &OrmSession,
-    genie: &CacheGenie,
-) -> Result<(), Box<dyn Error>> {
+fn drive(label: &str, session: &OrmSession, genie: &CacheGenie) -> Result<(), Box<dyn Error>> {
     let count_of = |kind: &str| -> Result<(i64, bool), Box<dyn Error>> {
         let qs = session.objects("Event")?.filter_eq("kind", kind);
         let (n, out) = session.count(&qs)?;

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .create("Profile", &[("user_id", 42i64.into()), ("bio", "x".into())])
         .is_err());
     let profile_id = session
-        .create("Profile", &[("user_id", 1i64.into()), ("bio", "hello world".into())])?
+        .create(
+            "Profile",
+            &[("user_id", 1i64.into()), ("bio", "hello world".into())],
+        )?
         .new_id
         .expect("create returns the new id");
 

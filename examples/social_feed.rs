@@ -6,10 +6,10 @@
 //! Run with: `cargo run --example social_feed`
 
 use cachegenie::SortOrder;
-use cachegenie_repro::genie::{CacheGenie, CacheableDef, GenieConfig};
 use cachegenie_repro::cache::{CacheCluster, ClusterConfig};
-use cachegenie_repro::social::build_registry;
+use cachegenie_repro::genie::{CacheGenie, CacheableDef, GenieConfig};
 use cachegenie_repro::orm::OrmSession;
+use cachegenie_repro::social::build_registry;
 use cachegenie_repro::storage::{Database, Value};
 use std::error::Error;
 use std::sync::Arc;
@@ -40,9 +40,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         GenieConfig::default(),
     );
     genie.cacheable(
-        CacheableDef::top_k("latest_wall_posts", "WallPost", "date_posted", SortOrder::Descending, 5)
-            .where_fields(&["user_id"])
-            .reserve(2),
+        CacheableDef::top_k(
+            "latest_wall_posts",
+            "WallPost",
+            "date_posted",
+            SortOrder::Descending,
+            5,
+        )
+        .where_fields(&["user_id"])
+        .reserve(2),
     )?;
     genie.install(&session);
 
@@ -66,10 +72,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             .iter()
             .map(|r| r.get("content").as_text().unwrap_or("?").to_owned())
             .collect();
-        println!(
-            "{label:<28} from_cache={:<5} -> {posts:?}",
-            out.from_cache
-        );
+        println!("{label:<28} from_cache={:<5} -> {posts:?}", out.from_cache);
         Ok(())
     };
     feed("initial feed")?;

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             .where_fields(&["owner"])
             .manual_only(),
     )?;
-    session.create("Account", &[("owner", 7i64.into()), ("balance", 100i64.into())])?;
+    session.create(
+        "Account",
+        &[("owner", 7i64.into()), ("balance", 100i64.into())],
+    )?;
 
     let mgr = StrictTxnManager::new();
 

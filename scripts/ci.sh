@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace; run from the repo root.
+# Mirrors what a CI job would run — keep it green before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo build --benches (criterion harnesses compile)"
+cargo build --benches -q
+
+echo "ci.sh: all green"

@@ -68,13 +68,9 @@ fn cache_and_database_agree_after_a_busy_day() {
         };
         assert_eq!(key(&cached.rows), key(&truth.rows), "user {user} bookmarks");
 
-        let (cached_n, _) = session
-            .count(&env.app.friends_qs(user).unwrap())
-            .unwrap();
+        let (cached_n, _) = session.count(&env.app.friends_qs(user).unwrap()).unwrap();
         session.clear_interceptor();
-        let (truth_n, _) = session
-            .count(&env.app.friends_qs(user).unwrap())
-            .unwrap();
+        let (truth_n, _) = session.count(&env.app.friends_qs(user).unwrap()).unwrap();
         env.genie.install(session);
         assert_eq!(cached_n, truth_n, "user {user} friend count");
     }
@@ -92,11 +88,13 @@ fn workload_all_modes_complete_and_order_sensibly() {
     };
     let mut results = Vec::new();
     for mode in [CacheMode::NoCache, CacheMode::Invalidate, CacheMode::Update] {
-        results.push(run(&WorkloadConfig {
-            mode,
-            ..base.clone()
-        })
-        .unwrap());
+        results.push(
+            run(&WorkloadConfig {
+                mode,
+                ..base.clone()
+            })
+            .unwrap(),
+        );
     }
     let (nocache, invalidate, update) = (&results[0], &results[1], &results[2]);
     // The paper's headline ordering.
@@ -164,8 +162,16 @@ fn nocache_and_cached_serve_identical_results_via_workload_seed() {
     let a = tiny_app(None);
     let b = tiny_app(Some(ConsistencyStrategy::Invalidate));
     for user in 1..=10i64 {
-        let qa = a.app.session().all(&a.app.friends_qs(user).unwrap()).unwrap();
-        let qb = b.app.session().all(&b.app.friends_qs(user).unwrap()).unwrap();
+        let qa = a
+            .app
+            .session()
+            .all(&a.app.friends_qs(user).unwrap())
+            .unwrap();
+        let qb = b
+            .app
+            .session()
+            .all(&b.app.friends_qs(user).unwrap())
+            .unwrap();
         assert_eq!(qa.rows.len(), qb.rows.len(), "user {user}");
     }
 }

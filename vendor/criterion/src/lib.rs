@@ -1,0 +1,172 @@
+//! Offline shim for the `criterion` API surface this workspace uses.
+//!
+//! Implements the group/bench/iter call structure with a plain
+//! time-boxed measurement loop (warm-up, then repeated timed batches,
+//! reporting the median per-iteration time). No statistical analysis,
+//! plotting, or baseline storage — this exists so `cargo bench` gives
+//! usable numbers and bench targets compile without the network.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1000);
+const BATCHES: usize = 20;
+
+/// Benchmark registry and runner handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a group name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id.render()), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id.render()), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; reports print as benches run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Accepted benchmark-name types.
+pub trait IdLike {
+    /// The display form.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median batch time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the batch so one batch is ~1ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((MEASURE.as_nanos() as f64 / BATCHES as f64 / per_iter.max(1.0)) as u64)
+            .clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    if b.ns_per_iter >= 1000.0 {
+        eprintln!("  {id}: {:.2} us/iter", b.ns_per_iter / 1000.0);
+    } else {
+        eprintln!("  {id}: {:.0} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, honoring `--test` mode so
+/// `cargo test --benches` stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes --test to harness=false bench targets;
+            // compile-check mode only, skip the timed runs.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
