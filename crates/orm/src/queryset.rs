@@ -9,7 +9,7 @@
 //! family of SQL shapes.
 
 use crate::model::ModelDef;
-use genie_storage::{CmpOp, Expr, QueryResult, Row, Select, SelectItem, TableRef, Value};
+use genie_storage::{CmpOp, Expr, OrderKey, QueryResult, Row, Select, SelectItem, TableRef, Value};
 
 /// A filter operator (Django lookup).
 #[derive(Debug, Clone, PartialEq)]
@@ -349,9 +349,16 @@ impl QuerySet {
                     .collect(),
             );
         }
-        // Order / limit / offset.
+        // Order / limit / offset. Keys are qualified to the base model's
+        // binding: Django orders by base-model fields, and the qualified
+        // form is the metadata the whole-query planner needs to attribute
+        // the ORDER BY unambiguously once joins are in the statement
+        // (an ordered index scan can then survive single-row joins).
         for (col, desc) in &self.order {
-            sel = sel.order(col.clone(), *desc);
+            sel.order_by.push(OrderKey {
+                expr: Expr::qcol(self.model.table(), col),
+                desc: *desc,
+            });
         }
         if let Some(l) = self.limit {
             sel = sel.limit(l);
@@ -419,7 +426,7 @@ mod tests {
             .compile();
         assert_eq!(
             sel.to_string(),
-            "SELECT * FROM wall WHERE (wall.user_id = $1) ORDER BY date_posted DESC LIMIT 20"
+            "SELECT * FROM wall WHERE (wall.user_id = $1) ORDER BY wall.date_posted DESC LIMIT 20"
         );
     }
 

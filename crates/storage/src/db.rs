@@ -254,30 +254,30 @@ impl Database {
 
     // ----- introspection -----
 
-    /// EXPLAIN: returns the access-path [`Plan`](crate::plan::Plan) the
-    /// planner would choose for `select`'s base table, without executing
-    /// anything. `params` fills `$n` holes referenced by the predicate
-    /// (pass the same vector you would execute with).
+    /// EXPLAIN: returns the whole-query [`QueryPlan`](crate::plan::QueryPlan)
+    /// the planner would choose for `select` — driving-table access path,
+    /// join order and probe methods, ORDER BY / LIMIT handling — without
+    /// executing anything. `params` fills `$n` holes referenced by the
+    /// predicate (pass the same vector you would execute with).
     ///
     /// # Errors
     ///
-    /// [`StorageError::UnknownTable`] for an unknown FROM table, plus any
-    /// predicate-evaluation error (e.g. a missing parameter).
-    pub fn explain(&self, select: &Select, params: &[Value]) -> Result<crate::plan::Plan> {
+    /// [`StorageError::UnknownTable`] for an unknown FROM/JOIN table, plus
+    /// any predicate-evaluation error (e.g. a missing parameter).
+    pub fn explain(&self, select: &Select, params: &[Value]) -> Result<crate::plan::QueryPlan> {
         let inner = self.inner.lock();
-        let table = inner.catalog.table(&select.from.table)?;
-        crate::plan::plan_select(table, select, params)
+        crate::plan::plan_query(&inner.catalog, select, params)
     }
 
-    /// Parses `sql` (which must be a SELECT) and explains it.
+    /// Parses `sql` (a SELECT, or an `EXPLAIN SELECT`) and explains it.
     ///
     /// # Errors
     ///
     /// Parse errors, non-SELECT statements, and the errors of
     /// [`Database::explain`].
-    pub fn explain_sql(&self, sql: &str, params: &[Value]) -> Result<crate::plan::Plan> {
+    pub fn explain_sql(&self, sql: &str, params: &[Value]) -> Result<crate::plan::QueryPlan> {
         match crate::sql::parse(sql)? {
-            Statement::Select(sel) => self.explain(&sel, params),
+            Statement::Select(sel) | Statement::Explain(sel) => self.explain(&sel, params),
             other => Err(StorageError::Unsupported(format!(
                 "EXPLAIN of non-SELECT statement {other:?}"
             ))),
@@ -378,6 +378,22 @@ impl Inner {
                 let result =
                     exec::run_select(&self.catalog, &mut self.pool, sel, params, &mut cost)?;
                 Ok(ExecOutcome { result, cost })
+            }
+            Statement::Explain(sel) => {
+                let plan = crate::plan::plan_query(&self.catalog, sel, params)?;
+                let rows = plan
+                    .lines()
+                    .into_iter()
+                    .map(|l| crate::row::Row::new(vec![Value::Text(l)]))
+                    .collect();
+                Ok(ExecOutcome {
+                    result: QueryResult {
+                        columns: vec!["QUERY PLAN".to_owned()],
+                        rows,
+                        rows_affected: 0,
+                    },
+                    cost,
+                })
             }
             Statement::Insert(ins) => {
                 self.stats.writes += 1;

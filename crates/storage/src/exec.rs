@@ -1,11 +1,16 @@
-//! Planner and executor.
+//! The executor: mechanically walks whatever the planner chose.
 //!
-//! Execution is deliberately simple — index selection on conjunctive
-//! equality predicates, index-nested-loop joins with a sequential-scan
-//! fallback, sort + limit, single-level grouping — because that is exactly
-//! the query surface a Django-style ORM emits. Every physical decision
+//! SELECTs ask [`crate::plan::plan_query`] for a [`QueryPlan`] — driving
+//! table access path, join steps in cost-chosen order, ORDER BY / LIMIT
+//! handling — and then pump base rows one at a time through the join
+//! pipeline and the residual WHERE. Row-at-a-time pumping is what makes
+//! plans with `fetch_limit` (ORDER BY satisfied by an index scan, or no
+//! ORDER BY at all) stop scanning as soon as `LIMIT + OFFSET` output rows
+//! exist, instead of materializing every match. Every physical decision
 //! (page touch, index probe, sort) is recorded in the statement's
 //! [`CostReport`] so the benchmark harness can price it.
+
+use crate::plan::{JoinMethod, QueryPlan};
 
 use crate::bufferpool::{BufferPool, PageId};
 use crate::catalog::Catalog;
@@ -128,6 +133,32 @@ impl Layout {
     fn binder(&self) -> impl Fn(&ColumnRef) -> Result<usize> + '_ {
         move |c| self.resolve(c)
     }
+
+    /// For each column position of `target`, its position in `self` —
+    /// `None` when the layouts already agree. Used to remap combined rows
+    /// from the planner's execution order back to syntactic column order;
+    /// the planner only reorders when bindings are unique.
+    fn permutation_to(&self, target: &Layout) -> Option<Vec<usize>> {
+        if self.entries.len() == target.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&target.entries)
+                .all(|(a, b)| a.0 == b.0)
+        {
+            return None;
+        }
+        let mut perm = Vec::with_capacity(target.width);
+        for (binding, cols, _) in &target.entries {
+            let (_, _, off) = self
+                .entries
+                .iter()
+                .find(|(b, _, _)| b == binding)
+                .expect("execution layout covers the same bindings");
+            perm.extend(*off..*off + cols.len());
+        }
+        Some(perm)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -182,6 +213,93 @@ fn touch_read(pool: &mut BufferPool, table: &Table, rid: RowId, cost: &mut CostR
 // SELECT
 // ---------------------------------------------------------------------
 
+/// One prepared join step: the plan's probe method and residual ON
+/// conditions, bound against the execution-order layout.
+struct JoinStep<'a> {
+    jt: &'a Table,
+    kind: JoinKind,
+    on: Vec<Expr>,
+    method: BoundMethod<'a>,
+}
+
+enum BoundMethod<'a> {
+    Pk(Expr),
+    Index(&'a crate::table::Index, Vec<Expr>),
+    Scan,
+}
+
+/// Runs one left row through a join step, appending combined rows.
+fn join_step(
+    step: &JoinStep<'_>,
+    left: &Row,
+    params: &[Value],
+    pool: &mut BufferPool,
+    cost: &mut CostReport,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let jt = step.jt;
+    let candidates: Vec<RowId> = match &step.method {
+        BoundMethod::Pk(outer) => {
+            cost.index_probes += 1;
+            let v = outer.eval(left, params)?;
+            if v.is_null() {
+                Vec::new()
+            } else {
+                let v = coerce_for(jt, jt.schema().primary_key(), &v);
+                jt.find_pk(&v).into_iter().collect()
+            }
+        }
+        BoundMethod::Index(idx, outers) => {
+            cost.index_probes += 1;
+            let mut key = Vec::with_capacity(outers.len());
+            let mut null_key = false;
+            for (col, e) in idx.def().columns.iter().zip(outers) {
+                let v = e.eval(left, params)?;
+                if v.is_null() {
+                    // SQL equality never matches NULL.
+                    null_key = true;
+                    break;
+                }
+                key.push(coerce_for(jt, col, &v));
+            }
+            if null_key {
+                Vec::new()
+            } else {
+                jt.index_lookup(idx, &key)
+            }
+        }
+        BoundMethod::Scan => jt.iter().map(|(rid, _)| rid).collect(),
+    };
+    let mut matched = false;
+    for rid in candidates {
+        let Some(r) = jt.get(rid) else { continue };
+        touch_read(pool, jt, rid, cost);
+        cost.rows_scanned += 1;
+        let mut combined = Vec::with_capacity(left.arity() + r.arity());
+        combined.extend_from_slice(left.values());
+        combined.extend_from_slice(r.values());
+        let combined = Row::new(combined);
+        let mut ok = true;
+        for on in &step.on {
+            if !on.matches(&combined, params)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            matched = true;
+            out.push(combined);
+        }
+    }
+    if !matched && step.kind == JoinKind::Left {
+        let mut combined = Vec::with_capacity(left.arity() + jt.schema().arity());
+        combined.extend_from_slice(left.values());
+        combined.extend(std::iter::repeat_n(Value::Null, jt.schema().arity()));
+        out.push(Row::new(combined));
+    }
+    Ok(())
+}
+
 /// Executes a SELECT.
 pub(crate) fn run_select(
     catalog: &Catalog,
@@ -190,16 +308,63 @@ pub(crate) fn run_select(
     params: &[Value],
     cost: &mut CostReport,
 ) -> Result<QueryResult> {
-    let base = catalog.table(&sel.from.table)?;
-    let base_binding = sel.from.binding_name().to_owned();
-    let mut layout = Layout::default();
-    layout.push_table(&base_binding, base);
+    let qplan: QueryPlan = crate::plan::plan_query(catalog, sel, params)?;
+    let base = catalog.table(&qplan.base.table)?;
 
-    // --- base scan ---
-    let plan = crate::plan::plan_select(base, sel, params)?;
-    let mut rids = crate::plan::execute_path(base, &plan, cost);
+    // Execution-order layout (driving table first, joins in plan order)
+    // plus the prepared join steps. Probe expressions bind against the
+    // prefix layout; ON residues bind once the step's table is pushed.
+    let mut exec_layout = Layout::default();
+    exec_layout.push_table(&qplan.base_binding, base);
+    let mut steps: Vec<JoinStep<'_>> = Vec::with_capacity(qplan.joins.len());
+    for jp in &qplan.joins {
+        let jt = catalog.table(&jp.table)?;
+        let method = match &jp.method {
+            JoinMethod::PkProbe { outer } => BoundMethod::Pk(outer.bind(&exec_layout.binder())?),
+            JoinMethod::IndexProbe { index, outers } => {
+                let idx = jt.index_by_name(index).expect("planned index exists");
+                let bound = outers
+                    .iter()
+                    .map(|e| e.bind(&exec_layout.binder()))
+                    .collect::<Result<Vec<_>>>()?;
+                BoundMethod::Index(idx, bound)
+            }
+            JoinMethod::NestedScan => BoundMethod::Scan,
+        };
+        exec_layout.push_table(&jp.binding, jt);
+        let on = jp
+            .on
+            .iter()
+            .map(|e| e.bind(&exec_layout.binder()))
+            .collect::<Result<Vec<_>>>()?;
+        steps.push(JoinStep {
+            jt,
+            kind: jp.kind,
+            on,
+            method,
+        });
+    }
+
+    // Syntactic layout: the column namespace WHERE / ORDER BY /
+    // projection bind against, and the output column order. When the
+    // planner rotated the join order, combined rows are remapped into it.
+    let mut syn_layout = Layout::default();
+    syn_layout.push_table(sel.from.binding_name(), catalog.table(&sel.from.table)?);
+    for j in &sel.joins {
+        syn_layout.push_table(j.table.binding_name(), catalog.table(&j.table.table)?);
+    }
+    let perm = exec_layout.permutation_to(&syn_layout);
+    let layout = syn_layout;
+
+    let bound_pred = match &sel.predicate {
+        Some(p) => Some(p.bind(&layout.binder())?),
+        None => None,
+    };
+
+    // --- base scan + pipeline ---
+    let mut rids = crate::plan::execute_path(base, &qplan.base, cost);
     if let Some(r) = rids.as_mut() {
-        if !plan.order_satisfied {
+        if !qplan.order_satisfied {
             // Path order only matters when the executor keeps it (sort
             // skipped). Otherwise restore heap order so the stable sort
             // breaks ties identically with and without indexes — and
@@ -207,135 +372,49 @@ pub(crate) fn run_select(
             r.sort_unstable();
         }
     }
-    let mut current: Vec<Row> = match rids {
-        Some(rids) => {
-            let mut rows = Vec::with_capacity(rids.len());
-            for rid in rids {
-                if let Some(r) = base.get(rid) {
-                    touch_read(pool, base, rid, cost);
-                    cost.rows_scanned += 1;
-                    rows.push(r.clone());
-                }
-            }
-            rows
-        }
-        None => {
-            let mut rows = Vec::with_capacity(base.len());
-            for (rid, r) in base.iter() {
-                touch_read(pool, base, rid, cost);
-                cost.rows_scanned += 1;
-                rows.push(r.clone());
-            }
-            rows
-        }
+    let rid_list: Vec<RowId> = match rids {
+        Some(rids) => rids,
+        None => base.iter().map(|(rid, _)| rid).collect(),
     };
 
-    // --- joins ---
-    for join in &sel.joins {
-        let jt = catalog.table(&join.table.table)?;
-        let jbinding = join.table.binding_name().to_owned();
-        let left_layout = layout.clone();
-        layout.push_table(&jbinding, jt);
-        let bound_on = join.on.bind(&layout.binder())?;
-
-        // Equi-join keys: join-table column = expression over left columns.
-        let mut key_cols: Vec<String> = Vec::new();
-        let mut key_exprs: Vec<Expr> = Vec::new();
-        for c in join.on.conjuncts() {
-            if let Expr::Cmp(a, crate::expr::CmpOp::Eq, b) = c {
-                for (side_j, side_l) in [(a, b), (b, a)] {
-                    if let Expr::Column(cj) = side_j.as_ref() {
-                        let j_ok = match &cj.table {
-                            Some(t) => t == &jbinding,
-                            None => jt.schema().column_pos(&cj.column).is_some(),
-                        };
-                        if j_ok
-                            && jt.schema().column_pos(&cj.column).is_some()
-                            && side_l.bind(&left_layout.binder()).is_ok()
-                        {
-                            key_cols.push(cj.column.clone());
-                            key_exprs.push(side_l.bind(&left_layout.binder())?);
-                            break;
-                        }
-                    }
-                }
+    // With `fetch_limit` the pipeline's output order is final, so the
+    // scan stops as soon as enough output rows exist — this is what cuts
+    // Top-K page-query tail latency from O(matches) to O(k).
+    let target = qplan.fetch_limit.map(|k| k as usize);
+    let mut current: Vec<Row> = Vec::new();
+    'scan: for rid in rid_list {
+        let Some(r0) = base.get(rid) else { continue };
+        touch_read(pool, base, rid, cost);
+        cost.rows_scanned += 1;
+        let mut batch: Vec<Row> = vec![r0.clone()];
+        for step in &steps {
+            if batch.is_empty() {
+                break;
             }
+            let mut next = Vec::new();
+            for left in &batch {
+                join_step(step, left, params, pool, cost, &mut next)?;
+            }
+            batch = next;
         }
-        let key_col_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
-        let index = jt.best_index_for(&key_col_refs);
-        // Joining on the primary key (the commonest FK traversal) uses
-        // the PK index directly — it is not a secondary index.
-        let pk_join = key_cols.iter().position(|c| c == jt.schema().primary_key());
-
-        let mut next: Vec<Row> = Vec::new();
-        for left in &current {
-            let candidates: Vec<RowId> = if let Some(pk_pos) = pk_join {
-                let v = key_exprs[pk_pos].eval(left, params)?;
-                cost.index_probes += 1;
-                if v.is_null() {
-                    Vec::new()
-                } else {
-                    let v = coerce_for(jt, jt.schema().primary_key(), &v);
-                    jt.find_pk(&v).into_iter().collect()
-                }
-            } else {
-                match index {
-                    Some(idx) => {
-                        let mut key = Vec::with_capacity(idx.def().columns.len());
-                        let mut null_key = false;
-                        for col in &idx.def().columns {
-                            let pos = key_cols.iter().position(|c| c == col).expect("covered");
-                            let v = key_exprs[pos].eval(left, params)?;
-                            if v.is_null() {
-                                null_key = true;
-                                break;
-                            }
-                            key.push(coerce_for(jt, col, &v));
-                        }
-                        cost.index_probes += 1;
-                        if null_key {
-                            Vec::new()
-                        } else {
-                            jt.index_lookup(idx, &key)
-                        }
-                    }
-                    None => jt.iter().map(|(rid, _)| rid).collect(),
-                }
+        for row in batch {
+            let row = match &perm {
+                Some(p) => Row::new(p.iter().map(|&i| row.get(i).clone()).collect()),
+                None => row,
             };
-            let mut matched = false;
-            for rid in candidates {
-                let Some(r) = jt.get(rid) else { continue };
-                touch_read(pool, jt, rid, cost);
-                cost.rows_scanned += 1;
-                let mut combined = Vec::with_capacity(left.arity() + r.arity());
-                combined.extend_from_slice(left.values());
-                combined.extend_from_slice(r.values());
-                let combined = Row::new(combined);
-                if bound_on.matches(&combined, params)? {
-                    matched = true;
-                    next.push(combined);
+            let keep = match &bound_pred {
+                Some(pred) => pred.matches(&row, params)?,
+                None => true,
+            };
+            if keep {
+                current.push(row);
+                if let Some(t) = target {
+                    if current.len() >= t {
+                        break 'scan;
+                    }
                 }
             }
-            if !matched && join.kind == JoinKind::Left {
-                let mut combined = Vec::with_capacity(left.arity() + jt.schema().arity());
-                combined.extend_from_slice(left.values());
-                combined.extend(std::iter::repeat_n(Value::Null, jt.schema().arity()));
-                next.push(Row::new(combined));
-            }
         }
-        current = next;
-    }
-
-    // --- WHERE ---
-    if let Some(pred) = &sel.predicate {
-        let bound = pred.bind(&layout.binder())?;
-        let mut kept = Vec::with_capacity(current.len());
-        for row in current {
-            if bound.matches(&row, params)? {
-                kept.push(row);
-            }
-        }
-        current = kept;
     }
 
     // --- aggregates ---
@@ -349,10 +428,10 @@ pub(crate) fn run_select(
     }
 
     // --- ORDER BY ---
-    // When the chosen access path already yields the requested order
-    // (index scans produce key order; residual filtering preserves it),
-    // the sort — and its cost — is skipped entirely.
-    if !sel.order_by.is_empty() && !plan.order_satisfied {
+    // When the pipeline already yields the requested order (ordered base
+    // scan surviving single-row joins), the sort — and its cost — is
+    // skipped entirely.
+    if !sel.order_by.is_empty() && !qplan.order_satisfied {
         let keys: Vec<(Expr, bool)> = sel
             .order_by
             .iter()

@@ -59,6 +59,7 @@ pub mod query;
 pub mod row;
 pub mod schema;
 pub mod sql;
+pub mod stats;
 pub mod table;
 pub mod trigger;
 pub mod value;
@@ -68,13 +69,14 @@ pub use cost::CostReport;
 pub use db::{Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
-pub use plan::{AccessPath, Bound, Plan};
+pub use plan::{AccessPath, Bound, JoinMethod, JoinPlan, Plan, QueryPlan};
 pub use query::{
     AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem, Statement,
     TableRef, Update,
 };
 pub use row::{Row, RowId};
 pub use schema::{ColumnDef, ForeignKeyDef, IndexDef, TableSchema, TableSchemaBuilder};
+pub use stats::ColumnStats;
 pub use table::Table;
 pub use trigger::{Trigger, TriggerBody, TriggerCtx, TriggerEvent, TriggerManager};
 pub use value::{Value, ValueType};

@@ -1,19 +1,34 @@
-//! Cost-based access-path planning for single-table scans.
+//! Cost-based planning: single-table access paths and whole-query plans.
 //!
-//! Extracted from the executor so that *choosing* how to read a table is
-//! separate from *doing* it. The planner analyzes a statement's WHERE
-//! conjuncts against the table's primary key and secondary indexes and
-//! picks the cheapest [`AccessPath`] under a cost model whose weights
-//! mirror the physical counters in [`crate::cost::CostReport`] (rows
-//! scanned, index probes, page touches, sort rows).
+//! Extracted from the executor so that *choosing* how to read data is
+//! separate from *doing* it. Planning happens at two levels:
 //!
-//! The executor re-applies the full WHERE clause to whatever the chosen
-//! path yields, so every path only has to produce a *superset* of the
-//! matching rows in a known order — which is what lets the planner use
-//! the storage total order (see [`crate::value`]) for range scans without
-//! re-deriving SQL comparison semantics.
+//! 1. [`plan_access`] analyzes a statement's WHERE conjuncts against one
+//!    table's primary key and secondary indexes and picks the cheapest
+//!    [`AccessPath`] under a cost model whose weights mirror the physical
+//!    counters in [`crate::cost::CostReport`] (rows scanned, index probes,
+//!    page touches, sort rows). Selectivities come from the per-column
+//!    statistics the table layer maintains ([`crate::stats`]) — distinct
+//!    counts for equality prefixes, equi-width histograms for ranges —
+//!    falling back to the System-R constants only when a column has no
+//!    usable statistics.
+//! 2. [`plan_query`] builds a [`QueryPlan`] for a whole SELECT: it
+//!    enumerates cost-ranked left-deep join orders (for the 2–4 table
+//!    inner-join chains a Django-style ORM emits), plans the driving
+//!    table through `plan_access`, picks a probe method per join step
+//!    ([`JoinMethod`]), decides whether the chosen pipeline satisfies the
+//!    statement's ORDER BY (index-ordered base scan surviving single-row
+//!    joins), and pushes `LIMIT k` into order-satisfying plans so the
+//!    executor can stop scanning after k output rows.
 //!
-//! Paths (the shapes a Django-style ORM emits):
+//! The executor re-applies the full WHERE clause (and every join's ON
+//! residually) to whatever the chosen paths yield, so every path only has
+//! to produce a *superset* of the matching rows in a known order — which
+//! is what lets the planner use the storage total order (see
+//! [`crate::value`]) for range scans without re-deriving SQL comparison
+//! semantics.
+//!
+//! Access paths (the shapes a Django-style ORM emits):
 //!
 //! * [`AccessPath::PkEq`] / [`AccessPath::IndexEq`] — point lookups;
 //! * [`AccessPath::PkRange`] / [`AccessPath::IndexRange`] — `<', `<=`,
@@ -23,17 +38,21 @@
 //!   composite index;
 //! * [`AccessPath::IndexOr`] — `IN (...)` lists and same-column `OR`
 //!   equality chains as sorted multi-key lookups;
+//! * [`AccessPath::IndexInList`] — `a = ? AND b IN (...)` as a
+//!   multi-range scan of an `(a, b, ...)` index;
 //! * [`AccessPath::TableScan`] — the fallback.
 //!
 //! Index scans yield rows in index-key order, so the planner also decides
 //! whether the chosen path already satisfies `ORDER BY` (possibly by
 //! scanning in reverse), letting the executor skip the sort.
 
+use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::Result;
 use crate::expr::{CmpOp, Expr};
-use crate::query::{OrderKey, Select};
+use crate::query::{JoinKind, OrderKey, Select};
 use crate::row::Row;
+use crate::stats::ColumnStats;
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::BTreeSet;
@@ -122,6 +141,18 @@ pub enum AccessPath {
         /// First-key-column values, sorted ascending, no duplicates.
         keys: Vec<Value>,
     },
+    /// Multi-range scan: equality on the leading key columns plus
+    /// `IN (...)` on the next one (`a = ? AND b IN (...)` over an
+    /// `(a, b, ...)` index). Sorted keys keep the scan in key order.
+    IndexInList {
+        /// Index name.
+        index: String,
+        /// Values for the leading equality-constrained key columns.
+        eq_prefix: Vec<Value>,
+        /// IN-list values for the next key column, sorted ascending, no
+        /// duplicates.
+        keys: Vec<Value>,
+    },
 }
 
 impl AccessPath {
@@ -136,6 +167,19 @@ impl AccessPath {
             AccessPath::IndexRange { .. } => "IndexRange",
             AccessPath::IndexPrefixRange { .. } => "IndexPrefixRange",
             AccessPath::IndexOr { .. } => "IndexOr",
+            AccessPath::IndexInList { .. } => "IndexInList",
+        }
+    }
+
+    /// The secondary index the path scans, if any.
+    pub fn index_name(&self) -> Option<&str> {
+        match self {
+            AccessPath::IndexEq { index, .. }
+            | AccessPath::IndexRange { index, .. }
+            | AccessPath::IndexPrefixRange { index, .. }
+            | AccessPath::IndexOr { index, .. }
+            | AccessPath::IndexInList { index, .. } => Some(index),
+            _ => None,
         }
     }
 }
@@ -188,6 +232,16 @@ impl fmt::Display for Plan {
             AccessPath::IndexOr { index, keys } => {
                 write!(f, " via {index} keys=[{}]", ValuesFmt(keys))?
             }
+            AccessPath::IndexInList {
+                index,
+                eq_prefix,
+                keys,
+            } => write!(
+                f,
+                " via {index} prefix=[{}] in=[{}]",
+                ValuesFmt(eq_prefix),
+                ValuesFmt(keys)
+            )?,
         }
         write!(
             f,
@@ -247,17 +301,38 @@ const PROBE_COST: f64 = 2.0;
 const PAGE_COST: f64 = 0.5;
 const SORT_ROW_COST: f64 = 0.4;
 
-/// Selectivity guesses for range predicates without histograms (the
-/// classic System-R defaults).
+/// Selectivity guesses for range predicates when the column has no
+/// histogram (the classic System-R defaults).
 const RANGE_BOTH_BOUNDED_SEL: f64 = 0.25;
 const RANGE_HALF_BOUNDED_SEL: f64 = 0.33;
 
-fn range_selectivity(from: &Bound, to: &Bound) -> f64 {
+fn default_range_selectivity(from: &Bound, to: &Bound) -> f64 {
     match (from.is_bounded(), to.is_bounded()) {
         (true, true) => RANGE_BOTH_BOUNDED_SEL,
         (false, false) => 1.0,
         _ => RANGE_HALF_BOUNDED_SEL,
     }
+}
+
+/// Histogram-driven selectivity of a range on `column`, falling back to
+/// the System-R constants when the column has no usable histogram or the
+/// endpoints are not numeric.
+fn range_selectivity(table: &Table, column: &str, from: &Bound, to: &Bound) -> f64 {
+    let convert = |b: &Bound| -> Option<Option<(f64, bool)>> {
+        match b {
+            Bound::Unbounded => Some(None),
+            Bound::Included(v) => ColumnStats::key_of(v).map(|x| Some((x, true))),
+            Bound::Excluded(v) => ColumnStats::key_of(v).map(|x| Some((x, false))),
+        }
+    };
+    if let Some(stats) = table.column_stats(column) {
+        if let (Some(lo), Some(hi)) = (convert(from), convert(to)) {
+            if let Some(sel) = stats.range_selectivity(lo, hi) {
+                return sel;
+            }
+        }
+    }
+    default_range_selectivity(from, to)
 }
 
 fn scan_cost(rows: f64, probes: f64, rows_per_page: f64) -> f64 {
@@ -518,26 +593,8 @@ fn order_match(
 }
 
 // ---------------------------------------------------------------------
-// Planner
+// Single-table access planning
 // ---------------------------------------------------------------------
-
-/// Plans the base-table access for a SELECT (the same entry point the
-/// executor uses — see [`crate::Database::explain`]).
-pub fn plan_select(table: &Table, sel: &Select, params: &[Value]) -> Result<Plan> {
-    plan_access(
-        table,
-        sel.from.binding_name(),
-        sel.predicate.as_ref(),
-        if sel.joins.is_empty() && !sel.is_aggregate() && sel.group_by.is_empty() {
-            &sel.order_by
-        } else {
-            // Joins re-shuffle rows and aggregates ignore input order, so
-            // an ordered scan buys nothing.
-            &[]
-        },
-        params,
-    )
-}
 
 /// Plans one base-table access from a predicate and an ORDER BY.
 pub fn plan_access(
@@ -546,6 +603,21 @@ pub fn plan_access(
     pred: Option<&Expr>,
     order_by: &[OrderKey],
     params: &[Value],
+) -> Result<Plan> {
+    plan_access_impl(table, binding, pred, order_by, params, true)
+}
+
+/// The planner core. `charge_sort` adds the sort penalty for
+/// order-missing paths directly to the path cost — right for single-table
+/// statements, wrong for join pipelines where the sort runs over the
+/// *joined* rows (the query planner charges it at the pipeline level).
+fn plan_access_impl(
+    table: &Table,
+    binding: &str,
+    pred: Option<&Expr>,
+    order_by: &[OrderKey],
+    params: &[Value],
+    charge_sort: bool,
 ) -> Result<Plan> {
     let cons = extract_constraints(pred, binding, table, params)?;
     let order = order_columns(order_by, binding, table);
@@ -564,7 +636,7 @@ pub fn plan_access(
     let mut consider =
         |path: AccessPath, rows: f64, probes: f64, satisfied: bool, rev: bool, tie_rank: f64| {
             let mut cost = scan_cost(rows, probes, rpp);
-            if has_order && !satisfied {
+            if charge_sort && has_order && !satisfied {
                 cost += sort_cost(rows);
             }
             let cand = Plan {
@@ -611,7 +683,7 @@ pub fn plan_access(
         let from = c.lower.clone().unwrap_or(Bound::Unbounded);
         let to = c.upper.clone().unwrap_or(Bound::Unbounded);
         if from.is_bounded() || to.is_bounded() {
-            let rows = n * range_selectivity(&from, &to);
+            let rows = n * range_selectivity(table, pk, &from, &to);
             let (sat, rev) = order_match(&order, &cons, &[pk.to_owned()]);
             consider(AccessPath::PkRange { from, to }, rows, 1.0, sat, rev, 15.0);
         }
@@ -623,18 +695,38 @@ pub fn plan_access(
         let width = columns.len() as f64;
         let distinct = idx.distinct_keys().max(1) as f64;
         // Selectivity of an equality prefix of `p` of `width` key
-        // columns. When another index covers exactly the prefix columns,
-        // its distinct-key count is the true prefix cardinality;
-        // otherwise fall back to the geometric interpolation
-        // `distinct^(p/width)` (each key column contributes equally).
+        // columns. Exact when an index covers exactly the prefix columns;
+        // otherwise the per-column distinct-count statistics combine
+        // under the independence assumption (capped by both the full-key
+        // distinct count and the row count — a prefix can never have more
+        // distinct keys than either). Only when a column has no
+        // statistics at all does the old geometric interpolation
+        // `distinct^(p/width)` remain as the last resort.
         let prefix_sel = |p: f64| {
             let cols = &columns[..p as usize];
-            table
+            if let Some(other) = table
                 .indexes()
                 .iter()
                 .find(|other| other.def().columns == cols)
-                .map(|other| 1.0 / other.distinct_keys().max(1) as f64)
-                .unwrap_or_else(|| (1.0 / distinct).powf(p / width))
+            {
+                return 1.0 / other.distinct_keys().max(1) as f64;
+            }
+            let mut product = 1.0f64;
+            let mut usable = n > 0.0;
+            for col in cols {
+                match table.column_stats(col).map(ColumnStats::distinct) {
+                    Some(d) if d >= 1.0 => product *= d,
+                    _ => {
+                        usable = false;
+                        break;
+                    }
+                }
+            }
+            if usable {
+                let est = product.min(distinct).min(n.max(1.0)).max(1.0);
+                return 1.0 / est;
+            }
+            (1.0 / distinct).powf(p / width)
         };
 
         let mut eq_prefix = Vec::new();
@@ -671,6 +763,57 @@ pub fn plan_access(
 
         let remaining = &columns[p..];
         let next_col = &remaining[0];
+
+        // Equality prefix plus IN (...) on the next key column: a
+        // multi-range scan probing each (prefix, key) combination
+        // (previously the plan degraded to the equality prefix alone).
+        if p > 0 {
+            if let Some(keys) = cons.get(next_col).and_then(|c| c.in_keys.clone()) {
+                if keys.is_empty() {
+                    // Every IN item was NULL: nothing can match.
+                    consider(
+                        AccessPath::IndexInList {
+                            index: idx.def().name.clone(),
+                            eq_prefix: eq_prefix.clone(),
+                            keys,
+                        },
+                        0.0,
+                        0.0,
+                        true,
+                        false,
+                        200.0,
+                    );
+                    continue;
+                }
+                let k = keys.len() as f64;
+                // Containment bound: the multi-range scan reads a subset
+                // of the bare equality-prefix block.
+                let rows = (k * n * prefix_sel(p as f64 + 1.0))
+                    .min(n * prefix_sel(p as f64))
+                    .min(n)
+                    .max(1.0);
+                // Sorted keys scanned in order yield (prefix, in-col,
+                // trailing...) lexicographic order, so order_match treats
+                // the IN column like the leading remaining key column.
+                let (sat, rev) = order_match(&order, &cons, remaining);
+                consider(
+                    AccessPath::IndexInList {
+                        index: idx.def().name.clone(),
+                        eq_prefix: eq_prefix.clone(),
+                        keys,
+                    },
+                    rows,
+                    k,
+                    sat,
+                    rev,
+                    p as f64 * 10.0 + 6.0,
+                );
+                // Fall through: a huge IN list costs one probe per key,
+                // so the single-probe range/prefix scans of the same
+                // index must stay in the running and win on cost.
+            }
+        }
+
         let range = cons.get(next_col).and_then(|c| {
             let from = c.lower.clone().unwrap_or(Bound::Unbounded);
             let to = c.upper.clone().unwrap_or(Bound::Unbounded);
@@ -679,7 +822,8 @@ pub fn plan_access(
 
         if let Some((from, to)) = range {
             // Equality prefix plus a range on the next key column.
-            let rows = (n * prefix_sel(p as f64) * range_selectivity(&from, &to)).max(1.0);
+            let rows = (n * prefix_sel(p as f64) * range_selectivity(table, next_col, &from, &to))
+                .max(1.0);
             let (sat, rev) = order_match(&order, &cons, remaining);
             consider(
                 AccessPath::IndexRange {
@@ -843,5 +987,605 @@ pub(crate) fn execute_path(
             let idx = table.index_by_name(index).expect("planned index exists");
             Some(table.index_multi_lookup(idx, keys, plan.reverse))
         }
+        AccessPath::IndexInList {
+            index,
+            eq_prefix,
+            keys,
+        } => {
+            cost.index_probes += keys.len() as u64;
+            let idx = table.index_by_name(index).expect("planned index exists");
+            Some(table.index_in_scan(idx, eq_prefix, keys, plan.reverse))
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Whole-query planning
+// ---------------------------------------------------------------------
+
+/// How one join step probes its table, once per left row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinMethod {
+    /// Evaluate `outer` on the left row and look up the primary key.
+    PkProbe {
+        /// Unbound expression over the already-joined tables.
+        outer: Expr,
+    },
+    /// Evaluate `outers` (in index key-column order) on the left row and
+    /// look up the index key exactly.
+    IndexProbe {
+        /// Index name on the probe table.
+        index: String,
+        /// Unbound key expressions, one per index column.
+        outers: Vec<Expr>,
+    },
+    /// No usable key: visit every row of the table per left row.
+    NestedScan,
+}
+
+impl JoinMethod {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JoinMethod::PkProbe { .. } => "PkProbe",
+            JoinMethod::IndexProbe { .. } => "IndexProbe",
+            JoinMethod::NestedScan => "NestedScan",
+        }
+    }
+}
+
+/// One step of the join pipeline, in chosen execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// Catalog name of the table this step joins.
+    pub table: String,
+    /// Binding name columns qualify against.
+    pub binding: String,
+    /// Join flavour (LEFT joins are never reordered).
+    pub kind: JoinKind,
+    /// ON expressions applied (residually) once this step's table is in
+    /// the row — under reordering an ON clause runs at the earliest step
+    /// where every table it references is available.
+    pub on: Vec<Expr>,
+    /// Probe strategy.
+    pub method: JoinMethod,
+    /// True when the probe can match at most one row per left row
+    /// (primary-key or unique-index full-key probe) — the condition under
+    /// which ORDER BY satisfaction survives the join.
+    pub single_row: bool,
+    /// Estimated matching rows per left row.
+    pub fanout: f64,
+}
+
+impl fmt::Display for JoinPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.method {
+            JoinMethod::PkProbe { .. } => write!(f, "PkProbe({})", self.table),
+            JoinMethod::IndexProbe { index, .. } => {
+                write!(f, "IndexProbe({} via {index})", self.table)
+            }
+            JoinMethod::NestedScan => write!(f, "NestedScan({})", self.table),
+        }
+    }
+}
+
+/// The planner's decision for a whole SELECT: a driving-table access
+/// path, join steps in execution order, order/limit handling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Access plan for the driving table.
+    pub base: Plan,
+    /// Binding name of the driving table (differs from `base.table` for
+    /// aliased FROMs, and names a *joined* table when the join order was
+    /// rotated).
+    pub base_binding: String,
+    /// Join steps in execution order (empty for single-table statements).
+    pub joins: Vec<JoinPlan>,
+    /// True when the pipeline yields rows in the statement's ORDER BY
+    /// order (ordered base scan surviving single-row joins), so the
+    /// executor skips its sort.
+    pub order_satisfied: bool,
+    /// When set, the executor may stop after producing this many output
+    /// rows (`LIMIT + OFFSET`): the row stream is already in final order.
+    pub fetch_limit: Option<u64>,
+    /// Estimated output rows before the final WHERE residue.
+    pub estimated_rows: f64,
+    /// Estimated physical cost in row-visit units, including join probes
+    /// and any final sort.
+    pub estimated_cost: f64,
+}
+
+impl QueryPlan {
+    /// EXPLAIN text, one line per pipeline stage.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = vec![format!("{}", self.base)];
+        for j in &self.joins {
+            out.push(format!("  -> {j} fanout~{:.2}", j.fanout));
+        }
+        let mut tail = format!(
+            "  rows~{:.1} cost~{:.1}",
+            self.estimated_rows, self.estimated_cost
+        );
+        if self.order_satisfied {
+            tail.push_str(" ordered");
+        }
+        if let Some(k) = self.fetch_limit {
+            tail.push_str(&format!(" fetch_limit={k}"));
+        }
+        out.push(tail);
+        out
+    }
+
+    /// A compact, estimate-free description of the plan's structure —
+    /// stable across data-size changes, for regression baselines.
+    pub fn shape(&self) -> String {
+        let mut s = match self.base.path.index_name() {
+            Some(idx) => format!("{}({} via {idx})", self.base.path.kind(), self.base.table),
+            None => format!("{}({})", self.base.path.kind(), self.base.table),
+        };
+        if self.base.reverse {
+            s.push_str("[rev]");
+        }
+        for j in &self.joins {
+            s.push_str(" -> ");
+            s.push_str(&j.to_string());
+        }
+        if self.order_satisfied {
+            s.push_str(" ordered");
+        }
+        if self.fetch_limit.is_some() {
+            s.push_str(" limited");
+        }
+        s
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for j in &self.joins {
+            write!(f, " -> {j}")?;
+        }
+        if self.order_satisfied && !self.joins.is_empty() {
+            f.write_str(" ordered")?;
+        }
+        if let Some(k) = self.fetch_limit {
+            write!(f, " fetch_limit={k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One FROM/JOIN table in syntactic position.
+struct Slot<'a> {
+    binding: String,
+    table_name: String,
+    table: &'a Table,
+}
+
+/// LIMIT pushdown: legal when the pipeline's output order is already
+/// final — either the statement has no ORDER BY (heap-order rows are the
+/// contract) or the plan satisfies it — and no aggregate consumes the
+/// full input.
+fn fetch_limit_for(sel: &Select, order_satisfied: bool) -> Option<u64> {
+    if sel.is_aggregate() || !sel.group_by.is_empty() {
+        return None;
+    }
+    let limit = sel.limit?;
+    if sel.order_by.is_empty() || order_satisfied {
+        Some(limit.saturating_add(sel.offset.unwrap_or(0)))
+    } else {
+        None
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first, so
+/// cost ties resolve toward the syntactic order). `n` is at most 4.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            prefix.push(x);
+            rec(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+/// True when every column `e` references resolves within `slots`
+/// (qualified to one of them, or unqualified and present in one of their
+/// schemas — mirroring the executor's first-match rule).
+fn resolvable_in(e: &Expr, slots: &[&Slot<'_>]) -> bool {
+    let mut cols = Vec::new();
+    e.referenced_columns(&mut cols);
+    cols.iter().all(|c| match &c.table {
+        Some(t) => slots.iter().any(|s| &s.binding == t),
+        None => slots
+            .iter()
+            .any(|s| s.table.schema().column_pos(&c.column).is_some()),
+    })
+}
+
+/// Plans a whole SELECT. The entry point behind [`crate::Database::explain`]
+/// and the executor.
+pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<QueryPlan> {
+    let base_table = catalog.table(&sel.from.table)?;
+    let base_binding = sel.from.binding_name().to_owned();
+
+    // Single-table fast path: the PR-1 planner plus LIMIT pushdown.
+    if sel.joins.is_empty() {
+        let order_eligible = !sel.is_aggregate() && sel.group_by.is_empty();
+        let order: &[OrderKey] = if order_eligible { &sel.order_by } else { &[] };
+        let base = plan_access(
+            base_table,
+            &base_binding,
+            sel.predicate.as_ref(),
+            order,
+            params,
+        )?;
+        let order_satisfied = base.order_satisfied;
+        let fetch_limit = fetch_limit_for(sel, order_satisfied);
+        let (estimated_rows, estimated_cost) = (base.estimated_rows, base.estimated_cost);
+        return Ok(QueryPlan {
+            base,
+            base_binding,
+            joins: Vec::new(),
+            order_satisfied,
+            fetch_limit,
+            estimated_rows,
+            estimated_cost,
+        });
+    }
+
+    // Slot table in syntactic order: slot 0 = FROM, slot i+1 = joins[i].
+    let mut slots: Vec<Slot<'_>> = vec![Slot {
+        binding: base_binding,
+        table_name: sel.from.table.clone(),
+        table: base_table,
+    }];
+    for j in &sel.joins {
+        slots.push(Slot {
+            binding: j.table.binding_name().to_owned(),
+            table_name: j.table.table.clone(),
+            table: catalog.table(&j.table.table)?,
+        });
+    }
+    let n = slots.len();
+
+    // Which slots each ON condition references (when every column ref is
+    // qualified to a known binding — the precondition for reordering).
+    let mut on_refs: Vec<Vec<usize>> = Vec::with_capacity(sel.joins.len());
+    let mut on_fully_qualified = true;
+    for j in &sel.joins {
+        let mut cols = Vec::new();
+        j.on.referenced_columns(&mut cols);
+        let mut refs = BTreeSet::new();
+        for c in &cols {
+            match &c.table {
+                Some(t) => match slots.iter().position(|s| &s.binding == t) {
+                    Some(i) => {
+                        refs.insert(i);
+                    }
+                    None => on_fully_qualified = false,
+                },
+                None => on_fully_qualified = false,
+            }
+        }
+        on_refs.push(refs.into_iter().collect());
+    }
+
+    let bindings_unique = {
+        let set: BTreeSet<&str> = slots.iter().map(|s| s.binding.as_str()).collect();
+        set.len() == n
+    };
+    let all_inner = sel.joins.iter().all(|j| j.kind == JoinKind::Inner);
+    // Reordering needs: inner joins only (LEFT is order-sensitive),
+    // qualified ON references (unqualified first-match resolution depends
+    // on layout order), unique bindings (for the output-column remap),
+    // and a small enough chain to enumerate exhaustively. The WHERE
+    // clause must be fully qualified too: an unqualified column present
+    // in several tables resolves to the *syntactic first match* at
+    // execution time, so attributing it to a rotated driving table or
+    // folding it into a probe key would constrain the wrong table.
+    let where_fully_qualified = match &sel.predicate {
+        None => true,
+        Some(p) => {
+            let mut cols = Vec::new();
+            p.referenced_columns(&mut cols);
+            cols.iter().all(|c| match &c.table {
+                Some(t) => slots.iter().any(|s| &s.binding == t),
+                None => false,
+            })
+        }
+    };
+    let reorderable = all_inner
+        && on_fully_qualified
+        && where_fully_qualified
+        && bindings_unique
+        && sel.joins.len() <= 3;
+
+    // ORDER BY keys usable by an ordered scan: plain columns, all
+    // attributable (syntactic first match, like the executor's binder) to
+    // one slot. Requalified so the access planner sees them regardless of
+    // which slot ends up driving.
+    let order_eligible = !sel.is_aggregate() && sel.group_by.is_empty() && !sel.order_by.is_empty();
+    let order_slot: Option<(usize, Vec<OrderKey>)> = if order_eligible {
+        attribute_order(&sel.order_by, &slots)
+    } else {
+        None
+    };
+
+    let orders = if reorderable {
+        permutations(n)
+    } else {
+        vec![(0..n).collect()]
+    };
+
+    const TIE_EPS: f64 = 1e-6;
+    let mut best: Option<QueryPlan> = None;
+    for ord in &orders {
+        let cand = plan_one_order(sel, params, &slots, &on_refs, ord, &order_slot, reorderable)?;
+        let replaces = match &best {
+            None => true,
+            Some(b) => cand.estimated_cost < b.estimated_cost - TIE_EPS,
+        };
+        if replaces {
+            best = Some(cand);
+        }
+    }
+    Ok(best.expect("at least the syntactic order was planned"))
+}
+
+/// Rewrites ORDER BY keys as columns qualified to the single slot they
+/// all attribute to (executor first-match rule); `None` when the keys are
+/// not plain columns or span slots.
+fn attribute_order(order_by: &[OrderKey], slots: &[Slot<'_>]) -> Option<(usize, Vec<OrderKey>)> {
+    let mut slot_idx: Option<usize> = None;
+    let mut rewritten = Vec::with_capacity(order_by.len());
+    for key in order_by {
+        let Expr::Column(c) = &key.expr else {
+            return None;
+        };
+        let attributed = match &c.table {
+            Some(t) => slots.iter().position(|s| &s.binding == t)?,
+            None => slots
+                .iter()
+                .position(|s| s.table.schema().column_pos(&c.column).is_some())?,
+        };
+        match slot_idx {
+            None => slot_idx = Some(attributed),
+            Some(prev) if prev == attributed => {}
+            Some(_) => return None,
+        }
+        rewritten.push(OrderKey {
+            expr: Expr::qcol(&slots[attributed].binding, &c.column),
+            desc: key.desc,
+        });
+    }
+    slot_idx.map(|i| (i, rewritten))
+}
+
+/// Costs one left-deep join order and builds its `QueryPlan`.
+fn plan_one_order(
+    sel: &Select,
+    params: &[Value],
+    slots: &[Slot<'_>],
+    on_refs: &[Vec<usize>],
+    ord: &[usize],
+    order_slot: &Option<(usize, Vec<OrderKey>)>,
+    reorderable: bool,
+) -> Result<QueryPlan> {
+    let driving = &slots[ord[0]];
+    let base_order: Vec<OrderKey> = match order_slot {
+        Some((slot, keys)) if *slot == ord[0] => keys.clone(),
+        _ => Vec::new(),
+    };
+    let base = plan_access_impl(
+        driving.table,
+        &driving.binding,
+        sel.predicate.as_ref(),
+        &base_order,
+        params,
+        false,
+    )?;
+
+    let order_eligible = !sel.is_aggregate() && sel.group_by.is_empty() && !sel.order_by.is_empty();
+    let mut rows = base.estimated_rows;
+    let mut cost = base.estimated_cost;
+    let mut all_single = true;
+    let mut joins = Vec::with_capacity(ord.len() - 1);
+    let mut assigned = vec![false; sel.joins.len()];
+
+    for step in 1..ord.len() {
+        let slot = &slots[ord[step]];
+        let prefix: Vec<&Slot<'_>> = ord[..step].iter().map(|&i| &slots[i]).collect();
+
+        // ON conditions that become fully bound at this step.
+        let mut ons: Vec<Expr> = Vec::new();
+        for (ji, refs) in on_refs.iter().enumerate() {
+            if assigned[ji] {
+                continue;
+            }
+            let applicable = if reorderable {
+                refs.iter().all(|r| ord[..=step].contains(r))
+            } else {
+                // Syntactic order: each join's ON runs at its own step.
+                ji + 1 == ord[step]
+            };
+            if applicable {
+                assigned[ji] = true;
+                ons.push(sel.joins[ji].on.clone());
+            }
+        }
+        let kind = if reorderable {
+            JoinKind::Inner
+        } else {
+            sel.joins[ord[step] - 1].kind
+        };
+
+        // Equi-key extraction: `slot.col = expr(prefix)` conjuncts.
+        let mut key_cols: Vec<(String, Expr)> = Vec::new();
+        for on in &ons {
+            for conjunct in on.conjuncts() {
+                let Expr::Cmp(a, CmpOp::Eq, b) = conjunct else {
+                    continue;
+                };
+                for (side_t, side_o) in [(a, b), (b, a)] {
+                    let Expr::Column(c) = side_t.as_ref() else {
+                        continue;
+                    };
+                    // The executor's binder resolves an unqualified
+                    // column to the *first* layout entry carrying it, so
+                    // it only names this step's table when no earlier
+                    // table in the pipeline has the column — probing on a
+                    // misattributed key would drop matching rows.
+                    let t_ok = match &c.table {
+                        Some(t) => t == &slot.binding,
+                        None => prefix
+                            .iter()
+                            .all(|s| s.table.schema().column_pos(&c.column).is_none()),
+                    };
+                    if t_ok
+                        && slot.table.schema().column_pos(&c.column).is_some()
+                        && resolvable_in(side_o, &prefix)
+                    {
+                        if !key_cols.iter().any(|(kc, _)| kc == &c.column) {
+                            key_cols.push((c.column.clone(), (**side_o).clone()));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        // Inner joins under reordering also fold the WHERE clause's
+        // equality constraints on this table into the probe key: every
+        // surviving row satisfies them, so a tighter probe loses nothing.
+        if reorderable {
+            let cons =
+                extract_constraints(sel.predicate.as_ref(), &slot.binding, slot.table, params)?;
+            for (col, c) in &cons.cols {
+                if let Some(v) = &c.eq {
+                    if !key_cols.iter().any(|(kc, _)| kc == col) {
+                        key_cols.push((col.clone(), Expr::Literal(v.clone())));
+                    }
+                }
+            }
+        }
+
+        let t_rows = slot.table.len() as f64;
+        let rpp = slot.table.schema().rows_per_page_hint as f64;
+        let pk = slot.table.schema().primary_key();
+        let (method, single_row, fanout, per_left_cost) =
+            if let Some((_, outer)) = key_cols.iter().find(|(c, _)| c == pk) {
+                (
+                    JoinMethod::PkProbe {
+                        outer: outer.clone(),
+                    },
+                    true,
+                    1.0,
+                    PROBE_COST + ROW_COST + PAGE_COST / rpp.max(1.0),
+                )
+            } else {
+                let cols: Vec<&str> = key_cols.iter().map(|(c, _)| c.as_str()).collect();
+                match slot.table.best_index_for(&cols) {
+                    Some(idx) => {
+                        let outers: Vec<Expr> = idx
+                            .def()
+                            .columns
+                            .iter()
+                            .map(|c| {
+                                key_cols
+                                    .iter()
+                                    .find(|(kc, _)| kc == c)
+                                    .expect("index columns are a subset of the key columns")
+                                    .1
+                                    .clone()
+                            })
+                            .collect();
+                        let single = idx.def().unique;
+                        let fanout = if single {
+                            1.0
+                        } else {
+                            t_rows / idx.distinct_keys().max(1) as f64
+                        };
+                        let per_left = PROBE_COST + fanout * (ROW_COST + PAGE_COST / rpp.max(1.0));
+                        (
+                            JoinMethod::IndexProbe {
+                                index: idx.def().name.clone(),
+                                outers,
+                            },
+                            single,
+                            fanout,
+                            per_left,
+                        )
+                    }
+                    None => {
+                        // Equi-conjuncts still shrink the match set even when
+                        // no index serves them — estimate via distinct counts.
+                        let mut sel_est = 1.0f64;
+                        for (col, _) in &key_cols {
+                            if let Some(s) = slot
+                                .table
+                                .column_stats(col)
+                                .and_then(ColumnStats::eq_selectivity)
+                            {
+                                sel_est *= s;
+                            }
+                        }
+                        let fanout = (t_rows * sel_est).min(t_rows);
+                        let per_left = t_rows * (ROW_COST + PAGE_COST / rpp.max(1.0));
+                        (JoinMethod::NestedScan, false, fanout, per_left)
+                    }
+                }
+            };
+
+        cost += rows.max(0.0) * per_left_cost;
+        let out_rows = if kind == JoinKind::Left {
+            rows * fanout.max(1.0)
+        } else {
+            rows * fanout
+        };
+        rows = out_rows.max(0.0);
+        all_single &= single_row;
+        joins.push(JoinPlan {
+            table: slot.table_name.clone(),
+            binding: slot.binding.clone(),
+            kind,
+            on: ons,
+            method,
+            single_row,
+            fanout,
+        });
+    }
+
+    let order_satisfied = order_eligible && base.order_satisfied && all_single;
+    if order_eligible && !order_satisfied {
+        cost += sort_cost(rows);
+    }
+    let fetch_limit = fetch_limit_for(sel, order_satisfied);
+    if let Some(k) = fetch_limit {
+        // An early-terminating pipeline reads roughly k/rows of its input.
+        let k = k as f64;
+        if rows > k && rows > 0.0 {
+            cost *= (k / rows).max(1e-3);
+        }
+    }
+
+    Ok(QueryPlan {
+        base,
+        base_binding: driving.binding.clone(),
+        joins,
+        order_satisfied,
+        fetch_limit,
+        estimated_rows: rows,
+        estimated_cost: cost,
+    })
 }

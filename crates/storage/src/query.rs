@@ -400,6 +400,9 @@ impl fmt::Display for Delete {
 pub enum Statement {
     /// SELECT.
     Select(Select),
+    /// EXPLAIN SELECT — plans the query without executing it, returning
+    /// one text row per pipeline stage.
+    Explain(Select),
     /// INSERT.
     Insert(Insert),
     /// UPDATE.

@@ -276,6 +276,9 @@ impl Parser {
         if self.peek_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
         if self.eat_kw("INSERT") {
             return self.insert();
         }

@@ -1,0 +1,495 @@
+//! Per-column statistics maintained incrementally by the table layer.
+//!
+//! Every [`crate::Table`] keeps one [`ColumnStats`] per column, updated on
+//! insert/update/delete, so the planner ([`crate::plan`]) can replace its
+//! System-R constant selectivities with numbers derived from the data:
+//!
+//! * **row / null counts** — exact;
+//! * **distinct count** — a counting linear sketch (a fixed array of
+//!   per-hash-bucket row counters). Inserts increment a bucket, deletes
+//!   decrement it, and the distinct estimate is the classic linear-counting
+//!   estimator over the non-empty buckets. Unlike HyperLogLog/KMV this
+//!   survives deletions exactly, at the price of saturating near the
+//!   bucket count (fine here: it is capped by the non-null row count and
+//!   the planner only needs selectivity ratios);
+//! * **equi-width histogram** — numeric columns (Int / Float / Timestamp)
+//!   get a fixed number of buckets over a range that grows by doubling
+//!   (merging bucket pairs), so the value→bucket mapping stays exact
+//!   across widenings and deletes can decrement the right bucket.
+//!
+//! All estimators are deterministic: the sketch hashes with the std
+//! `DefaultHasher` (fixed keys) and widening is value-driven.
+
+use crate::value::{Value, ValueType};
+use std::hash::{Hash, Hasher};
+
+/// Buckets in the distinct-count sketch. 2^10 keeps the estimator within
+/// a few percent up to ~1k distinct values and degrades gracefully (toward
+/// "every value is distinct") beyond — the regime where exact precision
+/// stops mattering for access-path choice.
+const SKETCH_BUCKETS: usize = 1024;
+
+/// Buckets in the equi-width histogram.
+const HIST_BUCKETS: usize = 32;
+
+fn bucket_hash(v: &Value) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    (h.finish() as usize) % SKETCH_BUCKETS
+}
+
+/// Counting linear sketch for distinct values under insert *and* delete.
+#[derive(Debug, Clone)]
+struct DistinctSketch {
+    buckets: Vec<u32>,
+    /// Number of non-empty buckets (maintained incrementally).
+    occupied: usize,
+}
+
+impl DistinctSketch {
+    fn new() -> Self {
+        DistinctSketch {
+            buckets: vec![0; SKETCH_BUCKETS],
+            occupied: 0,
+        }
+    }
+
+    fn add(&mut self, v: &Value) {
+        let b = &mut self.buckets[bucket_hash(v)];
+        if *b == 0 {
+            self.occupied += 1;
+        }
+        *b += 1;
+    }
+
+    fn remove(&mut self, v: &Value) {
+        let b = &mut self.buckets[bucket_hash(v)];
+        if *b > 0 {
+            *b -= 1;
+            if *b == 0 {
+                self.occupied -= 1;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.occupied = 0;
+    }
+
+    /// Linear-counting estimate of the number of distinct values.
+    fn estimate(&self) -> f64 {
+        let m = SKETCH_BUCKETS as f64;
+        let empty = (SKETCH_BUCKETS - self.occupied) as f64;
+        if empty <= 0.5 {
+            // Saturated: every bucket hit; the caller caps by row count.
+            return f64::INFINITY;
+        }
+        -m * (empty / m).ln()
+    }
+}
+
+/// The widened numeric form histograms bucket on. Mirrors the storage
+/// total order for Int/Float interleaving ([`crate::value`]).
+fn numeric_key(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Timestamp(t) => Some(*t as f64),
+        _ => None,
+    }
+}
+
+/// Equi-width histogram whose range grows by doubling.
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// Inclusive lower edge of bucket 0; meaningless while `total == 0`
+    /// and `initialized` is false.
+    lo: f64,
+    /// Width of one bucket (> 0 once initialized).
+    width: f64,
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    /// Observed extremes; never shrunk on delete (estimates only).
+    min: f64,
+    max: f64,
+    initialized: bool,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            lo: 0.0,
+            width: 0.0,
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            initialized: false,
+        }
+    }
+
+    fn span(&self) -> f64 {
+        self.width * HIST_BUCKETS as f64
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        (((x - self.lo) / self.width) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Doubles the range upward: pairs of buckets merge into the lower
+    /// half. A value's bucket index exactly halves, so counts stay exact.
+    fn extend_up(&mut self) {
+        for i in 0..HIST_BUCKETS / 2 {
+            self.counts[i] = self.counts[2 * i] + self.counts[2 * i + 1];
+        }
+        for c in &mut self.counts[HIST_BUCKETS / 2..] {
+            *c = 0;
+        }
+        self.width *= 2.0;
+    }
+
+    /// Doubles the range downward: old bucket `j` maps exactly to new
+    /// bucket `HIST_BUCKETS/2 + j/2`.
+    fn extend_down(&mut self) {
+        let old = self.counts;
+        self.counts = [0; HIST_BUCKETS];
+        for (j, c) in old.iter().enumerate() {
+            self.counts[HIST_BUCKETS / 2 + j / 2] += c;
+        }
+        self.lo -= self.span();
+        self.width *= 2.0;
+    }
+
+    fn cover(&mut self, x: f64) {
+        if !self.initialized {
+            // Seed a unit-width-per-bucket range anchored just below x so
+            // the first widenings stay cheap for clustered data.
+            self.lo = x.floor();
+            self.width = 1.0;
+            self.initialized = true;
+        }
+        // The guards bound doubling on astronomically wide domains; a
+        // value still outside afterwards clamps into an edge bucket in
+        // add()/remove(), keeping estimates monotone.
+        let mut guard = 0;
+        while x < self.lo && guard < 128 {
+            self.extend_down();
+            guard += 1;
+        }
+        while x >= self.lo + self.span() && guard < 256 {
+            self.extend_up();
+            guard += 1;
+        }
+    }
+
+    fn add(&mut self, x: f64) {
+        self.cover(x);
+        let b = if x < self.lo { 0 } else { self.bucket_of(x) };
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    fn remove(&mut self, x: f64) {
+        if !self.initialized || self.total == 0 {
+            return;
+        }
+        let b = if x < self.lo { 0 } else { self.bucket_of(x) };
+        if self.counts[b] > 0 {
+            self.counts[b] -= 1;
+            self.total -= 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// Estimated fraction of rows with value strictly below `x`, with
+    /// linear interpolation inside `x`'s bucket.
+    fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return 1.0;
+        }
+        let mut below = 0u64;
+        let b = if x < self.lo { 0 } else { self.bucket_of(x) };
+        for c in &self.counts[..b] {
+            below += c;
+        }
+        let in_bucket = self.counts[b] as f64;
+        let bucket_lo = self.lo + b as f64 * self.width;
+        let frac = if self.width > 0.0 {
+            ((x - bucket_lo) / self.width).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        (below as f64 + in_bucket * frac) / self.total as f64
+    }
+
+    /// Estimated fraction of rows inside the interval; `None` bound means
+    /// unbounded on that side. The bool is "inclusive" (used only to nudge
+    /// the point-mass case; interpolation already absorbs the rest).
+    fn range_fraction(&self, lo: Option<(f64, bool)>, hi: Option<(f64, bool)>) -> f64 {
+        let below_lo = match lo {
+            None => 0.0,
+            Some((x, _inclusive)) => self.fraction_below(x),
+        };
+        let below_hi = match hi {
+            None => 1.0,
+            Some((x, inclusive)) => {
+                if inclusive {
+                    // Include the point mass at x by stepping just past it.
+                    self.fraction_below(x + self.width * 1e-9) + self.point_mass(x)
+                } else {
+                    self.fraction_below(x)
+                }
+            }
+        };
+        (below_hi - below_lo).clamp(0.0, 1.0)
+    }
+
+    /// Rough point-mass estimate: the bucket's density spread over its
+    /// width, capped at the bucket's whole share.
+    fn point_mass(&self, x: f64) -> f64 {
+        if self.total == 0 || !self.initialized || x < self.min || x > self.max {
+            return 0.0;
+        }
+        let b = if x < self.lo { 0 } else { self.bucket_of(x) };
+        let share = self.counts[b] as f64 / self.total as f64;
+        share / self.width.max(1.0)
+    }
+}
+
+/// Incrementally-maintained statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    total: u64,
+    nulls: u64,
+    sketch: DistinctSketch,
+    hist: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Creates stats for a column of type `ty`; numeric columns get a
+    /// histogram.
+    pub fn new(ty: ValueType) -> Self {
+        let hist = matches!(ty, ValueType::Int | ValueType::Float | ValueType::Timestamp)
+            .then(Histogram::new);
+        ColumnStats {
+            total: 0,
+            nulls: 0,
+            sketch: DistinctSketch::new(),
+            hist,
+        }
+    }
+
+    /// Records a stored value.
+    pub fn add(&mut self, v: &Value) {
+        self.total += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        self.sketch.add(v);
+        if let (Some(h), Some(x)) = (self.hist.as_mut(), numeric_key(v)) {
+            h.add(x);
+        }
+    }
+
+    /// Records a value's removal.
+    pub fn remove(&mut self, v: &Value) {
+        self.total = self.total.saturating_sub(1);
+        if v.is_null() {
+            self.nulls = self.nulls.saturating_sub(1);
+            return;
+        }
+        self.sketch.remove(v);
+        if let (Some(h), Some(x)) = (self.hist.as_mut(), numeric_key(v)) {
+            h.remove(x);
+        }
+    }
+
+    /// Forgets everything (table truncation).
+    pub fn clear(&mut self) {
+        self.total = 0;
+        self.nulls = 0;
+        self.sketch.clear();
+        if let Some(h) = self.hist.as_mut() {
+            h.clear();
+        }
+    }
+
+    /// Rows observed (including NULLs).
+    pub fn rows(&self) -> u64 {
+        self.total
+    }
+
+    /// NULL values observed.
+    pub fn null_count(&self) -> u64 {
+        self.nulls
+    }
+
+    /// Estimated distinct non-null values, in `[0, non-null rows]`
+    /// (exactly 0 only when no non-null value is stored).
+    pub fn distinct(&self) -> f64 {
+        let non_null = (self.total - self.nulls) as f64;
+        if non_null == 0.0 {
+            return 0.0;
+        }
+        self.sketch.estimate().min(non_null).max(1.0)
+    }
+
+    /// Estimated selectivity of `column = <some value>`: `1 / distinct`,
+    /// scaled by the non-null fraction. `None` when the column is empty.
+    pub fn eq_selectivity(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let d = self.distinct();
+        if d == 0.0 {
+            return Some(0.0);
+        }
+        let non_null_frac = (self.total - self.nulls) as f64 / self.total as f64;
+        Some((non_null_frac / d).clamp(0.0, 1.0))
+    }
+
+    /// Histogram-estimated fraction of rows inside a numeric interval
+    /// (`None` bound = unbounded; bool = inclusive). `None` when the
+    /// column has no histogram or no data — the caller falls back to the
+    /// System-R constants.
+    pub fn range_selectivity(
+        &self,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    ) -> Option<f64> {
+        let h = self.hist.as_ref()?;
+        if h.total == 0 {
+            return None;
+        }
+        let non_null_frac = if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.nulls) as f64 / self.total as f64
+        };
+        Some((h.range_fraction(lo, hi) * non_null_frac).clamp(0.0, 1.0))
+    }
+
+    /// The numeric bucketing key for a value, when it has one.
+    pub fn key_of(v: &Value) -> Option<f64> {
+        numeric_key(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_track_adds_and_removes() {
+        let mut s = ColumnStats::new(ValueType::Int);
+        for i in 0..100i64 {
+            s.add(&Value::Int(i % 10));
+        }
+        s.add(&Value::Null);
+        assert_eq!(s.rows(), 101);
+        assert_eq!(s.null_count(), 1);
+        let d = s.distinct();
+        assert!((8.0..=12.0).contains(&d), "distinct ~10, got {d}");
+        for i in 0..50i64 {
+            s.remove(&Value::Int(i % 10));
+        }
+        assert_eq!(s.rows(), 51);
+        // Still ten distinct values present.
+        let d = s.distinct();
+        assert!(
+            (8.0..=12.0).contains(&d),
+            "distinct ~10 after deletes, got {d}"
+        );
+    }
+
+    #[test]
+    fn distinct_drops_when_values_vanish() {
+        let mut s = ColumnStats::new(ValueType::Int);
+        for i in 0..40i64 {
+            s.add(&Value::Int(i));
+        }
+        for i in 0..30i64 {
+            s.remove(&Value::Int(i));
+        }
+        let d = s.distinct();
+        assert!(d <= 14.0, "10 values remain, estimate {d}");
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distinct() {
+        let mut s = ColumnStats::new(ValueType::Int);
+        for i in 0..200i64 {
+            s.add(&Value::Int(i % 20));
+        }
+        let sel = s.eq_selectivity().unwrap();
+        assert!((0.03..=0.08).contains(&sel), "~1/20, got {sel}");
+    }
+
+    #[test]
+    fn histogram_estimates_ranges() {
+        let mut s = ColumnStats::new(ValueType::Timestamp);
+        for t in 0..1000i64 {
+            s.add(&Value::Timestamp(t));
+        }
+        // Upper half.
+        let sel = s.range_selectivity(Some((500.0, false)), None).unwrap();
+        assert!((0.4..=0.6).contains(&sel), "~0.5, got {sel}");
+        // Narrow slice.
+        let sel = s
+            .range_selectivity(Some((100.0, true)), Some((150.0, true)))
+            .unwrap();
+        assert!((0.02..=0.09).contains(&sel), "~0.05, got {sel}");
+        // Everything.
+        let sel = s.range_selectivity(None, None).unwrap();
+        assert!(sel >= 0.99, "full range ~1.0, got {sel}");
+        // Out of range below.
+        let sel = s.range_selectivity(None, Some((-5.0, true))).unwrap();
+        assert!(sel <= 0.01, "empty range ~0, got {sel}");
+    }
+
+    #[test]
+    fn histogram_widens_both_directions() {
+        let mut s = ColumnStats::new(ValueType::Int);
+        s.add(&Value::Int(0));
+        s.add(&Value::Int(100_000));
+        s.add(&Value::Int(-100_000));
+        let sel = s.range_selectivity(Some((-200_000.0, true)), None).unwrap();
+        assert!(sel > 0.9, "all three inside, got {sel}");
+    }
+
+    #[test]
+    fn text_columns_have_no_histogram_but_distinct_works() {
+        let mut s = ColumnStats::new(ValueType::Text);
+        for i in 0..50 {
+            s.add(&Value::Text(format!("u{}", i % 5)));
+        }
+        assert!(s.range_selectivity(Some((0.0, true)), None).is_none());
+        let d = s.distinct();
+        assert!((4.0..=7.0).contains(&d), "~5 distinct, got {d}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ColumnStats::new(ValueType::Int);
+        for i in 0..10i64 {
+            s.add(&Value::Int(i));
+        }
+        s.clear();
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.distinct(), 0.0);
+        assert!(s.eq_selectivity().is_none());
+    }
+}

@@ -10,6 +10,7 @@
 use crate::error::{Result, StorageError};
 use crate::row::{Row, RowId};
 use crate::schema::{IndexDef, TableSchema};
+use crate::stats::ColumnStats;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -81,11 +82,19 @@ pub struct Table {
     /// Implicit unique index: pk value -> row id.
     pk_index: BTreeMap<Value, RowId>,
     indexes: Vec<Index>,
+    /// Per-column statistics, parallel to the schema's column list;
+    /// maintained by every row mutation so the planner reads live numbers.
+    stats: Vec<ColumnStats>,
 }
 
 impl Table {
     /// Creates an empty table with catalog id `id`.
     pub fn new(schema: TableSchema, id: u32) -> Self {
+        let stats = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnStats::new(c.ty))
+            .collect();
         Table {
             schema,
             id,
@@ -93,7 +102,27 @@ impl Table {
             next_rid: 0,
             pk_index: BTreeMap::new(),
             indexes: Vec::new(),
+            stats,
         }
+    }
+
+    fn stats_add(&mut self, row: &Row) {
+        for (s, v) in self.stats.iter_mut().zip(row.values()) {
+            s.add(v);
+        }
+    }
+
+    fn stats_remove(&mut self, row: &Row) {
+        for (s, v) in self.stats.iter_mut().zip(row.values()) {
+            s.remove(v);
+        }
+    }
+
+    /// Statistics for `column`, if it exists.
+    pub fn column_stats(&self, column: &str) -> Option<&ColumnStats> {
+        self.schema
+            .column_pos(column)
+            .and_then(|p| self.stats.get(p))
     }
 
     /// The table's schema.
@@ -204,6 +233,7 @@ impl Table {
             let key = idx.key_of(&row);
             idx.map.entry(key).or_default().insert(rid);
         }
+        self.stats_add(&row);
         self.rows.insert(rid, row);
         Ok(rid)
     }
@@ -221,6 +251,7 @@ impl Table {
             idx.map.entry(key).or_default().insert(rid);
         }
         self.next_rid = self.next_rid.max(rid.0 + 1);
+        self.stats_add(&row);
         self.rows.insert(rid, row);
     }
 
@@ -292,6 +323,8 @@ impl Table {
                 idx.map.entry(new_key).or_default().insert(rid);
             }
         }
+        self.stats_remove(&old_row);
+        self.stats_add(&new_row);
         self.rows.insert(rid, new_row);
         Ok(old_row)
     }
@@ -312,6 +345,7 @@ impl Table {
                 }
             }
         }
+        self.stats_remove(&row);
         Some(row)
     }
 
@@ -539,6 +573,44 @@ impl Table {
         out
     }
 
+    /// Row ids from `idx` whose key starts with `eq_prefix` and whose
+    /// next key column equals any of `keys` — the multi-range scan behind
+    /// `a = ? AND b IN (...)` on an `(a, b, ...)` index. `keys` must be
+    /// sorted; key blocks come back in full key order (reversed when
+    /// `reverse`), so the result is index-key ordered.
+    pub fn index_in_scan(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        keys: &[Value],
+        reverse: bool,
+    ) -> Vec<RowId> {
+        let p = eq_prefix.len();
+        debug_assert!(p < idx.def.columns.len(), "IN column must exist");
+        let full = p + 1 == idx.def.columns.len();
+        let ordered_keys: Vec<&Value> = if reverse {
+            keys.iter().rev().collect()
+        } else {
+            keys.iter().collect()
+        };
+        let mut out = Vec::new();
+        let mut probe: Vec<Value> = Vec::with_capacity(p + 1);
+        for k in ordered_keys {
+            probe.clear();
+            probe.extend_from_slice(eq_prefix);
+            probe.push((*k).clone());
+            if full {
+                if let Some(set) = idx.map.get(&probe) {
+                    // Postings stay in rid (heap) order within one key.
+                    out.extend(set.iter().copied());
+                }
+            } else {
+                out.extend(self.index_prefix_scan(idx, &probe, reverse));
+            }
+        }
+        out
+    }
+
     /// All secondary indexes.
     pub fn indexes(&self) -> &[Index] {
         &self.indexes
@@ -551,6 +623,9 @@ impl Table {
         self.pk_index.clear();
         for idx in &mut self.indexes {
             idx.map.clear();
+        }
+        for s in &mut self.stats {
+            s.clear();
         }
     }
 }

@@ -52,7 +52,7 @@ fn wall_db(rows: i64) -> Database {
     db
 }
 
-fn explain(db: &Database, sql: &str, params: &[Value]) -> genie_storage::Plan {
+fn explain(db: &Database, sql: &str, params: &[Value]) -> genie_storage::QueryPlan {
     db.explain_sql(sql, params).unwrap()
 }
 
@@ -60,7 +60,7 @@ fn explain(db: &Database, sql: &str, params: &[Value]) -> genie_storage::Plan {
 fn equality_on_pk_uses_pk_probe() {
     let db = wall_db(100);
     let plan = explain(&db, "SELECT * FROM wall WHERE post_id = 7", &[]);
-    assert_eq!(plan.path, AccessPath::PkEq { key: Value::Int(7) });
+    assert_eq!(plan.base.path, AccessPath::PkEq { key: Value::Int(7) });
 }
 
 #[test]
@@ -68,10 +68,10 @@ fn reversed_equality_extracts_too() {
     let db = wall_db(100);
     // `7 = post_id` must plan identically to `post_id = 7`.
     let plan = explain(&db, "SELECT * FROM wall WHERE 7 = post_id", &[]);
-    assert_eq!(plan.path, AccessPath::PkEq { key: Value::Int(7) });
+    assert_eq!(plan.base.path, AccessPath::PkEq { key: Value::Int(7) });
     let plan = explain(&db, "SELECT * FROM wall WHERE 3 > post_id", &[]);
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::PkRange {
             from: Bound::Unbounded,
             to: Bound::Excluded(Value::Int(3)),
@@ -88,7 +88,7 @@ fn and_conjuncts_build_composite_index_key() {
         &[Value::Int(5)],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexEq {
             index: "wall_user_date".into(),
             key: vec![Value::Int(5), Value::Timestamp(1005)],
@@ -105,7 +105,7 @@ fn range_bounds_merge_into_one_scan() {
         &[],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexRange {
             index: "wall_user_date".into(),
             eq_prefix: vec![Value::Int(3)],
@@ -120,7 +120,7 @@ fn range_bounds_merge_into_one_scan() {
         &[],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexRange {
             index: "wall_user_date".into(),
             eq_prefix: vec![Value::Int(3)],
@@ -139,7 +139,7 @@ fn between_desugars_to_range() {
         &[],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexRange {
             index: "wall_user_date".into(),
             eq_prefix: vec![Value::Int(2)],
@@ -154,7 +154,7 @@ fn prefix_equality_scans_composite_index() {
     let db = wall_db(100);
     let plan = explain(&db, "SELECT * FROM wall WHERE user_id = 4", &[]);
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexPrefixRange {
             index: "wall_user_date".into(),
             prefix: vec![Value::Int(4)],
@@ -171,7 +171,7 @@ fn in_list_dedups_and_sorts_keys() {
         &[Value::Int(0)],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexOr {
             index: "wall_status".into(),
             keys: vec![Value::Int(0), Value::Int(2)],
@@ -188,7 +188,7 @@ fn or_equality_chain_plans_like_in() {
         &[],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexOr {
             index: "wall_status".into(),
             keys: vec![Value::Int(0), Value::Int(2)],
@@ -200,7 +200,7 @@ fn or_equality_chain_plans_like_in() {
         "SELECT * FROM wall WHERE status = 2 OR user_id = 0",
         &[],
     );
-    assert_eq!(plan.path, AccessPath::TableScan);
+    assert_eq!(plan.base.path, AccessPath::TableScan);
 }
 
 #[test]
@@ -209,7 +209,7 @@ fn pk_in_list_probes_instead_of_scanning() {
     let sql = "SELECT * FROM wall WHERE post_id IN (13, 5, 13, 40) ORDER BY post_id";
     let plan = explain(&db, sql, &[]);
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::PkOr {
             keys: vec![Value::Int(5), Value::Int(13), Value::Int(40)],
         }
@@ -256,7 +256,7 @@ fn composite_index_wins_selectivity_ties() {
         &[],
     );
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexEq {
             index: "inv_user_status".into(),
             key: vec![Value::Int(3), Value::Int(0)],
@@ -275,7 +275,7 @@ fn non_indexable_predicates_fall_back_to_scan() {
         "SELECT * FROM wall WHERE user_id IS NULL",
     ] {
         let plan = explain(&db, sql, &[]);
-        assert_eq!(plan.path, AccessPath::TableScan, "{sql}");
+        assert_eq!(plan.base.path, AccessPath::TableScan, "{sql}");
     }
 }
 
@@ -285,7 +285,7 @@ fn order_by_on_index_skips_sort() {
     let sel = "SELECT * FROM wall WHERE user_id = 3 ORDER BY date_posted DESC LIMIT 5";
     let plan = explain(&db, sel, &[]);
     assert!(plan.order_satisfied, "{plan}");
-    assert!(plan.reverse);
+    assert!(plan.base.reverse);
     let out = db.execute_sql(sel, &[]).unwrap();
     assert_eq!(out.cost.sorts, 0, "index order must skip the sort");
     // Correct order: newest first.
@@ -360,7 +360,7 @@ fn every_path_matches_full_scan_semantics() {
         );
         let scanned = db.execute_sql(&scan_sql, &[]).unwrap();
         assert_eq!(
-            db.explain_sql(&scan_sql, &[]).unwrap().path,
+            db.explain_sql(&scan_sql, &[]).unwrap().base.path,
             AccessPath::TableScan,
             "{scan_sql}"
         );
@@ -499,7 +499,7 @@ fn unique_index_equality_is_point_lookup() {
     let sel = Select::star("users").filter(Expr::col("email").eq(Expr::lit("u7@x")));
     let plan = db.explain(&sel, &[]).unwrap();
     assert_eq!(
-        plan.path,
+        plan.base.path,
         AccessPath::IndexEq {
             index: "users_email_key".into(),
             key: vec![Value::Text("u7@x".into())],

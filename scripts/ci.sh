@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo build --benches (criterion harnesses compile)"
 cargo build --benches -q
 
+echo "==> plan_audit --check (social-app page-query plan regressions)"
+cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
+
 echo "ci.sh: all green"
