@@ -99,6 +99,17 @@ fn main() {
             "view_groups: memberships",
             app.user_groups_qs(user).unwrap().compile(),
         ),
+        // COUNT(*) pushdown coverage: page-chrome badge counts answered
+        // from posting-list sizes (plan shape carries the count-only
+        // marker; rows_scanned must be zero).
+        (
+            "badge: friend count",
+            app.friends_qs(user).unwrap().compile_count(),
+        ),
+        (
+            "badge: pending-invite count",
+            app.pending_invitations_qs(user).unwrap().compile_count(),
+        ),
     ];
 
     for (name, (select, params)) in queries {

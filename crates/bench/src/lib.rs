@@ -44,6 +44,8 @@ pub fn paper_scale() -> WorkloadConfig {
         triggers_enabled: true,
         bump_lru_on_trigger: true,
         reuse_trigger_connections: false,
+        batch_posts_per_txn: 4,
+        batch_abort_pct: 25,
         cost: Default::default(),
         rng_seed: 1,
     }

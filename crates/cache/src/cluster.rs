@@ -87,6 +87,88 @@ struct ClusterInner {
     /// unless a TTL of 0 is used).
     now: AtomicU64,
     bump_on_trigger: bool,
+    /// The active transactional effect batch, if any. While present,
+    /// trigger-origin operations buffer here instead of hitting the
+    /// stores; [`CacheCluster::commit_effect_batch`] publishes one final
+    /// operation per touched key.
+    batch: Mutex<Option<EffectBatch>>,
+}
+
+/// CAS tokens handed out for buffered (not yet published) values. Kept in
+/// a range real stores never reach so a stale store token can't
+/// accidentally match a buffered entry.
+const BATCH_TOKEN_BASE: u64 = 1 << 62;
+
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// Publish these bytes at flush.
+    Set { data: Bytes, ttl: Option<u64> },
+    /// Remove the key at flush.
+    Delete,
+}
+
+/// Per-transaction overlay over the cluster: trigger effects buffer here
+/// during commit-time firing, reads see buffered state first, and the
+/// flush publishes exactly one physical operation per touched key —
+/// that's the per-cache-key coalescing of the commit pipeline, and the
+/// reason an aborted transaction can publish nothing at all.
+#[derive(Debug, Default)]
+struct EffectBatch {
+    /// Key -> pending final op, in first-touch order.
+    entries: Vec<(String, PendingOp, u64)>,
+    /// Reads that had to fall through to a real store.
+    backend_reads: u64,
+    /// Logical mutations buffered (what a per-statement pipeline would
+    /// have sent to the cache one by one — the "naive" op count).
+    buffered_mutations: u64,
+    next_token: u64,
+}
+
+impl EffectBatch {
+    fn entry(&self, key: &str) -> Option<(&PendingOp, u64)> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, op, t)| (op, *t))
+    }
+
+    fn put(&mut self, key: &str, op: PendingOp) -> u64 {
+        self.buffered_mutations += 1;
+        let token = BATCH_TOKEN_BASE + self.next_token;
+        self.next_token += 1;
+        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            Some(slot) => {
+                slot.1 = op;
+                slot.2 = token;
+            }
+            None => self.entries.push((key.to_owned(), op, token)),
+        }
+        token
+    }
+}
+
+/// What publishing (or discarding) an effect batch amounted to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectBatchSummary {
+    /// Distinct keys published — one physical cache op each.
+    pub keys_flushed: u64,
+    /// Reads served by a real store during the buffered phase.
+    pub backend_reads: u64,
+    /// Logical mutations buffered (the per-statement "naive" op count the
+    /// coalescing saved against).
+    pub buffered_mutations: u64,
+}
+
+impl EffectBatchSummary {
+    /// Physical cache operations the transaction actually performed.
+    pub fn physical_ops(&self) -> u64 {
+        self.keys_flushed + self.backend_reads
+    }
+
+    /// What the same effects would have cost applied one by one.
+    pub fn naive_ops(&self) -> u64 {
+        self.buffered_mutations + self.backend_reads
+    }
 }
 
 /// A shared cache cluster handleable from any thread.
@@ -147,6 +229,7 @@ impl CacheCluster {
                 ring,
                 now: AtomicU64::new(0),
                 bump_on_trigger: config.bump_lru_on_trigger,
+                batch: Mutex::new(None),
             }),
         }
     }
@@ -160,6 +243,75 @@ impl CacheCluster {
         CacheHandle {
             inner: Arc::clone(&self.inner),
             bump,
+            origin,
+        }
+    }
+
+    /// Opens a transactional effect batch: until the matching
+    /// [`CacheCluster::commit_effect_batch`] or
+    /// [`CacheCluster::discard_effect_batch`], trigger-origin operations
+    /// buffer in an overlay instead of touching the stores. Replaces any
+    /// batch left open (callers bracket it under the engine's commit
+    /// lock, so nesting cannot arise).
+    pub fn begin_effect_batch(&self) {
+        *self.inner.batch.lock() = Some(EffectBatch::default());
+    }
+
+    /// Keys the active batch would publish, in first-touch order (the
+    /// strict-consistency extension write-locks these before the flush).
+    pub fn effect_batch_keys(&self) -> Vec<String> {
+        self.inner
+            .batch
+            .lock()
+            .as_ref()
+            .map(|b| b.entries.iter().map(|(k, _, _)| k.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Publishes the active batch: one physical set/delete per touched
+    /// key, in first-touch order. A no-op (zero summary) without an open
+    /// batch.
+    pub fn commit_effect_batch(&self) -> EffectBatchSummary {
+        let Some(batch) = self.inner.batch.lock().take() else {
+            return EffectBatchSummary::default();
+        };
+        let mut summary = EffectBatchSummary {
+            keys_flushed: 0,
+            backend_reads: batch.backend_reads,
+            buffered_mutations: batch.buffered_mutations,
+        };
+        for (key, op, _) in batch.entries {
+            summary.keys_flushed += 1;
+            match op {
+                PendingOp::Set { data, ttl } => {
+                    let stored = self
+                        .inner
+                        .with_server(&key, |s, now| s.set(&key, data, ttl, now));
+                    if stored.is_err() {
+                        // Mirror the trigger fallback: when a value cannot
+                        // be stored, invalidate rather than leave staleness.
+                        self.inner.with_server(&key, |s, _| s.delete(&key));
+                    }
+                }
+                PendingOp::Delete => {
+                    self.inner.with_server(&key, |s, _| s.delete(&key));
+                }
+            }
+        }
+        summary
+    }
+
+    /// Drops the active batch without publishing anything — the aborted
+    /// transaction leaves the cache byte-identical. Returns what was
+    /// discarded.
+    pub fn discard_effect_batch(&self) -> EffectBatchSummary {
+        let Some(batch) = self.inner.batch.lock().take() else {
+            return EffectBatchSummary::default();
+        };
+        EffectBatchSummary {
+            keys_flushed: 0,
+            backend_reads: batch.backend_reads,
+            buffered_mutations: batch.buffered_mutations,
         }
     }
 
@@ -233,32 +385,69 @@ impl ClusterInner {
     }
 }
 
+/// How a batched [`CacheHandle`] operation routed: resolved entirely
+/// from the overlay (`Done`), or falling through to a real store with
+/// optional carry-over context (`Fallthrough`).
+enum Routed<T, F = ()> {
+    Done(T),
+    Fallthrough(F),
+}
+
 /// A client handle bound to an origin (application or trigger).
 #[derive(Clone)]
 pub struct CacheHandle {
     inner: Arc<ClusterInner>,
     bump: bool,
+    origin: CacheOrigin,
 }
 
 impl std::fmt::Debug for CacheHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheHandle")
             .field("bump", &self.bump)
+            .field("origin", &self.origin)
             .finish()
     }
 }
 
 impl CacheHandle {
-    /// Fetches raw bytes.
-    pub fn get(&self, key: &str) -> Option<Bytes> {
-        self.inner
-            .with_server(key, |s, now| s.get(key, now, self.bump))
+    /// Runs `f` against the active effect batch when this handle's
+    /// operations are subject to buffering (trigger origin, batch open);
+    /// otherwise returns `None` and the caller goes to the stores.
+    fn with_batch<T>(&self, f: impl FnOnce(&mut EffectBatch) -> T) -> Option<T> {
+        if self.origin != CacheOrigin::Trigger {
+            return None;
+        }
+        let mut guard = self.inner.batch.lock();
+        guard.as_mut().map(f)
     }
 
-    /// Fetches raw bytes plus the CAS token (memcached `gets`).
+    /// Fetches raw bytes.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.gets(key).map(|v| v.data)
+    }
+
+    /// Fetches raw bytes plus the CAS token (memcached `gets`). During a
+    /// transactional effect batch, trigger reads see their own buffered
+    /// writes first and fall through to a real store otherwise.
     pub fn gets(&self, key: &str) -> Option<ValueWithCas> {
-        self.inner
-            .with_server(key, |s, now| s.gets(key, now, self.bump))
+        let routed = self.with_batch(|b| match b.entry(key) {
+            Some((PendingOp::Set { data, .. }, token)) => Routed::Done(Some(ValueWithCas {
+                data: data.clone(),
+                cas: token,
+            })),
+            Some((PendingOp::Delete, _)) => Routed::Done(None),
+            None => {
+                b.backend_reads += 1;
+                Routed::Fallthrough(())
+            }
+        });
+        match routed {
+            Some(Routed::Done(v)) => v,
+            _ => self
+                .inner
+                .with_server(key, |s, now| s.gets(key, now, self.bump)),
+        }
     }
 
     /// Stores raw bytes.
@@ -267,6 +456,20 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::ValueTooLarge`] for oversized values.
     pub fn set(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
+        if self
+            .with_batch(|b| {
+                b.put(
+                    key,
+                    PendingOp::Set {
+                        data: data.clone(),
+                        ttl,
+                    },
+                );
+            })
+            .is_some()
+        {
+            return Ok(());
+        }
         self.inner
             .with_server(key, |s, now| s.set(key, data, ttl, now))
     }
@@ -277,23 +480,90 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::AlreadyStored`] if present.
     pub fn add(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
-        self.inner
-            .with_server(key, |s, now| s.add(key, data, ttl, now))
+        let routed: Option<Routed<Result<()>, bool>> = self.with_batch(|b| match b.entry(key) {
+            Some((PendingOp::Set { .. }, _)) => Routed::Done(Err(crate::CacheError::AlreadyStored)),
+            Some((PendingOp::Delete, _)) => Routed::Fallthrough(true),
+            None => {
+                b.backend_reads += 1;
+                Routed::Fallthrough(false)
+            }
+        });
+        match routed {
+            Some(Routed::Done(r)) => r,
+            Some(Routed::Fallthrough(deleted)) => {
+                if !deleted && self.inner.with_server(key, |s, now| s.contains(key, now)) {
+                    return Err(crate::CacheError::AlreadyStored);
+                }
+                self.with_batch(|b| {
+                    b.put(key, PendingOp::Set { data, ttl });
+                });
+                Ok(())
+            }
+            None => self
+                .inner
+                .with_server(key, |s, now| s.add(key, data, ttl, now)),
+        }
     }
 
     /// Compare-and-swap store.
+    ///
+    /// During a transactional effect batch, a CAS against a buffered
+    /// entry checks the buffered token; a CAS against a store-read token
+    /// is accepted blindly — the engine's commit lock serializes every
+    /// writer, so the token a trigger just read cannot have gone stale.
     ///
     /// # Errors
     ///
     /// [`crate::CacheError::CasConflict`] when the token is stale.
     pub fn cas(&self, key: &str, data: Bytes, token: u64, ttl: Option<u64>) -> Result<()> {
-        self.inner
-            .with_server(key, |s, now| s.cas(key, data, token, ttl, now))
+        let routed = self.with_batch(|b| {
+            match b.entry(key) {
+                Some((_, buffered_token)) if buffered_token != token => {
+                    return Err(crate::CacheError::CasConflict);
+                }
+                _ => {}
+            }
+            b.put(
+                key,
+                PendingOp::Set {
+                    data: data.clone(),
+                    ttl,
+                },
+            );
+            Ok(())
+        });
+        match routed {
+            Some(r) => r,
+            None => self
+                .inner
+                .with_server(key, |s, now| s.cas(key, data, token, ttl, now)),
+        }
     }
 
     /// Deletes a key; returns whether it existed.
     pub fn delete(&self, key: &str) -> bool {
-        self.inner.with_server(key, |s, _| s.delete(key))
+        let routed = self.with_batch(|b| match b.entry(key) {
+            Some((PendingOp::Set { .. }, _)) => {
+                b.put(key, PendingOp::Delete);
+                Routed::Done(true)
+            }
+            Some((PendingOp::Delete, _)) => Routed::Done(false),
+            None => {
+                b.backend_reads += 1;
+                Routed::Fallthrough(())
+            }
+        });
+        match routed {
+            Some(Routed::Done(existed)) => existed,
+            Some(Routed::Fallthrough(())) => {
+                let existed = self.inner.with_server(key, |s, now| s.contains(key, now));
+                self.with_batch(|b| {
+                    b.put(key, PendingOp::Delete);
+                });
+                existed
+            }
+            None => self.inner.with_server(key, |s, _| s.delete(key)),
+        }
     }
 
     /// Increments a count payload; `None` on miss.
@@ -302,13 +572,78 @@ impl CacheHandle {
     ///
     /// [`crate::CacheError::Codec`] if the entry is not a count.
     pub fn incr(&self, key: &str, delta: i64) -> Result<Option<i64>> {
-        self.inner
-            .with_server(key, |s, now| s.incr(key, delta, now))
+        let routed = self.with_batch(|b| match b.entry(key) {
+            Some((PendingOp::Set { data, ttl }, _)) => {
+                let ttl = *ttl;
+                let payload = match Payload::decode(data) {
+                    Ok(p) => p,
+                    Err(e) => return Routed::Done(Err(e)),
+                };
+                let Some(n) = payload.as_count() else {
+                    return Routed::Done(Err(crate::CacheError::Codec(
+                        "incr target is not a count".into(),
+                    )));
+                };
+                let new = n + delta;
+                b.put(
+                    key,
+                    PendingOp::Set {
+                        data: Payload::Count(new).encode(),
+                        ttl,
+                    },
+                );
+                Routed::Done(Ok(Some(new)))
+            }
+            Some((PendingOp::Delete, _)) => Routed::Done(Ok(None)),
+            None => {
+                b.backend_reads += 1;
+                Routed::Fallthrough(())
+            }
+        });
+        match routed {
+            Some(Routed::Done(r)) => r,
+            Some(Routed::Fallthrough(())) => {
+                let current = self
+                    .inner
+                    .with_server(key, |s, now| s.get_with_ttl(key, now, self.bump));
+                let Some((data, ttl)) = current else {
+                    return Ok(None);
+                };
+                let n = Payload::decode(&data)?
+                    .as_count()
+                    .ok_or_else(|| crate::CacheError::Codec("incr target is not a count".into()))?;
+                let new = n + delta;
+                self.with_batch(|b| {
+                    b.put(
+                        key,
+                        PendingOp::Set {
+                            data: Payload::Count(new).encode(),
+                            ttl,
+                        },
+                    );
+                });
+                Ok(Some(new))
+            }
+            None => self
+                .inner
+                .with_server(key, |s, now| s.incr(key, delta, now)),
+        }
     }
 
     /// True if the key currently holds a live entry.
     pub fn contains(&self, key: &str) -> bool {
-        self.inner.with_server(key, |s, now| s.contains(key, now))
+        let routed = self.with_batch(|b| match b.entry(key) {
+            Some((PendingOp::Set { .. }, _)) => Routed::Done(true),
+            Some((PendingOp::Delete, _)) => Routed::Done(false),
+            None => {
+                b.backend_reads += 1;
+                Routed::Fallthrough(())
+            }
+        });
+        match routed {
+            Some(Routed::Done(v)) => v,
+            _ => self.inner.with_server(key, |s, now| s.contains(key, now)),
+        }
     }
 
     /// Fetches and decodes a typed payload.
@@ -535,6 +870,130 @@ mod tests {
             servers: 0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn effect_batch_coalesces_same_key_to_one_store_op() {
+        let c = cluster(2, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        let trig = c.handle(CacheOrigin::Trigger);
+        app.set_payload("k", &Payload::Count(0), None).unwrap();
+        c.reset_stats();
+        c.begin_effect_batch();
+        // Five buffered mutations of the same key...
+        for _ in 0..5 {
+            let got = trig.gets("k").unwrap();
+            let n = Payload::decode(&got.data).unwrap().as_count().unwrap();
+            trig.cas("k", Payload::Count(n + 1).encode(), got.cas, None)
+                .unwrap();
+        }
+        let summary = c.commit_effect_batch();
+        // ...publish as ONE physical set; only the first gets hit a store.
+        assert_eq!(summary.keys_flushed, 1);
+        assert_eq!(summary.backend_reads, 1);
+        assert_eq!(summary.buffered_mutations, 5);
+        assert!(summary.physical_ops() < summary.naive_ops());
+        assert_eq!(c.stats().store.sets, 1);
+        assert_eq!(
+            app.get_payload("k").unwrap().unwrap().as_count(),
+            Some(5),
+            "buffered increments all landed"
+        );
+    }
+
+    #[test]
+    fn discarded_batch_publishes_nothing() {
+        let c = cluster(1, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        let trig = c.handle(CacheOrigin::Trigger);
+        app.set_payload("k", &Payload::Count(7), None).unwrap();
+        c.begin_effect_batch();
+        let got = trig.gets("k").unwrap();
+        trig.cas("k", Payload::Count(99).encode(), got.cas, None)
+            .unwrap();
+        trig.delete("other");
+        let summary = c.discard_effect_batch();
+        assert_eq!(summary.keys_flushed, 0);
+        assert!(summary.buffered_mutations >= 2);
+        assert_eq!(
+            app.get_payload("k").unwrap().unwrap().as_count(),
+            Some(7),
+            "cache byte-identical after discard"
+        );
+    }
+
+    #[test]
+    fn batch_only_intercepts_trigger_origin() {
+        let c = cluster(1, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        c.begin_effect_batch();
+        app.set_payload("a", &Payload::Count(1), None).unwrap();
+        assert_eq!(
+            app.get_payload("a").unwrap().unwrap().as_count(),
+            Some(1),
+            "application writes go straight to the store"
+        );
+        let summary = c.commit_effect_batch();
+        assert_eq!(summary.buffered_mutations, 0);
+    }
+
+    #[test]
+    fn batch_reads_see_buffered_deletes_and_writes() {
+        let c = cluster(1, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        let trig = c.handle(CacheOrigin::Trigger);
+        app.set_payload("k", &Payload::Count(1), None).unwrap();
+        c.begin_effect_batch();
+        assert!(trig.contains("k"));
+        trig.delete("k");
+        assert!(!trig.contains("k"), "buffered delete visible to triggers");
+        assert!(trig.gets("k").is_none());
+        assert!(
+            app.contains("k"),
+            "unpublished delete invisible to the application"
+        );
+        trig.set("k", Payload::Count(5).encode(), None).unwrap();
+        assert_eq!(trig.incr("k", 2).unwrap(), Some(7));
+        c.commit_effect_batch();
+        assert_eq!(app.get_payload("k").unwrap().unwrap().as_count(), Some(7));
+    }
+
+    #[test]
+    fn batched_incr_preserves_remaining_ttl() {
+        let c = cluster(1, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        let trig = c.handle(CacheOrigin::Trigger);
+        c.set_now(1_000);
+        app.set_payload("n", &Payload::Count(1), Some(500)).unwrap();
+        c.begin_effect_batch();
+        assert_eq!(trig.incr("n", 1).unwrap(), Some(2));
+        c.commit_effect_batch();
+        c.set_now(1_400);
+        assert_eq!(
+            app.get_payload("n").unwrap().unwrap().as_count(),
+            Some(2),
+            "still alive before expiry"
+        );
+        c.set_now(1_501);
+        assert!(
+            app.get_payload("n").unwrap().is_none(),
+            "the flushed counter kept the entry's original expiry"
+        );
+    }
+
+    #[test]
+    fn batch_cas_conflicts_on_stale_buffered_token() {
+        let c = cluster(1, 1024 * 1024);
+        let trig = c.handle(CacheOrigin::Trigger);
+        c.begin_effect_batch();
+        trig.set("k", Payload::Count(1).encode(), None).unwrap();
+        let t1 = trig.gets("k").unwrap().cas;
+        trig.cas("k", Payload::Count(2).encode(), t1, None).unwrap();
+        assert!(matches!(
+            trig.cas("k", Payload::Count(3).encode(), t1, None),
+            Err(CacheError::CasConflict)
+        ));
+        c.discard_effect_batch();
     }
 
     #[test]

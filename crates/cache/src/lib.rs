@@ -23,7 +23,9 @@ pub mod error;
 pub mod lock;
 pub mod store;
 
-pub use cluster::{CacheCluster, CacheHandle, CacheOrigin, ClusterConfig, ClusterStats};
+pub use cluster::{
+    CacheCluster, CacheHandle, CacheOrigin, ClusterConfig, ClusterStats, EffectBatchSummary,
+};
 pub use codec::{hash_key, Payload};
 pub use error::{CacheError, Result};
 pub use lock::{KeyLockTable, LockOutcome, TxnId};

@@ -112,6 +112,24 @@ impl CacheStore {
         self.gets(key, now, bump).map(|v| v.data)
     }
 
+    /// Like [`CacheStore::get`] but also returns the entry's remaining
+    /// TTL (`None` = no expiry) — for callers that must re-store the
+    /// value later without extending or shortening its life.
+    pub fn get_with_ttl(
+        &mut self,
+        key: &str,
+        now: u64,
+        bump: bool,
+    ) -> Option<(Bytes, Option<u64>)> {
+        let v = self.gets(key, now, bump)?;
+        let ttl = self
+            .map
+            .get(key)
+            .and_then(|e| e.expires_at)
+            .map(|t| t.saturating_sub(now));
+        Some((v.data, ttl))
+    }
+
     /// Like [`CacheStore::get`] but also returns the CAS token.
     pub fn gets(&mut self, key: &str, now: u64, bump: bool) -> Option<ValueWithCas> {
         self.stats.gets += 1;

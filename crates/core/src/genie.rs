@@ -4,10 +4,13 @@
 use crate::def::{CacheClassKind, CacheableDef};
 use crate::object::ObjectInner;
 use crate::stats::{GenieStats, GenieStatsSnapshot};
+use crate::strict::StrictTxnManager;
 use crate::triggers::build_triggers;
 use genie_cache::{CacheCluster, CacheHandle, CacheOrigin, Payload};
 use genie_orm::{InterceptOutcome, ModelRegistry, OrmSession, QueryInterceptor};
-use genie_storage::{CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value};
+use genie_storage::{
+    CommitHook, CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value,
+};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -53,12 +56,86 @@ struct GenieShared {
     registry: Arc<ModelRegistry>,
     config: GenieConfig,
     stats: Arc<GenieStats>,
+    /// The commit-time cache-effect pipeline registered on the database.
+    pipeline: Arc<EffectPipeline>,
     /// fingerprint (canonical SQL) -> object.
     by_fingerprint: RwLock<HashMap<String, Arc<ObjectInner>>>,
     /// object name -> object.
     by_name: RwLock<HashMap<String, Arc<ObjectInner>>>,
     /// Tables with at least one cached object (fast reject for Pass).
     tables: RwLock<HashSet<String>>,
+}
+
+/// The database-side half of the transactional consistency guarantee:
+/// registered as the engine's [`CommitHook`], it brackets commit-time
+/// trigger firing with a cluster effect batch so a transaction's cache
+/// effects publish atomically (per-key coalesced) on COMMIT and never on
+/// abort. With a [`StrictTxnManager`] wired in, the flush runs under 2PL
+/// write locks on the touched keys — lock timeout aborts the transaction,
+/// per the paper's §3.3 design.
+///
+/// Deliberately holds no reference back to the [`Database`] (which owns
+/// the hook) — only the cluster, stats, and lock table.
+struct EffectPipeline {
+    cluster: CacheCluster,
+    stats: Arc<GenieStats>,
+    strict: RwLock<Option<StrictTxnManager>>,
+}
+
+impl EffectPipeline {
+    /// Folds the published batch into stats and rewrites the commit's
+    /// cache-op accounting from the bodies' per-effect counts to the
+    /// physical (coalesced) numbers.
+    fn settle(&self, summary: genie_cache::EffectBatchSummary, cost: &mut CostReport) {
+        let naive = cost.trigger_cache_ops.max(summary.naive_ops());
+        let physical = summary.physical_ops();
+        if naive == 0 && physical == 0 {
+            return; // nothing buffered (e.g. NoCache mode / no triggers)
+        }
+        self.stats.bump(&self.stats.commit_batches);
+        self.stats.add(&self.stats.commit_cache_ops, physical);
+        self.stats.add(&self.stats.commit_cache_ops_naive, naive);
+        cost.trigger_cache_ops = physical;
+        // One pooled connection serves the whole group commit (the
+        // per-firing opens the paper measured collapse with the batch).
+        cost.trigger_connections = cost.trigger_connections.min(1);
+    }
+}
+
+impl CommitHook for EffectPipeline {
+    fn begin_apply(&self) {
+        self.cluster.begin_effect_batch();
+    }
+
+    fn commit_apply(&self, cost: &mut CostReport) -> Result<()> {
+        if let Some(mgr) = self.strict.read().clone() {
+            // 2PL growing phase: write-lock every key the flush touches.
+            let keys = self.cluster.effect_batch_keys();
+            let tid = mgr.alloc_tid();
+            for key in &keys {
+                if !mgr.acquire_write(tid, key) {
+                    mgr.release(tid);
+                    self.cluster.discard_effect_batch();
+                    self.stats.bump(&self.stats.commit_aborts);
+                    return Err(StorageError::LockTimeout { table: key.clone() });
+                }
+            }
+            let summary = self.cluster.commit_effect_batch();
+            mgr.release(tid);
+            self.settle(summary, cost);
+            return Ok(());
+        }
+        let summary = self.cluster.commit_effect_batch();
+        self.settle(summary, cost);
+        Ok(())
+    }
+
+    fn abort_apply(&self) {
+        let discarded = self.cluster.discard_effect_batch();
+        if discarded.naive_ops() > 0 {
+            self.stats.bump(&self.stats.commit_aborts);
+        }
+    }
 }
 
 /// The caching middleware (Figure 1c): declare cached objects with
@@ -132,6 +209,13 @@ impl CacheGenie {
         config: GenieConfig,
     ) -> Self {
         let app_cache = cluster.handle(CacheOrigin::Application);
+        let stats = Arc::new(GenieStats::new());
+        let pipeline = Arc::new(EffectPipeline {
+            cluster: cluster.clone(),
+            stats: Arc::clone(&stats),
+            strict: RwLock::new(None),
+        });
+        db.set_commit_hook(Arc::clone(&pipeline) as Arc<dyn CommitHook>);
         CacheGenie {
             shared: Arc::new(GenieShared {
                 db,
@@ -139,12 +223,23 @@ impl CacheGenie {
                 app_cache,
                 registry,
                 config,
-                stats: Arc::new(GenieStats::new()),
+                stats,
+                pipeline,
                 by_fingerprint: RwLock::new(HashMap::new()),
                 by_name: RwLock::new(HashMap::new()),
                 tables: RwLock::new(HashSet::new()),
             }),
         }
+    }
+
+    /// Wires the §3.3 strict-consistency extension into the commit
+    /// pipeline: publishing a transaction's cache effects write-locks the
+    /// touched keys through `manager`'s lock table (two-phase locking),
+    /// and a lock timeout aborts the whole database transaction. Share
+    /// one manager between application-side [`crate::StrictTxn`]s and
+    /// this hook so both sides agree on the locks.
+    pub fn set_strict_commit(&self, manager: &StrictTxnManager) {
+        *self.shared.pipeline.strict.write() = Some(manager.clone());
     }
 
     /// Declares a cached object: compiles the query template, registers it
@@ -269,6 +364,26 @@ impl GenieShared {
     /// Serves one cached object for concrete key values: cache hit,
     /// read-through fill, or (Top-K) internal over-fetch.
     fn serve(&self, obj: &Arc<ObjectInner>, params: &[Value]) -> Result<EvalOutcome> {
+        // While a transaction is open, bypass the cache entirely: a fill
+        // would publish uncommitted rows (dirty on rollback), and a hit
+        // could hide the transaction's own writes. The commit pipeline
+        // publishes the effects when — and only when — the COMMIT lands.
+        if self.db.in_transaction() {
+            self.stats.bump(&self.stats.txn_bypasses);
+            let out = self.db.select(&obj.template, params)?;
+            let result = match &obj.def.kind {
+                CacheClassKind::Count => {
+                    count_result(out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0))
+                }
+                _ => rows_result(obj, out.result.rows),
+            };
+            return Ok(EvalOutcome {
+                result,
+                from_cache: false,
+                cache_ops: 0,
+                db_cost: out.cost,
+            });
+        }
         let key = obj.make_key(params);
         match &obj.def.kind {
             CacheClassKind::TopK { .. } => self.serve_top_k(obj, &key, params),

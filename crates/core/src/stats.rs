@@ -14,6 +14,11 @@ pub struct GenieStats {
     pub(crate) key_drops: AtomicU64,
     pub(crate) cas_conflicts: AtomicU64,
     pub(crate) trigger_noops: AtomicU64,
+    pub(crate) commit_batches: AtomicU64,
+    pub(crate) commit_cache_ops: AtomicU64,
+    pub(crate) commit_cache_ops_naive: AtomicU64,
+    pub(crate) commit_aborts: AtomicU64,
+    pub(crate) txn_bypasses: AtomicU64,
 }
 
 /// A point-in-time copy of [`GenieStats`].
@@ -36,6 +41,21 @@ pub struct GenieStatsSnapshot {
     pub cas_conflicts: u64,
     /// Trigger firings that found nothing cached to maintain.
     pub trigger_noops: u64,
+    /// Transactions whose cache effects were published through the
+    /// commit-time batch pipeline.
+    pub commit_batches: u64,
+    /// Physical cache operations those commits performed (coalesced: one
+    /// op per touched key plus backend reads during firing).
+    pub commit_cache_ops: u64,
+    /// What the same effects would have cost applied per statement — the
+    /// naive baseline the coalescing saves against.
+    pub commit_cache_ops_naive: u64,
+    /// Commit-time aborts (failed trigger bodies or strict-mode lock
+    /// timeouts); their buffered effects were discarded unpublished.
+    pub commit_aborts: u64,
+    /// Cached-object reads served straight from the database because a
+    /// transaction was open (no dirty fills, own writes visible).
+    pub txn_bypasses: u64,
 }
 
 impl GenieStats {
@@ -55,6 +75,11 @@ impl GenieStats {
             key_drops: self.key_drops.load(Ordering::Relaxed),
             cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
             trigger_noops: self.trigger_noops.load(Ordering::Relaxed),
+            commit_batches: self.commit_batches.load(Ordering::Relaxed),
+            commit_cache_ops: self.commit_cache_ops.load(Ordering::Relaxed),
+            commit_cache_ops_naive: self.commit_cache_ops_naive.load(Ordering::Relaxed),
+            commit_aborts: self.commit_aborts.load(Ordering::Relaxed),
+            txn_bypasses: self.txn_bypasses.load(Ordering::Relaxed),
         }
     }
 
@@ -69,6 +94,11 @@ impl GenieStats {
             &self.key_drops,
             &self.cas_conflicts,
             &self.trigger_noops,
+            &self.commit_batches,
+            &self.commit_cache_ops,
+            &self.commit_cache_ops_naive,
+            &self.commit_aborts,
+            &self.txn_bypasses,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -77,9 +107,20 @@ impl GenieStats {
     pub(crate) fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 impl GenieStatsSnapshot {
+    /// Cache operations the commit-time coalescing saved versus applying
+    /// every buffered effect one by one.
+    pub fn commit_ops_saved(&self) -> u64 {
+        self.commit_cache_ops_naive
+            .saturating_sub(self.commit_cache_ops)
+    }
+
     /// Interception hit ratio, or 1.0 with no intercepted traffic.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;

@@ -81,6 +81,28 @@ impl StrictTxnManager {
     pub fn locked_keys(&self) -> usize {
         self.shared.locks.locked_keys()
     }
+
+    /// Allocates a transaction id for the commit-time effect pipeline
+    /// (the database side of the paper's §3.3 agreed-txn-id protocol).
+    pub(crate) fn alloc_tid(&self) -> TxnId {
+        self.shared.next_tid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Acquires a write lock for `tid` on `key` within the attempt
+    /// budget; `false` means deadlock-by-timeout (the caller aborts).
+    pub(crate) fn acquire_write(&self, tid: TxnId, key: &str) -> bool {
+        for _ in 0..self.lock_attempts.max(1) {
+            if self.shared.locks.try_write(tid, key) == LockOutcome::Granted {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Releases every lock `tid` holds (2PL shrinking phase).
+    pub(crate) fn release(&self, tid: TxnId) {
+        self.shared.locks.release_all(tid);
+    }
 }
 
 /// One strict transaction. Reads acquire read locks on cache keys before

@@ -1,0 +1,266 @@
+//! Transactional cache coherence — the commit-time effect pipeline.
+//!
+//! CacheGenie's central transactional guarantee: cache effects of a
+//! database transaction publish atomically at COMMIT (coalesced per key)
+//! and never otherwise. These tests pin the four faces of that guarantee:
+//! a rollback leaves the cache byte-identical, uncommitted data is never
+//! visible through the cache mid-transaction, same-key effects coalesce
+//! into one physical cache operation, and a strict-mode (§3.3) lock
+//! timeout aborts the whole transaction cleanly.
+
+use cachegenie::{CacheGenie, CacheableDef, GenieConfig, SortOrder, StrictTxnManager};
+use genie_cache::{CacheCluster, CacheOrigin, ClusterConfig};
+use genie_orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+use genie_storage::{Database, StorageError, Value, ValueType};
+use std::sync::Arc;
+
+const K: usize = 3;
+
+struct Env {
+    db: Database,
+    session: OrmSession,
+    genie: CacheGenie,
+    cluster: CacheCluster,
+}
+
+fn env() -> Env {
+    let mut reg = ModelRegistry::new();
+    reg.register(
+        ModelDef::builder("User", "users")
+            .field(FieldDef::new("username", ValueType::Text))
+            .build(),
+    )
+    .unwrap();
+    reg.register(
+        ModelDef::builder("WallPost", "wall")
+            .foreign_key("user_id", "User")
+            .field(FieldDef::new("date_posted", ValueType::Timestamp).indexed())
+            .build(),
+    )
+    .unwrap();
+    let reg = Arc::new(reg);
+    let db = Database::default();
+    reg.sync(&db).unwrap();
+    let session = OrmSession::new(db.clone(), Arc::clone(&reg));
+    let cluster = CacheCluster::new(ClusterConfig::default());
+    let genie = CacheGenie::new(db.clone(), cluster.clone(), reg, GenieConfig::default());
+    genie.install(&session);
+    for i in 1..=3i64 {
+        session
+            .create("User", &[("username", format!("u{i}").into())])
+            .unwrap();
+    }
+    genie
+        .cacheable(
+            CacheableDef::top_k(
+                "wall_topk",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                K,
+            )
+            .where_fields(&["user_id"])
+            .reserve(2),
+        )
+        .unwrap();
+    genie
+        .cacheable(CacheableDef::count("wall_count", "WallPost").where_fields(&["user_id"]))
+        .unwrap();
+    Env {
+        db,
+        session,
+        genie,
+        cluster,
+    }
+}
+
+fn post(e: &Env, user: i64, ts: i64) -> i64 {
+    e.session
+        .create(
+            "WallPost",
+            &[
+                ("user_id", user.into()),
+                ("date_posted", Value::Timestamp(ts)),
+            ],
+        )
+        .unwrap()
+        .new_id
+        .unwrap()
+}
+
+/// Raw cached bytes for every key a user's objects live under.
+fn cache_image(e: &Env, user: i64) -> Vec<(String, Option<Vec<u8>>)> {
+    let app = e.cluster.handle(CacheOrigin::Application);
+    ["wall_topk", "wall_count"]
+        .iter()
+        .map(|obj| {
+            let key = e.genie.key_for(obj, &[Value::Int(user)]).unwrap();
+            let bytes = app.get(&key).map(|b| b.to_vec());
+            (key, bytes)
+        })
+        .collect()
+}
+
+fn warm(e: &Env, user: i64) {
+    e.genie.evaluate("wall_topk", &[Value::Int(user)]).unwrap();
+    e.genie.evaluate("wall_count", &[Value::Int(user)]).unwrap();
+}
+
+fn cached_count(e: &Env, user: i64) -> i64 {
+    let out = e.genie.evaluate("wall_count", &[Value::Int(user)]).unwrap();
+    out.result.scalar().and_then(|v| v.as_int()).unwrap()
+}
+
+#[test]
+fn rollback_leaves_cache_byte_identical() {
+    let e = env();
+    post(&e, 1, 100);
+    post(&e, 1, 200);
+    warm(&e, 1);
+    let before = cache_image(&e, 1);
+    assert!(before.iter().all(|(_, b)| b.is_some()), "cache warmed");
+
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    post(&e, 1, 300);
+    post(&e, 1, 400);
+    e.session
+        .delete_matching(
+            &e.session
+                .objects("WallPost")
+                .unwrap()
+                .filter_eq("user_id", 1i64),
+        )
+        .unwrap();
+    e.db.execute_sql("ROLLBACK", &[]).unwrap();
+
+    assert_eq!(
+        cache_image(&e, 1),
+        before,
+        "aborted transaction published zero cache effects"
+    );
+    // And the cached answers still match the (restored) database.
+    assert_eq!(cached_count(&e, 1), 2);
+}
+
+#[test]
+fn dirty_cache_reads_impossible_mid_transaction() {
+    let e = env();
+    post(&e, 1, 100);
+    warm(&e, 1);
+    let before = cache_image(&e, 1);
+
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    post(&e, 1, 999);
+    // Mid-transaction the cache is untouched (nothing published)...
+    assert_eq!(cache_image(&e, 1), before);
+    // ...while the transaction itself still sees its own write (the read
+    // bypasses the cache and goes to the database).
+    let out = e.genie.evaluate("wall_count", &[Value::Int(1)]).unwrap();
+    assert!(!out.from_cache);
+    assert_eq!(out.result.scalar().and_then(|v| v.as_int()), Some(2));
+    assert_eq!(out.cache_ops, 0, "bypass reads issue no cache traffic");
+    e.db.execute_sql("ROLLBACK", &[]).unwrap();
+
+    // After the rollback the untouched cache is still *correct*.
+    assert_eq!(cached_count(&e, 1), 1);
+    let snap = e.genie.stats();
+    assert!(snap.txn_bypasses >= 1);
+}
+
+#[test]
+fn same_key_effects_coalesce_at_commit() {
+    let e = env();
+    let id = post(&e, 1, 100);
+    warm(&e, 1);
+
+    // Three updates of one row: one net row change, so each matching
+    // trigger fires once at commit.
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    for ts in [110i64, 120, 130] {
+        e.session
+            .update_by_id("WallPost", id, &[("date_posted", Value::Timestamp(ts))])
+            .unwrap();
+    }
+    let out = e.db.execute_sql("COMMIT", &[]).unwrap();
+    assert_eq!(
+        out.cost.triggers_fired, 2,
+        "topk + count triggers, once each (three statements coalesced)"
+    );
+    let wall = e.genie.evaluate("wall_topk", &[Value::Int(1)]).unwrap();
+    assert_eq!(
+        wall.result.rows[0].get(2),
+        &Value::Timestamp(130),
+        "last write wins in the published cache"
+    );
+
+    // A burst of inserts to the same wall: distinct rows (no row
+    // coalescing) but the SAME cache keys — the batch publishes one
+    // physical op per key while the naive count grows with the burst.
+    e.genie.reset_stats();
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    for ts in [200i64, 210, 220, 230] {
+        post(&e, 1, ts);
+    }
+    let out = e.db.execute_sql("COMMIT", &[]).unwrap();
+    assert_eq!(out.cost.triggers_fired, 8, "4 inserts x 2 triggers");
+    let snap = e.genie.stats();
+    assert_eq!(snap.commit_batches, 1);
+    assert!(
+        snap.commit_cache_ops < snap.commit_cache_ops_naive,
+        "coalesced {} must beat naive {}",
+        snap.commit_cache_ops,
+        snap.commit_cache_ops_naive
+    );
+    assert_eq!(
+        out.cost.trigger_cache_ops, snap.commit_cache_ops,
+        "commit cost carries the physical (coalesced) op count"
+    );
+    assert!(
+        out.cost.trigger_connections <= 1,
+        "one pooled connection per group commit"
+    );
+    // Published state is right: count bumped by 4, top-k shows the burst.
+    assert_eq!(cached_count(&e, 1), 5);
+    let wall = e.genie.evaluate("wall_topk", &[Value::Int(1)]).unwrap();
+    assert!(wall.from_cache);
+    assert_eq!(wall.result.rows[0].get(2), &Value::Timestamp(230));
+}
+
+#[test]
+fn strict_lock_timeout_aborts_transaction_cleanly() {
+    let e = env();
+    post(&e, 1, 100);
+    warm(&e, 1);
+    let before = cache_image(&e, 1);
+    let mgr = StrictTxnManager::new();
+    e.genie.set_strict_commit(&mgr);
+
+    // Another strict transaction read-locks the user's top-k key.
+    let mut reader = mgr.begin(&e.genie);
+    reader.read("wall_topk", &[Value::Int(1)]).unwrap();
+
+    // A transaction whose commit must write that key: blocked, aborted.
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    post(&e, 1, 500);
+    let err = e.db.execute_sql("COMMIT", &[]).unwrap_err();
+    assert!(
+        matches!(&err, StorageError::TransactionAborted(m) if m.contains("lock timeout")),
+        "{err}"
+    );
+    assert!(!e.db.in_transaction());
+    assert_eq!(e.db.row_count("wall").unwrap(), 1, "insert rolled back");
+    assert_eq!(cache_image(&e, 1), before, "nothing published");
+    assert_eq!(e.genie.stats().commit_aborts, 1);
+
+    // Release the reader: the same transaction now commits.
+    reader.commit();
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    post(&e, 1, 500);
+    e.db.execute_sql("COMMIT", &[]).unwrap();
+    assert_eq!(cached_count(&e, 1), 2);
+    assert_eq!(
+        mgr.locked_keys(),
+        0,
+        "commit pipeline released its 2PL locks"
+    );
+}

@@ -510,6 +510,59 @@ impl SocialApp {
         Ok(stats)
     }
 
+    /// Posting a burst of wall messages inside ONE database transaction
+    /// (BEGIN … COMMIT / ROLLBACK). The posts' cache effects buffer in
+    /// the commit-time effect pipeline: a commit publishes them as one
+    /// coalesced batch (same wall key → one cache op), a rollback
+    /// publishes nothing at all — CacheGenie's transactional guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Database errors (the transaction is rolled back first).
+    pub fn post_wall_batch(
+        &self,
+        wall_owner: i64,
+        sender: i64,
+        posts: usize,
+        abort: bool,
+    ) -> Result<PageStats> {
+        let mut stats = PageStats::default();
+        let db = self.session.database();
+        db.execute_sql("BEGIN", &[])?;
+        for i in 0..posts.max(1) {
+            let ts = self.next_ts();
+            let created = self.session.create(
+                "WallPost",
+                &[
+                    ("user_id", wall_owner.into()),
+                    ("sender_id", sender.into()),
+                    ("content", format!("batch {i} from {sender}").into()),
+                    ("date_posted", Value::Timestamp(ts)),
+                ],
+            );
+            match created {
+                Ok(w) => stats.write(&w),
+                Err(e) => {
+                    db.execute_sql("ROLLBACK", &[])?;
+                    return Err(e);
+                }
+            }
+        }
+        if abort {
+            db.execute_sql("ROLLBACK", &[])?;
+        } else {
+            // Commit-time work (coalesced trigger firing, the group WAL
+            // append) is real page cost. A commit-time abort (strict-mode
+            // lock timeout, failed trigger) already rolled back.
+            let out = db.execute_sql("COMMIT", &[])?;
+            stats.db_cost += out.cost;
+        }
+        // Re-render the wall: after COMMIT the burst is visible, after
+        // ROLLBACK the pre-transaction wall is.
+        stats.read(&self.session.all(&self.wall_qs(wall_owner)?)?);
+        Ok(stats)
+    }
+
     /// Group directory page.
     ///
     /// # Errors

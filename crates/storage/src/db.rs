@@ -13,10 +13,38 @@ use crate::error::{Result, StorageError};
 use crate::exec::{self, RowChange, UndoOp};
 use crate::query::{QueryResult, Select, Statement};
 use crate::schema::{IndexDef, TableSchema};
-use crate::trigger::{Trigger, TriggerCtx, TriggerManager};
+use crate::trigger::{Trigger, TriggerCtx, TriggerEvent, TriggerManager};
 use crate::value::Value;
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// Observer of the commit-time effect pipeline. Registered by middleware
+/// (CacheGenie) that turns trigger work into external cache effects: the
+/// engine brackets commit-time trigger firing with these callbacks so the
+/// middleware can buffer effects and publish them atomically — committed
+/// transactions publish exactly once, aborted ones publish nothing.
+pub trait CommitHook: Send + Sync {
+    /// Called before commit-time triggers fire. Effects produced by
+    /// trigger bodies until the matching [`CommitHook::commit_apply`] /
+    /// [`CommitHook::abort_apply`] should be buffered, not published.
+    fn begin_apply(&self);
+
+    /// Called after every commit-time trigger fired successfully. The
+    /// hook publishes the buffered effects (coalescing per key) and may
+    /// rewrite `cost`'s cache-op counters to the physical (coalesced)
+    /// numbers. Returning an error aborts the transaction — the hook must
+    /// have discarded its buffer before returning it.
+    ///
+    /// # Errors
+    ///
+    /// Any error (e.g. a strict-mode lock timeout) aborts the commit.
+    fn commit_apply(&self, cost: &mut CostReport) -> Result<()>;
+
+    /// Called when the transaction aborts after `begin_apply` (a trigger
+    /// body failed). The hook discards the buffered effects.
+    fn abort_apply(&self);
+}
 
 /// Tuning knobs for a [`Database`].
 #[derive(Debug, Clone)]
@@ -65,6 +93,12 @@ pub struct ExecOutcome {
 
 struct TxnState {
     undo: Vec<UndoOp>,
+    /// Row changes buffered for commit-time trigger firing, in statement
+    /// order. Coalesced per (table, pk) when the transaction commits.
+    changes: Vec<RowChange>,
+    /// True once any statement modified rows; commit charges its single
+    /// group WAL append only then (read-only transactions write nothing).
+    wrote: bool,
 }
 
 struct Inner {
@@ -73,6 +107,7 @@ struct Inner {
     triggers: TriggerManager,
     txn: Option<TxnState>,
     stats: DbStats,
+    commit_hook: Option<Arc<dyn CommitHook>>,
 }
 
 /// An embedded relational database with row-level triggers.
@@ -131,6 +166,7 @@ impl Database {
                 triggers: TriggerManager::new(),
                 txn: None,
                 stats: DbStats::default(),
+                commit_hook: None,
             })),
         }
     }
@@ -183,6 +219,19 @@ impl Database {
     /// Number of registered triggers.
     pub fn trigger_count(&self) -> usize {
         self.inner.lock().triggers.len()
+    }
+
+    /// Registers the commit-time effect hook (CacheGenie's cache-batch
+    /// pipeline). Replaces any previous hook.
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) {
+        self.inner.lock().commit_hook = Some(hook);
+    }
+
+    /// True while an explicit transaction is open. Middleware uses this to
+    /// defer cache publication (reads bypass the cache so uncommitted data
+    /// never becomes visible to other clients).
+    pub fn in_transaction(&self) -> bool {
+        self.inner.lock().txn.is_some()
     }
 
     /// Total lines of generated trigger source attached to registered
@@ -426,9 +475,7 @@ impl Inner {
                 Ok(ExecOutcome::default())
             }
             Statement::Commit => {
-                self.commit()?;
-                let mut cost = CostReport::new();
-                cost.wal_appends = 1;
+                let cost = self.commit()?;
                 Ok(ExecOutcome {
                     result: QueryResult::default(),
                     cost,
@@ -441,19 +488,30 @@ impl Inner {
         }
     }
 
-    /// Fires triggers for a completed write, then commits or stashes undo.
+    /// Completes a write statement. Inside a transaction the row changes
+    /// and undo log buffer in [`TxnState`] — triggers fire (coalesced) at
+    /// COMMIT, so an aborted transaction publishes no cache effects and
+    /// the WAL sees one group append per transaction. Autocommit keeps the
+    /// immediate path: triggers fire now and the statement pays its own
+    /// WAL append.
     fn finish_write(
         &mut self,
         effect: exec::WriteEffect,
         cost: &mut CostReport,
     ) -> Result<ExecOutcome> {
-        let fire_result = self.fire_triggers(&effect.changes, cost);
-        match fire_result {
+        if let Some(txn) = &mut self.txn {
+            txn.undo.extend(effect.undo);
+            txn.wrote |= !effect.changes.is_empty();
+            txn.changes.extend(effect.changes);
+            return Ok(ExecOutcome {
+                result: QueryResult::affected(effect.affected),
+                cost: *cost,
+            });
+        }
+        match self.fire_triggers(&effect.changes, cost) {
             Ok(()) => {
-                match &mut self.txn {
-                    Some(txn) => txn.undo.extend(effect.undo),
-                    None => cost.wal_appends += 1, // autocommit
-                }
+                cost.wal_appends += 1; // autocommit
+                self.flush_stats_for(&effect.changes);
                 Ok(ExecOutcome {
                     result: QueryResult::affected(effect.affected),
                     cost: *cost,
@@ -461,13 +519,20 @@ impl Inner {
             }
             Err(e) => {
                 // A failing trigger aborts the statement: undo its row
-                // changes (and, inside a transaction, poison it).
+                // changes.
                 exec::apply_undo(&mut self.catalog, effect.undo)?;
-                if self.txn.is_some() {
-                    self.rollback()?;
-                    return Err(StorageError::TransactionAborted(e.to_string()));
-                }
                 Err(e)
+            }
+        }
+    }
+
+    /// Applies pending (statement/commit-batched) statistics deltas for
+    /// every table named in `changes`.
+    fn flush_stats_for(&mut self, changes: &[RowChange]) {
+        let tables: BTreeSet<&str> = changes.iter().map(|c| c.table.as_str()).collect();
+        for t in tables {
+            if let Ok(table) = self.catalog.table_mut(t) {
+                table.flush_stats();
             }
         }
     }
@@ -522,18 +587,54 @@ impl Inner {
                 "nested transactions are not supported".into(),
             ));
         }
-        self.txn = Some(TxnState { undo: Vec::new() });
+        self.txn = Some(TxnState {
+            undo: Vec::new(),
+            changes: Vec::new(),
+            wrote: false,
+        });
         Ok(())
     }
 
-    fn commit(&mut self) -> Result<()> {
-        match self.txn.take() {
-            Some(_) => {
-                self.stats.commits += 1;
-                Ok(())
+    /// Commits the open transaction: coalesces its buffered row changes,
+    /// fires triggers once per net change inside the commit-hook bracket,
+    /// and charges one group WAL append when anything was written. A
+    /// failing trigger body or hook rejection (strict-mode lock timeout)
+    /// aborts the whole transaction instead — undo applied, nothing
+    /// published.
+    fn commit(&mut self) -> Result<CostReport> {
+        let txn = self.txn.take().ok_or(StorageError::NoTransaction)?;
+        let mut cost = CostReport::new();
+        let changes = coalesce_changes(&self.catalog, txn.changes);
+        if !changes.is_empty() {
+            let hook = self.commit_hook.clone();
+            if let Some(h) = &hook {
+                h.begin_apply();
             }
-            None => Err(StorageError::NoTransaction),
+            let fired = self.fire_triggers(&changes, &mut cost);
+            let applied = match fired {
+                Ok(()) => match &hook {
+                    Some(h) => h.commit_apply(&mut cost),
+                    None => Ok(()),
+                },
+                Err(e) => {
+                    if let Some(h) = &hook {
+                        h.abort_apply();
+                    }
+                    Err(e)
+                }
+            };
+            if let Err(e) = applied {
+                exec::apply_undo(&mut self.catalog, txn.undo)?;
+                self.stats.rollbacks += 1;
+                return Err(StorageError::TransactionAborted(e.to_string()));
+            }
         }
+        if txn.wrote {
+            cost.wal_appends += 1;
+        }
+        self.flush_stats_for(&changes);
+        self.stats.commits += 1;
+        Ok(cost)
     }
 
     fn rollback(&mut self) -> Result<()> {
@@ -544,6 +645,118 @@ impl Inner {
                 Ok(())
             }
             None => Err(StorageError::NoTransaction),
+        }
+    }
+}
+
+/// Coalesces a transaction's row changes to one net change per
+/// (table, primary key), preserving first-touch order — N statements
+/// touching the same row fire that row's triggers once at commit, and a
+/// row inserted then deleted inside the transaction publishes nothing.
+fn coalesce_changes(catalog: &Catalog, changes: Vec<RowChange>) -> Vec<RowChange> {
+    if changes.len() <= 1 {
+        return changes;
+    }
+    // (table, pk) -> net change; Vec keeps first-touch order and txn
+    // change lists are small enough for linear lookup.
+    let mut net: Vec<((String, Value), Option<RowChange>)> = Vec::with_capacity(changes.len());
+    for change in changes {
+        let Ok(pk_pos) = catalog
+            .table(&change.table)
+            .map(|t| t.schema().primary_key_pos())
+        else {
+            net.push(((change.table.clone(), Value::Null), Some(change)));
+            continue;
+        };
+        let row_pk = |row: &Option<crate::row::Row>| {
+            row.as_ref()
+                .map(|r| r.get(pk_pos).clone())
+                .unwrap_or(Value::Null)
+        };
+        // The key a previous change to this row lives under (its current
+        // image's pk); an update may then move the row to a new key.
+        let old_key = (
+            change.table.clone(),
+            match change.event {
+                TriggerEvent::Insert => row_pk(&change.new),
+                _ => row_pk(&change.old),
+            },
+        );
+        let new_key = (
+            change.table.clone(),
+            match change.event {
+                TriggerEvent::Delete => row_pk(&change.old),
+                _ => row_pk(&change.new),
+            },
+        );
+        // Look up the MOST RECENT entry under the key: a pk can carry two
+        // histories in one transaction (row deleted at pk, another row
+        // moved onto it), and only the latest entry is the live one — the
+        // older Delete must survive untouched so its trigger still fires.
+        let prior = net
+            .iter_mut()
+            .rev()
+            .find(|(k, slot)| *k == old_key && slot.is_some())
+            .and_then(|(_, slot)| slot.take());
+        let merged = match prior {
+            None => Some(change),
+            Some(p) => merge_changes(p, change),
+        };
+        match net
+            .iter_mut()
+            .rev()
+            .find(|(k, slot)| *k == new_key && slot.is_none())
+        {
+            Some((_, slot)) if merged.is_some() => *slot = merged,
+            _ => net.push((new_key, merged)),
+        }
+    }
+    net.into_iter().filter_map(|(_, c)| c).collect()
+}
+
+/// Nets two consecutive changes to the same row. `None` means the pair
+/// cancels (insert followed by delete).
+fn merge_changes(first: RowChange, second: RowChange) -> Option<RowChange> {
+    use TriggerEvent as E;
+    let table = first.table.clone();
+    match (first.event, second.event) {
+        (E::Insert, E::Update) => Some(RowChange {
+            table,
+            event: E::Insert,
+            old: None,
+            new: second.new,
+        }),
+        (E::Insert, E::Delete) => None,
+        (E::Update, E::Update) => Some(RowChange {
+            table,
+            event: E::Update,
+            old: first.old,
+            new: second.new,
+        }),
+        (E::Update, E::Delete) => Some(RowChange {
+            table,
+            event: E::Delete,
+            old: first.old,
+            new: None,
+        }),
+        (E::Delete, E::Insert) => Some(RowChange {
+            table,
+            event: E::Update,
+            old: first.old,
+            new: second.new,
+        }),
+        // Remaining pairs (insert+insert, delete+update, ...) cannot arise
+        // for one primary key; keep both defensively.
+        _ => {
+            // `first` was already taken out of the net list; re-emitting
+            // only `second` would drop it. Fall back to the second change
+            // with the first's pre-image where one exists.
+            Some(RowChange {
+                table,
+                event: second.event,
+                old: second.old.or(first.old),
+                new: second.new,
+            })
         }
     }
 }

@@ -311,6 +311,13 @@ pub(crate) fn run_select(
     let qplan: QueryPlan = crate::plan::plan_query(catalog, sel, params)?;
     let base = catalog.table(&qplan.base.table)?;
 
+    // COUNT(*) pushdown: the planner proved the path yields exactly the
+    // matching rows, so answer from pk-map / posting-list sizes without
+    // touching the heap.
+    if qplan.count_only {
+        return run_count_only(base, sel, &qplan, cost);
+    }
+
     // Execution-order layout (driving table first, joins in plan order)
     // plus the prepared join steps. Probe expressions bind against the
     // prefix layout; ON residues bind once the step's table is pushed.
@@ -381,6 +388,31 @@ pub(crate) fn run_select(
     // scan stops as soon as enough output rows exist — this is what cuts
     // Top-K page-query tail latency from O(matches) to O(k).
     let target = qplan.fetch_limit.map(|k| k as usize);
+
+    // Bounded top-k: when the ORDER BY is not index-satisfied but LIMIT k
+    // is present, keep only the best `LIMIT + OFFSET` rows during the
+    // scan instead of materializing every match and fully sorting it.
+    let mut topk: Option<TopK> = if !sel.order_by.is_empty()
+        && !qplan.order_satisfied
+        && !sel.is_aggregate()
+        && sel.group_by.is_empty()
+    {
+        match sel.limit {
+            Some(limit) => {
+                let keys: Vec<(Expr, bool)> = sel
+                    .order_by
+                    .iter()
+                    .map(|k| Ok((k.expr.bind(&layout.binder())?, k.desc)))
+                    .collect::<Result<_>>()?;
+                let cap = (limit.saturating_add(sel.offset.unwrap_or(0))) as usize;
+                Some(TopK::new(keys, cap))
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+
     let mut current: Vec<Row> = Vec::new();
     'scan: for rid in rid_list {
         let Some(r0) = base.get(rid) else { continue };
@@ -407,14 +439,28 @@ pub(crate) fn run_select(
                 None => true,
             };
             if keep {
-                current.push(row);
-                if let Some(t) = target {
-                    if current.len() >= t {
-                        break 'scan;
+                match &mut topk {
+                    Some(tk) => tk.offer(row, params)?,
+                    None => {
+                        current.push(row);
+                        if let Some(t) = target {
+                            if current.len() >= t {
+                                break 'scan;
+                            }
+                        }
                     }
                 }
             }
         }
+    }
+
+    // Drain the bounded heap: rows come out already in final order, so
+    // the full sort below is skipped (its cost too).
+    let topk_sorted = topk.is_some();
+    if let Some(tk) = topk {
+        cost.sorts += 1;
+        cost.sort_rows += tk.insertions;
+        current = tk.into_rows();
     }
 
     // --- aggregates ---
@@ -431,7 +477,7 @@ pub(crate) fn run_select(
     // When the pipeline already yields the requested order (ordered base
     // scan surviving single-row joins), the sort — and its cost — is
     // skipped entirely.
-    if !sel.order_by.is_empty() && !qplan.order_satisfied {
+    if !sel.order_by.is_empty() && !qplan.order_satisfied && !topk_sorted {
         let keys: Vec<(Expr, bool)> = sel
             .order_by
             .iter()
@@ -477,6 +523,112 @@ pub(crate) fn run_select(
     Ok(QueryResult {
         columns,
         rows,
+        rows_affected: 0,
+    })
+}
+
+/// Bounded top-k accumulator for `ORDER BY ... LIMIT k` without a usable
+/// index order: a sorted vector of at most `cap` rows. Ties keep arrival
+/// (heap) order — exactly what the executor's stable sort produces — so
+/// results are identical to sort-then-truncate.
+struct TopK {
+    keys: Vec<(Expr, bool)>,
+    cap: usize,
+    /// (sort key values, row), kept sorted per the ORDER BY.
+    entries: Vec<(Vec<Value>, Row)>,
+    /// Rows that actually entered the bounded set (the sort work done).
+    insertions: u64,
+}
+
+impl TopK {
+    fn new(keys: Vec<(Expr, bool)>, cap: usize) -> Self {
+        TopK {
+            keys,
+            cap,
+            entries: Vec::new(),
+            insertions: 0,
+        }
+    }
+
+    fn cmp_keys(&self, a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+        for (i, (_, desc)) in self.keys.iter().enumerate() {
+            let ord = a[i].cmp(&b[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    fn offer(&mut self, row: Row, params: &[Value]) -> Result<()> {
+        if self.cap == 0 {
+            return Ok(());
+        }
+        let kv = self
+            .keys
+            .iter()
+            .map(|(e, _)| e.eval(&row, params))
+            .collect::<Result<Vec<_>>>()?;
+        // First slot that sorts strictly after the candidate; equal keys
+        // land before it (the candidate arrived later — stable order).
+        let pos = self
+            .entries
+            .partition_point(|(ek, _)| self.cmp_keys(ek, &kv) != std::cmp::Ordering::Greater);
+        if pos >= self.cap {
+            return Ok(()); // worse than every kept row
+        }
+        self.entries.insert(pos, (kv, row));
+        self.entries.truncate(self.cap);
+        self.insertions += 1;
+        Ok(())
+    }
+
+    fn into_rows(self) -> Vec<Row> {
+        self.entries.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Answers a planner-approved `SELECT COUNT(*)` from index metadata: the
+/// pk map for `PkEq`, posting lists for `IndexEq`/`IndexPrefixRange`, and
+/// the live row count for a predicate-free scan. No heap page is touched.
+fn run_count_only(
+    base: &Table,
+    sel: &Select,
+    qplan: &QueryPlan,
+    cost: &mut CostReport,
+) -> Result<QueryResult> {
+    use crate::plan::AccessPath;
+    let n = match &qplan.base.path {
+        AccessPath::TableScan => base.len() as i64,
+        AccessPath::PkEq { key } => {
+            cost.index_probes += 1;
+            i64::from(base.find_pk(key).is_some())
+        }
+        AccessPath::IndexEq { index, key } => {
+            cost.index_probes += 1;
+            let idx = base.index_by_name(index).expect("planned index exists");
+            base.index_lookup(idx, key).len() as i64
+        }
+        AccessPath::IndexPrefixRange { index, prefix } => {
+            cost.index_probes += 1;
+            let idx = base.index_by_name(index).expect("planned index exists");
+            base.index_prefix_scan(idx, prefix, false).len() as i64
+        }
+        other => {
+            return Err(StorageError::Unsupported(format!(
+                "count-only plan over {other:?}"
+            )))
+        }
+    };
+    let alias = match &sel.projection[..] {
+        [crate::query::SelectItem::Aggregate { alias, .. }] => alias.clone(),
+        _ => None,
+    };
+    cost.rows_returned += 1;
+    Ok(QueryResult {
+        columns: vec![alias.unwrap_or_else(|| "count".to_owned())],
+        rows: vec![Row::new(vec![Value::Int(n)])],
         rows_affected: 0,
     })
 }

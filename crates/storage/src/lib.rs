@@ -66,7 +66,7 @@ pub mod value;
 
 pub use bufferpool::{BufferPool, PageId, PoolStats};
 pub use cost::CostReport;
-pub use db::{Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
+pub use db::{CommitHook, Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
 pub use plan::{AccessPath, Bound, JoinMethod, JoinPlan, Plan, QueryPlan};

@@ -50,7 +50,7 @@ use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::Result;
 use crate::expr::{CmpOp, Expr};
-use crate::query::{JoinKind, OrderKey, Select};
+use crate::query::{AggFunc, JoinKind, OrderKey, Select, SelectItem};
 use crate::row::Row;
 use crate::stats::ColumnStats;
 use crate::table::Table;
@@ -325,11 +325,9 @@ fn range_selectivity(table: &Table, column: &str, from: &Bound, to: &Bound) -> f
             Bound::Excluded(v) => ColumnStats::key_of(v).map(|x| Some((x, false))),
         }
     };
-    if let Some(stats) = table.column_stats(column) {
-        if let (Some(lo), Some(hi)) = (convert(from), convert(to)) {
-            if let Some(sel) = stats.range_selectivity(lo, hi) {
-                return sel;
-            }
+    if let (Some(lo), Some(hi)) = (convert(from), convert(to)) {
+        if let Some(Some(sel)) = table.with_column_stats(column, |s| s.range_selectivity(lo, hi)) {
+            return sel;
         }
     }
     default_range_selectivity(from, to)
@@ -714,7 +712,7 @@ fn plan_access_impl(
             let mut product = 1.0f64;
             let mut usable = n > 0.0;
             for col in cols {
-                match table.column_stats(col).map(ColumnStats::distinct) {
+                match table.with_column_stats(col, ColumnStats::distinct) {
                     Some(d) if d >= 1.0 => product *= d,
                     _ => {
                         usable = false;
@@ -1088,6 +1086,11 @@ pub struct QueryPlan {
     /// When set, the executor may stop after producing this many output
     /// rows (`LIMIT + OFFSET`): the row stream is already in final order.
     pub fetch_limit: Option<u64>,
+    /// True when the statement is a single-table `SELECT COUNT(*)` whose
+    /// WHERE clause is exactly absorbed by the access path's key — the
+    /// executor answers from the primary-key map / index posting lists
+    /// without touching the heap (aggregate pushdown).
+    pub count_only: bool,
     /// Estimated output rows before the final WHERE residue.
     pub estimated_rows: f64,
     /// Estimated physical cost in row-visit units, including join probes
@@ -1111,6 +1114,9 @@ impl QueryPlan {
         }
         if let Some(k) = self.fetch_limit {
             tail.push_str(&format!(" fetch_limit={k}"));
+        }
+        if self.count_only {
+            tail.push_str(" count_only");
         }
         out.push(tail);
         out
@@ -1136,6 +1142,9 @@ impl QueryPlan {
         if self.fetch_limit.is_some() {
             s.push_str(" limited");
         }
+        if self.count_only {
+            s.push_str(" count-only");
+        }
         s
     }
 }
@@ -1151,6 +1160,9 @@ impl fmt::Display for QueryPlan {
         }
         if let Some(k) = self.fetch_limit {
             write!(f, " fetch_limit={k}")?;
+        }
+        if self.count_only {
+            f.write_str(" count_only")?;
         }
         Ok(())
     }
@@ -1233,13 +1245,20 @@ pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<Q
         )?;
         let order_satisfied = base.order_satisfied;
         let fetch_limit = fetch_limit_for(sel, order_satisfied);
-        let (estimated_rows, estimated_cost) = (base.estimated_rows, base.estimated_cost);
+        let count_only = count_pushdown_eligible(sel, base_table, &base_binding, &base, params)?;
+        let (mut estimated_rows, mut estimated_cost) = (base.estimated_rows, base.estimated_cost);
+        if count_only {
+            // One posting-list length read; no heap rows are visited.
+            estimated_rows = 1.0;
+            estimated_cost = PROBE_COST;
+        }
         return Ok(QueryPlan {
             base,
             base_binding,
             joins: Vec::new(),
             order_satisfied,
             fetch_limit,
+            count_only,
             estimated_rows,
             estimated_cost,
         });
@@ -1342,6 +1361,80 @@ pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<Q
         }
     }
     Ok(best.expect("at least the syntactic order was planned"))
+}
+
+/// Decides `COUNT(*)` pushdown: a single-table, ungrouped
+/// `SELECT COUNT(*)` whose every WHERE conjunct is an equality folded
+/// into the chosen path's exact key. Such a path yields *exactly* the
+/// matching rows, so the count is the posting-list size (or the table's
+/// row count when there is no predicate at all) — no heap access needed.
+fn count_pushdown_eligible(
+    sel: &Select,
+    table: &Table,
+    binding: &str,
+    plan: &Plan,
+    params: &[Value],
+) -> Result<bool> {
+    // ORDER BY stays out: the executor rejects it for aggregates, and the
+    // fast path must not make that malformed shape silently succeed.
+    if !sel.joins.is_empty() || !sel.group_by.is_empty() || !sel.order_by.is_empty() {
+        return Ok(false);
+    }
+    let [SelectItem::Aggregate {
+        func: AggFunc::Count,
+        arg: None,
+        ..
+    }] = &sel.projection[..]
+    else {
+        return Ok(false);
+    };
+    // The (column, value) pairs the path matches exactly.
+    let pk = table.schema().primary_key().to_owned();
+    let absorbed: Vec<(String, &Value)> = match &plan.path {
+        AccessPath::TableScan => {
+            return Ok(sel.predicate.is_none());
+        }
+        AccessPath::PkEq { key } => vec![(pk, key)],
+        AccessPath::IndexEq { index, key } => {
+            let idx = table.index_by_name(index).expect("planned index exists");
+            idx.def().columns.iter().cloned().zip(key.iter()).collect()
+        }
+        AccessPath::IndexPrefixRange { index, prefix } => {
+            let idx = table.index_by_name(index).expect("planned index exists");
+            idx.def()
+                .columns
+                .iter()
+                .cloned()
+                .zip(prefix.iter())
+                .collect()
+        }
+        _ => return Ok(false),
+    };
+    if absorbed.iter().any(|(_, v)| v.is_null()) {
+        // SQL equality never matches NULL; leave it to the executor.
+        return Ok(false);
+    }
+    let Some(pred) = &sel.predicate else {
+        // A keyed path with no predicate cannot arise, but be safe.
+        return Ok(false);
+    };
+    for conjunct in pred.conjuncts() {
+        let Some((cref, vexpr)) = conjunct.as_column_eq() else {
+            return Ok(false);
+        };
+        if !binds_to(cref, binding, table) {
+            return Ok(false);
+        }
+        let Some((_, expected)) = absorbed.iter().find(|(c, _)| *c == cref.column) else {
+            return Ok(false);
+        };
+        let v = eval_const(vexpr, params)?;
+        match coerce_for_column(table, &cref.column, &v) {
+            Some(cv) if &cv == *expected => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
 }
 
 /// Rewrites ORDER BY keys as columns qualified to the single slot they
@@ -1532,10 +1625,9 @@ fn plan_one_order(
                         // no index serves them — estimate via distinct counts.
                         let mut sel_est = 1.0f64;
                         for (col, _) in &key_cols {
-                            if let Some(s) = slot
+                            if let Some(Some(s)) = slot
                                 .table
-                                .column_stats(col)
-                                .and_then(ColumnStats::eq_selectivity)
+                                .with_column_stats(col, ColumnStats::eq_selectivity)
                             {
                                 sel_est *= s;
                             }
@@ -1585,6 +1677,7 @@ fn plan_one_order(
         joins,
         order_satisfied,
         fetch_limit,
+        count_only: false,
         estimated_rows: rows,
         estimated_cost: cost,
     })

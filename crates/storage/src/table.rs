@@ -12,7 +12,57 @@ use crate::row::{Row, RowId};
 use crate::schema::{IndexDef, TableSchema};
 use crate::stats::ColumnStats;
 use crate::value::Value;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Pending statistics deltas applied in a batch once this many queue
+/// entries accumulate (or earlier: at statement/commit boundaries via
+/// [`Table::flush_stats`], and lazily whenever the planner reads a
+/// selectivity). Bounds both queue memory and estimate staleness.
+const STAT_EPOCH: usize = 256;
+
+/// Per-column statistics plus the epoch queue of not-yet-applied row
+/// deltas. Behind a mutex so planner reads (`&Table`) can refresh lazily;
+/// uncontended in practice — the engine serializes on the database lock.
+#[derive(Debug)]
+struct TableStats {
+    cols: Vec<ColumnStats>,
+    /// (added?, row image). An insert queues `(true, row)`, a delete
+    /// `(false, row)`, an update one of each.
+    pending: Vec<(bool, Row)>,
+}
+
+impl TableStats {
+    /// Queues one delta. An exact inverse still in the queue cancels
+    /// instead — a transaction that inserts then rolls back (undo delete),
+    /// or churns the same row, never touches the sketches at all.
+    fn queue(&mut self, add: bool, row: &Row) {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .rposition(|(a, r)| *a != add && r == row)
+        {
+            self.pending.remove(i);
+            return;
+        }
+        self.pending.push((add, row.clone()));
+        if self.pending.len() >= STAT_EPOCH {
+            self.apply_pending();
+        }
+    }
+
+    fn apply_pending(&mut self) {
+        for (add, row) in self.pending.drain(..) {
+            for (s, v) in self.cols.iter_mut().zip(row.values()) {
+                if add {
+                    s.add(v);
+                } else {
+                    s.remove(v);
+                }
+            }
+        }
+    }
+}
 
 /// A live secondary index.
 #[derive(Debug, Clone)]
@@ -72,7 +122,7 @@ fn range_is_empty(lo: &std::ops::Bound<Value>, hi: &std::ops::Bound<Value>) -> b
 }
 
 /// A heap table plus its indexes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     schema: TableSchema,
     /// Dense id assigned by the catalog; keys buffer-pool pages.
@@ -82,15 +132,37 @@ pub struct Table {
     /// Implicit unique index: pk value -> row id.
     pk_index: BTreeMap<Value, RowId>,
     indexes: Vec<Index>,
-    /// Per-column statistics, parallel to the schema's column list;
-    /// maintained by every row mutation so the planner reads live numbers.
-    stats: Vec<ColumnStats>,
+    /// Per-column statistics, parallel to the schema's column list. Row
+    /// mutations queue deltas; the sketches/histograms refresh in epochs
+    /// (queue overflow, statement/commit boundaries, planner reads)
+    /// instead of on every row write.
+    stats: Mutex<TableStats>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            id: self.id,
+            rows: self.rows.clone(),
+            next_rid: self.next_rid,
+            pk_index: self.pk_index.clone(),
+            indexes: self.indexes.clone(),
+            stats: Mutex::new({
+                let s = self.stats.lock();
+                TableStats {
+                    cols: s.cols.clone(),
+                    pending: s.pending.clone(),
+                }
+            }),
+        }
+    }
 }
 
 impl Table {
     /// Creates an empty table with catalog id `id`.
     pub fn new(schema: TableSchema, id: u32) -> Self {
-        let stats = schema
+        let cols = schema
             .columns()
             .iter()
             .map(|c| ColumnStats::new(c.ty))
@@ -102,27 +174,48 @@ impl Table {
             next_rid: 0,
             pk_index: BTreeMap::new(),
             indexes: Vec::new(),
-            stats,
+            stats: Mutex::new(TableStats {
+                cols,
+                pending: Vec::new(),
+            }),
         }
     }
 
     fn stats_add(&mut self, row: &Row) {
-        for (s, v) in self.stats.iter_mut().zip(row.values()) {
-            s.add(v);
-        }
+        self.stats.get_mut().queue(true, row);
     }
 
     fn stats_remove(&mut self, row: &Row) {
-        for (s, v) in self.stats.iter_mut().zip(row.values()) {
-            s.remove(v);
-        }
+        self.stats.get_mut().queue(false, row);
     }
 
-    /// Statistics for `column`, if it exists.
-    pub fn column_stats(&self, column: &str) -> Option<&ColumnStats> {
-        self.schema
-            .column_pos(column)
-            .and_then(|p| self.stats.get(p))
+    /// Applies every queued statistics delta now. The engine calls this at
+    /// statement (autocommit) and commit boundaries, so estimates never
+    /// lag committed data by more than one epoch.
+    pub fn flush_stats(&mut self) {
+        self.stats.get_mut().apply_pending();
+    }
+
+    /// Reads `column`'s statistics through `f`, refreshing queued deltas
+    /// first (lazy epoch boundary), so the planner always sees numbers
+    /// current as of the last mutation.
+    pub fn with_column_stats<T>(
+        &self,
+        column: &str,
+        f: impl FnOnce(&ColumnStats) -> T,
+    ) -> Option<T> {
+        let pos = self.schema.column_pos(column)?;
+        let mut stats = self.stats.lock();
+        if !stats.pending.is_empty() {
+            stats.apply_pending();
+        }
+        stats.cols.get(pos).map(f)
+    }
+
+    /// Queued statistics deltas not yet folded into the estimators
+    /// (diagnostics and tests).
+    pub fn pending_stat_deltas(&self) -> usize {
+        self.stats.lock().pending.len()
     }
 
     /// The table's schema.
@@ -624,7 +717,9 @@ impl Table {
         for idx in &mut self.indexes {
             idx.map.clear();
         }
-        for s in &mut self.stats {
+        let stats = self.stats.get_mut();
+        stats.pending.clear();
+        for s in &mut stats.cols {
             s.clear();
         }
     }

@@ -260,8 +260,10 @@ fn draw_page(mix: &crate::spec::PageMix, rng: &mut StdRng) -> PageKind {
         PageKind::LookupFBM
     } else if roll < mix.lookup_bm + mix.lookup_fbm + mix.create_bm {
         PageKind::CreateBM
-    } else {
+    } else if roll < mix.lookup_bm + mix.lookup_fbm + mix.create_bm + mix.accept_fr {
         PageKind::AcceptFR
+    } else {
+        PageKind::BatchPost
     }
 }
 
@@ -288,6 +290,15 @@ fn execute_page(
         PageKind::AcceptFR => {
             let peer = rng.gen_range(1..=config.seed.users.max(2)) as i64;
             env.app.accept_fr(user, peer)
+        }
+        PageKind::BatchPost => {
+            // A burst of posts to one (often hot) wall in a single
+            // transaction; a configurable fraction rolls back, proving
+            // the commit pipeline publishes nothing for them.
+            let wall = rng.gen_range(1..=config.seed.users.max(2)) as i64;
+            let abort = rng.gen_range(0..100u32) < config.batch_abort_pct;
+            env.app
+                .post_wall_batch(wall, user, config.batch_posts_per_txn, abort)
         }
     }
 }
@@ -370,6 +381,37 @@ mod tests {
             "ideal (no triggers) {:.1} must be >= real {:.1}",
             without.throughput_pages_per_sec,
             with.throughput_pages_per_sec
+        );
+    }
+
+    #[test]
+    fn batch_post_mix_commits_coalesced_and_rolls_back() {
+        let mut cfg = WorkloadConfig::smoke();
+        cfg.mode = CacheMode::Update;
+        cfg.mix.batch_post = 40; // heavy transactional share
+        cfg.batch_abort_pct = 50;
+        cfg.sessions_per_client = 6;
+        let r = run(&cfg).unwrap();
+        assert!(r.pages_completed > 0);
+        assert!(
+            r.db_stats.commits > 0,
+            "batch pages commit: {:?}",
+            r.db_stats
+        );
+        assert!(
+            r.db_stats.rollbacks > 0,
+            "abort mix rolls back: {:?}",
+            r.db_stats
+        );
+        // Commit-time coalescing: committed transactions' physical cache
+        // ops never exceed the per-statement (naive) baseline.
+        let g = r.genie_stats;
+        assert!(g.commit_batches > 0, "commit pipeline engaged: {g:?}");
+        assert!(
+            g.commit_cache_ops <= g.commit_cache_ops_naive,
+            "coalesced {} > naive {}",
+            g.commit_cache_ops,
+            g.commit_cache_ops_naive
         );
     }
 

@@ -40,6 +40,10 @@ pub enum PageKind {
     CreateBM,
     /// Accept a friend request (write).
     AcceptFR,
+    /// Post several wall messages inside one multi-statement transaction
+    /// (write; exercises the commit-time effect pipeline, and a
+    /// configurable fraction rolls back).
+    BatchPost,
 }
 
 impl PageKind {
@@ -52,11 +56,12 @@ impl PageKind {
             PageKind::LookupFBM => "LookupFBM",
             PageKind::CreateBM => "CreateBM",
             PageKind::AcceptFR => "AcceptFR",
+            PageKind::BatchPost => "BatchPost",
         }
     }
 
-    /// All page kinds in Table 2 order.
-    pub fn all() -> [PageKind; 6] {
+    /// All page kinds in Table 2 order (plus the transactional extension).
+    pub fn all() -> [PageKind; 7] {
         [
             PageKind::Login,
             PageKind::Logout,
@@ -64,6 +69,7 @@ impl PageKind {
             PageKind::LookupFBM,
             PageKind::CreateBM,
             PageKind::AcceptFR,
+            PageKind::BatchPost,
         ]
     }
 }
@@ -79,6 +85,9 @@ pub struct PageMix {
     pub create_bm: u32,
     /// AcceptFR weight.
     pub accept_fr: u32,
+    /// BatchPost weight (multi-statement transactions; 0 reproduces the
+    /// paper's original mix exactly).
+    pub batch_post: u32,
 }
 
 impl Default for PageMix {
@@ -88,6 +97,7 @@ impl Default for PageMix {
             lookup_fbm: 30,
             create_bm: 10,
             accept_fr: 10,
+            batch_post: 0,
         }
     }
 }
@@ -104,12 +114,13 @@ impl PageMix {
             lookup_fbm: read - read * 5 / 8,
             create_bm: write / 2,
             accept_fr: write - write / 2,
+            batch_post: 0,
         }
     }
 
     /// Total weight (0 means "no action pages").
     pub fn total(&self) -> u32 {
-        self.lookup_bm + self.lookup_fbm + self.create_bm + self.accept_fr
+        self.lookup_bm + self.lookup_fbm + self.create_bm + self.accept_fr + self.batch_post
     }
 
     /// Fraction of action pages that are reads.
@@ -160,6 +171,12 @@ pub struct WorkloadConfig {
     /// Model reused trigger→cache connections (ablation of the paper's
     /// proposed optimization).
     pub reuse_trigger_connections: bool,
+    /// Wall posts per BatchPost transaction.
+    pub batch_posts_per_txn: usize,
+    /// Percentage of BatchPost transactions that ROLLBACK instead of
+    /// COMMIT — the abort mix proving rolled-back transactions publish
+    /// no cache effects.
+    pub batch_abort_pct: u32,
     /// Cost-model parameters.
     pub cost: CostParams,
     /// Driver RNG seed.
@@ -184,6 +201,8 @@ impl Default for WorkloadConfig {
             triggers_enabled: true,
             bump_lru_on_trigger: true,
             reuse_trigger_connections: false,
+            batch_posts_per_txn: 4,
+            batch_abort_pct: 25,
             cost: CostParams::default(),
             rng_seed: 1,
         }
@@ -235,6 +254,7 @@ mod tests {
     fn labels() {
         assert_eq!(CacheMode::Update.label(), "Update");
         assert_eq!(PageKind::LookupFBM.label(), "LookupFBM");
-        assert_eq!(PageKind::all().len(), 6);
+        assert_eq!(PageKind::all().len(), 7);
+        assert_eq!(PageKind::BatchPost.label(), "BatchPost");
     }
 }

@@ -22,4 +22,7 @@ cargo build --benches -q
 echo "==> plan_audit --check (social-app page-query plan regressions)"
 cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
 
+echo "==> trigger_audit --check (commit-pipeline effect-coalescing regressions)"
+cargo run --release -q -p genie-bench --bin trigger_audit -- --check > /dev/null
+
 echo "ci.sh: all green"
