@@ -1,0 +1,108 @@
+//! CI gate for the multi-writer engine: a thread-count sweep over the
+//! transactional mix that must terminate (no deadlock livelock), keep
+//! the engine-abort rate under a fixed ceiling, surface every
+//! lock-manager deadlock as exactly one aborted transaction, and pass
+//! the post-run cache/database coherence cross-check with zero
+//! violations.
+//!
+//! ```text
+//! cargo run --release -p genie-bench --bin concurrency_audit            # report
+//! cargo run --release -p genie-bench --bin concurrency_audit -- --check # CI gate
+//! ```
+
+use genie_social::SeedConfig;
+use genie_workload::{run_concurrent, ConcurrencyConfig};
+
+/// Engine aborts (deadlock victims + lock timeouts) may claim at most
+/// this fraction of attempted transactions, even on the adversarial
+/// all-poke mix — above it, victim selection is thrashing instead of
+/// resolving.
+const ABORT_RATE_CEILING: f64 = 0.35;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("concurrency audit: thread sweep over the transactional mix\n");
+    println!(
+        "{:<26} {:>7} {:>9} {:>9} {:>10} {:>9} {:>10}",
+        "configuration", "threads", "txn/s", "deadlocks", "abort_rate", "checked", "violations"
+    );
+    for (name, threads, poke_pct, users) in [
+        ("batch-post mix", 1, 25, 40),
+        ("batch-post mix", 2, 25, 40),
+        ("batch-post mix", 4, 25, 40),
+        // Adversarial: every transaction updates two hot rows in random
+        // order — maximal cycle pressure on the wait-for graph.
+        ("all-poke hot rows", 4, 100, 4),
+    ] {
+        let cfg = ConcurrencyConfig {
+            threads,
+            txns_per_thread: 150,
+            poke_pct,
+            seed: SeedConfig {
+                users,
+                ..SeedConfig::tiny()
+            },
+            ..Default::default()
+        };
+        let r = match run_concurrent(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{name} ({threads} threads): run failed: {e}"));
+                continue;
+            }
+        };
+        println!(
+            "{:<26} {:>7} {:>9.0} {:>9} {:>10.3} {:>9} {:>10}",
+            name,
+            threads,
+            r.throughput_txns_per_sec,
+            r.deadlock_aborts,
+            r.abort_rate(),
+            r.checked_objects,
+            r.coherence_violations
+        );
+        if r.errors + r.read_errors > 0 {
+            failures.push(format!(
+                "{name} ({threads} threads): {} txn errors, {} read errors",
+                r.errors, r.read_errors
+            ));
+        }
+        if r.committed == 0 {
+            failures.push(format!(
+                "{name} ({threads} threads): no commits (livelock?)"
+            ));
+        }
+        if r.coherence_violations > 0 {
+            failures.push(format!(
+                "{name} ({threads} threads): {} coherence violations over {} objects",
+                r.coherence_violations, r.checked_objects
+            ));
+        }
+        if r.abort_rate() > ABORT_RATE_CEILING {
+            failures.push(format!(
+                "{name} ({threads} threads): abort rate {:.3} above ceiling {ABORT_RATE_CEILING}",
+                r.abort_rate()
+            ));
+        }
+        if r.deadlock_aborts + r.read_deadlocks != r.lock_stats_deadlocks {
+            failures.push(format!(
+                "{name} ({threads} threads): {} lock-manager deadlocks but {} aborted txns + {} aborted reads",
+                r.lock_stats_deadlocks, r.deadlock_aborts, r.read_deadlocks
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nconcurrency_audit: all checks passed");
+    } else {
+        eprintln!("\nconcurrency_audit: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        if check {
+            std::process::exit(1);
+        }
+    }
+}

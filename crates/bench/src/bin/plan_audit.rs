@@ -120,7 +120,7 @@ fn main() {
 
     println!();
     println!("range / IN shapes the ORM emits for feeds and digests:");
-    let ranged: [(&'static str, &str, Vec<Value>); 5] = [
+    let ranged: [(&'static str, &str, Vec<Value>); 9] = [
         (
             "wall since timestamp",
             "SELECT * FROM wall_posts WHERE user_id = $1 AND date_posted > TS(500) \
@@ -146,6 +146,29 @@ fn main() {
             "wall top-5 early stop",
             "SELECT * FROM wall_posts WHERE user_id = $1 ORDER BY date_posted DESC LIMIT 5",
             vec![Value::Int(user)],
+        ),
+        // COUNT(*) pushdown breadth: range and IN-list predicates whose
+        // every conjunct the path absorbs are answered by summing posting
+        // blocks — count-only plan shape, zero rows scanned.
+        (
+            "count: wall since timestamp",
+            "SELECT COUNT(*) FROM wall_posts WHERE user_id = $1 AND date_posted > TS(500)",
+            vec![Value::Int(user)],
+        ),
+        (
+            "count: invites by status IN",
+            "SELECT COUNT(*) FROM friendship_invitations WHERE to_user_id = $1 AND status IN (0, 2)",
+            vec![Value::Int(user)],
+        ),
+        (
+            "count: bookmark pk batch",
+            "SELECT COUNT(*) FROM bookmarks WHERE id IN (1, 2, 3, 5, 8, 13)",
+            vec![],
+        ),
+        (
+            "count: pk range",
+            "SELECT COUNT(*) FROM users WHERE id BETWEEN 10 AND 40",
+            vec![],
         ),
     ];
     for (name, sql, params) in ranged {

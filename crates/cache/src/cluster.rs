@@ -12,6 +12,7 @@ use crate::error::Result;
 use crate::store::{CacheStore, StoreConfig, StoreStats, ValueWithCas};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -90,14 +91,49 @@ struct ClusterInner {
     /// The active transactional effect batch, if any. While present,
     /// trigger-origin operations buffer here instead of hitting the
     /// stores; [`CacheCluster::commit_effect_batch`] publishes one final
-    /// operation per touched key.
+    /// operation per touched key. Buffering is serialized by the engine
+    /// latch (triggers fire one commit at a time), but *publication* may
+    /// run concurrently with the next commit's buffering — which is why
+    /// [`CacheCluster::take_effect_batch`] hands ownership out.
     batch: Mutex<Option<EffectBatch>>,
+    /// Last *sealed but not yet published* pending op per key (see
+    /// [`CacheCluster::take_effect_batch`]): batches are sealed under the
+    /// engine latch in commit order, and published after it. A later
+    /// commit's trigger reads must see the previous commit's sealed
+    /// value — reading the store alone would lose updates (read-modify-
+    /// write counts and lists computed from a stale base). Entries are
+    /// removed after the store write they describe lands.
+    in_flight: Mutex<HashMap<String, (u64, PendingOp)>>,
+    /// Seal sequence source for `in_flight` entries.
+    next_seal: AtomicU64,
+    /// Outstanding read-through fill leases, sharded by key hash so
+    /// fills on distinct keys never serialize on one mutex: key -> lease
+    /// token. Any mutation of the key through a handle or a batch flush
+    /// revokes the lease, so a racing fill computed from pre-commit
+    /// database state is dropped instead of caching a stale value.
+    leases: Vec<Mutex<LeaseTable>>,
+}
+
+/// Number of lease-table shards (keys hash to one; ordering arguments
+/// are per-key, so per-shard mutual exclusion suffices).
+const LEASE_SHARDS: usize = 16;
+
+#[derive(Debug, Default)]
+struct LeaseTable {
+    outstanding: HashMap<String, u64>,
+    next: u64,
 }
 
 /// CAS tokens handed out for buffered (not yet published) values. Kept in
 /// a range real stores never reach so a stale store token can't
 /// accidentally match a buffered entry.
 const BATCH_TOKEN_BASE: u64 = 1 << 62;
+
+/// CAS token for reads served from a *sealed* (in-flight) pending op.
+/// Batch-context CAS against a first-touch key is accepted blindly (the
+/// engine latch serializes commit-time writers), so the value only needs
+/// to stay out of the real stores' range.
+const SEALED_TOKEN: u64 = BATCH_TOKEN_BASE - 1;
 
 #[derive(Debug, Clone)]
 enum PendingOp {
@@ -230,6 +266,11 @@ impl CacheCluster {
                 now: AtomicU64::new(0),
                 bump_on_trigger: config.bump_lru_on_trigger,
                 batch: Mutex::new(None),
+                in_flight: Mutex::new(HashMap::new()),
+                next_seal: AtomicU64::new(0),
+                leases: (0..LEASE_SHARDS)
+                    .map(|_| Mutex::new(LeaseTable::default()))
+                    .collect(),
             }),
         }
     }
@@ -268,37 +309,41 @@ impl CacheCluster {
             .unwrap_or_default()
     }
 
-    /// Publishes the active batch: one physical set/delete per touched
-    /// key, in first-touch order. A no-op (zero summary) without an open
-    /// batch.
+    /// Publishes the active batch immediately: one physical set/delete
+    /// per touched key, in first-touch order. A no-op (zero summary)
+    /// without an open batch. Equivalent to
+    /// [`CacheCluster::take_effect_batch`] + [`PreparedEffectBatch::publish`].
     pub fn commit_effect_batch(&self) -> EffectBatchSummary {
-        let Some(batch) = self.inner.batch.lock().take() else {
-            return EffectBatchSummary::default();
-        };
-        let mut summary = EffectBatchSummary {
-            keys_flushed: 0,
-            backend_reads: batch.backend_reads,
-            buffered_mutations: batch.buffered_mutations,
-        };
-        for (key, op, _) in batch.entries {
-            summary.keys_flushed += 1;
-            match op {
-                PendingOp::Set { data, ttl } => {
-                    let stored = self
-                        .inner
-                        .with_server(&key, |s, now| s.set(&key, data, ttl, now));
-                    if stored.is_err() {
-                        // Mirror the trigger fallback: when a value cannot
-                        // be stored, invalidate rather than leave staleness.
-                        self.inner.with_server(&key, |s, _| s.delete(&key));
-                    }
-                }
-                PendingOp::Delete => {
-                    self.inner.with_server(&key, |s, _| s.delete(&key));
-                }
+        match self.take_effect_batch() {
+            Some(prepared) => prepared.publish(),
+            None => EffectBatchSummary::default(),
+        }
+    }
+
+    /// Seals and removes the active batch, handing ownership of its
+    /// pending operations out — the commit pipeline takes the batch under
+    /// the engine latch (fixing its contents and summary) and publishes
+    /// it after the latch is released, so slow publication never blocks
+    /// the next transaction's trigger firing.
+    pub fn take_effect_batch(&self) -> Option<PreparedEffectBatch> {
+        let batch = self.inner.batch.lock().take()?;
+        // Seal: expose the pending ops to later commits' trigger reads
+        // until the physical store writes land (publication may overlap
+        // the next transaction's firing).
+        let seal = self.inner.next_seal.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut in_flight = self.inner.in_flight.lock();
+            for (key, op, _) in &batch.entries {
+                in_flight.insert(key.clone(), (seal, op.clone()));
             }
         }
-        summary
+        Some(PreparedEffectBatch {
+            inner: Arc::clone(&self.inner),
+            seal,
+            entries: batch.entries,
+            backend_reads: batch.backend_reads,
+            buffered_mutations: batch.buffered_mutations,
+        })
     }
 
     /// Drops the active batch without publishing anything — the aborted
@@ -313,6 +358,39 @@ impl CacheCluster {
             backend_reads: batch.backend_reads,
             buffered_mutations: batch.buffered_mutations,
         }
+    }
+
+    /// Issues a read-through fill lease for `key`: the caller is about to
+    /// compute the key's value from the database and cache it with
+    /// [`CacheHandle::fill`]. Any mutation of the key before the fill
+    /// lands revokes the lease, so a fill computed from pre-mutation
+    /// state can never overwrite fresher data (the classic stale-fill
+    /// race under concurrent writers).
+    pub fn lease(&self, key: &str) -> u64 {
+        let mut leases = self.inner.lease_shard(key).lock();
+        leases.next += 1;
+        let token = leases.next;
+        leases.outstanding.insert(key.to_owned(), token);
+        token
+    }
+
+    /// Cancels a lease this caller took but can no longer complete (its
+    /// database read failed) — only if `token` is still the outstanding
+    /// one, so a newer reader's lease survives.
+    pub fn cancel_lease(&self, key: &str, token: u64) {
+        let mut leases = self.inner.lease_shard(key).lock();
+        if leases.outstanding.get(key) == Some(&token) {
+            leases.outstanding.remove(key);
+        }
+    }
+
+    /// Outstanding (not yet revoked or consumed) fill leases.
+    pub fn outstanding_leases(&self) -> usize {
+        self.inner
+            .leases
+            .iter()
+            .map(|s| s.lock().outstanding.len())
+            .sum()
     }
 
     /// Advances the logical clock used for TTL expiry.
@@ -366,7 +444,127 @@ impl CacheCluster {
     }
 }
 
+/// A sealed effect batch removed from the cluster by
+/// [`CacheCluster::take_effect_batch`], ready to publish. The summary is
+/// fixed at take time, so accounting can settle under the engine latch
+/// while the physical stores are touched after it drops.
+pub struct PreparedEffectBatch {
+    inner: Arc<ClusterInner>,
+    /// This batch's `in_flight` seal sequence (entries are cleared after
+    /// their store writes, unless a later seal already replaced them).
+    seal: u64,
+    entries: Vec<(String, PendingOp, u64)>,
+    backend_reads: u64,
+    buffered_mutations: u64,
+}
+
+impl std::fmt::Debug for PreparedEffectBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedEffectBatch")
+            .field("keys", &self.entries.len())
+            .finish()
+    }
+}
+
+impl PreparedEffectBatch {
+    /// The keys this batch will publish, in first-touch order. The
+    /// commit pipeline locks these (sorted canonically) before the flush.
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.iter().map(|(k, _, _)| k.clone()).collect()
+    }
+
+    /// True when nothing was buffered (read-only or trigger-less commit).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.backend_reads == 0 && self.buffered_mutations == 0
+    }
+
+    /// What publishing will amount to (known before it happens).
+    pub fn summary(&self) -> EffectBatchSummary {
+        EffectBatchSummary {
+            keys_flushed: self.entries.len() as u64,
+            backend_reads: self.backend_reads,
+            buffered_mutations: self.buffered_mutations,
+        }
+    }
+
+    /// Publishes: one physical set/delete per touched key, in first-touch
+    /// order. Each key's fill lease is revoked *before* its store write,
+    /// so a concurrent read-through fill computed from pre-commit state
+    /// loses the race instead of resurrecting stale data.
+    ///
+    /// Ownership rule: keys a commit pipeline maintains belong to the
+    /// pipeline — application code must reach them only through
+    /// lease-checked fills ([`CacheHandle::fill`]) or CAS. A plain
+    /// application `set`/`delete` landing in the seal-to-publish window
+    /// would be overwritten by the sealed value (the engine's view of
+    /// the latest commit); the shipped middleware respects this
+    /// everywhere.
+    pub fn publish(self) -> EffectBatchSummary {
+        let summary = self.summary();
+        for (key, op, _) in self.entries {
+            self.inner.revoke_lease(&key);
+            match op {
+                PendingOp::Set { data, ttl } => {
+                    let stored = self
+                        .inner
+                        .with_server(&key, |s, now| s.set(&key, data, ttl, now));
+                    if stored.is_err() {
+                        // Mirror the trigger fallback: when a value cannot
+                        // be stored, invalidate rather than leave staleness.
+                        self.inner.with_server(&key, |s, _| s.delete(&key));
+                    }
+                }
+                PendingOp::Delete => {
+                    self.inner.with_server(&key, |s, _| s.delete(&key));
+                }
+            }
+            // The store now holds this batch's value; retire the sealed
+            // entry unless a later commit already replaced it.
+            let mut in_flight = self.inner.in_flight.lock();
+            if in_flight.get(&key).map(|(s, _)| *s) == Some(self.seal) {
+                in_flight.remove(&key);
+            }
+        }
+        summary
+    }
+}
+
 impl ClusterInner {
+    /// The latest sealed-but-unpublished pending op for `key`, if any —
+    /// what commit-time trigger reads must observe instead of the store.
+    fn sealed_pending(&self, key: &str) -> Option<PendingOp> {
+        self.in_flight.lock().get(key).map(|(_, op)| op.clone())
+    }
+
+    /// Runs a trigger-origin fall-through store read; on a miss, revokes
+    /// any outstanding fill lease for the key *atomically with the miss
+    /// observation* (the read and the revocation share the key's
+    /// lease-shard lock, which fills also hold across their
+    /// validate-and-write). A trigger that finds the key absent makes no
+    /// cache update for it, so a read-through fill computed from the
+    /// pre-commit database must not be allowed to land afterwards —
+    /// without this, the fill resurrects a stale value no later
+    /// publication ever repairs.
+    fn read_with_miss_revoke<T>(&self, key: &str, read: impl FnOnce() -> Option<T>) -> Option<T> {
+        let mut shard = self.lease_shard(key).lock();
+        let v = read();
+        if v.is_none() {
+            shard.outstanding.remove(key);
+        }
+        v
+    }
+
+    fn lease_shard(&self, key: &str) -> &Mutex<LeaseTable> {
+        &self.leases[hash_key(key) as usize % LEASE_SHARDS]
+    }
+
+    /// Revokes any outstanding fill lease on `key`. Called before every
+    /// physical mutation of the key (direct handle ops and batch
+    /// flushes alike).
+    fn revoke_lease(&self, key: &str) {
+        self.lease_shard(key).lock().outstanding.remove(key);
+    }
+
     fn server_for(&self, key: &str) -> usize {
         let h = hash_key(key);
         // First ring position >= h, wrapping.
@@ -444,7 +642,20 @@ impl CacheHandle {
         });
         match routed {
             Some(Routed::Done(v)) => v,
-            _ => self
+            Some(Routed::Fallthrough(())) => match self.inner.sealed_pending(key) {
+                // A prior commit sealed this key but its store write is
+                // still in flight: its value is the one to read.
+                Some(PendingOp::Set { data, .. }) => Some(ValueWithCas {
+                    data,
+                    cas: SEALED_TOKEN,
+                }),
+                Some(PendingOp::Delete) => None,
+                None => self.inner.read_with_miss_revoke(key, || {
+                    self.inner
+                        .with_server(key, |s, now| s.gets(key, now, self.bump))
+                }),
+            },
+            None => self
                 .inner
                 .with_server(key, |s, now| s.gets(key, now, self.bump)),
         }
@@ -470,6 +681,7 @@ impl CacheHandle {
         {
             return Ok(());
         }
+        self.inner.revoke_lease(key);
         self.inner
             .with_server(key, |s, now| s.set(key, data, ttl, now))
     }
@@ -491,7 +703,12 @@ impl CacheHandle {
         match routed {
             Some(Routed::Done(r)) => r,
             Some(Routed::Fallthrough(deleted)) => {
-                if !deleted && self.inner.with_server(key, |s, now| s.contains(key, now)) {
+                let exists = match self.inner.sealed_pending(key) {
+                    Some(PendingOp::Set { .. }) => true,
+                    Some(PendingOp::Delete) => false,
+                    None => self.inner.with_server(key, |s, now| s.contains(key, now)),
+                };
+                if !deleted && exists {
                     return Err(crate::CacheError::AlreadyStored);
                 }
                 self.with_batch(|b| {
@@ -499,9 +716,11 @@ impl CacheHandle {
                 });
                 Ok(())
             }
-            None => self
-                .inner
-                .with_server(key, |s, now| s.add(key, data, ttl, now)),
+            None => {
+                self.inner.revoke_lease(key);
+                self.inner
+                    .with_server(key, |s, now| s.add(key, data, ttl, now))
+            }
         }
     }
 
@@ -534,9 +753,11 @@ impl CacheHandle {
         });
         match routed {
             Some(r) => r,
-            None => self
-                .inner
-                .with_server(key, |s, now| s.cas(key, data, token, ttl, now)),
+            None => {
+                self.inner.revoke_lease(key);
+                self.inner
+                    .with_server(key, |s, now| s.cas(key, data, token, ttl, now))
+            }
         }
     }
 
@@ -556,13 +777,20 @@ impl CacheHandle {
         match routed {
             Some(Routed::Done(existed)) => existed,
             Some(Routed::Fallthrough(())) => {
-                let existed = self.inner.with_server(key, |s, now| s.contains(key, now));
+                let existed = match self.inner.sealed_pending(key) {
+                    Some(PendingOp::Set { .. }) => true,
+                    Some(PendingOp::Delete) => false,
+                    None => self.inner.with_server(key, |s, now| s.contains(key, now)),
+                };
                 self.with_batch(|b| {
                     b.put(key, PendingOp::Delete);
                 });
                 existed
             }
-            None => self.inner.with_server(key, |s, _| s.delete(key)),
+            None => {
+                self.inner.revoke_lease(key);
+                self.inner.with_server(key, |s, _| s.delete(key))
+            }
         }
     }
 
@@ -603,9 +831,14 @@ impl CacheHandle {
         match routed {
             Some(Routed::Done(r)) => r,
             Some(Routed::Fallthrough(())) => {
-                let current = self
-                    .inner
-                    .with_server(key, |s, now| s.get_with_ttl(key, now, self.bump));
+                let current = match self.inner.sealed_pending(key) {
+                    Some(PendingOp::Set { data, ttl }) => Some((data, ttl)),
+                    Some(PendingOp::Delete) => None,
+                    None => self.inner.read_with_miss_revoke(key, || {
+                        self.inner
+                            .with_server(key, |s, now| s.get_with_ttl(key, now, self.bump))
+                    }),
+                };
                 let Some((data, ttl)) = current else {
                     return Ok(None);
                 };
@@ -624,9 +857,11 @@ impl CacheHandle {
                 });
                 Ok(Some(new))
             }
-            None => self
-                .inner
-                .with_server(key, |s, now| s.incr(key, delta, now)),
+            None => {
+                self.inner.revoke_lease(key);
+                self.inner
+                    .with_server(key, |s, now| s.incr(key, delta, now))
+            }
         }
     }
 
@@ -642,7 +877,19 @@ impl CacheHandle {
         });
         match routed {
             Some(Routed::Done(v)) => v,
-            _ => self.inner.with_server(key, |s, now| s.contains(key, now)),
+            Some(Routed::Fallthrough(())) => match self.inner.sealed_pending(key) {
+                Some(PendingOp::Set { .. }) => true,
+                Some(PendingOp::Delete) => false,
+                None => self
+                    .inner
+                    .read_with_miss_revoke(key, || {
+                        self.inner
+                            .with_server(key, |s, now| s.contains(key, now))
+                            .then_some(())
+                    })
+                    .is_some(),
+            },
+            None => self.inner.with_server(key, |s, now| s.contains(key, now)),
         }
     }
 
@@ -677,6 +924,46 @@ impl CacheHandle {
     /// [`crate::CacheError::ValueTooLarge`] for oversized values.
     pub fn set_payload(&self, key: &str, payload: &Payload, ttl: Option<u64>) -> Result<()> {
         self.set(key, payload.encode(), ttl)
+    }
+
+    /// Completes a read-through fill under `lease` (from
+    /// [`CacheCluster::lease`]): stores `data` only if no mutation of the
+    /// key revoked the lease since it was issued. Returns whether the
+    /// fill landed — `false` means a concurrent writer published fresher
+    /// data and the stale fill was dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CacheError::ValueTooLarge`] for oversized values (the
+    /// lease is consumed either way).
+    pub fn fill(&self, key: &str, data: Bytes, ttl: Option<u64>, lease: u64) -> Result<bool> {
+        let mut leases = self.inner.lease_shard(key).lock();
+        if leases.outstanding.get(key) != Some(&lease) {
+            return Ok(false);
+        }
+        leases.outstanding.remove(key);
+        // The store write happens under the key's lease-shard lock: a
+        // mutation of this key arriving later must first revoke (waiting
+        // on the same shard), so its store write is ordered after this
+        // fill and wins.
+        self.inner
+            .with_server(key, |s, now| s.set(key, data, ttl, now))?;
+        Ok(true)
+    }
+
+    /// Encodes and [`CacheHandle::fill`]s a typed payload.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CacheHandle::fill`].
+    pub fn fill_payload(
+        &self,
+        key: &str,
+        payload: &Payload,
+        ttl: Option<u64>,
+        lease: u64,
+    ) -> Result<bool> {
+        self.fill(key, payload.encode(), ttl, lease)
     }
 
     /// Encodes and CAS-stores a typed payload.
@@ -994,6 +1281,32 @@ mod tests {
             Err(CacheError::CasConflict)
         ));
         c.discard_effect_batch();
+    }
+
+    #[test]
+    fn sealed_batch_visible_to_next_batch_reads_until_published() {
+        // Commit A seals count=1 but has not published; commit B's
+        // trigger read must see 1 (not the store's 0), or B's increment
+        // would be computed from a stale base and lost.
+        let c = cluster(1, 1024 * 1024);
+        let app = c.handle(CacheOrigin::Application);
+        let trig = c.handle(CacheOrigin::Trigger);
+        app.set_payload("n", &Payload::Count(0), None).unwrap();
+        c.begin_effect_batch();
+        assert_eq!(trig.incr("n", 1).unwrap(), Some(1));
+        let a = c.take_effect_batch().unwrap(); // sealed, unpublished
+        c.begin_effect_batch();
+        assert_eq!(
+            trig.incr("n", 1).unwrap(),
+            Some(2),
+            "B reads A's sealed value, not the stale store"
+        );
+        let b = c.take_effect_batch().unwrap();
+        a.publish();
+        // Application reads hit the store (transient: B unpublished).
+        assert_eq!(app.get_payload("n").unwrap().unwrap().as_count(), Some(1));
+        b.publish();
+        assert_eq!(app.get_payload("n").unwrap().unwrap().as_count(), Some(2));
     }
 
     #[test]

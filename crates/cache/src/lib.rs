@@ -25,6 +25,7 @@ pub mod store;
 
 pub use cluster::{
     CacheCluster, CacheHandle, CacheOrigin, ClusterConfig, ClusterStats, EffectBatchSummary,
+    PreparedEffectBatch,
 };
 pub use codec::{hash_key, Payload};
 pub use error::{CacheError, Result};

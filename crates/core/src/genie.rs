@@ -9,11 +9,12 @@ use crate::triggers::build_triggers;
 use genie_cache::{CacheCluster, CacheHandle, CacheOrigin, Payload};
 use genie_orm::{InterceptOutcome, ModelRegistry, OrmSession, QueryInterceptor};
 use genie_storage::{
-    CommitHook, CostReport, Database, QueryResult, Result, Row, Select, StorageError, Value,
+    CommitHook, CostReport, Database, DeferredPublish, QueryResult, Result, Row, Select,
+    StorageError, Value,
 };
 use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// CacheGenie tuning knobs.
 #[derive(Debug, Clone)]
@@ -66,24 +67,98 @@ struct GenieShared {
     tables: RwLock<HashSet<String>>,
 }
 
+/// Per-key flush gate: a committing transaction *reserves* a ticket on
+/// each of its touched cache keys while still under the engine latch (a
+/// non-blocking enqueue, so reservation order equals commit order), and
+/// the deferred publication step — running after the latch drops —
+/// waits until its ticket reaches the front of every key's queue. Two
+/// committing writers therefore never interleave physical cache
+/// operations on one key, per-key publication order matches commit
+/// order, and nothing ever blocks while holding the engine latch. A
+/// publisher waits only on strictly earlier tickets, so gate waits are
+/// acyclic and cannot deadlock.
+#[derive(Default)]
+struct FlushGate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Key -> FIFO of reserved tickets (front = next to publish).
+    queues: HashMap<String, VecDeque<u64>>,
+    next_ticket: u64,
+}
+
+impl FlushGate {
+    /// Enqueues one ticket on every key. Called under the engine latch;
+    /// never blocks.
+    fn reserve(&self, keys: &BTreeSet<String>) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        st.next_ticket += 1;
+        let ticket = st.next_ticket;
+        for key in keys {
+            st.queues.entry(key.clone()).or_default().push_back(ticket);
+        }
+        ticket
+    }
+
+    /// Blocks until `ticket` is at the front of every key's queue.
+    /// Called by the deferred publish step, outside the latch.
+    fn await_turn(&self, keys: &BTreeSet<String>, ticket: u64) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let ready = keys
+                .iter()
+                .all(|k| st.queues.get(k).and_then(|q| q.front()) == Some(&ticket));
+            if ready {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Pops `ticket` off every key's queue and wakes waiting publishers.
+    fn release(&self, keys: &BTreeSet<String>, ticket: u64) {
+        let mut st = self.state.lock().unwrap();
+        for key in keys {
+            if let Some(q) = st.queues.get_mut(key) {
+                if let Some(pos) = q.iter().position(|&t| t == ticket) {
+                    q.remove(pos);
+                }
+                if q.is_empty() {
+                    st.queues.remove(key);
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
 /// The database-side half of the transactional consistency guarantee:
 /// registered as the engine's [`CommitHook`], it brackets commit-time
 /// trigger firing with a cluster effect batch so a transaction's cache
 /// effects publish atomically (per-key coalesced) on COMMIT and never on
-/// abort. With a [`StrictTxnManager`] wired in, the flush runs under 2PL
-/// write locks on the touched keys — lock timeout aborts the transaction,
-/// per the paper's §3.3 design.
+/// abort. Publication itself is deferred: `commit_apply` seals the batch
+/// and reserves the touched keys' publication slots in the [`FlushGate`]
+/// under the engine latch (non-blocking), and the returned closure waits
+/// for its turn and performs the store writes after the latch drops.
+/// With a [`StrictTxnManager`] wired in, the flush additionally runs
+/// under §3.3 2PL write locks on the touched keys — lock timeout aborts
+/// the transaction.
 ///
 /// Deliberately holds no reference back to the [`Database`] (which owns
-/// the hook) — only the cluster, stats, and lock table.
+/// the hook) — only the cluster, stats, gate, and lock table.
 struct EffectPipeline {
     cluster: CacheCluster,
     stats: Arc<GenieStats>,
     strict: RwLock<Option<StrictTxnManager>>,
+    flush_gate: Arc<FlushGate>,
 }
 
 impl EffectPipeline {
-    /// Folds the published batch into stats and rewrites the commit's
+    /// Folds the sealed batch into stats and rewrites the commit's
     /// cache-op accounting from the bodies' per-effect counts to the
     /// physical (coalesced) numbers.
     fn settle(&self, summary: genie_cache::EffectBatchSummary, cost: &mut CostReport) {
@@ -107,10 +182,14 @@ impl CommitHook for EffectPipeline {
         self.cluster.begin_effect_batch();
     }
 
-    fn commit_apply(&self, cost: &mut CostReport) -> Result<()> {
+    fn commit_apply(&self, cost: &mut CostReport, group_commit: bool) -> Result<DeferredPublish> {
+        // Optional §3.3 strict mode: 2PL write locks on the touched keys,
+        // shared with application-side StrictTxns. Bounded attempts model
+        // deadlock-by-timeout; exhaustion aborts the transaction.
+        let mut strict_pair = None;
         if let Some(mgr) = self.strict.read().clone() {
-            // 2PL growing phase: write-lock every key the flush touches.
-            let keys = self.cluster.effect_batch_keys();
+            let mut keys = self.cluster.effect_batch_keys();
+            keys.sort();
             let tid = mgr.alloc_tid();
             for key in &keys {
                 if !mgr.acquire_write(tid, key) {
@@ -120,14 +199,37 @@ impl CommitHook for EffectPipeline {
                     return Err(StorageError::LockTimeout { table: key.clone() });
                 }
             }
-            let summary = self.cluster.commit_effect_batch();
-            mgr.release(tid);
-            self.settle(summary, cost);
-            return Ok(());
+            strict_pair = Some((mgr, tid));
         }
-        let summary = self.cluster.commit_effect_batch();
-        self.settle(summary, cost);
-        Ok(())
+        let Some(prepared) = self.cluster.take_effect_batch() else {
+            if let Some((mgr, tid)) = strict_pair {
+                mgr.release(tid);
+            }
+            return Ok(None);
+        };
+        if group_commit {
+            // Autocommitted statements keep their per-statement
+            // accounting (the paper's measured per-firing costs); only a
+            // transaction's COMMIT reports the group-coalesced numbers.
+            self.settle(prepared.summary(), cost);
+        }
+        if prepared.is_empty() && strict_pair.is_none() {
+            return Ok(None);
+        }
+        let keys: BTreeSet<String> = prepared.keys().into_iter().collect();
+        // Reservation (non-blocking, under the latch) pins this commit's
+        // per-key publication slot; the wait happens in the deferred
+        // step, after the engine releases its latch.
+        let ticket = self.flush_gate.reserve(&keys);
+        let gate = Arc::clone(&self.flush_gate);
+        Ok(Some(Box::new(move || {
+            gate.await_turn(&keys, ticket);
+            prepared.publish();
+            gate.release(&keys, ticket);
+            if let Some((mgr, tid)) = strict_pair {
+                mgr.release(tid);
+            }
+        })))
     }
 
     fn abort_apply(&self) {
@@ -214,6 +316,7 @@ impl CacheGenie {
             cluster: cluster.clone(),
             stats: Arc::clone(&stats),
             strict: RwLock::new(None),
+            flush_gate: Arc::new(FlushGate::default()),
         });
         db.set_commit_hook(Arc::clone(&pipeline) as Arc<dyn CommitHook>);
         CacheGenie {
@@ -321,6 +424,65 @@ impl CacheGenie {
         Ok(obj.make_key(params))
     }
 
+    /// Cross-checks one cached object instance against the database: re-
+    /// evaluates the object's query fresh and compares it to whatever the
+    /// cache currently holds under its key. `Ok(true)` means coherent —
+    /// the key is absent, unservable (a short Top-K that a read would
+    /// recompute), or byte-equal to the database answer. Run it on a
+    /// quiescent system (e.g. after a concurrency experiment joins its
+    /// writer threads) — a check racing live commits can report
+    /// transient mismatches that are not violations.
+    ///
+    /// # Errors
+    ///
+    /// Unknown object names and database errors.
+    pub fn verify_coherence(&self, name: &str, params: &[Value]) -> Result<bool> {
+        let obj = self
+            .shared
+            .by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownIndex(format!("cached object {name}")))?;
+        let key = obj.make_key(params);
+        let cached = match self.shared.app_cache.get_payload(&key) {
+            Ok(Some(p)) => p,
+            // Absent is always coherent; undecodable bytes are a
+            // violation (nothing the engine writes should be corrupt).
+            Ok(None) => return Ok(true),
+            Err(_) => return Ok(false),
+        };
+        match &obj.def.kind {
+            CacheClassKind::Count => {
+                let out = self.shared.db.select(&obj.template, params)?;
+                let n = out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0);
+                Ok(matches!(cached, Payload::Count(c) if c == n))
+            }
+            CacheClassKind::TopK { .. } => {
+                let Payload::TopK { rows, complete } = cached else {
+                    return Ok(false);
+                };
+                let k = obj.k();
+                if rows.len() < k && !complete {
+                    // A read would treat this as a miss and recompute.
+                    return Ok(true);
+                }
+                let fill = obj.fill_template.as_ref().expect("TopK has fill template");
+                let out = self.shared.db.select(fill, params)?;
+                let want: Vec<Row> = out.result.rows.into_iter().take(k).collect();
+                let got: Vec<Row> = rows.into_iter().take(k).collect();
+                Ok(got == want)
+            }
+            _ => {
+                let Payload::Rows(rows) = cached else {
+                    return Ok(false);
+                };
+                let out = self.shared.db.select(&obj.template, params)?;
+                Ok(rows == out.result.rows)
+            }
+        }
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> GenieStatsSnapshot {
         self.shared.stats.snapshot()
@@ -361,6 +523,26 @@ impl CacheGenie {
 }
 
 impl GenieShared {
+    /// Propagates a database read made under a fill lease, cancelling
+    /// the lease on error so a read that will never complete its fill
+    /// does not leave a phantom entry in the lease table.
+    fn lease_read<T>(&self, key: &str, lease: u64, read: Result<T>) -> Result<T> {
+        if read.is_err() {
+            self.cluster.cancel_lease(key, lease);
+        }
+        read
+    }
+
+    /// Books a completed [`genie_cache::CacheHandle::fill`] attempt: a
+    /// landed fill counts as a fill, a lease-revoked one as a drop (a
+    /// concurrent writer published fresher data first).
+    fn record_fill(&self, landed: genie_cache::Result<bool>) {
+        match landed {
+            Ok(true) | Err(_) => self.stats.bump(&self.stats.fills),
+            Ok(false) => self.stats.bump(&self.stats.fills_dropped),
+        }
+    }
+
     /// Serves one cached object for concrete key values: cache hit,
     /// read-through fill, or (Top-K) internal over-fetch.
     fn serve(&self, obj: &Arc<ObjectInner>, params: &[Value]) -> Result<EvalOutcome> {
@@ -407,13 +589,19 @@ impl GenieShared {
                     Ok(None) => {}
                 }
                 self.stats.bump(&self.stats.cache_misses);
-                let out = self.db.select(&obj.template, params)?;
+                // Lease before the database read: a writer committing
+                // between this read and the fill revokes the lease, so a
+                // stale count can never land (see CacheHandle::fill).
+                let lease = self.cluster.lease(&key);
+                let out = self.lease_read(&key, lease, self.db.select(&obj.template, params))?;
                 let n = out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0);
                 cache_ops += 1;
-                let _ = self
-                    .app_cache
-                    .set_payload(&key, &Payload::Count(n), obj.fill_ttl());
-                self.stats.bump(&self.stats.fills);
+                self.record_fill(self.app_cache.fill_payload(
+                    &key,
+                    &Payload::Count(n),
+                    obj.fill_ttl(),
+                    lease,
+                ));
                 Ok(EvalOutcome {
                     result: count_result(n),
                     from_cache: false,
@@ -440,14 +628,15 @@ impl GenieShared {
                     Ok(None) => {}
                 }
                 self.stats.bump(&self.stats.cache_misses);
-                let out = self.db.select(&obj.template, params)?;
+                let lease = self.cluster.lease(&key);
+                let out = self.lease_read(&key, lease, self.db.select(&obj.template, params))?;
                 cache_ops += 1;
-                let _ = self.app_cache.set_payload(
+                self.record_fill(self.app_cache.fill_payload(
                     &key,
                     &Payload::Rows(out.result.rows.clone()),
                     obj.fill_ttl(),
-                );
-                self.stats.bump(&self.stats.fills);
+                    lease,
+                ));
                 Ok(EvalOutcome {
                     result: rows_result(obj, out.result.rows),
                     from_cache: false,
@@ -486,20 +675,21 @@ impl GenieShared {
         }
         self.stats.bump(&self.stats.cache_misses);
         // Over-fetch K + reserve for incremental delete headroom (§3.2).
+        let lease = self.cluster.lease(key);
         let fill = obj.fill_template.as_ref().expect("TopK has fill template");
-        let out = self.db.select(fill, params)?;
+        let out = self.lease_read(key, lease, self.db.select(fill, params))?;
         let rows = out.result.rows;
         let complete = rows.len() < obj.capacity;
         cache_ops += 1;
-        let _ = self.app_cache.set_payload(
+        self.record_fill(self.app_cache.fill_payload(
             key,
             &Payload::TopK {
                 rows: rows.clone(),
                 complete,
             },
             obj.fill_ttl(),
-        );
-        self.stats.bump(&self.stats.fills);
+            lease,
+        ));
         let served: Vec<Row> = rows.into_iter().take(k).collect();
         Ok(EvalOutcome {
             result: rows_result(obj, served),

@@ -19,6 +19,7 @@ pub struct GenieStats {
     pub(crate) commit_cache_ops_naive: AtomicU64,
     pub(crate) commit_aborts: AtomicU64,
     pub(crate) txn_bypasses: AtomicU64,
+    pub(crate) fills_dropped: AtomicU64,
 }
 
 /// A point-in-time copy of [`GenieStats`].
@@ -56,6 +57,9 @@ pub struct GenieStatsSnapshot {
     /// Cached-object reads served straight from the database because a
     /// transaction was open (no dirty fills, own writes visible).
     pub txn_bypasses: u64,
+    /// Read-through fills dropped because a committing writer invalidated
+    /// the fill lease first (the fill would have cached a stale value).
+    pub fills_dropped: u64,
 }
 
 impl GenieStats {
@@ -80,6 +84,7 @@ impl GenieStats {
             commit_cache_ops_naive: self.commit_cache_ops_naive.load(Ordering::Relaxed),
             commit_aborts: self.commit_aborts.load(Ordering::Relaxed),
             txn_bypasses: self.txn_bypasses.load(Ordering::Relaxed),
+            fills_dropped: self.fills_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -99,6 +104,7 @@ impl GenieStats {
             &self.commit_cache_ops_naive,
             &self.commit_aborts,
             &self.txn_bypasses,
+            &self.fills_dropped,
         ] {
             c.store(0, Ordering::Relaxed);
         }

@@ -1,0 +1,238 @@
+//! The commit-time effect pipeline under real multi-writer interleaving:
+//! a deadlock victim's buffered cache effects vanish byte-for-byte, and
+//! racing committers (plus racing read-through fills) can never leave
+//! the cache disagreeing with the database.
+
+use cachegenie::{CacheGenie, CacheableDef, GenieConfig, SortOrder};
+use genie_cache::{CacheCluster, CacheOrigin, ClusterConfig};
+use genie_orm::{FieldDef, ModelDef, ModelRegistry, OrmSession};
+use genie_storage::{Database, StorageError, Value, ValueType};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+const K: usize = 3;
+
+struct Env {
+    db: Database,
+    session: OrmSession,
+    genie: CacheGenie,
+    cluster: CacheCluster,
+}
+
+fn env() -> Env {
+    let mut reg = ModelRegistry::new();
+    reg.register(
+        ModelDef::builder("User", "users")
+            .field(FieldDef::new("username", ValueType::Text))
+            .build(),
+    )
+    .unwrap();
+    reg.register(
+        ModelDef::builder("WallPost", "wall")
+            .foreign_key("user_id", "User")
+            .field(FieldDef::new("date_posted", ValueType::Timestamp).indexed())
+            .build(),
+    )
+    .unwrap();
+    let reg = Arc::new(reg);
+    let db = Database::default();
+    reg.sync(&db).unwrap();
+    let session = OrmSession::new(db.clone(), Arc::clone(&reg));
+    let cluster = CacheCluster::new(ClusterConfig::default());
+    let genie = CacheGenie::new(db.clone(), cluster.clone(), reg, GenieConfig::default());
+    genie.install(&session);
+    for i in 1..=3i64 {
+        session
+            .create("User", &[("username", format!("u{i}").into())])
+            .unwrap();
+    }
+    genie
+        .cacheable(
+            CacheableDef::top_k(
+                "wall_topk",
+                "WallPost",
+                "date_posted",
+                SortOrder::Descending,
+                K,
+            )
+            .where_fields(&["user_id"])
+            .reserve(2),
+        )
+        .unwrap();
+    genie
+        .cacheable(CacheableDef::count("wall_count", "WallPost").where_fields(&["user_id"]))
+        .unwrap();
+    Env {
+        db,
+        session,
+        genie,
+        cluster,
+    }
+}
+
+fn post(e: &Env, user: i64, ts: i64) {
+    e.session
+        .create(
+            "WallPost",
+            &[
+                ("user_id", Value::Int(user)),
+                ("date_posted", Value::Timestamp(ts)),
+            ],
+        )
+        .unwrap();
+}
+
+fn cache_bytes(e: &Env, object: &str, user: i64) -> Option<Vec<u8>> {
+    let key = e.genie.key_for(object, &[Value::Int(user)]).unwrap();
+    e.cluster
+        .handle(CacheOrigin::Application)
+        .get(&key)
+        .map(|b| b.to_vec())
+}
+
+/// A deadlock victim's transaction had already buffered wall-post cache
+/// effects; the abort must leave every cache key byte-identical and the
+/// surviving (older) transaction must commit normally.
+#[test]
+fn deadlock_victim_publishes_nothing_to_the_cache() {
+    let e = env();
+    post(&e, 2, 10);
+    // Warm both objects for user 2 so a victim flush would overwrite
+    // real bytes, not fill an empty key.
+    e.genie.evaluate("wall_topk", &[Value::Int(2)]).unwrap();
+    e.genie.evaluate("wall_count", &[Value::Int(2)]).unwrap();
+    let topk_before = cache_bytes(&e, "wall_topk", 2).expect("warmed");
+    let count_before = cache_bytes(&e, "wall_count", 2).expect("warmed");
+    let posts_before = e.db.row_count("wall").unwrap();
+
+    let (t2_ready, main_sees) = mpsc::channel::<()>();
+    let (main_ready, t2_sees) = mpsc::channel::<()>();
+
+    // Older transaction (T1) on the main thread: holds users row 1.
+    e.db.execute_sql("BEGIN", &[]).unwrap();
+    e.db.execute_sql("UPDATE users SET username = 'w' WHERE id = 1", &[])
+        .unwrap();
+
+    let db2 = e.db.clone();
+    let session2 = e.session.clone();
+    let t2 = std::thread::spawn(move || {
+        // Younger transaction (T2): buffers a wall post for user 2
+        // (cache effects pending at commit), holds users row 2, then
+        // requests row 1 — closing the cycle. Youngest dies.
+        db2.execute_sql("BEGIN", &[]).unwrap();
+        session2
+            .create(
+                "WallPost",
+                &[
+                    ("user_id", Value::Int(2)),
+                    ("date_posted", Value::Timestamp(99)),
+                ],
+            )
+            .unwrap();
+        db2.execute_sql("UPDATE users SET username = 'x' WHERE id = 2", &[])
+            .unwrap();
+        t2_ready.send(()).unwrap();
+        t2_sees.recv().unwrap();
+        let r = db2.execute_sql("UPDATE users SET username = 'x' WHERE id = 1", &[]);
+        let was_deadlock = matches!(r, Err(StorageError::Deadlock { .. }));
+        let _ = db2.execute_sql("ROLLBACK", &[]);
+        was_deadlock
+    });
+
+    main_sees.recv().unwrap();
+    main_ready.send(()).unwrap();
+    // Blocks on users row 2 until the victim aborts.
+    e.db.execute_sql("UPDATE users SET username = 'w' WHERE id = 2", &[])
+        .unwrap();
+    e.db.execute_sql("COMMIT", &[]).unwrap();
+    assert!(t2.join().unwrap(), "T2 must be the deadlock victim");
+
+    assert_eq!(e.db.lock_stats().deadlocks, 1, "exactly one victim");
+    assert_eq!(
+        e.db.row_count("wall").unwrap(),
+        posts_before,
+        "insert undone"
+    );
+    assert_eq!(
+        cache_bytes(&e, "wall_topk", 2).as_ref(),
+        Some(&topk_before),
+        "victim left the top-k cache byte-identical"
+    );
+    assert_eq!(
+        cache_bytes(&e, "wall_count", 2).as_ref(),
+        Some(&count_before),
+        "victim left the count cache byte-identical"
+    );
+    assert!(e
+        .genie
+        .verify_coherence("wall_topk", &[Value::Int(2)])
+        .unwrap());
+    assert!(e
+        .genie
+        .verify_coherence("wall_count", &[Value::Int(2)])
+        .unwrap());
+}
+
+/// Many writers committing into the same cache keys while readers race
+/// read-through fills: after the dust settles, cache and database agree
+/// on every object (flush-gate ordering + fill leases).
+#[test]
+fn racing_committers_and_fills_stay_coherent() {
+    let e = env();
+    let writers = 4;
+    let per = 25;
+    let barrier = Arc::new(std::sync::Barrier::new(writers + 1));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let session = e.session.clone();
+        let db = e.db.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..per {
+                db.execute_sql("BEGIN", &[]).unwrap();
+                session
+                    .create(
+                        "WallPost",
+                        &[
+                            ("user_id", Value::Int(1)),
+                            ("date_posted", Value::Timestamp((w * per + i) as i64)),
+                        ],
+                    )
+                    .unwrap();
+                db.execute_sql("COMMIT", &[]).unwrap();
+            }
+        }));
+    }
+    // A racing reader repeatedly serving (and on miss re-filling) the
+    // same objects through the cache.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let genie_r = e.genie.clone();
+    let stop_r = Arc::clone(&stop);
+    let reader = std::thread::spawn(move || {
+        while !stop_r.load(std::sync::atomic::Ordering::Relaxed) {
+            let _ = genie_r.evaluate("wall_topk", &[Value::Int(1)]);
+            let _ = genie_r.evaluate("wall_count", &[Value::Int(1)]);
+        }
+    });
+    barrier.wait();
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    reader.join().unwrap();
+
+    assert_eq!(e.db.row_count("wall").unwrap(), writers * per);
+    assert!(
+        e.genie
+            .verify_coherence("wall_topk", &[Value::Int(1)])
+            .unwrap(),
+        "top-k cache diverged from the database"
+    );
+    assert!(
+        e.genie
+            .verify_coherence("wall_count", &[Value::Int(1)])
+            .unwrap(),
+        "count cache diverged from the database"
+    );
+}

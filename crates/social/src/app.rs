@@ -526,10 +526,31 @@ impl SocialApp {
         posts: usize,
         abort: bool,
     ) -> Result<PageStats> {
+        self.post_wall_batch_paced(wall_owner, sender, posts, abort, &|| {})
+    }
+
+    /// [`SocialApp::post_wall_batch`] with a pacing callback invoked
+    /// before each statement inside the transaction — the concurrency
+    /// driver uses it to model the application-server round-trip time a
+    /// real web stack spends between a transaction's statements (the
+    /// window row-level locking overlaps and a global lock serializes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SocialApp::post_wall_batch`].
+    pub fn post_wall_batch_paced(
+        &self,
+        wall_owner: i64,
+        sender: i64,
+        posts: usize,
+        abort: bool,
+        pace: &dyn Fn(),
+    ) -> Result<PageStats> {
         let mut stats = PageStats::default();
         let db = self.session.database();
         db.execute_sql("BEGIN", &[])?;
         for i in 0..posts.max(1) {
+            pace();
             let ts = self.next_ts();
             let created = self.session.create(
                 "WallPost",

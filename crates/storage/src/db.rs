@@ -5,19 +5,55 @@
 //! Every call returns an [`ExecOutcome`] carrying both the logical result
 //! and the physical [`CostReport`], which the benchmark harness prices into
 //! simulated time.
+//!
+//! # Concurrency model
+//!
+//! The engine distinguishes **latches** from **locks** (see
+//! `docs/ARCHITECTURE.md` for the full write-up):
+//!
+//! * One internal mutex — the *latch* — protects the physical structures
+//!   (catalog, heaps, indexes, buffer pool). It is held only for the
+//!   duration of one statement's execution or one commit's trigger
+//!   firing, and never while waiting for a lock.
+//! * Logical isolation comes from strict two-phase locking in the
+//!   [`LockManager`]: write statements take table-level intent locks plus
+//!   per-`(table, pk)` exclusive row locks (escalating to a table
+//!   exclusive lock when the predicate does not pin primary keys), and
+//!   scans take table-level shared locks so they never observe another
+//!   transaction's in-flight rows. Deadlocks are detected on a waits-for
+//!   graph; the youngest cycle member aborts with
+//!   [`StorageError::Deadlock`].
+//! * Transactions are **thread-scoped**: `BEGIN` binds a transaction to
+//!   the calling thread, and subsequent statements from that thread join
+//!   it, so N threads drive N concurrent transactions through one shared
+//!   [`Database`] handle (see [`Database::begin_concurrent`]).
+//! * COMMIT fires the transaction's coalesced triggers under the latch,
+//!   then publishes the buffered cache effects *after* releasing it; the
+//!   registered [`CommitHook`] serializes per-key publication so two
+//!   committing writers can never interleave physical cache operations
+//!   on one key.
 
 use crate::bufferpool::{BufferPool, PoolStats};
 use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
 use crate::exec::{self, RowChange, UndoOp};
+use crate::lockmgr::{LockManager, LockMode, LockStats, TxnId};
 use crate::query::{QueryResult, Select, Statement};
 use crate::schema::{IndexDef, TableSchema};
 use crate::trigger::{Trigger, TriggerCtx, TriggerEvent, TriggerManager};
 use crate::value::Value;
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Deferred cache-publication step returned by [`CommitHook::commit_apply`].
+/// The engine runs it after releasing its internal latch (but before
+/// releasing the transaction's row locks), so slow external effects never
+/// serialize unrelated statements.
+pub type DeferredPublish = Option<Box<dyn FnOnce() + Send>>;
 
 /// Observer of the commit-time effect pipeline. Registered by middleware
 /// (CacheGenie) that turns trigger work into external cache effects: the
@@ -30,16 +66,20 @@ pub trait CommitHook: Send + Sync {
     /// [`CommitHook::abort_apply`] should be buffered, not published.
     fn begin_apply(&self);
 
-    /// Called after every commit-time trigger fired successfully. The
-    /// hook publishes the buffered effects (coalescing per key) and may
-    /// rewrite `cost`'s cache-op counters to the physical (coalesced)
-    /// numbers. Returning an error aborts the transaction — the hook must
-    /// have discarded its buffer before returning it.
+    /// Called after every commit-time trigger fired successfully, still
+    /// under the engine latch. The hook seals the buffered effects,
+    /// may rewrite `cost`'s cache-op counters to the physical (coalesced)
+    /// numbers (`group_commit` distinguishes a transaction's COMMIT from
+    /// a single autocommitted statement, which keeps its per-statement
+    /// accounting), and returns the deferred publication step the engine
+    /// runs once the latch is released. Returning an error aborts the
+    /// transaction — the hook must have discarded its buffer before
+    /// returning it.
     ///
     /// # Errors
     ///
     /// Any error (e.g. a strict-mode lock timeout) aborts the commit.
-    fn commit_apply(&self, cost: &mut CostReport) -> Result<()>;
+    fn commit_apply(&self, cost: &mut CostReport, group_commit: bool) -> Result<DeferredPublish>;
 
     /// Called when the transaction aborts after `begin_apply` (a trigger
     /// body failed). The hook discards the buffered effects.
@@ -91,7 +131,19 @@ pub struct ExecOutcome {
     pub cost: CostReport,
 }
 
+/// Per-transaction state. Lives in the engine's thread-keyed transaction
+/// map, so each writer thread buffers privately — nothing here is shared
+/// between concurrent transactions.
 struct TxnState {
+    /// Lock-manager identity (monotonic; doubles as transaction age for
+    /// youngest-victim deadlock resolution).
+    tid: TxnId,
+    /// Every lock target this transaction's statements requested
+    /// (recorded before acquisition, so an aborted acquisition is still
+    /// covered; deduplicated — statements revisit the same tables and
+    /// rows). Commit/rollback release exactly these resources instead of
+    /// sweeping every lock-manager shard.
+    targets: BTreeSet<(String, Option<Value>)>,
     undo: Vec<UndoOp>,
     /// Row changes buffered for commit-time trigger firing, in statement
     /// order. Coalesced per (table, pk) when the transaction commits.
@@ -105,16 +157,46 @@ struct Inner {
     catalog: Catalog,
     pool: BufferPool,
     triggers: TriggerManager,
-    txn: Option<TxnState>,
     stats: DbStats,
     commit_hook: Option<Arc<dyn CommitHook>>,
 }
 
+/// State shared outside the latch: the lock manager and the thread-keyed
+/// transaction map. Taking the transaction-map mutex while holding the
+/// latch is allowed; the reverse order is not (it would deadlock), and no
+/// code path does it.
+struct EngineShared {
+    locks: LockManager,
+    txns: Mutex<HashMap<ThreadId, TxnState>>,
+    /// Transactions killed cross-thread (a [`ConcurrentTxn`] guard
+    /// committed/rolled back/dropped on another thread while the owner
+    /// thread had the state checked out for an in-flight statement).
+    /// Keyed by owner thread, valued by the doomed tid so a stale mark
+    /// can never kill a later transaction on the same thread; the owner
+    /// rolls the transaction back when its statement completes.
+    doomed: Mutex<HashMap<ThreadId, TxnId>>,
+    next_tid: AtomicU64,
+    /// BEGIN/COMMIT/ROLLBACK statements executed — counted outside the
+    /// latch so transaction control never serializes behind an unrelated
+    /// statement just to bump a counter. Folded into
+    /// [`DbStats::statements`] by [`Database::stats`].
+    ctrl_statements: AtomicU64,
+}
+
+impl EngineShared {
+    fn alloc_tid(&self) -> TxnId {
+        self.next_tid.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// One lock request a statement needs before executing.
+type LockReq = (String, Option<Value>, LockMode);
+
 /// An embedded relational database with row-level triggers.
 ///
-/// Cloning shares the underlying engine. All operations serialize on an
-/// internal lock; the paper's write-write conflict prevention ("writes are
-/// serialized through the database") falls out of this design.
+/// Cloning shares the underlying engine. Statements from different
+/// threads interleave under two-phase row/table locking (see the module
+/// docs); a single thread sees strictly serial behaviour.
 ///
 /// # Example
 ///
@@ -138,6 +220,7 @@ struct Inner {
 #[derive(Clone)]
 pub struct Database {
     inner: Arc<Mutex<Inner>>,
+    shared: Arc<EngineShared>,
 }
 
 impl Default for Database {
@@ -164,16 +247,23 @@ impl Database {
                 catalog: Catalog::new(),
                 pool: BufferPool::new(config.buffer_pool_bytes, config.page_bytes),
                 triggers: TriggerManager::new(),
-                txn: None,
                 stats: DbStats::default(),
                 commit_hook: None,
             })),
+            shared: Arc::new(EngineShared {
+                locks: LockManager::new(),
+                txns: Mutex::new(HashMap::new()),
+                doomed: Mutex::new(HashMap::new()),
+                next_tid: AtomicU64::new(1),
+                ctrl_statements: AtomicU64::new(0),
+            }),
         }
     }
 
     // ----- DDL -----
 
-    /// Creates a table.
+    /// Creates a table. DDL takes only the engine latch; run it before
+    /// opening the database to concurrent traffic.
     ///
     /// # Errors
     ///
@@ -227,11 +317,16 @@ impl Database {
         self.inner.lock().commit_hook = Some(hook);
     }
 
-    /// True while an explicit transaction is open. Middleware uses this to
-    /// defer cache publication (reads bypass the cache so uncommitted data
-    /// never becomes visible to other clients).
+    /// True while the **calling thread** has an explicit transaction
+    /// open. Middleware uses this to defer cache publication (reads
+    /// bypass the cache so uncommitted data never becomes visible to
+    /// other clients); other threads' transactions do not affect the
+    /// answer.
     pub fn in_transaction(&self) -> bool {
-        self.inner.lock().txn.is_some()
+        self.shared
+            .txns
+            .lock()
+            .contains_key(&std::thread::current().id())
     }
 
     /// Total lines of generated trigger source attached to registered
@@ -244,13 +339,38 @@ impl Database {
 
     /// Executes any statement with positional parameters (`$1` = index 0).
     ///
+    /// Statements join the calling thread's open transaction if one
+    /// exists; otherwise they autocommit (locks held for the statement
+    /// only, triggers fired immediately).
+    ///
     /// # Errors
     ///
     /// All engine errors; a failing trigger aborts the whole statement and
     /// (when autocommitted) rolls back its row changes.
+    /// [`StorageError::Deadlock`] means this transaction was chosen as a
+    /// deadlock victim — roll it back and retry it.
     pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
-        let mut inner = self.inner.lock();
-        inner.execute(stmt, params)
+        match stmt {
+            Statement::Begin => {
+                self.shared.ctrl_statements.fetch_add(1, Ordering::Relaxed);
+                self.begin_txn()?;
+                Ok(ExecOutcome::default())
+            }
+            Statement::Commit => {
+                self.shared.ctrl_statements.fetch_add(1, Ordering::Relaxed);
+                let cost = self.commit_txn()?;
+                Ok(ExecOutcome {
+                    result: QueryResult::default(),
+                    cost,
+                })
+            }
+            Statement::Rollback => {
+                self.shared.ctrl_statements.fetch_add(1, Ordering::Relaxed);
+                self.rollback_txn()?;
+                Ok(ExecOutcome::default())
+            }
+            other => self.run_statement(other, params),
+        }
     }
 
     /// Parses and executes SQL text.
@@ -272,33 +392,95 @@ impl Database {
         self.execute(&Statement::Select(select.clone()), params)
     }
 
-    /// Runs `f` inside a transaction, committing on `Ok` and rolling back
-    /// on `Err`. The engine lock is held for the duration, serializing the
-    /// transaction against all other database activity.
+    /// Runs `f` inside a transaction on the calling thread, committing on
+    /// `Ok` and rolling back on `Err`. Isolation comes from two-phase
+    /// locking, so other threads' statements interleave without observing
+    /// this transaction's in-flight writes.
     ///
     /// # Errors
     ///
     /// Returns `f`'s error after rollback, or any commit-time error.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut TxnHandle<'_>) -> Result<T>) -> Result<T> {
-        let mut inner = self.inner.lock();
-        inner.begin()?;
+        self.begin_txn()?;
+        // A panicking closure must not leak the transaction's 2PL locks:
+        // other threads would block on them forever (lock waits have no
+        // timeout). Roll back on unwind.
+        struct RollbackOnUnwind<'a> {
+            db: &'a Database,
+            armed: bool,
+        }
+        impl Drop for RollbackOnUnwind<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let _ = self.db.rollback_txn();
+                }
+            }
+        }
+        let mut guard = RollbackOnUnwind {
+            db: self,
+            armed: true,
+        };
         let result = {
             let mut handle = TxnHandle {
-                inner: &mut inner,
+                db: self,
                 cost: CostReport::new(),
             };
             f(&mut handle)
         };
+        guard.armed = false;
         match result {
             Ok(v) => {
-                inner.commit()?;
+                self.commit_txn()?;
                 Ok(v)
             }
             Err(e) => {
-                inner.rollback()?;
+                self.rollback_txn()?;
                 Err(e)
             }
         }
+    }
+
+    /// Opens an explicit transaction bound to the calling thread and
+    /// returns a guard for it — the multi-writer API: clone the
+    /// [`Database`] into N threads and give each its own concurrent
+    /// transaction. Dropping the guard without committing rolls back.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use genie_storage::{Database, Value};
+    ///
+    /// # fn main() -> Result<(), genie_storage::StorageError> {
+    /// let db = Database::default();
+    /// db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, n INT)", &[])?;
+    /// let mut txn = db.begin_concurrent()?;
+    /// txn.execute_sql("INSERT INTO t VALUES (1, 10)", &[])?;
+    /// txn.commit()?;
+    /// assert_eq!(db.row_count("t")?, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::TransactionAborted`] if this thread already has a
+    /// transaction open.
+    pub fn begin_concurrent(&self) -> Result<ConcurrentTxn> {
+        self.begin_txn()?;
+        let thread = std::thread::current().id();
+        let tid = self
+            .shared
+            .txns
+            .lock()
+            .get(&thread)
+            .map(|t| t.tid)
+            .expect("begin_txn just inserted");
+        Ok(ConcurrentTxn {
+            db: self.clone(),
+            thread,
+            tid,
+            open: true,
+        })
     }
 
     // ----- introspection -----
@@ -335,7 +517,14 @@ impl Database {
 
     /// Engine statistics.
     pub fn stats(&self) -> DbStats {
-        self.inner.lock().stats
+        let mut stats = self.inner.lock().stats;
+        stats.statements += self.shared.ctrl_statements.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Lock-manager statistics (immediate grants, waits, deadlocks).
+    pub fn lock_stats(&self) -> LockStats {
+        self.shared.locks.stats()
     }
 
     /// Buffer-pool statistics.
@@ -343,11 +532,14 @@ impl Database {
         self.inner.lock().pool.stats()
     }
 
-    /// Resets engine and pool statistics (between warm-up and measurement).
+    /// Resets engine, pool, and lock statistics (between warm-up and
+    /// measurement).
     pub fn reset_stats(&self) {
         let mut inner = self.inner.lock();
         inner.stats = DbStats::default();
         inner.pool.reset_stats();
+        self.shared.locks.reset_stats();
+        self.shared.ctrl_statements.store(0, Ordering::Relaxed);
     }
 
     /// Table names in deterministic order.
@@ -372,11 +564,683 @@ impl Database {
     pub fn schema(&self, table: &str) -> Result<TableSchema> {
         Ok(self.inner.lock().catalog.table(table)?.schema().clone())
     }
+
+    // ----- transaction control (thread-scoped) -----
+
+    fn begin_txn(&self) -> Result<()> {
+        let thread = std::thread::current().id();
+        let mut txns = self.shared.txns.lock();
+        if txns.contains_key(&thread) {
+            return Err(StorageError::TransactionAborted(
+                "nested transactions are not supported".into(),
+            ));
+        }
+        txns.insert(
+            thread,
+            TxnState {
+                tid: self.shared.alloc_tid(),
+                targets: BTreeSet::new(),
+                undo: Vec::new(),
+                changes: Vec::new(),
+                wrote: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn commit_txn(&self) -> Result<CostReport> {
+        self.commit_txn_for(std::thread::current().id())
+    }
+
+    /// Commits `thread`'s transaction: coalesces its buffered row
+    /// changes, fires triggers once per net change inside the
+    /// commit-hook bracket (under the latch), publishes the hook's
+    /// deferred cache effects outside the latch, and finally releases the
+    /// transaction's locks (2PL shrinking phase). A failing trigger body
+    /// or hook rejection aborts the whole transaction instead — undo
+    /// applied, nothing published.
+    fn commit_txn_for(&self, thread: ThreadId) -> Result<CostReport> {
+        let TxnState {
+            tid,
+            targets,
+            undo,
+            changes,
+            wrote,
+        } = {
+            let txn = self
+                .shared
+                .txns
+                .lock()
+                .remove(&thread)
+                .ok_or(StorageError::NoTransaction)?;
+            // Honor a cross-thread kill that raced an earlier statement:
+            // the killer was promised a rollback, so the commit loses.
+            let killed = self.shared.doomed.lock().get(&thread) == Some(&txn.tid);
+            if killed {
+                self.rollback_state(thread, txn)?;
+                return Err(StorageError::TransactionAborted(
+                    "transaction was rolled back from another thread".into(),
+                ));
+            }
+            txn
+        };
+        let mut cost = CostReport::new();
+        let mut publish: DeferredPublish = None;
+        let mut inner = self.inner.lock();
+        let changes = coalesce_changes(&inner.catalog, changes);
+        if !changes.is_empty() {
+            match inner.run_commit_bracket(&changes, &mut cost, true) {
+                Ok(p) => publish = p,
+                Err(e) => {
+                    drop(inner);
+                    self.rollback_state(
+                        thread,
+                        TxnState {
+                            tid,
+                            targets,
+                            undo,
+                            changes: Vec::new(),
+                            wrote,
+                        },
+                    )?;
+                    return Err(StorageError::TransactionAborted(e.to_string()));
+                }
+            }
+        }
+        if wrote {
+            cost.wal_appends += 1;
+        }
+        inner.flush_stats_for(&changes);
+        inner.stats.commits += 1;
+        drop(inner);
+        if let Some(p) = publish {
+            p();
+        }
+        self.release_txn_locks(tid, &targets);
+        Ok(cost)
+    }
+
+    /// 2PL shrinking phase: releases exactly the resources the
+    /// transaction's statements requested (tracked in
+    /// [`TxnState::targets`]) plus its wait-graph residue, instead of
+    /// sweeping every lock-manager shard.
+    fn release_txn_locks(&self, tid: TxnId, targets: &BTreeSet<(String, Option<Value>)>) {
+        self.shared
+            .locks
+            .release_resources(tid, targets.iter().map(|(t, pk)| (t.as_str(), pk.as_ref())));
+        self.shared.locks.clear_waiter(tid);
+    }
+
+    fn rollback_txn(&self) -> Result<()> {
+        self.rollback_txn_for(std::thread::current().id())
+    }
+
+    fn rollback_txn_for(&self, thread: ThreadId) -> Result<()> {
+        let txn = self
+            .shared
+            .txns
+            .lock()
+            .remove(&thread)
+            .ok_or(StorageError::NoTransaction)?;
+        self.rollback_state(thread, txn)
+    }
+
+    /// The one rollback sequence: applies the undo log under the latch,
+    /// books the rollback, releases the transaction's locks, and clears
+    /// a matching cross-thread doom mark. Every abort path funnels here.
+    fn rollback_state(&self, thread: ThreadId, txn: TxnState) -> Result<()> {
+        {
+            let mut d = self.shared.doomed.lock();
+            if d.get(&thread) == Some(&txn.tid) {
+                d.remove(&thread);
+            }
+        }
+        let mut inner = self.inner.lock();
+        let undone = exec::apply_undo(&mut inner.catalog, txn.undo);
+        inner.stats.rollbacks += 1;
+        drop(inner);
+        self.release_txn_locks(txn.tid, &txn.targets);
+        undone
+    }
+
+    /// Marks `tid` (owned by `thread`, currently checked out for an
+    /// in-flight statement) for rollback by its owner; see
+    /// [`EngineShared::doomed`]. No-op if the transaction meanwhile
+    /// completed — tids are unique, so a stale mark can never kill a
+    /// later transaction.
+    fn doom_txn(&self, thread: ThreadId, tid: TxnId) {
+        loop {
+            // Fast path: the state is (back) in the map — take it down
+            // directly.
+            if self.rollback_named(thread, tid).is_ok() {
+                return;
+            }
+            // Checked out (or already gone): leave the mark and
+            // re-check. The owner's TxnSlot drop may have read the
+            // doomed map *before* our insert and reinstated the state —
+            // in that case retract the mark and retry the direct
+            // rollback, so the transaction can never stay open with the
+            // mark unseen.
+            self.shared.doomed.lock().insert(thread, tid);
+            let present = self
+                .shared
+                .txns
+                .lock()
+                .get(&thread)
+                .is_some_and(|t| t.tid == tid);
+            if !present {
+                // Mark stands: either the owner will honor it at
+                // statement completion, or the transaction is already
+                // finished (unique tids make a stale mark inert).
+                return;
+            }
+            let mut d = self.shared.doomed.lock();
+            if d.get(&thread) == Some(&tid) {
+                d.remove(&thread);
+            }
+            drop(d);
+        }
+    }
+
+    /// Rolls back `thread`'s transaction only if it is still `tid`.
+    fn rollback_named(&self, thread: ThreadId, tid: TxnId) -> Result<()> {
+        let txn = {
+            let mut txns = self.shared.txns.lock();
+            match txns.get(&thread) {
+                Some(t) if t.tid == tid => txns.remove(&thread),
+                _ => None,
+            }
+        };
+        let Some(txn) = txn else {
+            return Err(StorageError::NoTransaction);
+        };
+        self.rollback_state(thread, txn)
+    }
+
+    /// Commits `thread`'s transaction only if it is still `tid` — the
+    /// guard-facing variant, so a stale [`ConcurrentTxn`] can never
+    /// commit a later, unrelated transaction on the same thread.
+    fn commit_txn_named(&self, thread: ThreadId, tid: TxnId) -> Result<CostReport> {
+        {
+            let txns = self.shared.txns.lock();
+            match txns.get(&thread) {
+                Some(t) if t.tid == tid => {}
+                _ => return Err(StorageError::NoTransaction),
+            }
+        }
+        // The tid matched moments ago; commit_txn_for re-removes it. A
+        // racing SQL COMMIT/ROLLBACK on the owner thread between the two
+        // locks surfaces as NoTransaction, which is the right answer.
+        self.commit_txn_for(thread)
+    }
+
+    // ----- statement execution -----
+
+    /// Executes one non-transaction-control statement: plans its lock
+    /// set, acquires it (fast path under the latch; blocking path with
+    /// the latch released), runs the statement body, then publishes
+    /// deferred effects and releases statement-duration locks.
+    ///
+    /// The calling thread's [`TxnState`] (if any) is *removed* from the
+    /// transaction map for the statement's duration and reinstated at
+    /// the end — so a [`ConcurrentTxn::commit`]/`rollback` racing an
+    /// in-flight statement from another thread fails cleanly with
+    /// [`StorageError::NoTransaction`] instead of corrupting the
+    /// transaction mid-statement.
+    fn run_statement(&self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        let thread = std::thread::current().id();
+        // The slot guard reinstates the checked-out state on every exit —
+        // normal return, error, or unwind — unless a cross-thread kill
+        // doomed the transaction meanwhile, in which case it rolls the
+        // transaction back instead of orphaning its locks.
+        struct TxnSlot<'a> {
+            db: &'a Database,
+            thread: ThreadId,
+            state: Option<TxnState>,
+        }
+        impl Drop for TxnSlot<'_> {
+            fn drop(&mut self) {
+                let Some(state) = self.state.take() else {
+                    return;
+                };
+                let doomed = {
+                    let mut d = self.db.shared.doomed.lock();
+                    if d.get(&self.thread) == Some(&state.tid) {
+                        d.remove(&self.thread);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if doomed {
+                    let _ = self.db.rollback_state(self.thread, state);
+                } else {
+                    self.db.shared.txns.lock().insert(self.thread, state);
+                }
+            }
+        }
+        let mut slot = TxnSlot {
+            db: self,
+            thread,
+            state: self.shared.txns.lock().remove(&thread),
+        };
+        self.run_statement_locked(stmt, params, slot.state.as_mut())
+    }
+
+    fn run_statement_locked(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        mut txn: Option<&mut TxnState>,
+    ) -> Result<ExecOutcome> {
+        let autocommit = txn.is_none();
+        let tid = match &txn {
+            Some(t) => t.tid,
+            None => self.shared.alloc_tid(),
+        };
+        // Statement-duration (autocommit) locks must release on every
+        // exit, including a panic unwinding out of the executor — leaked
+        // locks block other threads forever.
+        struct AutoRelease<'a> {
+            locks: &'a LockManager,
+            tid: TxnId,
+            armed: bool,
+        }
+        impl Drop for AutoRelease<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.locks.release_all(self.tid);
+                }
+            }
+        }
+        let mut auto_release = AutoRelease {
+            locks: &self.shared.locks,
+            tid,
+            armed: autocommit,
+        };
+
+        let mut inner = self.inner.lock();
+        let reqs = plan_locks(&inner.catalog, stmt, params)?;
+        if let Some(t) = txn.as_deref_mut() {
+            // Record before acquiring: even an acquisition aborted by
+            // deadlock leaves its partial grants covered at release.
+            t.targets
+                .extend(reqs.iter().map(|(tb, pk, _)| (tb.clone(), pk.clone())));
+        }
+        let blocked_from = reqs.iter().position(|(t, pk, m)| {
+            self.shared
+                .locks
+                .try_acquire(tid, t, pk.as_ref(), *m)
+                .is_none()
+        });
+        if let Some(first) = blocked_from {
+            // Contended: never wait while holding the latch. The granted
+            // prefix stays held; only the remainder (still in canonical
+            // order) is acquired blockingly.
+            drop(inner);
+            for (t, pk, m) in &reqs[first..] {
+                // On failure, `auto_release` (autocommit) frees the
+                // partial grants; a transaction keeps its locks until
+                // its own rollback.
+                self.shared.locks.acquire(tid, t, pk.as_ref(), *m)?;
+            }
+            inner = self.inner.lock();
+        }
+
+        let result = self.execute_body(&mut inner, stmt, params, txn);
+        match result {
+            Ok((outcome, publish)) => {
+                drop(inner);
+                if let Some(p) = publish {
+                    p();
+                }
+                if autocommit {
+                    // The statement's lock set is known exactly: release
+                    // just those resources instead of sweeping every
+                    // shard (the read path runs this per SELECT).
+                    auto_release.armed = false;
+                    if !reqs.is_empty() {
+                        self.shared.locks.release_resources(
+                            tid,
+                            reqs.iter().map(|(t, pk, _)| (t.as_str(), pk.as_ref())),
+                        );
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The latched portion of statement execution.
+    fn execute_body(
+        &self,
+        inner: &mut Inner,
+        stmt: &Statement,
+        params: &[Value],
+        txn: Option<&mut TxnState>,
+    ) -> Result<(ExecOutcome, DeferredPublish)> {
+        inner.stats.statements += 1;
+        let mut cost = CostReport::new();
+        match stmt {
+            Statement::Select(sel) => {
+                inner.stats.selects += 1;
+                let result =
+                    exec::run_select(&inner.catalog, &mut inner.pool, sel, params, &mut cost)?;
+                Ok((ExecOutcome { result, cost }, None))
+            }
+            Statement::Explain(sel) => {
+                let plan = crate::plan::plan_query(&inner.catalog, sel, params)?;
+                let rows = plan
+                    .lines()
+                    .into_iter()
+                    .map(|l| crate::row::Row::new(vec![Value::Text(l)]))
+                    .collect();
+                Ok((
+                    ExecOutcome {
+                        result: QueryResult {
+                            columns: vec!["QUERY PLAN".to_owned()],
+                            rows,
+                            rows_affected: 0,
+                        },
+                        cost,
+                    },
+                    None,
+                ))
+            }
+            Statement::Insert(ins) => {
+                inner.stats.writes += 1;
+                let effect =
+                    exec::run_insert(&mut inner.catalog, &mut inner.pool, ins, params, &mut cost)?;
+                self.finish_write(inner, effect, &mut cost, txn)
+            }
+            Statement::Update(upd) => {
+                inner.stats.writes += 1;
+                let effect =
+                    exec::run_update(&mut inner.catalog, &mut inner.pool, upd, params, &mut cost)?;
+                self.finish_write(inner, effect, &mut cost, txn)
+            }
+            Statement::Delete(del) => {
+                inner.stats.writes += 1;
+                let effect =
+                    exec::run_delete(&mut inner.catalog, &mut inner.pool, del, params, &mut cost)?;
+                self.finish_write(inner, effect, &mut cost, txn)
+            }
+            Statement::CreateTable(schema) => {
+                inner.catalog.create_table(schema.clone())?;
+                Ok((ExecOutcome::default(), None))
+            }
+            Statement::CreateIndex { table, def } => {
+                inner.catalog.create_index(table, def.clone())?;
+                Ok((ExecOutcome::default(), None))
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control handled in execute()")
+            }
+        }
+    }
+
+    /// Completes a write statement. Inside a transaction the row changes
+    /// and undo log buffer in [`TxnState`] — triggers fire (coalesced) at
+    /// COMMIT, so an aborted transaction publishes no cache effects and
+    /// the WAL sees one group append per transaction. Autocommit keeps the
+    /// immediate path: triggers fire now (inside the hook bracket, so the
+    /// cache publication still serializes per key against concurrent
+    /// committers) and the statement pays its own WAL append.
+    fn finish_write(
+        &self,
+        inner: &mut Inner,
+        effect: exec::WriteEffect,
+        cost: &mut CostReport,
+        txn: Option<&mut TxnState>,
+    ) -> Result<(ExecOutcome, DeferredPublish)> {
+        if let Some(txn) = txn {
+            txn.undo.extend(effect.undo);
+            txn.wrote |= !effect.changes.is_empty();
+            txn.changes.extend(effect.changes);
+            return Ok((
+                ExecOutcome {
+                    result: QueryResult::affected(effect.affected),
+                    cost: *cost,
+                },
+                None,
+            ));
+        }
+        match inner.run_commit_bracket(&effect.changes, cost, false) {
+            Ok(publish) => {
+                cost.wal_appends += 1; // autocommit
+                inner.flush_stats_for(&effect.changes);
+                Ok((
+                    ExecOutcome {
+                        result: QueryResult::affected(effect.affected),
+                        cost: *cost,
+                    },
+                    publish,
+                ))
+            }
+            Err(e) => {
+                // A failing trigger (or hook rejection) aborts the
+                // statement: undo its row changes, publish nothing.
+                exec::apply_undo(&mut inner.catalog, effect.undo)?;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Plans the lock set a statement needs, in canonical order (table name,
+/// then table-level before row-level, then row key): scans take
+/// table-level shared locks; pk-targeted writes take a table intent lock
+/// plus exclusive row locks; writes whose predicate does not pin primary
+/// keys escalate to a table-level exclusive lock. DDL relies on the
+/// latch alone.
+fn plan_locks(catalog: &Catalog, stmt: &Statement, params: &[Value]) -> Result<Vec<LockReq>> {
+    let mut reqs: Vec<LockReq> = Vec::new();
+    match stmt {
+        Statement::Select(sel) => {
+            let mut tables: BTreeSet<&str> = BTreeSet::new();
+            tables.insert(sel.from.table.as_str());
+            for j in &sel.joins {
+                tables.insert(j.table.table.as_str());
+            }
+            for t in tables {
+                catalog.table(t)?;
+                reqs.push((t.to_owned(), None, LockMode::Shared));
+            }
+        }
+        Statement::Insert(ins) => {
+            let table = catalog.table(&ins.table)?;
+            let schema = table.schema();
+            let pk_pos = if ins.columns.is_empty() {
+                Some(schema.primary_key_pos())
+            } else {
+                ins.columns.iter().position(|c| c == schema.primary_key())
+            };
+            let mut keys = Vec::with_capacity(ins.rows.len());
+            let mut resolved = true;
+            for row in &ins.rows {
+                let key = pk_pos
+                    .and_then(|p| row.get(p))
+                    .and_then(|e| crate::plan::eval_const(e, params).ok())
+                    .and_then(|v| crate::plan::coerce_for_column(table, schema.primary_key(), &v));
+                match key {
+                    Some(k) => keys.push(k),
+                    None => {
+                        resolved = false;
+                        break;
+                    }
+                }
+            }
+            push_write_locks(
+                &mut reqs,
+                &ins.table,
+                if resolved { Some(keys) } else { None },
+            );
+        }
+        Statement::Update(upd) => {
+            let table = catalog.table(&upd.table)?;
+            let mut keys =
+                crate::plan::pk_target_keys(table, &upd.table, upd.predicate.as_ref(), params)?;
+            // An assignment to the pk column moves the row; lock the
+            // destination key too (escalate when it is not constant).
+            if let Some(ks) = &mut keys {
+                let pk = table.schema().primary_key();
+                for (col, e) in &upd.sets {
+                    if col == pk {
+                        match crate::plan::eval_const(e, params)
+                            .ok()
+                            .and_then(|v| crate::plan::coerce_for_column(table, pk, &v))
+                        {
+                            Some(v) => ks.push(v),
+                            None => {
+                                keys = None;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            push_write_locks(&mut reqs, &upd.table, keys);
+        }
+        Statement::Delete(del) => {
+            let table = catalog.table(&del.table)?;
+            let keys =
+                crate::plan::pk_target_keys(table, &del.table, del.predicate.as_ref(), params)?;
+            push_write_locks(&mut reqs, &del.table, keys);
+        }
+        // EXPLAIN only plans; DDL and transaction control use the latch.
+        Statement::Explain(_)
+        | Statement::CreateTable(_)
+        | Statement::CreateIndex { .. }
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback => {}
+    }
+    reqs.sort_by(|a, b| (&a.0, &a.1, a.2).cmp(&(&b.0, &b.1, b.2)));
+    reqs.dedup();
+    Ok(reqs)
+}
+
+fn push_write_locks(reqs: &mut Vec<LockReq>, table: &str, keys: Option<Vec<Value>>) {
+    match keys {
+        Some(keys) => {
+            reqs.push((table.to_owned(), None, LockMode::IntentExclusive));
+            for k in keys {
+                reqs.push((table.to_owned(), Some(k), LockMode::Exclusive));
+            }
+        }
+        None => reqs.push((table.to_owned(), None, LockMode::Exclusive)),
+    }
+}
+
+/// Guard for one thread-scoped concurrent transaction (see
+/// [`Database::begin_concurrent`]). All methods must be called on the
+/// thread that opened it.
+pub struct ConcurrentTxn {
+    db: Database,
+    thread: ThreadId,
+    tid: TxnId,
+    open: bool,
+}
+
+impl std::fmt::Debug for ConcurrentTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentTxn")
+            .field("open", &self.open)
+            .finish()
+    }
+}
+
+impl ConcurrentTxn {
+    fn check_thread(&self) -> Result<()> {
+        if std::thread::current().id() != self.thread {
+            return Err(StorageError::Unsupported(
+                "ConcurrentTxn used from a thread other than its owner".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Executes a statement inside this transaction.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors; on [`StorageError::Deadlock`] call
+    /// [`ConcurrentTxn::rollback`] and retry the whole transaction.
+    pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
+        self.check_thread()?;
+        self.db.execute(stmt, params)
+    }
+
+    /// Parses and executes SQL inside this transaction.
+    ///
+    /// # Errors
+    ///
+    /// Parse and engine errors.
+    pub fn execute_sql(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        self.check_thread()?;
+        self.db.execute_sql(sql, params)
+    }
+
+    /// Commits; returns the commit-time cost (trigger firing, WAL).
+    /// Works from any thread — the transaction's state is keyed by its
+    /// owner thread, which this guard remembers.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::TransactionAborted`] when a commit-time trigger or
+    /// hook aborts the transaction (already rolled back).
+    pub fn commit(mut self) -> Result<CostReport> {
+        self.open = false;
+        let r = self.db.commit_txn_named(self.thread, self.tid);
+        if matches!(r, Err(StorageError::NoTransaction)) {
+            // Raced a statement in flight on the owner thread: the state
+            // is checked out of the map. Doom the transaction so the
+            // owner rolls it back (releasing its locks) when the
+            // statement completes; the commit itself fails.
+            self.db.doom_txn(self.thread, self.tid);
+        }
+        r
+    }
+
+    /// Rolls back explicitly (dropping the guard does the same). Works
+    /// from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Undo-application errors (engine corruption; should not happen).
+    pub fn rollback(mut self) -> Result<()> {
+        self.open = false;
+        let r = self.db.rollback_named(self.thread, self.tid);
+        if matches!(r, Err(StorageError::NoTransaction)) {
+            self.db.doom_txn(self.thread, self.tid);
+            return Ok(()); // the owner thread completes the rollback
+        }
+        r
+    }
+}
+
+impl Drop for ConcurrentTxn {
+    fn drop(&mut self) {
+        if self.open {
+            // Keyed by the owner thread, so a guard dropped on another
+            // thread still rolls back — never leaking the transaction's
+            // locks. If a statement holds the state checked out right
+            // now, doom the transaction instead: the owner thread rolls
+            // it back the moment the statement completes.
+            if matches!(
+                self.db.rollback_named(self.thread, self.tid),
+                Err(StorageError::NoTransaction)
+            ) {
+                self.db.doom_txn(self.thread, self.tid);
+            }
+        }
+    }
 }
 
 /// Handle passed to [`Database::transaction`] closures.
 pub struct TxnHandle<'a> {
-    inner: &'a mut Inner,
+    db: &'a Database,
     cost: CostReport,
 }
 
@@ -388,7 +1252,7 @@ impl TxnHandle<'_> {
     /// Engine errors; the caller's closure should propagate them so the
     /// transaction rolls back.
     pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<QueryResult> {
-        let out = self.inner.execute(stmt, params)?;
+        let out = self.db.execute(stmt, params)?;
         self.cost += out.cost;
         Ok(out.result)
     }
@@ -418,109 +1282,30 @@ impl std::fmt::Debug for TxnHandle<'_> {
 }
 
 impl Inner {
-    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecOutcome> {
-        self.stats.statements += 1;
-        let mut cost = CostReport::new();
-        match stmt {
-            Statement::Select(sel) => {
-                self.stats.selects += 1;
-                let result =
-                    exec::run_select(&self.catalog, &mut self.pool, sel, params, &mut cost)?;
-                Ok(ExecOutcome { result, cost })
-            }
-            Statement::Explain(sel) => {
-                let plan = crate::plan::plan_query(&self.catalog, sel, params)?;
-                let rows = plan
-                    .lines()
-                    .into_iter()
-                    .map(|l| crate::row::Row::new(vec![Value::Text(l)]))
-                    .collect();
-                Ok(ExecOutcome {
-                    result: QueryResult {
-                        columns: vec!["QUERY PLAN".to_owned()],
-                        rows,
-                        rows_affected: 0,
-                    },
-                    cost,
-                })
-            }
-            Statement::Insert(ins) => {
-                self.stats.writes += 1;
-                let effect =
-                    exec::run_insert(&mut self.catalog, &mut self.pool, ins, params, &mut cost)?;
-                self.finish_write(effect, &mut cost)
-            }
-            Statement::Update(upd) => {
-                self.stats.writes += 1;
-                let effect =
-                    exec::run_update(&mut self.catalog, &mut self.pool, upd, params, &mut cost)?;
-                self.finish_write(effect, &mut cost)
-            }
-            Statement::Delete(del) => {
-                self.stats.writes += 1;
-                let effect =
-                    exec::run_delete(&mut self.catalog, &mut self.pool, del, params, &mut cost)?;
-                self.finish_write(effect, &mut cost)
-            }
-            Statement::CreateTable(schema) => {
-                self.catalog.create_table(schema.clone())?;
-                Ok(ExecOutcome::default())
-            }
-            Statement::CreateIndex { table, def } => {
-                self.catalog.create_index(table, def.clone())?;
-                Ok(ExecOutcome::default())
-            }
-            Statement::Begin => {
-                self.begin()?;
-                Ok(ExecOutcome::default())
-            }
-            Statement::Commit => {
-                let cost = self.commit()?;
-                Ok(ExecOutcome {
-                    result: QueryResult::default(),
-                    cost,
-                })
-            }
-            Statement::Rollback => {
-                self.rollback()?;
-                Ok(ExecOutcome::default())
-            }
-        }
-    }
-
-    /// Completes a write statement. Inside a transaction the row changes
-    /// and undo log buffer in [`TxnState`] — triggers fire (coalesced) at
-    /// COMMIT, so an aborted transaction publishes no cache effects and
-    /// the WAL sees one group append per transaction. Autocommit keeps the
-    /// immediate path: triggers fire now and the statement pays its own
-    /// WAL append.
-    fn finish_write(
+    /// The commit-hook bracket shared by transaction COMMIT and
+    /// autocommitted write statements: open the effect buffer, fire
+    /// triggers over `changes`, then either seal the buffered effects
+    /// (returning the deferred publication step) or discard them on a
+    /// trigger failure. The caller handles undo and error wrapping.
+    fn run_commit_bracket(
         &mut self,
-        effect: exec::WriteEffect,
+        changes: &[RowChange],
         cost: &mut CostReport,
-    ) -> Result<ExecOutcome> {
-        if let Some(txn) = &mut self.txn {
-            txn.undo.extend(effect.undo);
-            txn.wrote |= !effect.changes.is_empty();
-            txn.changes.extend(effect.changes);
-            return Ok(ExecOutcome {
-                result: QueryResult::affected(effect.affected),
-                cost: *cost,
-            });
+        group_commit: bool,
+    ) -> Result<DeferredPublish> {
+        let hook = self.commit_hook.clone();
+        if let Some(h) = &hook {
+            h.begin_apply();
         }
-        match self.fire_triggers(&effect.changes, cost) {
-            Ok(()) => {
-                cost.wal_appends += 1; // autocommit
-                self.flush_stats_for(&effect.changes);
-                Ok(ExecOutcome {
-                    result: QueryResult::affected(effect.affected),
-                    cost: *cost,
-                })
-            }
+        match self.fire_triggers(changes, cost) {
+            Ok(()) => match &hook {
+                Some(h) => h.commit_apply(cost, group_commit),
+                None => Ok(None),
+            },
             Err(e) => {
-                // A failing trigger aborts the statement: undo its row
-                // changes.
-                exec::apply_undo(&mut self.catalog, effect.undo)?;
+                if let Some(h) = &hook {
+                    h.abort_apply();
+                }
                 Err(e)
             }
         }
@@ -531,7 +1316,7 @@ impl Inner {
     fn flush_stats_for(&mut self, changes: &[RowChange]) {
         let tables: BTreeSet<&str> = changes.iter().map(|c| c.table.as_str()).collect();
         for t in tables {
-            if let Ok(table) = self.catalog.table_mut(t) {
+            if let Ok(table) = self.catalog.table(t) {
                 table.flush_stats();
             }
         }
@@ -579,73 +1364,6 @@ impl Inner {
             }
         }
         Ok(())
-    }
-
-    fn begin(&mut self) -> Result<()> {
-        if self.txn.is_some() {
-            return Err(StorageError::TransactionAborted(
-                "nested transactions are not supported".into(),
-            ));
-        }
-        self.txn = Some(TxnState {
-            undo: Vec::new(),
-            changes: Vec::new(),
-            wrote: false,
-        });
-        Ok(())
-    }
-
-    /// Commits the open transaction: coalesces its buffered row changes,
-    /// fires triggers once per net change inside the commit-hook bracket,
-    /// and charges one group WAL append when anything was written. A
-    /// failing trigger body or hook rejection (strict-mode lock timeout)
-    /// aborts the whole transaction instead — undo applied, nothing
-    /// published.
-    fn commit(&mut self) -> Result<CostReport> {
-        let txn = self.txn.take().ok_or(StorageError::NoTransaction)?;
-        let mut cost = CostReport::new();
-        let changes = coalesce_changes(&self.catalog, txn.changes);
-        if !changes.is_empty() {
-            let hook = self.commit_hook.clone();
-            if let Some(h) = &hook {
-                h.begin_apply();
-            }
-            let fired = self.fire_triggers(&changes, &mut cost);
-            let applied = match fired {
-                Ok(()) => match &hook {
-                    Some(h) => h.commit_apply(&mut cost),
-                    None => Ok(()),
-                },
-                Err(e) => {
-                    if let Some(h) = &hook {
-                        h.abort_apply();
-                    }
-                    Err(e)
-                }
-            };
-            if let Err(e) = applied {
-                exec::apply_undo(&mut self.catalog, txn.undo)?;
-                self.stats.rollbacks += 1;
-                return Err(StorageError::TransactionAborted(e.to_string()));
-            }
-        }
-        if txn.wrote {
-            cost.wal_appends += 1;
-        }
-        self.flush_stats_for(&changes);
-        self.stats.commits += 1;
-        Ok(cost)
-    }
-
-    fn rollback(&mut self) -> Result<()> {
-        match self.txn.take() {
-            Some(txn) => {
-                exec::apply_undo(&mut self.catalog, txn.undo)?;
-                self.stats.rollbacks += 1;
-                Ok(())
-            }
-            None => Err(StorageError::NoTransaction),
-        }
     }
 }
 

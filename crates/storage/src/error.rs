@@ -37,6 +37,9 @@ pub enum StorageError {
     NoTransaction,
     /// Row-lock acquisition timed out (write-write conflict).
     LockTimeout { table: String },
+    /// The transaction was chosen as the victim of a waits-for deadlock
+    /// cycle; the caller must roll it back and may retry it.
+    Deadlock { table: String },
     /// An arithmetic or evaluation error inside an expression.
     Eval(String),
 }
@@ -76,6 +79,12 @@ impl fmt::Display for StorageError {
             StorageError::NoTransaction => write!(f, "no transaction is active"),
             StorageError::LockTimeout { table } => {
                 write!(f, "lock timeout on table {table:?}")
+            }
+            StorageError::Deadlock { table } => {
+                write!(
+                    f,
+                    "deadlock detected waiting on {table:?}; transaction aborted as victim"
+                )
             }
             StorageError::Eval(m) => write!(f, "evaluation error: {m}"),
         }

@@ -615,10 +615,37 @@ fn run_count_only(
             let idx = base.index_by_name(index).expect("planned index exists");
             base.index_prefix_scan(idx, prefix, false).len() as i64
         }
-        other => {
-            return Err(StorageError::Unsupported(format!(
-                "count-only plan over {other:?}"
-            )))
+        AccessPath::PkOr { keys } => {
+            cost.index_probes += keys.len() as u64;
+            keys.iter().filter(|k| base.find_pk(k).is_some()).count() as i64
+        }
+        AccessPath::PkRange { from, to } => {
+            cost.index_probes += 1;
+            base.pk_range_scan(from, to, false).len() as i64
+        }
+        AccessPath::IndexRange {
+            index,
+            eq_prefix,
+            from,
+            to,
+        } => {
+            cost.index_probes += 1;
+            let idx = base.index_by_name(index).expect("planned index exists");
+            base.index_range_scan(idx, eq_prefix, from, to, false).len() as i64
+        }
+        AccessPath::IndexOr { index, keys } => {
+            cost.index_probes += keys.len() as u64;
+            let idx = base.index_by_name(index).expect("planned index exists");
+            base.index_multi_lookup(idx, keys, false).len() as i64
+        }
+        AccessPath::IndexInList {
+            index,
+            eq_prefix,
+            keys,
+        } => {
+            cost.index_probes += keys.len() as u64;
+            let idx = base.index_by_name(index).expect("planned index exists");
+            base.index_in_scan(idx, eq_prefix, keys, false).len() as i64
         }
     };
     let alias = match &sel.projection[..] {

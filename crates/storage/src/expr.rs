@@ -70,7 +70,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn holds(self, ord: Ordering) -> bool {
+    pub(crate) fn holds(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,

@@ -12,7 +12,10 @@
 //! * **row-level AFTER triggers** fired synchronously inside write
 //!   statements — the primitive CacheGenie uses to keep the cache
 //!   consistent ([`Trigger`], [`TriggerCtx`]);
-//! * transactions with undo-log rollback ([`Database::transaction`]);
+//! * thread-scoped transactions with undo-log rollback under strict
+//!   two-phase row/table locking and wait-for-graph deadlock detection
+//!   ([`Database::transaction`], [`Database::begin_concurrent`],
+//!   [`lockmgr::LockManager`]);
 //! * a buffer-pool *model* that classifies page touches as hits or misses
 //!   and emits a per-statement [`CostReport`], which the benchmark harness
 //!   prices into simulated time ([`BufferPool`]).
@@ -54,6 +57,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod lockmgr;
 pub mod plan;
 pub mod query;
 pub mod row;
@@ -66,9 +70,12 @@ pub mod value;
 
 pub use bufferpool::{BufferPool, PageId, PoolStats};
 pub use cost::CostReport;
-pub use db::{CommitHook, Database, DbConfig, DbStats, ExecOutcome, TxnHandle};
+pub use db::{
+    CommitHook, ConcurrentTxn, Database, DbConfig, DbStats, DeferredPublish, ExecOutcome, TxnHandle,
+};
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
+pub use lockmgr::{LockManager, LockMode, LockStats, TxnId};
 pub use plan::{AccessPath, Bound, JoinMethod, JoinPlan, Plan, QueryPlan};
 pub use query::{
     AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem, Statement,

@@ -1,0 +1,536 @@
+//! The sharded row/table lock manager behind multi-writer concurrency.
+//!
+//! Transactions follow strict two-phase locking over *logical* resources:
+//! per-`(table, pk)` exclusive row locks for pk-targeted writes,
+//! table-level locks for everything coarser (shared for scans,
+//! intent-exclusive alongside row locks, exclusive for non-pk-targeted
+//! writes). The engine's internal mutex remains only a short-duration
+//! *latch* protecting the physical data structures; it is never held
+//! while waiting for a lock here, so statement execution from many
+//! threads interleaves at lock granularity.
+//!
+//! Conflicting requests block on the owning shard's condvar. Every
+//! blocked request registers its waits-for edges in a global wait-for
+//! graph; when an edge insertion closes a cycle, the *youngest* member of
+//! the cycle (largest [`TxnId`] — transaction ids are allocated
+//! monotonically, so the largest id has done the least work) is chosen as
+//! the deadlock victim and its pending acquisition fails with
+//! [`StorageError::Deadlock`]. The caller rolls the victim back; every
+//! other cycle member proceeds.
+//!
+//! # Example
+//!
+//! ```
+//! use genie_storage::lockmgr::{LockManager, LockMode};
+//! use genie_storage::Value;
+//!
+//! let mgr = LockManager::new();
+//! // Txn 1 write-locks row 7 of `wall_posts`; txn 2 can still lock row 8.
+//! mgr.acquire(1, "wall_posts", Some(&Value::Int(7)), LockMode::Exclusive)
+//!     .unwrap();
+//! mgr.acquire(2, "wall_posts", Some(&Value::Int(8)), LockMode::Exclusive)
+//!     .unwrap();
+//! assert!(mgr.try_acquire(2, "wall_posts", Some(&Value::Int(7)), LockMode::Exclusive).is_none());
+//! mgr.release_all(1);
+//! assert!(mgr.try_acquire(2, "wall_posts", Some(&Value::Int(7)), LockMode::Exclusive).is_some());
+//! mgr.release_all(2);
+//! ```
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Transaction identifier; allocated monotonically by the engine, so
+/// ordering doubles as transaction age (larger = younger).
+pub type TxnId = u64;
+
+/// Number of independently-latched lock-table shards. Resources hash to
+/// a shard by table name and pk, so unrelated hot rows do not contend on
+/// one mutex.
+const SHARDS: usize = 16;
+
+/// Backstop poll interval while blocked: cross-shard victim
+/// notifications are best-effort, so waiters re-check their state at
+/// this cadence even without a wakeup.
+const WAIT_TICK: Duration = Duration::from_millis(2);
+
+/// Requested lock strength. Row-level requests (`pk = Some(..)`) only
+/// ever use [`LockMode::Exclusive`]; table-level requests use all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Shared: concurrent with other shared and intent holders' rows —
+    /// taken table-wide by scans so they never observe in-flight writes.
+    Shared,
+    /// Intent-exclusive: the holder writes individual rows (which it
+    /// row-locks); compatible with other intent writers, conflicts with
+    /// whole-table shared or exclusive use.
+    IntentExclusive,
+    /// Exclusive: sole access (non-pk-targeted write statements).
+    Exclusive,
+}
+
+impl LockMode {
+    /// Table-level compatibility matrix (`self` held vs `other`
+    /// requested). Row-level locks are always exclusive–exclusive.
+    fn compatible(self, other: LockMode) -> bool {
+        use LockMode::{Exclusive, IntentExclusive, Shared};
+        match (self, other) {
+            (Shared, Shared) | (IntentExclusive, IntentExclusive) => true,
+            (Exclusive, _) | (_, Exclusive) => false,
+            (Shared, IntentExclusive) | (IntentExclusive, Shared) => false,
+        }
+    }
+}
+
+/// One lockable resource: a whole table (`pk == None`) or one row.
+type Target = (String, Option<Value>);
+
+#[derive(Default)]
+struct Shard {
+    /// Resource -> current holders. A transaction may hold several modes
+    /// on one resource (e.g. `Shared` from a scan plus
+    /// `IntentExclusive` from a later write) — each is kept.
+    holders: BTreeMap<Target, Vec<(TxnId, LockMode)>>,
+}
+
+#[derive(Default)]
+struct WaitGraph {
+    /// waiter -> the holders it is blocked on (rebuilt every wait round).
+    edges: HashMap<TxnId, BTreeSet<TxnId>>,
+    /// Transactions chosen as deadlock victims; their pending
+    /// acquisition fails on the next wakeup.
+    victims: HashSet<TxnId>,
+}
+
+impl WaitGraph {
+    /// True if `from` can reach `to` over waits-for edges.
+    fn reaches(&self, from: TxnId, to: TxnId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == to {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Collects the members of the cycle through `start` (assuming
+    /// `reaches(h, start)` held for some already-inserted edge).
+    fn cycle_members(&self, start: TxnId) -> Vec<TxnId> {
+        // Every node on a path start -> ... -> start is a member; gather
+        // nodes reachable from start that can reach start back.
+        let mut reachable = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(t) = stack.pop() {
+            if !reachable.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        reachable
+            .into_iter()
+            .filter(|&t| self.reaches(t, start))
+            .collect()
+    }
+}
+
+/// Point-in-time lock-manager counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Acquisitions granted without blocking.
+    pub immediate_grants: u64,
+    /// Acquisitions that blocked at least once before being granted.
+    pub waits: u64,
+    /// Deadlock victims aborted.
+    pub deadlocks: u64,
+}
+
+/// The engine-wide lock manager. One instance per [`crate::Database`];
+/// see the module docs for the protocol. Counters are independent
+/// atomics so the grant fast path never funnels all shards through one
+/// statistics mutex.
+pub struct LockManager {
+    shards: Vec<(Mutex<Shard>, Condvar)>,
+    graph: Mutex<WaitGraph>,
+    immediate_grants: AtomicU64,
+    waits: AtomicU64,
+    deadlocks: AtomicU64,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new()
+    }
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Folds a resource into its shard index. `Value` carries floats, so it
+/// cannot derive `Hash`; fold the discriminating bits manually.
+fn shard_of(table: &str, pk: Option<&Value>) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in table.bytes() {
+        mix(u64::from(b));
+    }
+    match pk {
+        None => mix(0),
+        Some(Value::Null) => mix(1),
+        Some(Value::Int(i)) => mix(*i as u64 ^ 2),
+        Some(Value::Float(f)) => mix(f.to_bits() ^ 3),
+        Some(Value::Bool(b)) => mix(u64::from(*b) ^ 4),
+        Some(Value::Timestamp(t)) => mix(*t as u64 ^ 5),
+        Some(Value::Text(s)) => {
+            for b in s.bytes() {
+                mix(u64::from(b) ^ 6);
+            }
+        }
+    }
+    (h as usize) % SHARDS
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        LockManager {
+            shards: (0..SHARDS).map(|_| Default::default()).collect(),
+            graph: Mutex::new(WaitGraph::default()),
+            immediate_grants: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+        }
+    }
+
+    /// Non-blocking acquisition: `Some(())` if granted immediately,
+    /// `None` on conflict (nothing is recorded in the wait graph).
+    pub fn try_acquire(
+        &self,
+        tid: TxnId,
+        table: &str,
+        pk: Option<&Value>,
+        mode: LockMode,
+    ) -> Option<()> {
+        let (shard, _) = &self.shards[shard_of(table, pk)];
+        let mut s = shard.lock().unwrap();
+        let target: Target = (table.to_owned(), pk.cloned());
+        if Self::conflicts(&s, &target, tid, mode).is_empty() {
+            Self::grant(&mut s, target, tid, mode);
+            self.immediate_grants.fetch_add(1, Ordering::Relaxed);
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Blocking acquisition under deadlock detection.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Deadlock`] when this transaction is chosen as the
+    /// victim of a waits-for cycle. The caller must roll the transaction
+    /// back (which releases its locks and unblocks the cycle).
+    pub fn acquire(
+        &self,
+        tid: TxnId,
+        table: &str,
+        pk: Option<&Value>,
+        mode: LockMode,
+    ) -> Result<()> {
+        let (shard, cv) = &self.shards[shard_of(table, pk)];
+        let target: Target = (table.to_owned(), pk.cloned());
+        let mut s = shard.lock().unwrap();
+        let mut waited = false;
+        loop {
+            let blockers = Self::conflicts(&s, &target, tid, mode);
+            if blockers.is_empty() {
+                Self::grant(&mut s, target, tid, mode);
+                let mut g = self.graph.lock().unwrap();
+                g.edges.remove(&tid);
+                // A victim mark that raced with the grant is void: the
+                // cycle resolved without this transaction aborting.
+                g.victims.remove(&tid);
+                drop(g);
+                if waited {
+                    self.waits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.immediate_grants.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            waited = true;
+            // Record who we wait for and look for a cycle through us.
+            {
+                let mut g = self.graph.lock().unwrap();
+                if g.victims.remove(&tid) {
+                    g.edges.remove(&tid);
+                    self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                    return Err(StorageError::Deadlock {
+                        table: table.to_owned(),
+                    });
+                }
+                g.edges.insert(tid, blockers.iter().copied().collect());
+                if blockers.iter().any(|&b| g.reaches(b, tid)) {
+                    let victim = g
+                        .cycle_members(tid)
+                        .into_iter()
+                        .max()
+                        .expect("cycle is non-empty");
+                    if victim == tid {
+                        g.edges.remove(&tid);
+                        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                        return Err(StorageError::Deadlock {
+                            table: table.to_owned(),
+                        });
+                    }
+                    g.victims.insert(victim);
+                    drop(g);
+                    // The victim may be parked on any shard; poke all.
+                    self.notify_all_shards();
+                }
+            }
+            // Park until a release (or the poll backstop) and re-check.
+            let (guard, _) = cv.wait_timeout(s, WAIT_TICK).unwrap();
+            s = guard;
+        }
+    }
+
+    /// Releases exactly the given resources for `tid`, notifying only
+    /// the affected shards — the cheap path for statement-duration
+    /// (autocommit) locks, whose exact set the engine knows. The
+    /// wait-graph needs no cleanup: a transaction releasing was granted,
+    /// which already removed its edges.
+    pub fn release_resources<'a>(
+        &self,
+        tid: TxnId,
+        targets: impl IntoIterator<Item = (&'a str, Option<&'a Value>)>,
+    ) {
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for (table, pk) in targets {
+            let idx = shard_of(table, pk);
+            let target: Target = (table.to_owned(), pk.cloned());
+            let mut s = self.shards[idx].0.lock().unwrap();
+            if let Some(hs) = s.holders.get_mut(&target) {
+                hs.retain(|(t, _)| *t != tid);
+                if hs.is_empty() {
+                    s.holders.remove(&target);
+                }
+            }
+            touched.insert(idx);
+        }
+        for idx in touched {
+            self.shards[idx].1.notify_all();
+        }
+    }
+
+    /// Clears any wait-graph residue for `tid` (stale edges or a victim
+    /// mark that raced a grant). O(1); pairs with
+    /// [`LockManager::release_resources`] for transactions whose exact
+    /// lock set the caller tracked.
+    pub fn clear_waiter(&self, tid: TxnId) {
+        let mut g = self.graph.lock().unwrap();
+        g.edges.remove(&tid);
+        g.victims.remove(&tid);
+    }
+
+    /// Releases every lock `tid` holds and clears its wait-graph state
+    /// (the 2PL shrinking phase — called once, at commit or rollback).
+    pub fn release_all(&self, tid: TxnId) {
+        for (shard, _) in &self.shards {
+            let mut s = shard.lock().unwrap();
+            s.holders.retain(|_, hs| {
+                hs.retain(|(t, _)| *t != tid);
+                !hs.is_empty()
+            });
+        }
+        let mut g = self.graph.lock().unwrap();
+        g.edges.remove(&tid);
+        g.victims.remove(&tid);
+        drop(g);
+        self.notify_all_shards();
+    }
+
+    /// Counters since construction (or the last [`LockManager::reset_stats`]).
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            immediate_grants: self.immediate_grants.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.immediate_grants.store(0, Ordering::Relaxed);
+        self.waits.store(0, Ordering::Relaxed);
+        self.deadlocks.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of resources currently locked (diagnostics).
+    pub fn locked_resources(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(s, _)| s.lock().unwrap().holders.len())
+            .sum()
+    }
+
+    fn notify_all_shards(&self) {
+        for (_, cv) in &self.shards {
+            cv.notify_all();
+        }
+    }
+
+    /// Other transactions holding `target` in a mode incompatible with
+    /// `(tid, mode)`. A transaction never conflicts with itself, so lock
+    /// upgrades (Shared -> IntentExclusive on one table) only wait for
+    /// *other* holders.
+    fn conflicts(s: &Shard, target: &Target, tid: TxnId, mode: LockMode) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        if let Some(hs) = s.holders.get(target) {
+            for (t, m) in hs {
+                if *t != tid && !m.compatible(mode) && !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+
+    fn grant(s: &mut Shard, target: Target, tid: TxnId, mode: LockMode) {
+        let hs = s.holders.entry(target).or_default();
+        if !hs.iter().any(|(t, m)| *t == tid && *m == mode) {
+            hs.push((tid, mode));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn row_locks_on_distinct_rows_do_not_conflict() {
+        let m = LockManager::new();
+        m.acquire(1, "t", Some(&Value::Int(1)), LockMode::Exclusive)
+            .unwrap();
+        m.acquire(2, "t", Some(&Value::Int(2)), LockMode::Exclusive)
+            .unwrap();
+        assert!(m
+            .try_acquire(2, "t", Some(&Value::Int(1)), LockMode::Exclusive)
+            .is_none());
+        m.release_all(1);
+        m.release_all(2);
+        assert_eq!(m.locked_resources(), 0);
+    }
+
+    #[test]
+    fn intent_writers_share_a_table_but_scans_exclude_them() {
+        let m = LockManager::new();
+        m.acquire(1, "t", None, LockMode::IntentExclusive).unwrap();
+        m.acquire(2, "t", None, LockMode::IntentExclusive).unwrap();
+        assert!(m.try_acquire(3, "t", None, LockMode::Shared).is_none());
+        m.release_all(1);
+        assert!(m.try_acquire(3, "t", None, LockMode::Shared).is_none());
+        m.release_all(2);
+        assert!(m.try_acquire(3, "t", None, LockMode::Shared).is_some());
+        m.release_all(3);
+    }
+
+    #[test]
+    fn shared_scans_coexist() {
+        let m = LockManager::new();
+        m.acquire(1, "t", None, LockMode::Shared).unwrap();
+        m.acquire(2, "t", None, LockMode::Shared).unwrap();
+        assert!(m.try_acquire(3, "t", None, LockMode::Exclusive).is_none());
+        m.release_all(1);
+        m.release_all(2);
+        m.release_all(3);
+    }
+
+    #[test]
+    fn upgrade_does_not_self_conflict() {
+        let m = LockManager::new();
+        m.acquire(1, "t", None, LockMode::Shared).unwrap();
+        // Same txn escalates to intent-exclusive: no self-deadlock.
+        m.acquire(1, "t", None, LockMode::IntentExclusive).unwrap();
+        m.release_all(1);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let m = Arc::new(LockManager::new());
+        m.acquire(1, "t", Some(&Value::Int(7)), LockMode::Exclusive)
+            .unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            m2.acquire(2, "t", Some(&Value::Int(7)), LockMode::Exclusive)
+                .unwrap();
+            m2.release_all(2);
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        m.release_all(1);
+        h.join().unwrap();
+        assert!(m.stats().waits >= 1);
+    }
+
+    #[test]
+    fn deadlock_aborts_exactly_the_youngest_victim() {
+        let m = Arc::new(LockManager::new());
+        m.acquire(1, "t", Some(&Value::Int(1)), LockMode::Exclusive)
+            .unwrap();
+        m.acquire(2, "t", Some(&Value::Int(2)), LockMode::Exclusive)
+            .unwrap();
+        // Txn 2 (younger) wants row 1 — blocks behind txn 1.
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let r = m2.acquire(2, "t", Some(&Value::Int(1)), LockMode::Exclusive);
+            if r.is_err() {
+                m2.release_all(2);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // Txn 1 now wants row 2 — closes the cycle. Youngest (2) dies.
+        let r1 = m.acquire(1, "t", Some(&Value::Int(2)), LockMode::Exclusive);
+        let r2 = h.join().unwrap();
+        assert!(r1.is_ok(), "older txn survives: {r1:?}");
+        assert!(
+            matches!(r2, Err(StorageError::Deadlock { .. })),
+            "younger txn is the victim: {r2:?}"
+        );
+        m.release_all(1);
+        assert_eq!(m.stats().deadlocks, 1);
+        assert_eq!(m.locked_resources(), 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let m = LockManager::new();
+        m.acquire(1, "t", None, LockMode::Shared).unwrap();
+        assert_eq!(m.stats().immediate_grants, 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), LockStats::default());
+        m.release_all(1);
+    }
+}

@@ -389,11 +389,32 @@ pub(crate) fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
     e.eval(&Row::default(), params)
 }
 
+/// The exact primary-key values a single-table write statement's
+/// predicate pins (`pk = ?` / `pk IN (...)`), or `None` when the
+/// statement may touch rows the text does not name — the engine's lock
+/// planner then escalates to a table-level exclusive lock.
+pub(crate) fn pk_target_keys(
+    table: &Table,
+    binding: &str,
+    pred: Option<&Expr>,
+    params: &[Value],
+) -> Result<Option<Vec<Value>>> {
+    let cons = extract_constraints(pred, binding, table, params)?;
+    let Some(c) = cons.get(table.schema().primary_key()) else {
+        return Ok(None);
+    };
+    if let Some(v) = &c.eq {
+        // An equality dominates: touched rows are a subset of {v}.
+        return Ok(Some(vec![v.clone()]));
+    }
+    Ok(c.in_keys.clone())
+}
+
 /// Coerces a predicate value for use against `column`'s stored
 /// representation. Returns `None` when no index-safe form exists (the
 /// caller then skips the index candidate; the residual filter keeps
 /// semantics).
-fn coerce_for_column(table: &Table, column: &str, v: &Value) -> Option<Value> {
+pub(crate) fn coerce_for_column(table: &Table, column: &str, v: &Value) -> Option<Value> {
     let col = table.schema().column(column)?;
     if let Some(cv) = v.coerce_to(col.ty) {
         return Some(cv);
@@ -602,13 +623,17 @@ pub fn plan_access(
     order_by: &[OrderKey],
     params: &[Value],
 ) -> Result<Plan> {
-    plan_access_impl(table, binding, pred, order_by, params, true)
+    plan_access_impl(table, binding, pred, order_by, params, true, false)
 }
 
 /// The planner core. `charge_sort` adds the sort penalty for
 /// order-missing paths directly to the path cost — right for single-table
 /// statements, wrong for join pipelines where the sort runs over the
 /// *joined* rows (the query planner charges it at the pipeline level).
+/// `count_mode` costs predicate-absorbing paths as probes only (a
+/// count-star over such a path never touches the heap), so the planner
+/// prefers a wider composite index that absorbs the whole predicate over
+/// a thinner one that leaves a residual filter.
 fn plan_access_impl(
     table: &Table,
     binding: &str,
@@ -616,6 +641,7 @@ fn plan_access_impl(
     order_by: &[OrderKey],
     params: &[Value],
     charge_sort: bool,
+    count_mode: bool,
 ) -> Result<Plan> {
     let cons = extract_constraints(pred, binding, table, params)?;
     let order = order_columns(order_by, binding, table);
@@ -633,8 +659,16 @@ fn plan_access_impl(
     let mut best: Option<(Plan, f64)> = None;
     let mut consider =
         |path: AccessPath, rows: f64, probes: f64, satisfied: bool, rev: bool, tie_rank: f64| {
-            let mut cost = scan_cost(rows, probes, rpp);
-            if charge_sort && has_order && !satisfied {
+            let absorbing = count_mode
+                && path_absorbs_predicate(table, binding, pred, &path, params).unwrap_or(false);
+            let mut cost = if absorbing {
+                // Count-only execution reads posting-block sizes; no
+                // heap rows are ever materialized.
+                scan_cost(0.0, probes, rpp)
+            } else {
+                scan_cost(rows, probes, rpp)
+            };
+            if charge_sort && has_order && !satisfied && !absorbing {
                 cost += sort_cost(rows);
             }
             let cand = Plan {
@@ -1236,12 +1270,14 @@ pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<Q
     if sel.joins.is_empty() {
         let order_eligible = !sel.is_aggregate() && sel.group_by.is_empty();
         let order: &[OrderKey] = if order_eligible { &sel.order_by } else { &[] };
-        let base = plan_access(
+        let base = plan_access_impl(
             base_table,
             &base_binding,
             sel.predicate.as_ref(),
             order,
             params,
+            true,
+            is_count_star_shape(sel),
         )?;
         let order_satisfied = base.order_satisfied;
         let fetch_limit = fetch_limit_for(sel, order_satisfied);
@@ -1363,11 +1399,81 @@ pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<Q
     Ok(best.expect("at least the syntactic order was planned"))
 }
 
-/// Decides `COUNT(*)` pushdown: a single-table, ungrouped
-/// `SELECT COUNT(*)` whose every WHERE conjunct is an equality folded
-/// into the chosen path's exact key. Such a path yields *exactly* the
-/// matching rows, so the count is the posting-list size (or the table's
-/// row count when there is no predicate at all) — no heap access needed.
+/// What a path guarantees about one column of every row it yields: a
+/// single value, membership in a sorted key set, or a range.
+enum ColSpec<'a> {
+    EqV(&'a Value),
+    Set(&'a [Value]),
+    Range(&'a Bound, &'a Bound),
+}
+
+impl ColSpec<'_> {
+    /// Do all values this spec admits satisfy `x op v`?
+    fn implies_cmp(&self, op: CmpOp, v: &Value) -> bool {
+        let one = |k: &Value| op.holds(k.cmp(v));
+        match self {
+            ColSpec::EqV(k) => one(k),
+            ColSpec::Set(keys) => keys.iter().all(one),
+            ColSpec::Range(from, to) => match op {
+                // A lower endpoint proves `> v` when it is itself above v
+                // (or at v but excluded); dually for upper endpoints.
+                CmpOp::Gt => match from {
+                    Bound::Included(a) => a > v,
+                    Bound::Excluded(a) => a >= v,
+                    Bound::Unbounded => false,
+                },
+                CmpOp::Ge => match from {
+                    Bound::Included(a) | Bound::Excluded(a) => a >= v,
+                    Bound::Unbounded => false,
+                },
+                CmpOp::Lt => match to {
+                    Bound::Included(b) => b < v,
+                    Bound::Excluded(b) => b <= v,
+                    Bound::Unbounded => false,
+                },
+                CmpOp::Le => match to {
+                    Bound::Included(b) | Bound::Excluded(b) => b <= v,
+                    Bound::Unbounded => false,
+                },
+                CmpOp::Eq | CmpOp::Ne => false,
+            },
+        }
+    }
+
+    /// Do all values this spec admits lie inside `values`?
+    fn implies_in(&self, values: &BTreeSet<Value>) -> bool {
+        match self {
+            ColSpec::EqV(k) => values.contains(k),
+            ColSpec::Set(keys) => keys.iter().all(|k| values.contains(k)),
+            ColSpec::Range(..) => false,
+        }
+    }
+}
+
+/// Is this the `SELECT COUNT(*)` shape count pushdown may serve: single
+/// table, ungrouped, unordered (the executor rejects ORDER BY for
+/// aggregates, and the fast path must not make that malformed shape
+/// silently succeed)?
+fn is_count_star_shape(sel: &Select) -> bool {
+    if !sel.joins.is_empty() || !sel.group_by.is_empty() || !sel.order_by.is_empty() {
+        return false;
+    }
+    matches!(
+        &sel.projection[..],
+        [SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+            ..
+        }]
+    )
+}
+
+/// Decides `COUNT(*)` pushdown: a count-star shape whose every WHERE
+/// conjunct is *implied by* the chosen access path — equalities folded
+/// into exact keys, range comparisons subsumed by the path's bounds,
+/// IN-lists covering the path's key set. Such a path yields exactly the
+/// matching rows, so the count is the sum of posting-block sizes (or the
+/// table's row count with no predicate at all) — no heap access needed.
 fn count_pushdown_eligible(
     sel: &Select,
     table: &Table,
@@ -1375,64 +1481,165 @@ fn count_pushdown_eligible(
     plan: &Plan,
     params: &[Value],
 ) -> Result<bool> {
-    // ORDER BY stays out: the executor rejects it for aggregates, and the
-    // fast path must not make that malformed shape silently succeed.
-    if !sel.joins.is_empty() || !sel.group_by.is_empty() || !sel.order_by.is_empty() {
+    if !is_count_star_shape(sel) {
         return Ok(false);
     }
-    let [SelectItem::Aggregate {
-        func: AggFunc::Count,
-        arg: None,
-        ..
-    }] = &sel.projection[..]
-    else {
-        return Ok(false);
-    };
-    // The (column, value) pairs the path matches exactly.
+    path_absorbs_predicate(table, binding, sel.predicate.as_ref(), &plan.path, params)
+}
+
+/// Does `path` yield exactly the rows matching the predicate (every
+/// conjunct implied by the path's per-column guarantees)? This powers
+/// both the count-pushdown decision and count-aware access costing.
+fn path_absorbs_predicate(
+    table: &Table,
+    binding: &str,
+    pred: Option<&Expr>,
+    path: &AccessPath,
+    params: &[Value],
+) -> Result<bool> {
+    // Per-column guarantees the path provides.
     let pk = table.schema().primary_key().to_owned();
-    let absorbed: Vec<(String, &Value)> = match &plan.path {
+    let index_cols = |name: &str| -> Vec<String> {
+        table
+            .index_by_name(name)
+            .expect("planned index exists")
+            .def()
+            .columns
+            .clone()
+    };
+    let specs: Vec<(String, ColSpec<'_>)> = match path {
         AccessPath::TableScan => {
-            return Ok(sel.predicate.is_none());
+            return Ok(pred.is_none());
         }
-        AccessPath::PkEq { key } => vec![(pk, key)],
-        AccessPath::IndexEq { index, key } => {
-            let idx = table.index_by_name(index).expect("planned index exists");
-            idx.def().columns.iter().cloned().zip(key.iter()).collect()
-        }
-        AccessPath::IndexPrefixRange { index, prefix } => {
-            let idx = table.index_by_name(index).expect("planned index exists");
-            idx.def()
-                .columns
+        AccessPath::PkEq { key } => vec![(pk, ColSpec::EqV(key))],
+        AccessPath::PkOr { keys } => vec![(pk, ColSpec::Set(keys))],
+        AccessPath::PkRange { from, to } => vec![(pk, ColSpec::Range(from, to))],
+        AccessPath::IndexEq { index, key } => index_cols(index)
+            .into_iter()
+            .zip(key.iter().map(ColSpec::EqV))
+            .collect(),
+        AccessPath::IndexPrefixRange { index, prefix } => index_cols(index)
+            .into_iter()
+            .zip(prefix.iter().map(ColSpec::EqV))
+            .collect(),
+        AccessPath::IndexRange {
+            index,
+            eq_prefix,
+            from,
+            to,
+        } => {
+            let cols = index_cols(index);
+            let mut specs: Vec<(String, ColSpec<'_>)> = cols
                 .iter()
                 .cloned()
-                .zip(prefix.iter())
-                .collect()
+                .zip(eq_prefix.iter().map(ColSpec::EqV))
+                .collect();
+            specs.push((cols[eq_prefix.len()].clone(), ColSpec::Range(from, to)));
+            specs
         }
-        _ => return Ok(false),
+        AccessPath::IndexOr { index, keys } => {
+            vec![(index_cols(index)[0].clone(), ColSpec::Set(keys))]
+        }
+        AccessPath::IndexInList {
+            index,
+            eq_prefix,
+            keys,
+        } => {
+            let cols = index_cols(index);
+            let mut specs: Vec<(String, ColSpec<'_>)> = cols
+                .iter()
+                .cloned()
+                .zip(eq_prefix.iter().map(ColSpec::EqV))
+                .collect();
+            specs.push((cols[eq_prefix.len()].clone(), ColSpec::Set(keys)));
+            specs
+        }
     };
-    if absorbed.iter().any(|(_, v)| v.is_null()) {
-        // SQL equality never matches NULL; leave it to the executor.
-        return Ok(false);
+    for (col, spec) in &specs {
+        match spec {
+            // SQL equality never matches NULL; leave it to the executor.
+            ColSpec::EqV(v) if v.is_null() => return Ok(false),
+            // A range with no lower endpoint sweeps up NULL keys (they
+            // sort below every value) on a nullable column, but SQL
+            // comparisons never match NULL — the executor's residual
+            // filter must stay in charge.
+            ColSpec::Range(Bound::Unbounded, _) => {
+                let nullable = table.schema().column(col).is_none_or(|c| !c.not_null);
+                if nullable {
+                    return Ok(false);
+                }
+            }
+            _ => {}
+        }
     }
-    let Some(pred) = &sel.predicate else {
+    let Some(pred) = pred else {
         // A keyed path with no predicate cannot arise, but be safe.
         return Ok(false);
     };
+    // Every conjunct must be implied by the path's guarantees.
     for conjunct in pred.conjuncts() {
-        let Some((cref, vexpr)) = conjunct.as_column_eq() else {
-            return Ok(false);
+        let spec_for = |cref: &crate::expr::ColumnRef| {
+            if binds_to(cref, binding, table) {
+                specs
+                    .iter()
+                    .find(|(c, _)| *c == cref.column)
+                    .map(|(_, s)| s)
+            } else {
+                None
+            }
         };
-        if !binds_to(cref, binding, table) {
+        if let Some((cref, vexpr)) = conjunct.as_column_eq() {
+            let Some(spec) = spec_for(cref) else {
+                return Ok(false);
+            };
+            let v = eval_const(vexpr, params)?;
+            match coerce_for_column(table, &cref.column, &v) {
+                Some(cv) if spec.implies_cmp(CmpOp::Eq, &cv) => continue,
+                _ => return Ok(false),
+            }
+        }
+        if let Some((cref, op, vexpr)) = conjunct.as_column_cmp() {
+            if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                let Some(spec) = spec_for(cref) else {
+                    return Ok(false);
+                };
+                let v = eval_const(vexpr, params)?;
+                match coerce_for_column(table, &cref.column, &v) {
+                    Some(cv) if spec.implies_cmp(op, &cv) => continue,
+                    _ => return Ok(false),
+                }
+            }
             return Ok(false);
         }
-        let Some((_, expected)) = absorbed.iter().find(|(c, _)| *c == cref.column) else {
-            return Ok(false);
+        let in_pair = conjunct.as_column_in().map(|(c, l)| (c, l.to_vec()));
+        let or_pair = || {
+            conjunct
+                .as_or_column_eqs()
+                .map(|(c, l)| (c, l.into_iter().cloned().collect::<Vec<_>>()))
         };
-        let v = eval_const(vexpr, params)?;
-        match coerce_for_column(table, &cref.column, &v) {
-            Some(cv) if &cv == *expected => {}
-            _ => return Ok(false),
+        if let Some((cref, items)) = in_pair.or_else(or_pair) {
+            let Some(spec) = spec_for(cref) else {
+                return Ok(false);
+            };
+            let mut values = BTreeSet::new();
+            for item in &items {
+                let v = eval_const(item, params)?;
+                if v.is_null() {
+                    continue; // a NULL arm never matches anything
+                }
+                match coerce_for_column(table, &cref.column, &v) {
+                    Some(cv) => {
+                        values.insert(cv);
+                    }
+                    None => return Ok(false),
+                }
+            }
+            if spec.implies_in(&values) {
+                continue;
+            }
+            return Ok(false);
         }
+        return Ok(false);
     }
     Ok(true)
 }
@@ -1487,6 +1694,7 @@ fn plan_one_order(
         sel.predicate.as_ref(),
         &base_order,
         params,
+        false,
         false,
     )?;
 

@@ -191,9 +191,12 @@ impl Table {
 
     /// Applies every queued statistics delta now. The engine calls this at
     /// statement (autocommit) and commit boundaries, so estimates never
-    /// lag committed data by more than one epoch.
-    pub fn flush_stats(&mut self) {
-        self.stats.get_mut().apply_pending();
+    /// lag committed data by more than one epoch. Takes `&self` — the
+    /// queue lives behind its own mutex, so concurrent enqueuers (writer
+    /// threads under the engine latch) and lazy planner-side flushes
+    /// never race.
+    pub fn flush_stats(&self) {
+        self.stats.lock().apply_pending();
     }
 
     /// Reads `column`'s statistics through `f`, refreshing queued deltas

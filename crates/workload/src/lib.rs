@@ -22,11 +22,13 @@
 //! # }
 //! ```
 
+pub mod concurrent;
 pub mod costmodel;
 pub mod driver;
 pub mod metrics;
 pub mod spec;
 
+pub use concurrent::{run_concurrent, ConcurrencyConfig, ConcurrencyResult};
 pub use costmodel::CostParams;
 pub use driver::run;
 pub use metrics::{PageTypeMetrics, RunResult};

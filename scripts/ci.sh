@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -24,5 +27,8 @@ cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
 
 echo "==> trigger_audit --check (commit-pipeline effect-coalescing regressions)"
 cargo run --release -q -p genie-bench --bin trigger_audit -- --check > /dev/null
+
+echo "==> concurrency_audit --check (multi-writer thread sweep: no livelock, abort ceiling, cache coherence)"
+cargo run --release -q -p genie-bench --bin concurrency_audit -- --check > /dev/null
 
 echo "ci.sh: all green"

@@ -321,7 +321,7 @@ pub mod collection {
         VecStrategy { element, sizes }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
