@@ -592,6 +592,12 @@ impl GenieShared {
                 // Lease before the database read: a writer committing
                 // between this read and the fill revokes the lease, so a
                 // stale count can never land (see CacheHandle::fill).
+                // Under MVCC the read no longer blocks behind open
+                // writer transactions (it resolves a snapshot), so this
+                // ordering alone carries the guarantee; the commit epoch
+                // is published before the cache publication runs, so a
+                // lease taken after a publish always reads fresh state
+                // (docs/ISOLATION.md, core/tests/mvcc_fill.rs).
                 let lease = self.cluster.lease(&key);
                 let out = self.lease_read(&key, lease, self.db.select(&obj.template, params))?;
                 let n = out.result.scalar().and_then(|v| v.as_int()).unwrap_or(0);

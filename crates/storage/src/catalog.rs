@@ -83,6 +83,16 @@ impl Catalog {
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(Table::len).sum()
     }
+
+    /// Iterates over all tables (vacuum, version diagnostics).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Mutable iteration over all tables (vacuum).
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
 }
 
 #[cfg(test)]

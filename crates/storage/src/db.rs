@@ -6,48 +6,71 @@
 //! and the physical [`CostReport`], which the benchmark harness prices into
 //! simulated time.
 //!
-//! # Concurrency model
+//! # Concurrency model (MVCC + 2PL writers)
 //!
-//! The engine distinguishes **latches** from **locks** (see
-//! `docs/ARCHITECTURE.md` for the full write-up):
+//! The engine distinguishes **latches** from **locks**, and since the
+//! MVCC refactor **readers from writers** (see `docs/ISOLATION.md` for
+//! the full isolation model and `docs/ARCHITECTURE.md` for the crate
+//! map):
 //!
 //! * One internal mutex — the *latch* — protects the physical structures
 //!   (catalog, heaps, indexes, buffer pool). It is held only for the
 //!   duration of one statement's execution or one commit's trigger
 //!   firing, and never while waiting for a lock.
-//! * Logical isolation comes from strict two-phase locking in the
-//!   [`LockManager`]: write statements take table-level intent locks plus
-//!   per-`(table, pk)` exclusive row locks (escalating to a table
-//!   exclusive lock when the predicate does not pin primary keys), and
-//!   scans take table-level shared locks so they never observe another
-//!   transaction's in-flight rows. Deadlocks are detected on a waits-for
-//!   graph; the youngest cycle member aborts with
-//!   [`StorageError::Deadlock`].
+//! * **Reads are lock-free snapshot reads.** Every transaction pins the
+//!   current commit epoch at `BEGIN`; every autocommit statement pins
+//!   the latest committed epoch. Scans and probes resolve row versions
+//!   against that snapshot ([`crate::Table::visible`]), so readers never
+//!   take lock-manager locks, never wait behind writer transactions,
+//!   and can never deadlock.
+//! * **Writers keep strict 2PL**: write statements take table-level
+//!   intent locks plus per-`(table, pk)` exclusive row locks (escalating
+//!   to a table exclusive lock when the predicate does not pin primary
+//!   keys). Deadlocks among writers are detected on a waits-for graph;
+//!   the youngest cycle member aborts with [`StorageError::Deadlock`].
+//!   Write-write version conflicts resolve first-updater-wins: touching
+//!   a row whose newest committed version postdates the transaction's
+//!   snapshot aborts with [`StorageError::WriteConflict`].
 //! * Transactions are **thread-scoped**: `BEGIN` binds a transaction to
 //!   the calling thread, and subsequent statements from that thread join
 //!   it, so N threads drive N concurrent transactions through one shared
 //!   [`Database`] handle (see [`Database::begin_concurrent`]).
-//! * COMMIT fires the transaction's coalesced triggers under the latch,
-//!   then publishes the buffered cache effects *after* releasing it; the
-//!   registered [`CommitHook`] serializes per-key publication so two
-//!   committing writers can never interleave physical cache operations
-//!   on one key.
+//! * COMMIT fires the transaction's coalesced triggers under the latch
+//!   against the *commit-point snapshot* (latest committed state plus
+//!   the transaction's own writes — never another transaction's
+//!   in-flight rows), stamps every written version with the new commit
+//!   epoch, publishes the epoch, and only then — after releasing the
+//!   latch — runs the [`CommitHook`]'s deferred cache publication; the
+//!   hook serializes per-key publication so two committing writers can
+//!   never interleave physical cache operations on one key.
+//! * Old row versions are reclaimed by [`Database::vacuum`] (also run
+//!   inline every few hundred commits): only versions invisible to the
+//!   oldest live snapshot are pruned, so a long-running reader pins the
+//!   horizon instead of ever seeing a row disappear.
 
 use crate::bufferpool::{BufferPool, PoolStats};
 use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
-use crate::exec::{self, RowChange, UndoOp};
+use crate::exec::{self, ExecView, RowChange, UndoOp};
 use crate::lockmgr::{LockManager, LockMode, LockStats, TxnId};
 use crate::query::{QueryResult, Select, Statement};
+use crate::row::RowId;
 use crate::schema::{IndexDef, TableSchema};
+use crate::table::Snapshot;
 use crate::trigger::{Trigger, TriggerCtx, TriggerEvent, TriggerManager};
 use crate::value::Value;
 use parking_lot::Mutex;
-use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
+
+/// Inline vacuum cadence: after this many write commits the committing
+/// statement sweeps all tables for versions older than the oldest live
+/// snapshot (cheap when there is no history). Explicit
+/// [`Database::vacuum`] calls are always available on top.
+const VACUUM_COMMIT_INTERVAL: u64 = 256;
 
 /// Deferred cache-publication step returned by [`CommitHook::commit_apply`].
 /// The engine runs it after releasing its internal latch (but before
@@ -122,6 +145,17 @@ pub struct DbStats {
     pub rollbacks: u64,
 }
 
+/// Retained MVCC version state (see [`Database::version_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Superseded committed versions still reachable by some snapshot
+    /// (or awaiting vacuum).
+    pub history_versions: u64,
+    /// Heap rows carrying explicit version metadata (uncommitted writes
+    /// plus committed rows vacuum has not yet settled).
+    pub versioned_rows: u64,
+}
+
 /// Result + physical cost of one statement.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOutcome {
@@ -138,6 +172,12 @@ struct TxnState {
     /// Lock-manager identity (monotonic; doubles as transaction age for
     /// youngest-victim deadlock resolution).
     tid: TxnId,
+    /// Commit epoch pinned at BEGIN: every read in this transaction
+    /// resolves row versions at this snapshot (plus its own writes),
+    /// and writes first-updater-wins-check against it. Registered in
+    /// [`EngineShared::live_snaps`] so vacuum never prunes a version
+    /// this transaction can still see.
+    snap: u64,
     /// Every lock target this transaction's statements requested
     /// (recorded before acquisition, so an aborted acquisition is still
     /// covered; deduplicated — statements revisit the same tables and
@@ -181,6 +221,21 @@ struct EngineShared {
     /// statement just to bump a counter. Folded into
     /// [`DbStats::statements`] by [`Database::stats`].
     ctrl_statements: AtomicU64,
+    /// Latest committed epoch. Bumped under the latch *after* the commit
+    /// stamps its versions, so a snapshot at epoch E always sees a fully
+    /// stamped state. Read lock-free by BEGIN and autocommit statements.
+    commit_epoch: AtomicU64,
+    /// Refcounted epochs of open transactions' snapshots; the minimum is
+    /// the vacuum horizon. Autocommit statements execute entirely under
+    /// the latch (which vacuum also needs), so they never register.
+    live_snaps: Mutex<BTreeMap<u64, u64>>,
+    /// Write commits since the last inline vacuum sweep.
+    commits_since_vacuum: AtomicU64,
+    /// Legacy PR-4 reader behaviour: SELECT statements take table-level
+    /// shared locks (and therefore block behind writer transactions).
+    /// Kept as the measurable baseline for the MVCC experiments; off by
+    /// default.
+    reader_locks: AtomicBool,
 }
 
 impl EngineShared {
@@ -256,6 +311,10 @@ impl Database {
                 doomed: Mutex::new(HashMap::new()),
                 next_tid: AtomicU64::new(1),
                 ctrl_statements: AtomicU64::new(0),
+                commit_epoch: AtomicU64::new(0),
+                live_snaps: Mutex::new(BTreeMap::new()),
+                commits_since_vacuum: AtomicU64::new(0),
+                reader_locks: AtomicBool::new(false),
             }),
         }
     }
@@ -393,13 +452,42 @@ impl Database {
     }
 
     /// Runs `f` inside a transaction on the calling thread, committing on
-    /// `Ok` and rolling back on `Err`. Isolation comes from two-phase
-    /// locking, so other threads' statements interleave without observing
-    /// this transaction's in-flight writes.
+    /// `Ok` and rolling back on `Err`. The transaction reads a snapshot
+    /// pinned at entry (plus its own writes); writers elsewhere neither
+    /// block its reads nor leak in-flight rows into them, and its own
+    /// writes hold 2PL row locks until commit or rollback.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use genie_storage::{Database, StorageError, Value};
+    ///
+    /// # fn main() -> Result<(), StorageError> {
+    /// let db = Database::default();
+    /// db.execute_sql("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)", &[])?;
+    /// db.execute_sql("INSERT INTO acct VALUES (1, 100), (2, 100)", &[])?;
+    /// db.transaction(|t| {
+    ///     t.execute_sql("UPDATE acct SET bal = bal - 10 WHERE id = 1", &[])?;
+    ///     t.execute_sql("UPDATE acct SET bal = bal + 10 WHERE id = 2", &[])?;
+    ///     Ok(())
+    /// })?;
+    /// // An error rolls everything back:
+    /// let r: Result<(), _> = db.transaction(|t| {
+    ///     t.execute_sql("UPDATE acct SET bal = 0 WHERE id = 1", &[])?;
+    ///     Err(StorageError::Eval("boom".into()))
+    /// });
+    /// assert!(r.is_err());
+    /// let out = db.execute_sql("SELECT bal FROM acct WHERE id = 1", &[])?;
+    /// assert_eq!(out.result.rows[0].get(0), &Value::Int(90));
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
     /// Returns `f`'s error after rollback, or any commit-time error.
+    /// [`StorageError::Deadlock`] and [`StorageError::WriteConflict`]
+    /// mean the transaction lost a race — retry it on a fresh snapshot.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut TxnHandle<'_>) -> Result<T>) -> Result<T> {
         self.begin_txn()?;
         // A panicking closure must not leak the transaction's 2PL locks:
@@ -527,6 +615,77 @@ impl Database {
         self.shared.locks.stats()
     }
 
+    // ----- MVCC introspection & maintenance -----
+
+    /// The latest committed epoch. Every write commit advances it by
+    /// one; snapshots are pinned epochs. Middleware uses it to reason
+    /// about fill freshness (a cache fill built from a read at epoch E
+    /// is stale once a later commit touched its key — the lease
+    /// protocol revokes it).
+    pub fn commit_epoch(&self) -> u64 {
+        self.shared.commit_epoch.load(Ordering::Acquire)
+    }
+
+    /// The oldest epoch a live transaction snapshot still reads at,
+    /// if any transaction is open — the vacuum horizon pin.
+    pub fn oldest_live_snapshot(&self) -> Option<u64> {
+        self.shared.live_snaps.lock().keys().next().copied()
+    }
+
+    /// Reclaims row versions no live snapshot can see. Runs inline every
+    /// few hundred commits too; call it explicitly after bulk churn or
+    /// in tests. Returns the number of versions pruned.
+    ///
+    /// A long-running reader transaction pins the horizon: versions it
+    /// can still see survive any number of vacuum calls.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use genie_storage::{Database, Value};
+    ///
+    /// # fn main() -> Result<(), genie_storage::StorageError> {
+    /// let db = Database::default();
+    /// db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, n INT)", &[])?;
+    /// db.execute_sql("INSERT INTO t VALUES (1, 10)", &[])?;
+    /// // Each committed update supersedes a version.
+    /// db.execute_sql("UPDATE t SET n = 11 WHERE id = 1", &[])?;
+    /// db.execute_sql("UPDATE t SET n = 12 WHERE id = 1", &[])?;
+    /// assert!(db.version_stats().history_versions > 0);
+    /// db.vacuum();
+    /// // No snapshot is open, so all superseded versions are gone.
+    /// assert_eq!(db.version_stats().history_versions, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn vacuum(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        self.shared.commits_since_vacuum.store(0, Ordering::Relaxed);
+        self.vacuum_locked(&mut inner)
+    }
+
+    /// Point-in-time counts of retained version state (diagnostics,
+    /// vacuum tests, and the MVCC benchmark).
+    pub fn version_stats(&self) -> VersionStats {
+        let inner = self.inner.lock();
+        let mut v = VersionStats::default();
+        for t in inner.catalog.tables() {
+            v.history_versions += t.history_versions() as u64;
+            v.versioned_rows += t.versioned_rows() as u64;
+        }
+        v
+    }
+
+    /// Re-enables the legacy (pre-MVCC) reader behaviour: SELECT
+    /// statements take table-level shared locks and therefore block
+    /// behind writer transactions' intent locks. Readers still return
+    /// correct results either way — this exists solely so the MVCC
+    /// experiments can measure snapshot reads against the old blocking
+    /// baseline on the same binary.
+    pub fn set_reader_table_locks(&self, enabled: bool) {
+        self.shared.reader_locks.store(enabled, Ordering::Relaxed);
+    }
+
     /// Buffer-pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
         self.inner.lock().pool.stats()
@@ -575,10 +734,30 @@ impl Database {
                 "nested transactions are not supported".into(),
             ));
         }
+        // Pin the snapshot and register it as live: vacuum prunes only
+        // below the minimum registered epoch, so everything this
+        // transaction can see stays reachable until it ends. Register,
+        // then re-check the epoch: a commit (and its inline vacuum) can
+        // land between the lock-free epoch read and the registration,
+        // in which case versions the stale epoch needs may already be
+        // gone — moving the snapshot forward to the epoch that was
+        // current *after* our registration became visible makes it safe
+        // (a BEGIN may linearize anywhere within its call).
+        let mut snap = self.shared.commit_epoch.load(Ordering::Acquire);
+        loop {
+            *self.shared.live_snaps.lock().entry(snap).or_insert(0) += 1;
+            let now = self.shared.commit_epoch.load(Ordering::Acquire);
+            if now == snap {
+                break;
+            }
+            self.release_snapshot(snap);
+            snap = now;
+        }
         txns.insert(
             thread,
             TxnState {
                 tid: self.shared.alloc_tid(),
+                snap,
                 targets: BTreeSet::new(),
                 undo: Vec::new(),
                 changes: Vec::new(),
@@ -586,6 +765,17 @@ impl Database {
             },
         );
         Ok(())
+    }
+
+    /// Drops one reference to a pinned snapshot epoch (transaction end).
+    fn release_snapshot(&self, epoch: u64) {
+        let mut snaps = self.shared.live_snaps.lock();
+        if let Some(n) = snaps.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                snaps.remove(&epoch);
+            }
+        }
     }
 
     fn commit_txn(&self) -> Result<CostReport> {
@@ -602,6 +792,7 @@ impl Database {
     fn commit_txn_for(&self, thread: ThreadId) -> Result<CostReport> {
         let TxnState {
             tid,
+            snap,
             targets,
             undo,
             changes,
@@ -629,7 +820,16 @@ impl Database {
         let mut inner = self.inner.lock();
         let changes = coalesce_changes(&inner.catalog, changes);
         if !changes.is_empty() {
-            match inner.run_commit_bracket(&changes, &mut cost, true) {
+            // Commit-point snapshot: triggers see every committed state
+            // plus this transaction's own (still uncommitted) writes —
+            // never another transaction's in-flight rows. The commit is
+            // the transaction's serialization point, so cache effects
+            // computed here agree with the post-commit database.
+            let trigger_snap = Snapshot {
+                epoch: self.shared.commit_epoch.load(Ordering::Acquire),
+                writer: Some(tid),
+            };
+            match inner.run_commit_bracket(&changes, &mut cost, true, &trigger_snap) {
                 Ok(p) => publish = p,
                 Err(e) => {
                     drop(inner);
@@ -637,6 +837,7 @@ impl Database {
                         thread,
                         TxnState {
                             tid,
+                            snap,
                             targets,
                             undo,
                             changes: Vec::new(),
@@ -649,15 +850,86 @@ impl Database {
         }
         if wrote {
             cost.wal_appends += 1;
+            // Install every version this transaction wrote at the next
+            // epoch, then publish the epoch — all under the latch, so
+            // readers (who also latch per statement) see the flip
+            // atomically, and the deferred cache publication below runs
+            // strictly after the epoch is visible.
+            self.stamp_commit(&mut inner, &undo, tid);
         }
         inner.flush_stats_for(&changes);
         inner.stats.commits += 1;
+        if wrote {
+            self.maybe_vacuum(&mut inner);
+        }
         drop(inner);
+        self.release_snapshot(snap);
         if let Some(p) = publish {
             p();
         }
         self.release_txn_locks(tid, &targets);
         Ok(cost)
+    }
+
+    /// Stamps every row version `tid` wrote (derived from its undo log)
+    /// with the next commit epoch, then publishes that epoch. Must run
+    /// under the latch.
+    fn stamp_commit(&self, inner: &mut Inner, undo: &[UndoOp], tid: TxnId) {
+        let epoch = self.shared.commit_epoch.load(Ordering::Acquire) + 1;
+        let mut touched: BTreeMap<&str, Vec<RowId>> = BTreeMap::new();
+        for op in undo {
+            let (table, rid) = match op {
+                UndoOp::Insert { table, rid } => (table.as_str(), *rid),
+                UndoOp::Delete { table, rid, .. } => (table.as_str(), *rid),
+                UndoOp::Update { table, rid, .. } => (table.as_str(), *rid),
+            };
+            touched.entry(table).or_default().push(rid);
+        }
+        for (table, mut rids) in touched {
+            rids.sort_unstable();
+            rids.dedup();
+            if let Ok(t) = inner.catalog.table_mut(table) {
+                t.commit_rows(rids, tid, epoch);
+            }
+        }
+        self.shared.commit_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Inline vacuum: every [`VACUUM_COMMIT_INTERVAL`] write commits,
+    /// prune versions below the oldest live snapshot. Runs under the
+    /// latch the caller already holds.
+    fn maybe_vacuum(&self, inner: &mut Inner) {
+        let n = self
+            .shared
+            .commits_since_vacuum
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        if n < VACUUM_COMMIT_INTERVAL {
+            return;
+        }
+        self.shared.commits_since_vacuum.store(0, Ordering::Relaxed);
+        self.vacuum_locked(inner);
+    }
+
+    /// The vacuum sweep proper; caller holds the latch.
+    fn vacuum_locked(&self, inner: &mut Inner) -> u64 {
+        let horizon = self.vacuum_horizon();
+        let mut pruned = 0;
+        for table in inner.catalog.tables_mut() {
+            pruned += table.vacuum(horizon);
+        }
+        pruned
+    }
+
+    /// The oldest epoch any live snapshot still reads at (the newest
+    /// committed epoch when no transaction is open).
+    fn vacuum_horizon(&self) -> u64 {
+        let snaps = self.shared.live_snaps.lock();
+        snaps
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.shared.commit_epoch.load(Ordering::Acquire))
     }
 
     /// 2PL shrinking phase: releases exactly the resources the
@@ -696,9 +968,10 @@ impl Database {
             }
         }
         let mut inner = self.inner.lock();
-        let undone = exec::apply_undo(&mut inner.catalog, txn.undo);
+        let undone = exec::apply_undo(&mut inner.catalog, txn.undo, txn.tid);
         inner.stats.rollbacks += 1;
         drop(inner);
+        self.release_snapshot(txn.snap);
         self.release_txn_locks(txn.tid, &txn.targets);
         undone
     }
@@ -860,7 +1133,12 @@ impl Database {
         };
 
         let mut inner = self.inner.lock();
-        let reqs = plan_locks(&inner.catalog, stmt, params)?;
+        let reqs = plan_locks(
+            &inner.catalog,
+            stmt,
+            params,
+            self.shared.reader_locks.load(Ordering::Relaxed),
+        )?;
         if let Some(t) = txn.as_deref_mut() {
             // Record before acquiring: even an acquisition aborted by
             // deadlock leaves its partial grants covered at release.
@@ -887,7 +1165,7 @@ impl Database {
             inner = self.inner.lock();
         }
 
-        let result = self.execute_body(&mut inner, stmt, params, txn);
+        let result = self.execute_body(&mut inner, stmt, params, txn, tid);
         match result {
             Ok((outcome, publish)) => {
                 drop(inner);
@@ -912,21 +1190,56 @@ impl Database {
         }
     }
 
-    /// The latched portion of statement execution.
+    /// The latched portion of statement execution. Reads resolve
+    /// against the transaction's pinned snapshot (or the latest
+    /// committed epoch for autocommit); writes carry an [`ExecView`]
+    /// pairing that snapshot with the latest epoch for constraint
+    /// probes.
     fn execute_body(
         &self,
         inner: &mut Inner,
         stmt: &Statement,
         params: &[Value],
         txn: Option<&mut TxnState>,
+        tid: TxnId,
     ) -> Result<(ExecOutcome, DeferredPublish)> {
         inner.stats.statements += 1;
+        let latest = self.shared.commit_epoch.load(Ordering::Acquire);
+        let (read_snap, txn_snap_epoch) = match &txn {
+            Some(t) => (
+                Snapshot {
+                    epoch: t.snap,
+                    writer: Some(t.tid),
+                },
+                t.snap,
+            ),
+            None => (
+                Snapshot {
+                    epoch: latest,
+                    writer: None,
+                },
+                latest,
+            ),
+        };
+        let view = ExecView {
+            snap: Snapshot {
+                epoch: txn_snap_epoch,
+                writer: Some(tid),
+            },
+            latest_epoch: latest,
+        };
         let mut cost = CostReport::new();
         match stmt {
             Statement::Select(sel) => {
                 inner.stats.selects += 1;
-                let result =
-                    exec::run_select(&inner.catalog, &mut inner.pool, sel, params, &mut cost)?;
+                let result = exec::run_select(
+                    &inner.catalog,
+                    &mut inner.pool,
+                    sel,
+                    params,
+                    &mut cost,
+                    &read_snap,
+                )?;
                 Ok((ExecOutcome { result, cost }, None))
             }
             Statement::Explain(sel) => {
@@ -950,21 +1263,39 @@ impl Database {
             }
             Statement::Insert(ins) => {
                 inner.stats.writes += 1;
-                let effect =
-                    exec::run_insert(&mut inner.catalog, &mut inner.pool, ins, params, &mut cost)?;
-                self.finish_write(inner, effect, &mut cost, txn)
+                let effect = exec::run_insert(
+                    &mut inner.catalog,
+                    &mut inner.pool,
+                    ins,
+                    params,
+                    &mut cost,
+                    &view,
+                )?;
+                self.finish_write(inner, effect, &mut cost, txn, &view)
             }
             Statement::Update(upd) => {
                 inner.stats.writes += 1;
-                let effect =
-                    exec::run_update(&mut inner.catalog, &mut inner.pool, upd, params, &mut cost)?;
-                self.finish_write(inner, effect, &mut cost, txn)
+                let effect = exec::run_update(
+                    &mut inner.catalog,
+                    &mut inner.pool,
+                    upd,
+                    params,
+                    &mut cost,
+                    &view,
+                )?;
+                self.finish_write(inner, effect, &mut cost, txn, &view)
             }
             Statement::Delete(del) => {
                 inner.stats.writes += 1;
-                let effect =
-                    exec::run_delete(&mut inner.catalog, &mut inner.pool, del, params, &mut cost)?;
-                self.finish_write(inner, effect, &mut cost, txn)
+                let effect = exec::run_delete(
+                    &mut inner.catalog,
+                    &mut inner.pool,
+                    del,
+                    params,
+                    &mut cost,
+                    &view,
+                )?;
+                self.finish_write(inner, effect, &mut cost, txn, &view)
             }
             Statement::CreateTable(schema) => {
                 inner.catalog.create_table(schema.clone())?;
@@ -993,6 +1324,7 @@ impl Database {
         effect: exec::WriteEffect,
         cost: &mut CostReport,
         txn: Option<&mut TxnState>,
+        view: &ExecView,
     ) -> Result<(ExecOutcome, DeferredPublish)> {
         if let Some(txn) = txn {
             txn.undo.extend(effect.undo);
@@ -1006,9 +1338,20 @@ impl Database {
                 None,
             ));
         }
-        match inner.run_commit_bracket(&effect.changes, cost, false) {
+        // Autocommit: triggers fire now, against the latest committed
+        // state plus this statement's own rows (the statement is its own
+        // commit point).
+        let trigger_snap = Snapshot {
+            epoch: view.latest_epoch,
+            writer: view.snap.writer,
+        };
+        match inner.run_commit_bracket(&effect.changes, cost, false, &trigger_snap) {
             Ok(publish) => {
                 cost.wal_appends += 1; // autocommit
+                if !effect.undo.is_empty() {
+                    self.stamp_commit(inner, &effect.undo, view.tid());
+                    self.maybe_vacuum(inner);
+                }
                 inner.flush_stats_for(&effect.changes);
                 Ok((
                     ExecOutcome {
@@ -1021,7 +1364,7 @@ impl Database {
             Err(e) => {
                 // A failing trigger (or hook rejection) aborts the
                 // statement: undo its row changes, publish nothing.
-                exec::apply_undo(&mut inner.catalog, effect.undo)?;
+                exec::apply_undo(&mut inner.catalog, effect.undo, view.tid())?;
                 Err(e)
             }
         }
@@ -1029,12 +1372,19 @@ impl Database {
 }
 
 /// Plans the lock set a statement needs, in canonical order (table name,
-/// then table-level before row-level, then row key): scans take
-/// table-level shared locks; pk-targeted writes take a table intent lock
-/// plus exclusive row locks; writes whose predicate does not pin primary
-/// keys escalate to a table-level exclusive lock. DDL relies on the
+/// then table-level before row-level, then row key): pk-targeted writes
+/// take a table intent lock plus exclusive row locks; writes whose
+/// predicate does not pin primary keys escalate to a table-level
+/// exclusive lock. **Scans take no locks at all** — they read a version
+/// snapshot — unless `lock_reads` re-enables the legacy table-shared
+/// lock behaviour (the measurable pre-MVCC baseline). DDL relies on the
 /// latch alone.
-fn plan_locks(catalog: &Catalog, stmt: &Statement, params: &[Value]) -> Result<Vec<LockReq>> {
+fn plan_locks(
+    catalog: &Catalog,
+    stmt: &Statement,
+    params: &[Value],
+    lock_reads: bool,
+) -> Result<Vec<LockReq>> {
     let mut reqs: Vec<LockReq> = Vec::new();
     match stmt {
         Statement::Select(sel) => {
@@ -1045,7 +1395,9 @@ fn plan_locks(catalog: &Catalog, stmt: &Statement, params: &[Value]) -> Result<V
             }
             for t in tables {
                 catalog.table(t)?;
-                reqs.push((t.to_owned(), None, LockMode::Shared));
+                if lock_reads {
+                    reqs.push((t.to_owned(), None, LockMode::Shared));
+                }
             }
         }
         Statement::Insert(ins) => {
@@ -1292,12 +1644,13 @@ impl Inner {
         changes: &[RowChange],
         cost: &mut CostReport,
         group_commit: bool,
+        trigger_snap: &Snapshot,
     ) -> Result<DeferredPublish> {
         let hook = self.commit_hook.clone();
         if let Some(h) = &hook {
             h.begin_apply();
         }
-        match self.fire_triggers(changes, cost) {
+        match self.fire_triggers(changes, cost, trigger_snap) {
             Ok(()) => match &hook {
                 Some(h) => h.commit_apply(cost, group_commit),
                 None => Ok(None),
@@ -1322,7 +1675,15 @@ impl Inner {
         }
     }
 
-    fn fire_triggers(&mut self, changes: &[RowChange], cost: &mut CostReport) -> Result<()> {
+    /// Fires commit-time triggers. Their queries read `trigger_snap`:
+    /// the latest committed state plus the committing transaction's own
+    /// writes — never another transaction's uncommitted rows.
+    fn fire_triggers(
+        &mut self,
+        changes: &[RowChange],
+        cost: &mut CostReport,
+        trigger_snap: &Snapshot,
+    ) -> Result<()> {
         if changes.is_empty() || !self.triggers.is_enabled() {
             return Ok(());
         }
@@ -1336,7 +1697,7 @@ impl Inner {
                     let catalog = &self.catalog;
                     let pool = &mut self.pool;
                     let mut query_fn = |sel: &Select, params: &[Value]| {
-                        exec::run_select(catalog, pool, sel, params, &mut query_cost)
+                        exec::run_select(catalog, pool, sel, params, &mut query_cost, trigger_snap)
                     };
                     let mut ctx = TriggerCtx {
                         event: change.event,

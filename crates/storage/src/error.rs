@@ -1,4 +1,44 @@
 //! Error types for the storage engine.
+//!
+//! Two variants are *retryable aborts* rather than failures:
+//! [`StorageError::Deadlock`] (the transaction lost a waits-for cycle)
+//! and [`StorageError::WriteConflict`] (first-updater-wins — a
+//! concurrent transaction committed a newer version of a row this
+//! transaction's snapshot had read). Both mean the transaction was
+//! rolled back and should be retried on a fresh snapshot:
+//!
+//! ```
+//! use genie_storage::{Database, StorageError, Value};
+//!
+//! fn transfer(db: &Database, from: i64, to: i64) -> Result<(), StorageError> {
+//!     db.transaction(|t| {
+//!         t.execute_sql("UPDATE acct SET bal = bal - 1 WHERE id = $1", &[Value::Int(from)])?;
+//!         t.execute_sql("UPDATE acct SET bal = bal + 1 WHERE id = $1", &[Value::Int(to)])?;
+//!         Ok(())
+//!     })
+//! }
+//!
+//! # fn main() -> Result<(), StorageError> {
+//! let db = Database::default();
+//! db.execute_sql("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)", &[])?;
+//! db.execute_sql("INSERT INTO acct VALUES (1, 10), (2, 10)", &[])?;
+//! // The canonical retry loop: aborts are expected under contention.
+//! loop {
+//!     match transfer(&db, 1, 2) {
+//!         Ok(()) => break,
+//!         Err(StorageError::Deadlock { .. }) | Err(StorageError::WriteConflict { .. }) => {
+//!             continue; // rolled back; retry on a fresh snapshot
+//!         }
+//!         Err(e) => return Err(e), // real error
+//!     }
+//! }
+//! assert_eq!(
+//!     db.execute_sql("SELECT bal FROM acct WHERE id = 2", &[])?.result.rows[0].get(0),
+//!     &Value::Int(11),
+//! );
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 
@@ -40,6 +80,11 @@ pub enum StorageError {
     /// The transaction was chosen as the victim of a waits-for deadlock
     /// cycle; the caller must roll it back and may retry it.
     Deadlock { table: String },
+    /// First-updater-wins: the transaction tried to write a row version
+    /// that a concurrent transaction already superseded after this
+    /// transaction's snapshot was taken. Roll the transaction back and
+    /// retry it on a fresh snapshot.
+    WriteConflict { table: String, key: String },
     /// An arithmetic or evaluation error inside an expression.
     Eval(String),
 }
@@ -84,6 +129,13 @@ impl fmt::Display for StorageError {
                 write!(
                     f,
                     "deadlock detected waiting on {table:?}; transaction aborted as victim"
+                )
+            }
+            StorageError::WriteConflict { table, key } => {
+                write!(
+                    f,
+                    "write conflict on {table:?} key {key}: a newer committed version \
+                     superseded this transaction's snapshot (first-updater-wins)"
                 )
             }
             StorageError::Eval(m) => write!(f, "evaluation error: {m}"),

@@ -17,11 +17,43 @@ use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
 use crate::expr::{ColumnRef, Expr};
+use crate::lockmgr::TxnId;
 use crate::query::{AggFunc, Delete, Insert, JoinKind, QueryResult, Select, SelectItem, Update};
 use crate::row::{Row, RowId};
-use crate::table::Table;
+use crate::table::{Snapshot, Table};
 use crate::trigger::TriggerEvent;
 use crate::value::Value;
+
+/// The read/write view a statement executes under: `snap` is the
+/// snapshot its reads resolve against (a transaction's pinned snapshot,
+/// or the latest committed epoch for autocommit); `latest_epoch` is the
+/// newest committed epoch at statement start, which constraint probes
+/// (FK existence checks) read so they never validate against a stale
+/// snapshot — closing them against other writers' uncommitted state
+/// without letting them miss committed rows.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecView {
+    pub snap: Snapshot,
+    pub latest_epoch: u64,
+}
+
+impl ExecView {
+    /// The writer transaction, on write statements.
+    pub(crate) fn tid(&self) -> TxnId {
+        self.snap
+            .writer
+            .expect("write statements execute with a writer snapshot")
+    }
+
+    /// Constraint-check snapshot: latest committed state plus the
+    /// writer's own uncommitted rows.
+    fn fk_snap(&self) -> Snapshot {
+        Snapshot {
+            epoch: self.latest_epoch,
+            writer: self.snap.writer,
+        }
+    }
+}
 
 /// One row-level change produced by a write statement; drives triggers.
 #[derive(Debug, Clone)]
@@ -36,18 +68,27 @@ pub struct RowChange {
     pub new: Option<Row>,
 }
 
-/// Undo-log entry for transaction rollback.
+/// Undo-log entry for transaction rollback. `pushed` records whether
+/// the write superseded a *committed* version (which went to the
+/// table's version history and must be popped back) or mutated the
+/// transaction's own uncommitted image in place.
 #[derive(Debug, Clone)]
 pub enum UndoOp {
-    /// Reverse an insert by deleting the row.
+    /// Reverse an insert by removing the uncommitted row.
     Insert { table: String, rid: RowId },
     /// Reverse a delete by restoring the row image.
-    Delete { table: String, rid: RowId, row: Row },
+    Delete {
+        table: String,
+        rid: RowId,
+        row: Row,
+        pushed: bool,
+    },
     /// Reverse an update by restoring the pre-image.
     Update {
         table: String,
         rid: RowId,
         before: Row,
+        pushed: bool,
     },
 }
 
@@ -169,17 +210,19 @@ impl Layout {
 use crate::plan::eval_const;
 
 /// Plans and runs the base-table access for a write statement's
-/// predicate. Charges probes to `cost`; `None` means full heap scan.
+/// predicate against the statement's snapshot. Charges probes to
+/// `cost`; `None` means full heap scan.
 fn plan_write_rids(
     table: &Table,
     binding: &str,
     pred: Option<&Expr>,
     params: &[Value],
     cost: &mut CostReport,
+    snap: &Snapshot,
 ) -> Result<Option<Vec<RowId>>> {
     let plan = crate::plan::plan_access(table, binding, pred, &[], params)?;
     Ok(
-        crate::plan::execute_path(table, &plan, cost).map(|mut rids| {
+        crate::plan::execute_path(table, &plan, cost, snap).map(|mut rids| {
             // Writes process rows in heap order whatever path found them, so
             // trigger firing order matches the pre-planner engine.
             rids.sort_unstable();
@@ -228,7 +271,9 @@ enum BoundMethod<'a> {
     Scan,
 }
 
-/// Runs one left row through a join step, appending combined rows.
+/// Runs one left row through a join step, appending combined rows. All
+/// probes and fetches resolve against `snap`, so every joined table is
+/// read at the same point in time as the driving table.
 fn join_step(
     step: &JoinStep<'_>,
     left: &Row,
@@ -236,6 +281,7 @@ fn join_step(
     pool: &mut BufferPool,
     cost: &mut CostReport,
     out: &mut Vec<Row>,
+    snap: &Snapshot,
 ) -> Result<()> {
     let jt = step.jt;
     let candidates: Vec<RowId> = match &step.method {
@@ -246,7 +292,7 @@ fn join_step(
                 Vec::new()
             } else {
                 let v = coerce_for(jt, jt.schema().primary_key(), &v);
-                jt.find_pk(&v).into_iter().collect()
+                jt.find_pk_visible(&v, snap).into_iter().collect()
             }
         }
         BoundMethod::Index(idx, outers) => {
@@ -265,14 +311,16 @@ fn join_step(
             if null_key {
                 Vec::new()
             } else {
-                jt.index_lookup(idx, &key)
+                jt.index_lookup_visible(idx, &key, snap)
             }
         }
-        BoundMethod::Scan => jt.iter().map(|(rid, _)| rid).collect(),
+        BoundMethod::Scan => jt.scan_rids(),
     };
     let mut matched = false;
     for rid in candidates {
-        let Some(r) = jt.get(rid) else { continue };
+        let Some(r) = jt.visible(rid, snap) else {
+            continue;
+        };
         touch_read(pool, jt, rid, cost);
         cost.rows_scanned += 1;
         let mut combined = Vec::with_capacity(left.arity() + r.arity());
@@ -300,22 +348,25 @@ fn join_step(
     Ok(())
 }
 
-/// Executes a SELECT.
+/// Executes a SELECT at the given read snapshot. Never takes or waits
+/// for any lock: visibility comes entirely from the version metadata,
+/// so readers proceed while writer transactions hold row locks.
 pub(crate) fn run_select(
     catalog: &Catalog,
     pool: &mut BufferPool,
     sel: &Select,
     params: &[Value],
     cost: &mut CostReport,
+    snap: &Snapshot,
 ) -> Result<QueryResult> {
     let qplan: QueryPlan = crate::plan::plan_query(catalog, sel, params)?;
     let base = catalog.table(&qplan.base.table)?;
 
     // COUNT(*) pushdown: the planner proved the path yields exactly the
     // matching rows, so answer from pk-map / posting-list sizes without
-    // touching the heap.
+    // touching the heap (entries resolve against the snapshot).
     if qplan.count_only {
-        return run_count_only(base, sel, &qplan, cost);
+        return run_count_only(base, sel, &qplan, cost, snap);
     }
 
     // Execution-order layout (driving table first, joins in plan order)
@@ -369,7 +420,7 @@ pub(crate) fn run_select(
     };
 
     // --- base scan + pipeline ---
-    let mut rids = crate::plan::execute_path(base, &qplan.base, cost);
+    let mut rids = crate::plan::execute_path(base, &qplan.base, cost, snap);
     if let Some(r) = rids.as_mut() {
         if !qplan.order_satisfied {
             // Path order only matters when the executor keeps it (sort
@@ -381,7 +432,7 @@ pub(crate) fn run_select(
     }
     let rid_list: Vec<RowId> = match rids {
         Some(rids) => rids,
-        None => base.iter().map(|(rid, _)| rid).collect(),
+        None => base.scan_rids(),
     };
 
     // With `fetch_limit` the pipeline's output order is final, so the
@@ -415,7 +466,9 @@ pub(crate) fn run_select(
 
     let mut current: Vec<Row> = Vec::new();
     'scan: for rid in rid_list {
-        let Some(r0) = base.get(rid) else { continue };
+        let Some(r0) = base.visible(rid, snap) else {
+            continue;
+        };
         touch_read(pool, base, rid, cost);
         cost.rows_scanned += 1;
         let mut batch: Vec<Row> = vec![r0.clone()];
@@ -425,7 +478,7 @@ pub(crate) fn run_select(
             }
             let mut next = Vec::new();
             for left in &batch {
-                join_step(step, left, params, pool, cost, &mut next)?;
+                join_step(step, left, params, pool, cost, &mut next, snap)?;
             }
             batch = next;
         }
@@ -591,37 +644,43 @@ impl TopK {
 
 /// Answers a planner-approved `SELECT COUNT(*)` from index metadata: the
 /// pk map for `PkEq`, posting lists for `IndexEq`/`IndexPrefixRange`, and
-/// the live row count for a predicate-free scan. No heap page is touched.
+/// the visible row count for a predicate-free scan. No heap page is
+/// touched; entries resolve against the snapshot so counts agree with
+/// what a full scan at the same snapshot would return.
 fn run_count_only(
     base: &Table,
     sel: &Select,
     qplan: &QueryPlan,
     cost: &mut CostReport,
+    snap: &Snapshot,
 ) -> Result<QueryResult> {
     use crate::plan::AccessPath;
     let n = match &qplan.base.path {
-        AccessPath::TableScan => base.len() as i64,
+        AccessPath::TableScan => base.visible_len(snap) as i64,
         AccessPath::PkEq { key } => {
             cost.index_probes += 1;
-            i64::from(base.find_pk(key).is_some())
+            i64::from(base.find_pk_visible(key, snap).is_some())
         }
         AccessPath::IndexEq { index, key } => {
             cost.index_probes += 1;
             let idx = base.index_by_name(index).expect("planned index exists");
-            base.index_lookup(idx, key).len() as i64
+            base.index_lookup_visible(idx, key, snap).len() as i64
         }
         AccessPath::IndexPrefixRange { index, prefix } => {
             cost.index_probes += 1;
             let idx = base.index_by_name(index).expect("planned index exists");
-            base.index_prefix_scan(idx, prefix, false).len() as i64
+            base.index_prefix_scan_visible(idx, prefix, false, snap)
+                .len() as i64
         }
         AccessPath::PkOr { keys } => {
             cost.index_probes += keys.len() as u64;
-            keys.iter().filter(|k| base.find_pk(k).is_some()).count() as i64
+            keys.iter()
+                .filter(|k| base.find_pk_visible(k, snap).is_some())
+                .count() as i64
         }
         AccessPath::PkRange { from, to } => {
             cost.index_probes += 1;
-            base.pk_range_scan(from, to, false).len() as i64
+            base.pk_range_scan_visible(from, to, false, snap).len() as i64
         }
         AccessPath::IndexRange {
             index,
@@ -631,12 +690,14 @@ fn run_count_only(
         } => {
             cost.index_probes += 1;
             let idx = base.index_by_name(index).expect("planned index exists");
-            base.index_range_scan(idx, eq_prefix, from, to, false).len() as i64
+            base.index_range_scan_visible(idx, eq_prefix, from, to, false, snap)
+                .len() as i64
         }
         AccessPath::IndexOr { index, keys } => {
             cost.index_probes += keys.len() as u64;
             let idx = base.index_by_name(index).expect("planned index exists");
-            base.index_multi_lookup(idx, keys, false).len() as i64
+            base.index_multi_lookup_visible(idx, keys, false, snap)
+                .len() as i64
         }
         AccessPath::IndexInList {
             index,
@@ -645,7 +706,8 @@ fn run_count_only(
         } => {
             cost.index_probes += keys.len() as u64;
             let idx = base.index_by_name(index).expect("planned index exists");
-            base.index_in_scan(idx, eq_prefix, keys, false).len() as i64
+            base.index_in_scan_visible(idx, eq_prefix, keys, false, snap)
+                .len() as i64
         }
     };
     let alias = match &sel.projection[..] {
@@ -878,13 +940,15 @@ fn aggregate(func: AggFunc, arg: Option<&Expr>, rows: &[Row], params: &[Value]) 
 // Writes
 // ---------------------------------------------------------------------
 
-/// Executes an INSERT.
+/// Executes an INSERT under `view` (versioned: the rows stay invisible
+/// to other snapshots until the transaction commits).
 pub(crate) fn run_insert(
     catalog: &mut Catalog,
     pool: &mut BufferPool,
     ins: &Insert,
     params: &[Value],
     cost: &mut CostReport,
+    view: &ExecView,
 ) -> Result<WriteEffect> {
     // Evaluate all rows up front (no row context in VALUES).
     let schema = catalog.table(&ins.table)?.schema().clone();
@@ -923,13 +987,24 @@ pub(crate) fn run_insert(
 
     // Foreign-key checks (charge one probe per FK per row).
     for row in &full_rows {
-        check_foreign_keys(catalog, pool, &schema, row, cost)?;
+        check_foreign_keys(catalog, pool, &schema, row, cost, view)?;
     }
 
+    let tid = view.tid();
     let table = catalog.table_mut(&ins.table)?;
     let mut effect = WriteEffect::default();
     for row in full_rows {
-        let rid = table.insert(row.clone())?;
+        // Statement atomicity: a failure on row N (unique violation,
+        // write conflict) must also undo rows 1..N-1 — leaking their
+        // versions would leave keys permanently wedged on a writer that
+        // never commits.
+        let rid = match table.insert_txn(row.clone(), tid, &view.snap) {
+            Ok(rid) => rid,
+            Err(e) => {
+                undo_same_table(table, effect.undo, tid);
+                return Err(e);
+            }
+        };
         let stored = table.get(rid).expect("just inserted").clone();
         // Re-borrow immutably for page math is fine: same table.
         let page = PageId {
@@ -959,13 +1034,43 @@ pub(crate) fn run_insert(
     Ok(effect)
 }
 
+/// Rolls back a half-applied statement's writes (all on one table), in
+/// reverse order — the statement-atomicity path. Unlike
+/// [`apply_undo`], the caller still holds the table borrow.
+fn undo_same_table(table: &mut Table, undo: Vec<UndoOp>, tid: TxnId) {
+    for op in undo.into_iter().rev() {
+        match op {
+            UndoOp::Insert { rid, .. } => table.undo_insert(rid),
+            UndoOp::Delete {
+                rid, row, pushed, ..
+            } => table.undo_delete(rid, row, pushed, tid),
+            UndoOp::Update {
+                rid,
+                before,
+                pushed,
+                ..
+            } => table.undo_update(rid, before, pushed, tid),
+        }
+    }
+}
+
+/// Validates a row's foreign keys conservatively in both directions: the
+/// parent must be **visible** at the latest committed epoch plus the
+/// writer's own rows ([`ExecView::fk_snap`]) — so another transaction's
+/// uncommitted parent insert does not satisfy the constraint (it may
+/// roll back) — *and* a **live heap row must still carry the key** — so
+/// a parent under another transaction's uncommitted delete *or pk move*
+/// fails the check too (that write may commit, orphaning the child).
+/// Only a parent both committed-visible and not pending removal passes.
 fn check_foreign_keys(
     catalog: &Catalog,
     pool: &mut BufferPool,
     schema: &crate::schema::TableSchema,
     row: &Row,
     cost: &mut CostReport,
+    view: &ExecView,
 ) -> Result<()> {
+    let fk_snap = view.fk_snap();
     for fk in schema.foreign_keys() {
         let pos = schema.require_column(&fk.column)?;
         let v = row.get(pos);
@@ -975,9 +1080,20 @@ fn check_foreign_keys(
         let ref_table = catalog.table(&fk.ref_table)?;
         cost.index_probes += 1;
         let v = coerce_for(ref_table, &fk.ref_column, v);
-        match ref_table.find_pk(&v) {
-            Some(rid) => touch_read(pool, ref_table, rid, cost),
-            None => {
+        match ref_table.fk_probe(&v, &fk_snap) {
+            (Some(rid), true) => touch_read(pool, ref_table, rid, cost),
+            // Committed-visible but no live heap row carries the key:
+            // the only way is another transaction's *pending* delete or
+            // pk move (committed changes would show in both views).
+            // That race is unresolved — retryable, like every other
+            // pending-write collision in this engine.
+            (Some(_), false) => {
+                return Err(StorageError::WriteConflict {
+                    table: fk.ref_table.clone(),
+                    key: v.to_string(),
+                })
+            }
+            (None, _) => {
                 return Err(StorageError::ForeignKeyViolation {
                     constraint: fk.name.clone(),
                     detail: format!(
@@ -991,33 +1107,48 @@ fn check_foreign_keys(
     Ok(())
 }
 
-/// Executes an UPDATE.
+/// Executes an UPDATE under `view`: rows match against the statement's
+/// snapshot, and each write passes the first-updater-wins gate —
+/// touching a row whose newest committed version postdates the snapshot
+/// aborts with [`StorageError::WriteConflict`].
 pub(crate) fn run_update(
     catalog: &mut Catalog,
     pool: &mut BufferPool,
     upd: &Update,
     params: &[Value],
     cost: &mut CostReport,
+    view: &ExecView,
 ) -> Result<WriteEffect> {
     let schema = catalog.table(&upd.table)?.schema().clone();
     let mut layout = Layout::default();
     layout.push_table(&upd.table, catalog.table(&upd.table)?);
+    let snap = view.snap;
+    let tid = view.tid();
 
-    // Plan matching rows.
+    // Plan matching rows against the snapshot.
     let match_rids = {
         let table = catalog.table(&upd.table)?;
-        let rids = plan_write_rids(table, &upd.table, upd.predicate.as_ref(), params, cost)?;
+        let rids = plan_write_rids(
+            table,
+            &upd.table,
+            upd.predicate.as_ref(),
+            params,
+            cost,
+            &snap,
+        )?;
         let bound = match &upd.predicate {
             Some(p) => Some(p.bind(&layout.binder())?),
             None => None,
         };
         let candidates: Vec<RowId> = match rids {
             Some(r) => r,
-            None => table.iter().map(|(rid, _)| rid).collect(),
+            None => table.scan_rids(),
         };
         let mut matched = Vec::new();
         for rid in candidates {
-            let Some(row) = table.get(rid) else { continue };
+            let Some(row) = table.visible(rid, &snap) else {
+                continue;
+            };
             touch_read(pool, table, rid, cost);
             cost.rows_scanned += 1;
             let keep = match &bound {
@@ -1039,21 +1170,66 @@ pub(crate) fn run_update(
         .collect::<Result<_>>()?;
 
     let mut effect = WriteEffect::default();
-    for rid in match_rids {
+    let applied = apply_update_rows(
+        catalog,
+        pool,
+        upd,
+        &schema,
+        &sets,
+        &match_rids,
+        params,
+        cost,
+        view,
+        &mut effect,
+    );
+    if let Err(e) = applied {
+        // Statement atomicity: a conflict or constraint failure on row
+        // N also undoes rows 1..N-1 (their versions would otherwise
+        // leak on a writer that never commits).
+        undo_same_table(
+            catalog.table_mut(&upd.table)?,
+            std::mem::take(&mut effect.undo),
+            tid,
+        );
+        return Err(e);
+    }
+    Ok(effect)
+}
+
+/// The row-application loop of [`run_update`], split out so its caller
+/// can roll back a half-applied statement on error.
+#[allow(clippy::too_many_arguments)]
+fn apply_update_rows(
+    catalog: &mut Catalog,
+    pool: &mut BufferPool,
+    upd: &Update,
+    schema: &crate::schema::TableSchema,
+    sets: &[(usize, Expr)],
+    match_rids: &[RowId],
+    params: &[Value],
+    cost: &mut CostReport,
+    view: &ExecView,
+    effect: &mut WriteEffect,
+) -> Result<()> {
+    let snap = view.snap;
+    let tid = view.tid();
+    for &rid in match_rids {
         let old = catalog
             .table(&upd.table)?
-            .get(rid)
+            .visible(rid, &snap)
             .cloned()
             .ok_or_else(|| StorageError::Eval("row vanished during update".into()))?;
         let mut new = old.clone();
-        for (pos, e) in &sets {
+        for (pos, e) in sets {
             let v = e.eval(&old, params)?;
             new.values_mut()[*pos] = v;
         }
         // FK checks against the new image.
-        check_foreign_keys(catalog, pool, &schema, &new, cost)?;
+        check_foreign_keys(catalog, pool, schema, &new, cost, view)?;
         let table = catalog.table_mut(&upd.table)?;
-        let before = table.update(rid, new.clone())?;
+        // The write gate guarantees `before` equals the version the
+        // snapshot matched (or the transaction's own newer image).
+        let (before, pushed) = table.update_txn(rid, new.clone(), tid, &snap)?;
         let stored = table.get(rid).expect("just updated").clone();
         touch_write_raw(pool, table.id(), table.page_of(rid), cost);
         cost.rows_written += 1;
@@ -1061,16 +1237,17 @@ pub(crate) fn run_update(
         effect.undo.push(UndoOp::Update {
             table: upd.table.clone(),
             rid,
-            before,
+            before: before.clone(),
+            pushed,
         });
         effect.changes.push(RowChange {
             table: upd.table.clone(),
             event: TriggerEvent::Update,
-            old: Some(old),
+            old: Some(before),
             new: Some(stored),
         });
     }
-    Ok(effect)
+    Ok(())
 }
 
 fn touch_write_raw(pool: &mut BufferPool, table: u32, page: u64, cost: &mut CostReport) {
@@ -1083,30 +1260,44 @@ fn touch_write_raw(pool: &mut BufferPool, table: u32, page: u64, cost: &mut Cost
     cost.page_writebacks += t.writebacks;
 }
 
-/// Executes a DELETE.
+/// Executes a DELETE under `view`: rows match against the statement's
+/// snapshot and pass the first-updater-wins gate; the deleted versions
+/// stay visible to older snapshots until vacuumed.
 pub(crate) fn run_delete(
     catalog: &mut Catalog,
     pool: &mut BufferPool,
     del: &Delete,
     params: &[Value],
     cost: &mut CostReport,
+    view: &ExecView,
 ) -> Result<WriteEffect> {
     let mut layout = Layout::default();
     layout.push_table(&del.table, catalog.table(&del.table)?);
+    let snap = view.snap;
+    let tid = view.tid();
     let match_rids = {
         let table = catalog.table(&del.table)?;
-        let rids = plan_write_rids(table, &del.table, del.predicate.as_ref(), params, cost)?;
+        let rids = plan_write_rids(
+            table,
+            &del.table,
+            del.predicate.as_ref(),
+            params,
+            cost,
+            &snap,
+        )?;
         let bound = match &del.predicate {
             Some(p) => Some(p.bind(&layout.binder())?),
             None => None,
         };
         let candidates: Vec<RowId> = match rids {
             Some(r) => r,
-            None => table.iter().map(|(rid, _)| rid).collect(),
+            None => table.scan_rids(),
         };
         let mut matched = Vec::new();
         for rid in candidates {
-            let Some(row) = table.get(rid) else { continue };
+            let Some(row) = table.visible(rid, &snap) else {
+                continue;
+            };
             touch_read(pool, table, rid, cost);
             cost.rows_scanned += 1;
             let keep = match &bound {
@@ -1123,8 +1314,13 @@ pub(crate) fn run_delete(
     let table = catalog.table_mut(&del.table)?;
     let mut effect = WriteEffect::default();
     for rid in match_rids {
-        let Some(old) = table.delete(rid) else {
-            continue;
+        // Statement atomicity: see run_insert.
+        let (old, pushed) = match table.delete_txn(rid, tid, &snap) {
+            Ok(r) => r,
+            Err(e) => {
+                undo_same_table(table, effect.undo, tid);
+                return Err(e);
+            }
         };
         touch_write_raw(pool, table.id(), table.page_of(rid), cost);
         cost.rows_written += 1;
@@ -1133,6 +1329,7 @@ pub(crate) fn run_delete(
             table: del.table.clone(),
             rid,
             row: old.clone(),
+            pushed,
         });
         effect.changes.push(RowChange {
             table: del.table.clone(),
@@ -1144,22 +1341,35 @@ pub(crate) fn run_delete(
     Ok(effect)
 }
 
-/// Applies undo operations in reverse order (transaction rollback).
-pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>) -> Result<()> {
+/// Applies `tid`'s undo operations in reverse order (transaction
+/// rollback): uncommitted versions disappear, pushed history versions
+/// pop back into place, and no other snapshot ever observes an
+/// intermediate state.
+pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>, tid: TxnId) -> Result<()> {
     for op in undo.into_iter().rev() {
         match op {
             UndoOp::Insert { table, rid } => {
-                catalog.table_mut(&table)?.delete(rid);
+                catalog.table_mut(&table)?.undo_insert(rid);
             }
-            UndoOp::Delete { table, rid, row } => {
-                catalog.table_mut(&table)?.restore(rid, row);
+            UndoOp::Delete {
+                table,
+                rid,
+                row,
+                pushed,
+            } => {
+                catalog
+                    .table_mut(&table)?
+                    .undo_delete(rid, row, pushed, tid);
             }
-            UndoOp::Update { table, rid, before } => {
-                let t = catalog.table_mut(&table)?;
-                // Restore via delete+restore to bypass constraint checks:
-                // the pre-image was valid when first stored.
-                t.delete(rid);
-                t.restore(rid, before);
+            UndoOp::Update {
+                table,
+                rid,
+                before,
+                pushed,
+            } => {
+                catalog
+                    .table_mut(&table)?
+                    .undo_update(rid, before, pushed, tid);
             }
         }
     }

@@ -12,10 +12,13 @@
 //! * **row-level AFTER triggers** fired synchronously inside write
 //!   statements — the primitive CacheGenie uses to keep the cache
 //!   consistent ([`Trigger`], [`TriggerCtx`]);
-//! * thread-scoped transactions with undo-log rollback under strict
-//!   two-phase row/table locking and wait-for-graph deadlock detection
-//!   ([`Database::transaction`], [`Database::begin_concurrent`],
-//!   [`lockmgr::LockManager`]);
+//! * thread-scoped transactions with undo-log rollback: **MVCC snapshot
+//!   reads** (readers never block and never deadlock; see
+//!   [`Table::visible`] and `docs/ISOLATION.md`) over strict two-phase
+//!   row/table write locking with fair FIFO waiter queues,
+//!   wait-for-graph deadlock detection, and first-updater-wins
+//!   write-conflict detection ([`Database::transaction`],
+//!   [`Database::begin_concurrent`], [`lockmgr::LockManager`]);
 //! * a buffer-pool *model* that classifies page touches as hits or misses
 //!   and emits a per-statement [`CostReport`], which the benchmark harness
 //!   prices into simulated time ([`BufferPool`]).
@@ -71,7 +74,8 @@ pub mod value;
 pub use bufferpool::{BufferPool, PageId, PoolStats};
 pub use cost::CostReport;
 pub use db::{
-    CommitHook, ConcurrentTxn, Database, DbConfig, DbStats, DeferredPublish, ExecOutcome, TxnHandle,
+    CommitHook, ConcurrentTxn, Database, DbConfig, DbStats, DeferredPublish, ExecOutcome,
+    TxnHandle, VersionStats,
 };
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
@@ -84,6 +88,6 @@ pub use query::{
 pub use row::{Row, RowId};
 pub use schema::{ColumnDef, ForeignKeyDef, IndexDef, TableSchema, TableSchemaBuilder};
 pub use stats::ColumnStats;
-pub use table::Table;
+pub use table::{Snapshot, Table};
 pub use trigger::{Trigger, TriggerBody, TriggerCtx, TriggerEvent, TriggerManager};
 pub use value::{Value, ValueType};

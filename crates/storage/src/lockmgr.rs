@@ -18,6 +18,24 @@
 //! [`StorageError::Deadlock`]. The caller rolls the victim back; every
 //! other cycle member proceeds.
 //!
+//! # Fair FIFO waiter queues
+//!
+//! Grants are *fair*: each resource keeps a FIFO queue of blocked
+//! requests, and a new request — even a non-blocking `try_acquire` — is
+//! refused while an earlier-queued request it conflicts with is still
+//! waiting. Without the queue, a table-exclusive escalation could starve
+//! forever behind an endless stream of mutually-compatible
+//! intent-exclusive holders: each IX would be granted against holders
+//! only, keeping the table busy so the X never got in. With the queue,
+//! the X's arrival cuts the line — later IX requesters queue up behind
+//! it, the in-flight IX holders drain, and the X proceeds. One
+//! exception: a transaction that already holds any lock on the resource
+//! jumps the queue (lock *upgrades* such as Shared → IntentExclusive
+//! must not wait behind a queued stranger, which would manufacture
+//! deadlocks); genuine upgrade deadlocks are still caught by the
+//! wait-for graph, because blocked requests list earlier incompatible
+//! waiters among their blockers.
+//!
 //! # Example
 //!
 //! ```
@@ -94,6 +112,54 @@ struct Shard {
     /// on one resource (e.g. `Shared` from a scan plus
     /// `IntentExclusive` from a later write) — each is kept.
     holders: BTreeMap<Target, Vec<(TxnId, LockMode)>>,
+    /// Resource -> blocked requests in arrival order (the fairness
+    /// queue). Entries carry a globally increasing sequence number; a
+    /// request conflicts with every earlier-queued incompatible entry,
+    /// so a stream of compatible holders cannot starve a queued
+    /// escalation.
+    waiters: BTreeMap<Target, Vec<(u64, TxnId, LockMode)>>,
+}
+
+impl Shard {
+    /// True when `tid` holds any mode on `target` (upgrade requests jump
+    /// the fairness queue).
+    fn holds_any(&self, target: &Target, tid: TxnId) -> bool {
+        self.holders
+            .get(target)
+            .is_some_and(|hs| hs.iter().any(|(t, _)| *t == tid))
+    }
+
+    /// Other transactions queued before `before_seq` (or at all, when
+    /// `None`) whose requested mode conflicts with `mode`.
+    fn queued_blockers(
+        &self,
+        target: &Target,
+        tid: TxnId,
+        mode: LockMode,
+        before_seq: Option<u64>,
+    ) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        if let Some(q) = self.waiters.get(target) {
+            for (seq, t, m) in q {
+                if before_seq.is_some_and(|s| *seq >= s) {
+                    break; // queue is in seq order
+                }
+                if *t != tid && !m.compatible(mode) && !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+
+    fn dequeue(&mut self, target: &Target, seq: u64) {
+        if let Some(q) = self.waiters.get_mut(target) {
+            q.retain(|(s, _, _)| *s != seq);
+            if q.is_empty() {
+                self.waiters.remove(target);
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -164,6 +230,8 @@ pub struct LockStats {
 pub struct LockManager {
     shards: Vec<(Mutex<Shard>, Condvar)>,
     graph: Mutex<WaitGraph>,
+    /// Arrival order for the per-resource fairness queues.
+    next_seq: AtomicU64,
     immediate_grants: AtomicU64,
     waits: AtomicU64,
     deadlocks: AtomicU64,
@@ -216,6 +284,7 @@ impl LockManager {
         LockManager {
             shards: (0..SHARDS).map(|_| Default::default()).collect(),
             graph: Mutex::new(WaitGraph::default()),
+            next_seq: AtomicU64::new(0),
             immediate_grants: AtomicU64::new(0),
             waits: AtomicU64::new(0),
             deadlocks: AtomicU64::new(0),
@@ -224,6 +293,11 @@ impl LockManager {
 
     /// Non-blocking acquisition: `Some(())` if granted immediately,
     /// `None` on conflict (nothing is recorded in the wait graph).
+    /// Respects the fairness queue: a request that conflicts with an
+    /// already-queued waiter is refused even when the current holders
+    /// would admit it, so the fast path cannot starve a queued
+    /// escalation. Upgrades (the transaction already holds a mode on
+    /// the resource) check holders only.
     pub fn try_acquire(
         &self,
         tid: TxnId,
@@ -234,7 +308,9 @@ impl LockManager {
         let (shard, _) = &self.shards[shard_of(table, pk)];
         let mut s = shard.lock().unwrap();
         let target: Target = (table.to_owned(), pk.cloned());
-        if Self::conflicts(&s, &target, tid, mode).is_empty() {
+        let fair =
+            s.holds_any(&target, tid) || s.queued_blockers(&target, tid, mode, None).is_empty();
+        if fair && Self::conflicts(&s, &target, tid, mode).is_empty() {
             Self::grant(&mut s, target, tid, mode);
             self.immediate_grants.fetch_add(1, Ordering::Relaxed);
             Some(())
@@ -243,7 +319,11 @@ impl LockManager {
         }
     }
 
-    /// Blocking acquisition under deadlock detection.
+    /// Blocking acquisition under deadlock detection and FIFO fairness:
+    /// the first refusal enqueues the request on the resource's waiter
+    /// queue, later conflicting requests wait behind it, and it is
+    /// granted once neither the holders nor any *earlier-queued* waiter
+    /// conflicts.
     ///
     /// # Errors
     ///
@@ -261,9 +341,25 @@ impl LockManager {
         let target: Target = (table.to_owned(), pk.cloned());
         let mut s = shard.lock().unwrap();
         let mut waited = false;
+        // Sequence number of this request's queue entry, once blocked.
+        let mut my_seq: Option<u64> = None;
         loop {
-            let blockers = Self::conflicts(&s, &target, tid, mode);
+            let mut blockers = Self::conflicts(&s, &target, tid, mode);
+            // Upgrades jump the queue (waiting behind a stranger while
+            // holding a lock the stranger needs would manufacture
+            // deadlocks); everything else also waits for earlier queued
+            // incompatible requests.
+            if !s.holds_any(&target, tid) {
+                for t in s.queued_blockers(&target, tid, mode, my_seq) {
+                    if !blockers.contains(&t) {
+                        blockers.push(t);
+                    }
+                }
+            }
             if blockers.is_empty() {
+                if let Some(seq) = my_seq {
+                    s.dequeue(&target, seq);
+                }
                 Self::grant(&mut s, target, tid, mode);
                 let mut g = self.graph.lock().unwrap();
                 g.edges.remove(&tid);
@@ -271,20 +367,39 @@ impl LockManager {
                 // cycle resolved without this transaction aborting.
                 g.victims.remove(&tid);
                 drop(g);
+                drop(s);
                 if waited {
                     self.waits.fetch_add(1, Ordering::Relaxed);
+                    // Our queue entry may have been the only thing
+                    // refusing requests that are compatible with the
+                    // holders; let them re-check.
+                    cv.notify_all();
                 } else {
                     self.immediate_grants.fetch_add(1, Ordering::Relaxed);
                 }
                 return Ok(());
             }
             waited = true;
+            if my_seq.is_none() && !s.holds_any(&target, tid) {
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                s.waiters
+                    .entry(target.clone())
+                    .or_default()
+                    .push((seq, tid, mode));
+                my_seq = Some(seq);
+            }
             // Record who we wait for and look for a cycle through us.
             {
                 let mut g = self.graph.lock().unwrap();
                 if g.victims.remove(&tid) {
                     g.edges.remove(&tid);
+                    if let Some(seq) = my_seq {
+                        s.dequeue(&target, seq);
+                    }
+                    drop(s);
                     self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                    // Our departure may unblock queued requests.
+                    cv.notify_all();
                     return Err(StorageError::Deadlock {
                         table: table.to_owned(),
                     });
@@ -298,7 +413,12 @@ impl LockManager {
                         .expect("cycle is non-empty");
                     if victim == tid {
                         g.edges.remove(&tid);
+                        if let Some(seq) = my_seq {
+                            s.dequeue(&target, seq);
+                        }
+                        drop(s);
                         self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                        cv.notify_all();
                         return Err(StorageError::Deadlock {
                             table: table.to_owned(),
                         });
@@ -521,6 +641,101 @@ mod tests {
         );
         m.release_all(1);
         assert_eq!(m.stats().deadlocks, 1);
+        assert_eq!(m.locked_resources(), 0);
+    }
+
+    #[test]
+    fn queued_escalation_cannot_be_starved_by_compatible_stream() {
+        // Txn 1 holds IX. Txn 2 requests table-X and blocks (queued).
+        // Without the fairness queue, txn 3's IX — compatible with txn
+        // 1's IX — would be granted immediately, and an endless stream
+        // of such IX holders would starve the X forever. With the
+        // queue, txn 3 is refused while the X waits.
+        let m = Arc::new(LockManager::new());
+        m.acquire(1, "t", None, LockMode::IntentExclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            m2.acquire(2, "t", None, LockMode::Exclusive).unwrap();
+            m2.release_all(2);
+        });
+        // Wait until the X request is queued.
+        for _ in 0..1000 {
+            let queued = m.shards.iter().any(|(s, _)| {
+                s.lock()
+                    .unwrap()
+                    .waiters
+                    .values()
+                    .any(|q| q.iter().any(|(_, t, _)| *t == 2))
+            });
+            if queued {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The fast path must now refuse a compatible IX: it would jump
+        // the queued X.
+        assert!(
+            m.try_acquire(3, "t", None, LockMode::IntentExclusive)
+                .is_none(),
+            "IX must queue behind the waiting X, not starve it"
+        );
+        // Upgrades by an existing holder still jump the queue.
+        assert!(m
+            .try_acquire(1, "t", None, LockMode::IntentExclusive)
+            .is_some());
+        m.release_all(1);
+        h.join().unwrap();
+        // Once the X drained, the IX stream proceeds again.
+        assert!(m
+            .try_acquire(3, "t", None, LockMode::IntentExclusive)
+            .is_some());
+        m.release_all(3);
+        assert_eq!(m.locked_resources(), 0);
+    }
+
+    #[test]
+    fn blocking_requests_are_granted_fifo() {
+        // Holder S; queue X (txn 2) then S (txn 3). The later S is
+        // incompatible with the queued X, so it must not overtake it:
+        // txn 3 finishes only after txn 2 got (and released) the lock.
+        let m = Arc::new(LockManager::new());
+        m.acquire(1, "t", None, LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let x_order = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let xo2 = Arc::clone(&x_order);
+        let h2 = std::thread::spawn(move || {
+            m2.acquire(2, "t", None, LockMode::Exclusive).unwrap();
+            xo2.store(2, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            m2.release_all(2);
+        });
+        // Ensure txn 2 is queued before txn 3 arrives.
+        for _ in 0..1000 {
+            let queued = m.shards.iter().any(|(s, _)| {
+                s.lock()
+                    .unwrap()
+                    .waiters
+                    .values()
+                    .any(|q| q.iter().any(|(_, t, _)| *t == 2))
+            });
+            if queued {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let m3 = Arc::clone(&m);
+        let xo3 = Arc::clone(&x_order);
+        let h3 = std::thread::spawn(move || {
+            m3.acquire(3, "t", None, LockMode::Shared).unwrap();
+            let first = xo3.load(Ordering::SeqCst);
+            m3.release_all(3);
+            first
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        m.release_all(1); // X's turn first, then the S
+        h2.join().unwrap();
+        let seen_by_s = h3.join().unwrap();
+        assert_eq!(seen_by_s, 2, "the queued X ran before the later S");
         assert_eq!(m.locked_resources(), 0);
     }
 

@@ -968,23 +968,29 @@ fn plan_access_impl(
         .expect("TableScan is always a candidate"))
 }
 
-/// Executes a plan's access path, returning candidate row ids in path
-/// order (`None` means full heap scan). Charges probes to `cost`.
+/// Executes a plan's access path against the read `snap`shot, returning
+/// candidate row ids in path order (`None` means full heap scan — the
+/// executor drives it via [`Table::scan_rids`]). Charges probes to
+/// `cost`. Every id returned resolves to a version visible at the
+/// snapshot that actually carries the probed key.
 pub(crate) fn execute_path(
     table: &Table,
     plan: &Plan,
     cost: &mut CostReport,
+    snap: &crate::table::Snapshot,
 ) -> Option<Vec<crate::row::RowId>> {
     match &plan.path {
         AccessPath::TableScan => None,
         AccessPath::PkEq { key } => {
             cost.index_probes += 1;
-            Some(table.find_pk(key).into_iter().collect())
+            Some(table.find_pk_visible(key, snap).into_iter().collect())
         }
         AccessPath::PkOr { keys } => {
             cost.index_probes += keys.len() as u64;
-            let mut rids: Vec<crate::row::RowId> =
-                keys.iter().filter_map(|k| table.find_pk(k)).collect();
+            let mut rids: Vec<crate::row::RowId> = keys
+                .iter()
+                .filter_map(|k| table.find_pk_visible(k, snap))
+                .collect();
             if plan.reverse {
                 rids.reverse();
             }
@@ -992,12 +998,12 @@ pub(crate) fn execute_path(
         }
         AccessPath::PkRange { from, to } => {
             cost.index_probes += 1;
-            Some(table.pk_range_scan(from, to, plan.reverse))
+            Some(table.pk_range_scan_visible(from, to, plan.reverse, snap))
         }
         AccessPath::IndexEq { index, key } => {
             cost.index_probes += 1;
             let idx = table.index_by_name(index).expect("planned index exists");
-            Some(table.index_lookup(idx, key))
+            Some(table.index_lookup_visible(idx, key, snap))
         }
         AccessPath::IndexRange {
             index,
@@ -1007,17 +1013,17 @@ pub(crate) fn execute_path(
         } => {
             cost.index_probes += 1;
             let idx = table.index_by_name(index).expect("planned index exists");
-            Some(table.index_range_scan(idx, eq_prefix, from, to, plan.reverse))
+            Some(table.index_range_scan_visible(idx, eq_prefix, from, to, plan.reverse, snap))
         }
         AccessPath::IndexPrefixRange { index, prefix } => {
             cost.index_probes += 1;
             let idx = table.index_by_name(index).expect("planned index exists");
-            Some(table.index_prefix_scan(idx, prefix, plan.reverse))
+            Some(table.index_prefix_scan_visible(idx, prefix, plan.reverse, snap))
         }
         AccessPath::IndexOr { index, keys } => {
             cost.index_probes += keys.len() as u64;
             let idx = table.index_by_name(index).expect("planned index exists");
-            Some(table.index_multi_lookup(idx, keys, plan.reverse))
+            Some(table.index_multi_lookup_visible(idx, keys, plan.reverse, snap))
         }
         AccessPath::IndexInList {
             index,
@@ -1026,7 +1032,7 @@ pub(crate) fn execute_path(
         } => {
             cost.index_probes += keys.len() as u64;
             let idx = table.index_by_name(index).expect("planned index exists");
-            Some(table.index_in_scan(idx, eq_prefix, keys, plan.reverse))
+            Some(table.index_in_scan_visible(idx, eq_prefix, keys, plan.reverse, snap))
         }
     }
 }

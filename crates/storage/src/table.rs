@@ -1,19 +1,99 @@
-//! Heap tables with B-tree secondary indexes.
+//! Heap tables with B-tree secondary indexes and multi-version rows.
 //!
 //! Rows are stored in a `BTreeMap<RowId, Row>` heap ordered by insertion;
 //! every table has an implicit unique index on its primary key plus any
 //! number of secondary indexes (`BTreeMap<Vec<Value>, BTreeSet<RowId>>`).
-//! All index maintenance happens inside [`Table::insert`],
-//! [`Table::update`], and [`Table::delete`], so the executor can never
-//! leave an index stale.
+//! All index maintenance happens inside the write methods, so the
+//! executor can never leave an index stale.
+//!
+//! # Versioning (MVCC)
+//!
+//! The heap always holds the *newest* version of each row — committed,
+//! or uncommitted by exactly one writer (writers serialize per row via
+//! the engine's 2PL row locks). Two side structures carry history:
+//!
+//! * `meta`: the newest version's begin epoch and, while uncommitted,
+//!   its writer transaction. A row with no entry is an ancient
+//!   committed row (begin epoch 0) — vacuum collapses settled rows
+//!   back to this zero-cost state.
+//! * `history`: superseded committed versions, each valid over a
+//!   half-open epoch interval `[begin, end)`; the interval end stays
+//!   pending (attributed to the superseding writer) until that writer
+//!   commits.
+//!
+//! Index and pk entries are **append-only with respect to version
+//! churn**: a versioned update/delete adds entries for the new image but
+//! keeps the old image's entries so snapshot scans can still find the
+//! old version. Every snapshot read therefore re-checks that the version
+//! it resolved actually carries the key the entry promised (stale
+//! entries filter out, and a row that moved between two keys of one scan
+//! can never be returned twice). [`Table::vacuum`] physically removes
+//! entries once no live snapshot can reach their version. The
+//! *unversioned* write methods ([`Table::insert`], [`Table::update`],
+//! [`Table::delete`]) keep exact physical maintenance and no history —
+//! they exist for direct single-threaded table use and tests; the engine
+//! itself always goes through the `*_txn` variants.
 
 use crate::error::{Result, StorageError};
+use crate::lockmgr::TxnId;
 use crate::row::{Row, RowId};
 use crate::schema::{IndexDef, TableSchema};
 use crate::stats::ColumnStats;
 use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// A point-in-time read view: every read resolves the newest version
+/// whose begin epoch is `<= epoch` and that was not yet superseded at
+/// `epoch` — plus, when `writer` is set, that transaction's own
+/// uncommitted writes. Obtained from the engine (transactions pin one at
+/// BEGIN; autocommit statements use the latest committed epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Commit epoch this snapshot reads at (inclusive).
+    pub epoch: u64,
+    /// Transaction whose uncommitted writes are visible (its own).
+    pub writer: Option<TxnId>,
+}
+
+impl Snapshot {
+    /// True when `self` may see the uncommitted writes of `tid`.
+    fn owns(&self, tid: TxnId) -> bool {
+        self.writer == Some(tid)
+    }
+}
+
+/// When a superseded version stopped being current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VersionEnd {
+    /// Superseded by a version that committed at this epoch (the
+    /// interval is `[begin, end)` — snapshots at `end` or later no
+    /// longer see it).
+    At(u64),
+    /// Superseded by this still-uncommitted transaction: every snapshot
+    /// except that writer's own still sees this version.
+    Pending(TxnId),
+}
+
+/// One superseded committed row image.
+#[derive(Debug, Clone)]
+struct OldVersion {
+    /// Commit epoch at which this image became current.
+    begin: u64,
+    /// When (and by whom) it stopped being current.
+    end: VersionEnd,
+    row: Row,
+}
+
+/// Version metadata for the newest (heap) image of a row. Absent meta
+/// means "committed at epoch 0".
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Commit epoch of the heap image; meaningless while `writer` is set.
+    begin: u64,
+    /// The transaction whose uncommitted write the heap image is.
+    writer: Option<TxnId>,
+}
 
 /// Pending statistics deltas applied in a batch once this many queue
 /// entries accumulate (or earlier: at statement/commit boundaries via
@@ -129,9 +209,17 @@ pub struct Table {
     id: u32,
     rows: BTreeMap<RowId, Row>,
     next_rid: u64,
-    /// Implicit unique index: pk value -> row id.
-    pk_index: BTreeMap<Value, RowId>,
+    /// Implicit unique index: pk value -> row ids that ever carried it
+    /// (newest last). At most one is *live* at any snapshot; stale ids
+    /// linger until [`Table::vacuum`] so older snapshots can still probe
+    /// deleted or moved rows by primary key.
+    pk_index: BTreeMap<Value, Vec<RowId>>,
     indexes: Vec<Index>,
+    /// Version metadata for heap rows written since the last vacuum
+    /// horizon; rows absent here are committed-at-epoch-0.
+    meta: BTreeMap<RowId, RowMeta>,
+    /// Superseded committed versions, oldest first per row.
+    history: BTreeMap<RowId, Vec<OldVersion>>,
     /// Per-column statistics, parallel to the schema's column list. Row
     /// mutations queue deltas; the sketches/histograms refresh in epochs
     /// (queue overflow, statement/commit boundaries, planner reads)
@@ -148,6 +236,8 @@ impl Clone for Table {
             next_rid: self.next_rid,
             pk_index: self.pk_index.clone(),
             indexes: self.indexes.clone(),
+            meta: self.meta.clone(),
+            history: self.history.clone(),
             stats: Mutex::new({
                 let s = self.stats.lock();
                 TableStats {
@@ -174,6 +264,8 @@ impl Table {
             next_rid: 0,
             pk_index: BTreeMap::new(),
             indexes: Vec::new(),
+            meta: BTreeMap::new(),
+            history: BTreeMap::new(),
             stats: Mutex::new(TableStats {
                 cols,
                 pending: Vec::new(),
@@ -288,9 +380,197 @@ impl Table {
         Ok(Row::new(out))
     }
 
+    /// The live (heap-current) row id carrying `pk`, if any. Stale
+    /// entries from version churn are skipped by re-checking the heap
+    /// image actually has that key.
+    fn live_pk(&self, pk: &Value) -> Option<RowId> {
+        let pos = self.schema.primary_key_pos();
+        self.pk_index
+            .get(pk)?
+            .iter()
+            .rev()
+            .copied()
+            .find(|rid| self.rows.get(rid).is_some_and(|r| r.get(pos) == pk))
+    }
+
+    /// True when a *live* row other than `exclude` carries `key` on the
+    /// unique index `idx` — the uniqueness predicate under versioning,
+    /// where entries may reference dead versions.
+    fn live_unique_conflict(&self, idx: &Index, key: &[Value], exclude: Option<RowId>) -> bool {
+        idx.map.get(key).is_some_and(|set| {
+            set.iter().any(|&r| {
+                Some(r) != exclude
+                    && self.rows.get(&r).is_some_and(|row| {
+                        idx.key_pos.iter().zip(key).all(|(&p, kv)| row.get(p) == kv)
+                    })
+            })
+        })
+    }
+
+    fn pk_entry_add(&mut self, pk: &Value, rid: RowId) {
+        if pk.is_null() {
+            return;
+        }
+        let v = self.pk_index.entry(pk.clone()).or_default();
+        if !v.contains(&rid) {
+            v.push(rid);
+        }
+    }
+
+    fn pk_entry_remove(&mut self, pk: &Value, rid: RowId) {
+        if pk.is_null() {
+            return;
+        }
+        if let Some(v) = self.pk_index.get_mut(pk) {
+            v.retain(|&r| r != rid);
+            if v.is_empty() {
+                self.pk_index.remove(pk);
+            }
+        }
+    }
+
+    fn index_entries_add(&mut self, rid: RowId, row: &Row) {
+        for idx in &mut self.indexes {
+            let key = idx.key_of(row);
+            idx.map.entry(key).or_default().insert(rid);
+        }
+    }
+
+    fn index_entries_remove(&mut self, rid: RowId, row: &Row) {
+        for idx in &mut self.indexes {
+            let key = idx.key_of(row);
+            if let Some(set) = idx.map.get_mut(&key) {
+                set.remove(&rid);
+                if set.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Shared pk/unique constraint gate for inserts.
+    fn check_insert_constraints(&self, row: &Row) -> Result<()> {
+        let pk = row.get(self.schema.primary_key_pos());
+        if !pk.is_null() && self.live_pk(pk).is_some() {
+            return Err(StorageError::UniqueViolation {
+                index: format!("{}_pkey", self.schema.name()),
+                key: pk.to_string(),
+            });
+        }
+        self.check_unique_secondary(row, None)
+    }
+
+    /// Unique-secondary-index gate shared by the versioned and
+    /// unversioned insert paths: a conflict exists only against *live*
+    /// rows actually carrying the key.
+    fn check_unique_secondary(&self, row: &Row, exclude: Option<RowId>) -> Result<()> {
+        for idx in &self.indexes {
+            if idx.def.unique {
+                let key = idx.key_of(row);
+                if !key.iter().any(Value::is_null) && self.live_unique_conflict(idx, &key, exclude)
+                {
+                    return Err(StorageError::UniqueViolation {
+                        index: idx.def.name.clone(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The versioned half of the unique-secondary gate. It only ever
+    /// raises the *retryable* [`StorageError::WriteConflict`] — genuine
+    /// duplicates stay with the plain checks — for key collisions whose
+    /// outcome depends on a concurrent transaction or snapshot:
+    ///
+    /// * a **live** row carrying the key that is another transaction's
+    ///   uncommitted write (it may roll back, so aborting with a
+    ///   permanent `UniqueViolation` would be spurious);
+    /// * a not-yet-vacuumed **version** carrying the key that is either
+    ///   pending supersession/deletion by another transaction (whose
+    ///   rollback would bring the key back alongside ours) or still
+    ///   visible to this snapshot (a ghost a newer commit removed —
+    ///   committing would put two rows with one unique key into our own
+    ///   snapshot).
+    ///
+    /// Call it *before* the plain checks so races classify as
+    /// retryable. `old` (an update's pre-image) skips indexes whose key
+    /// did not change — the row already holds those keys legitimately.
+    fn check_unique_secondary_versioned(
+        &self,
+        row: &Row,
+        old: Option<&Row>,
+        exclude: Option<RowId>,
+        tid: TxnId,
+        snap: &Snapshot,
+    ) -> Result<()> {
+        for idx in &self.indexes {
+            if !idx.def.unique {
+                continue;
+            }
+            let key = idx.key_of(row);
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if old.is_some_and(|o| idx.key_of(o) == key) {
+                continue;
+            }
+            let Some(set) = idx.map.get(&key) else {
+                continue;
+            };
+            for &rid in set {
+                if Some(rid) == exclude {
+                    continue;
+                }
+                let conflict = StorageError::WriteConflict {
+                    table: self.schema.name().to_owned(),
+                    key: format!("{key:?}"),
+                };
+                // Live image carrying the key, uncommitted by another
+                // transaction: the collision is unresolved — retry.
+                let live_carries = self
+                    .rows
+                    .get(&rid)
+                    .is_some_and(|r| idx.key_pos.iter().zip(&key).all(|(&p, kv)| r.get(p) == kv));
+                if live_carries {
+                    if let Some(m) = self.meta.get(&rid) {
+                        if m.writer.is_some_and(|w| w != tid) {
+                            return Err(conflict);
+                        }
+                    }
+                    continue; // committed or own: the plain checks decide
+                }
+                let Some(chain) = self.history.get(&rid) else {
+                    continue;
+                };
+                for v in chain.iter().rev() {
+                    let carries = idx
+                        .key_pos
+                        .iter()
+                        .zip(&key)
+                        .all(|(&p, kv)| v.row.get(p) == kv);
+                    if !carries {
+                        continue;
+                    }
+                    let blocked = match v.end {
+                        VersionEnd::Pending(t) => t != tid,
+                        VersionEnd::At(e) => e > snap.epoch,
+                    };
+                    if blocked {
+                        return Err(conflict);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Inserts a row, enforcing PK and unique-index constraints.
     ///
-    /// Returns the new row's heap id.
+    /// Returns the new row's heap id. Unversioned: the row is visible to
+    /// every snapshot (begin epoch 0); the engine uses
+    /// [`Table::insert_txn`] instead.
     ///
     /// # Errors
     ///
@@ -298,67 +578,39 @@ impl Table {
     /// errors per [`Table::validate`].
     pub fn insert(&mut self, row: Row) -> Result<RowId> {
         let row = self.validate(&row)?;
-        let pk = row.get(self.schema.primary_key_pos()).clone();
-        if !pk.is_null() && self.pk_index.contains_key(&pk) {
-            return Err(StorageError::UniqueViolation {
-                index: format!("{}_pkey", self.schema.name()),
-                key: pk.to_string(),
-            });
-        }
-        for idx in &self.indexes {
-            if idx.def.unique {
-                let key = idx.key_of(&row);
-                if !key.iter().any(Value::is_null) {
-                    if let Some(set) = idx.map.get(&key) {
-                        if !set.is_empty() {
-                            return Err(StorageError::UniqueViolation {
-                                index: idx.def.name.clone(),
-                                key: format!("{key:?}"),
-                            });
-                        }
-                    }
-                }
-            }
-        }
+        self.check_insert_constraints(&row)?;
         let rid = RowId(self.next_rid);
         self.next_rid += 1;
-        if !pk.is_null() {
-            self.pk_index.insert(pk, rid);
-        }
-        for idx in &mut self.indexes {
-            let key = idx.key_of(&row);
-            idx.map.entry(key).or_default().insert(rid);
-        }
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        self.pk_entry_add(&pk, rid);
+        self.index_entries_add(rid, &row);
         self.stats_add(&row);
         self.rows.insert(rid, row);
         Ok(rid)
     }
 
-    /// Reinserts a row under a specific id (transaction rollback path).
+    /// Reinserts a row under a specific id (test/reseed path).
     ///
     /// Bypasses validation — the row was valid when it was first stored.
+    #[cfg(test)]
     pub(crate) fn restore(&mut self, rid: RowId, row: Row) {
         let pk = row.get(self.schema.primary_key_pos()).clone();
-        if !pk.is_null() {
-            self.pk_index.insert(pk, rid);
-        }
-        for idx in &mut self.indexes {
-            let key = idx.key_of(&row);
-            idx.map.entry(key).or_default().insert(rid);
-        }
+        self.pk_entry_add(&pk, rid);
+        self.index_entries_add(rid, &row);
         self.next_rid = self.next_rid.max(rid.0 + 1);
         self.stats_add(&row);
         self.rows.insert(rid, row);
     }
 
-    /// Fetches a row by heap id.
+    /// Fetches the *newest* image of a row by heap id, committed or not.
+    /// Snapshot readers use [`Table::visible`] instead.
     pub fn get(&self, rid: RowId) -> Option<&Row> {
         self.rows.get(&rid)
     }
 
-    /// Looks up a row id by primary-key value.
+    /// Looks up the live (newest-version) row id by primary-key value.
     pub fn find_pk(&self, pk: &Value) -> Option<RowId> {
-        self.pk_index.get(pk).copied()
+        self.live_pk(pk)
     }
 
     /// Replaces the row at `rid`, maintaining all indexes.
@@ -376,39 +628,59 @@ impl Table {
             .get(&rid)
             .cloned()
             .ok_or_else(|| StorageError::Eval(format!("update of missing row {rid}")))?;
+        self.check_update_constraints(rid, &old_row, &new_row)?;
+        // Constraints hold; apply exact physical index maintenance.
+        let pk_pos = self.schema.primary_key_pos();
+        let (old_pk, new_pk) = (old_row.get(pk_pos).clone(), new_row.get(pk_pos).clone());
+        if old_pk != new_pk {
+            self.pk_entry_remove(&old_pk, rid);
+            self.pk_entry_add(&new_pk, rid);
+        }
+        self.reindex(rid, &old_row, &new_row);
+        self.stats_remove(&old_row);
+        self.stats_add(&new_row);
+        self.rows.insert(rid, new_row);
+        Ok(old_row)
+    }
+
+    /// Shared pk/unique constraint gate for updates (old image -> new).
+    fn check_update_constraints(&self, rid: RowId, old_row: &Row, new_row: &Row) -> Result<()> {
         let pk_pos = self.schema.primary_key_pos();
         let (old_pk, new_pk) = (old_row.get(pk_pos), new_row.get(pk_pos));
-        if old_pk != new_pk && !new_pk.is_null() && self.pk_index.contains_key(new_pk) {
-            return Err(StorageError::UniqueViolation {
-                index: format!("{}_pkey", self.schema.name()),
-                key: new_pk.to_string(),
-            });
-        }
-        for idx in &self.indexes {
-            if idx.def.unique {
-                let new_key = idx.key_of(&new_row);
-                if new_key != idx.key_of(&old_row) && !new_key.iter().any(Value::is_null) {
-                    if let Some(set) = idx.map.get(&new_key) {
-                        if set.iter().any(|r| *r != rid) {
-                            return Err(StorageError::UniqueViolation {
-                                index: idx.def.name.clone(),
-                                key: format!("{new_key:?}"),
-                            });
-                        }
-                    }
+        if old_pk != new_pk && !new_pk.is_null() {
+            if let Some(other) = self.live_pk(new_pk) {
+                if other != rid {
+                    return Err(StorageError::UniqueViolation {
+                        index: format!("{}_pkey", self.schema.name()),
+                        key: new_pk.to_string(),
+                    });
                 }
             }
         }
-        // Constraints hold; apply index maintenance.
-        if old_pk != new_pk {
-            self.pk_index.remove(old_pk);
-            if !new_pk.is_null() {
-                self.pk_index.insert(new_pk.clone(), rid);
+        for idx in &self.indexes {
+            if idx.def.unique {
+                let new_key = idx.key_of(new_row);
+                if new_key != idx.key_of(old_row)
+                    && !new_key.iter().any(Value::is_null)
+                    && self.live_unique_conflict(idx, &new_key, Some(rid))
+                {
+                    return Err(StorageError::UniqueViolation {
+                        index: idx.def.name.clone(),
+                        key: format!("{new_key:?}"),
+                    });
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Moves `rid`'s secondary-index entries from `old_row`'s keys to
+    /// `new_row`'s (exact physical maintenance; no-op per index when the
+    /// key did not change).
+    fn reindex(&mut self, rid: RowId, old_row: &Row, new_row: &Row) {
         for idx in &mut self.indexes {
-            let old_key = idx.key_of(&old_row);
-            let new_key = idx.key_of(&new_row);
+            let old_key = idx.key_of(old_row);
+            let new_key = idx.key_of(new_row);
             if old_key != new_key {
                 if let Some(set) = idx.map.get_mut(&old_key) {
                     set.remove(&rid);
@@ -419,28 +691,17 @@ impl Table {
                 idx.map.entry(new_key).or_default().insert(rid);
             }
         }
-        self.stats_remove(&old_row);
-        self.stats_add(&new_row);
-        self.rows.insert(rid, new_row);
-        Ok(old_row)
     }
 
-    /// Deletes the row at `rid`, returning its final image.
+    /// Deletes the row at `rid`, returning its final image. Unversioned:
+    /// the row vanishes for every snapshot; the engine uses
+    /// [`Table::delete_txn`] instead.
     pub fn delete(&mut self, rid: RowId) -> Option<Row> {
         let row = self.rows.remove(&rid)?;
-        let pk = row.get(self.schema.primary_key_pos());
-        if !pk.is_null() {
-            self.pk_index.remove(pk);
-        }
-        for idx in &mut self.indexes {
-            let key = idx.key_of(&row);
-            if let Some(set) = idx.map.get_mut(&key) {
-                set.remove(&rid);
-                if set.is_empty() {
-                    idx.map.remove(&key);
-                }
-            }
-        }
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        self.pk_entry_remove(&pk, rid);
+        self.index_entries_remove(rid, &row);
+        self.meta.remove(&rid);
         self.stats_remove(&row);
         Some(row)
     }
@@ -448,6 +709,566 @@ impl Table {
     /// Iterates over `(RowId, &Row)` in heap order.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
         self.rows.iter().map(|(r, row)| (*r, row))
+    }
+
+    // ----- MVCC: snapshot reads -----
+
+    /// Resolves the version of `rid` visible to `snap`: the heap image
+    /// when it is the snapshot's own uncommitted write or committed at
+    /// `snap.epoch` or earlier; otherwise the newest history version
+    /// whose `[begin, end)` interval covers the snapshot. `None` when no
+    /// version is visible (row did not exist yet, or was deleted before
+    /// the snapshot).
+    pub fn visible(&self, rid: RowId, snap: &Snapshot) -> Option<&Row> {
+        if let Some(r) = self.rows.get(&rid) {
+            match self.meta.get(&rid) {
+                None => return Some(r), // settled committed row
+                Some(m) => match m.writer {
+                    Some(w) => {
+                        if snap.owns(w) {
+                            return Some(r);
+                        }
+                    }
+                    None => {
+                        if m.begin <= snap.epoch {
+                            return Some(r);
+                        }
+                    }
+                },
+            }
+        }
+        // Newest version with begin <= snap decides: if it ended for
+        // this snapshot, every older version ended even earlier.
+        let chain = self.history.get(&rid)?;
+        for v in chain.iter().rev() {
+            if v.begin > snap.epoch {
+                continue;
+            }
+            let ended = match v.end {
+                VersionEnd::At(e) => e <= snap.epoch,
+                VersionEnd::Pending(t) => snap.owns(t),
+            };
+            return if ended { None } else { Some(&v.row) };
+        }
+        None
+    }
+
+    /// One-pass foreign-key probe: resolves `pk` against `snap` and
+    /// reports whether a live heap row also carries it — the two facts
+    /// the FK check needs, from a single walk of the key's entry list.
+    pub fn fk_probe(&self, pk: &Value, snap: &Snapshot) -> (Option<RowId>, bool) {
+        let pos = self.schema.primary_key_pos();
+        let Some(rids) = self.pk_index.get(pk) else {
+            return (None, false);
+        };
+        let mut visible = None;
+        let mut live = false;
+        for &rid in rids.iter().rev() {
+            if !live && self.rows.get(&rid).is_some_and(|r| r.get(pos) == pk) {
+                live = true;
+            }
+            if visible.is_none() && self.visible(rid, snap).is_some_and(|r| r.get(pos) == pk) {
+                visible = Some(rid);
+            }
+            if live && visible.is_some() {
+                break;
+            }
+        }
+        (visible, live)
+    }
+
+    /// Snapshot-aware primary-key probe: the row id whose visible
+    /// version carries `pk`, if any (at most one can).
+    pub fn find_pk_visible(&self, pk: &Value, snap: &Snapshot) -> Option<RowId> {
+        let pos = self.schema.primary_key_pos();
+        self.pk_index
+            .get(pk)?
+            .iter()
+            .rev()
+            .copied()
+            .find(|&rid| self.visible(rid, snap).is_some_and(|r| r.get(pos) == pk))
+    }
+
+    /// Candidate row ids for a snapshot full scan, in heap (row-id)
+    /// order: every heap row plus rows whose only remaining versions are
+    /// not-yet-vacuumed history (e.g. pending deletes older snapshots
+    /// still see). May include ids with no visible version — callers
+    /// resolve each through [`Table::visible`] anyway, so filtering here
+    /// would pay the visibility predicate twice per row.
+    pub fn scan_rids(&self) -> Vec<RowId> {
+        if self.history.is_empty() {
+            return self.rows.keys().copied().collect();
+        }
+        let mut rids: Vec<RowId> = self.rows.keys().copied().collect();
+        rids.extend(
+            self.history
+                .keys()
+                .copied()
+                .filter(|r| !self.rows.contains_key(r)),
+        );
+        rids.sort_unstable();
+        rids
+    }
+
+    /// Number of rows visible to `snap` (exact; used by the COUNT(*)
+    /// pushdown so counts honor the snapshot without touching the heap).
+    pub fn visible_len(&self, snap: &Snapshot) -> usize {
+        if self.meta.is_empty() && self.history.is_empty() {
+            return self.rows.len();
+        }
+        let mut n = self.rows.len();
+        for rid in self.meta.keys() {
+            if self.rows.contains_key(rid) && self.visible(*rid, snap).is_none() {
+                n -= 1;
+            }
+        }
+        for rid in self.history.keys() {
+            if !self.rows.contains_key(rid) && self.visible(*rid, snap).is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Entry filter shared by the snapshot scan variants: keep `rid`
+    /// only when its visible version actually carries the index `key`
+    /// the entry promised. This drops stale entries (the version moved
+    /// away from the key, or is invisible to the snapshot) and
+    /// guarantees a row is returned at most once per scan.
+    fn vis_keep_idx(&self, vis: Option<&Snapshot>, idx: &Index, key: &[Value], rid: RowId) -> bool {
+        match vis {
+            None => true,
+            Some(s) => self
+                .visible(rid, s)
+                .is_some_and(|r| idx.key_pos.iter().zip(key).all(|(&p, kv)| r.get(p) == kv)),
+        }
+    }
+
+    // ----- MVCC: versioned writes (engine path) -----
+
+    /// First-updater-wins gate for a versioned write against `rid`'s
+    /// newest version: `Ok(true)` when the heap image is the writer's
+    /// own uncommitted version (mutate in place), `Ok(false)` when it is
+    /// committed and visible to the writer's snapshot (start a new
+    /// version), [`StorageError::WriteConflict`] when a version the
+    /// snapshot cannot see already superseded the one it read.
+    fn write_gate(&self, rid: RowId, tid: TxnId, snap: &Snapshot) -> Result<bool> {
+        match self.meta.get(&rid) {
+            None => Ok(false),
+            Some(m) => match m.writer {
+                Some(w) if w == tid => Ok(true),
+                Some(_) => Err(self.write_conflict(rid)),
+                None if m.begin > snap.epoch => Err(self.write_conflict(rid)),
+                None => Ok(false),
+            },
+        }
+    }
+
+    fn write_conflict(&self, rid: RowId) -> StorageError {
+        let pos = self.schema.primary_key_pos();
+        let key = self
+            .rows
+            .get(&rid)
+            .map(|r| r.get(pos).to_string())
+            .unwrap_or_else(|| format!("{rid}"));
+        StorageError::WriteConflict {
+            table: self.schema.name().to_owned(),
+            key,
+        }
+    }
+
+    /// Versioned insert by transaction `tid` reading at `snap`: the new
+    /// row is uncommitted (visible only to `tid`) until
+    /// [`Table::commit_rows`] stamps it.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::WriteConflict`] when the primary key is held by a
+    /// version newer than the snapshot (first-updater-wins);
+    /// [`StorageError::UniqueViolation`] for genuine duplicates;
+    /// validation errors per [`Table::validate`].
+    pub fn insert_txn(&mut self, row: Row, tid: TxnId, snap: &Snapshot) -> Result<RowId> {
+        let row = self.validate(&row)?;
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        if !pk.is_null() {
+            if let Some(holder) = self.live_pk(&pk) {
+                let newer_version = match self.meta.get(&holder) {
+                    Some(m) => match m.writer {
+                        Some(w) => w != tid,
+                        None => m.begin > snap.epoch,
+                    },
+                    None => false,
+                };
+                return Err(if newer_version {
+                    self.write_conflict(holder)
+                } else {
+                    StorageError::UniqueViolation {
+                        index: format!("{}_pkey", self.schema.name()),
+                        key: pk.to_string(),
+                    }
+                });
+            }
+            // No live holder, but the key may still be *visible* to this
+            // snapshot through a not-yet-vacuumed deleted version (the
+            // delete committed after the snapshot). Inserting would put
+            // two rows with one primary key into a single snapshot —
+            // first-updater-wins instead.
+            if let Some(ghost) = self.find_pk_visible(&pk, snap) {
+                return Err(self.write_conflict(ghost));
+            }
+        }
+        // Versioned gate first: races with uncommitted writers and
+        // snapshot ghosts classify as retryable WriteConflict; genuine
+        // duplicates then report UniqueViolation.
+        self.check_unique_secondary_versioned(&row, None, None, tid, snap)?;
+        self.check_unique_secondary(&row, None)?;
+        let rid = RowId(self.next_rid);
+        self.next_rid += 1;
+        self.meta.insert(
+            rid,
+            RowMeta {
+                begin: 0,
+                writer: Some(tid),
+            },
+        );
+        self.pk_entry_add(&pk, rid);
+        self.index_entries_add(rid, &row);
+        self.stats_add(&row);
+        self.rows.insert(rid, row);
+        Ok(rid)
+    }
+
+    /// Versioned update: pushes the committed pre-image into history
+    /// (end pending on `tid`) and installs the new image as `tid`'s
+    /// uncommitted version; a second write by the same transaction
+    /// mutates its own version in place. Returns the pre-image and
+    /// whether a history version was pushed (the undo log needs it).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::WriteConflict`] per the write gate;
+    /// constraint/validation errors as for [`Table::update`].
+    pub fn update_txn(
+        &mut self,
+        rid: RowId,
+        new_row: Row,
+        tid: TxnId,
+        snap: &Snapshot,
+    ) -> Result<(Row, bool)> {
+        let new_row = self.validate(&new_row)?;
+        let in_place = self.write_gate(rid, tid, snap)?;
+        let old_row = match self.rows.get(&rid) {
+            Some(r) => r.clone(),
+            // No newest image but the snapshot matched the row: a newer
+            // committed transaction deleted it — first-updater-wins,
+            // same as an update racing an update.
+            None if self.history.contains_key(&rid) => return Err(self.write_conflict(rid)),
+            None => return Err(StorageError::Eval(format!("update of missing row {rid}"))),
+        };
+        // Versioned gates first (retryable conflicts), then the plain
+        // constraint checks (permanent violations).
+        self.check_unique_secondary_versioned(&new_row, Some(&old_row), Some(rid), tid, snap)?;
+        let pk_pos = self.schema.primary_key_pos();
+        let new_pk = new_row.get(pk_pos).clone();
+        // A pk move needs the same conflict classification as an
+        // insert: a live holder that is another transaction's
+        // uncommitted row (or newer than our snapshot) is a retryable
+        // conflict, and the target key may still be visible to this
+        // snapshot through a deleted version a newer transaction
+        // committed (ghost).
+        if new_pk != *old_row.get(pk_pos) && !new_pk.is_null() {
+            if let Some(holder) = self.live_pk(&new_pk) {
+                if holder != rid {
+                    let newer_version = match self.meta.get(&holder) {
+                        Some(m) => match m.writer {
+                            Some(w) => w != tid,
+                            None => m.begin > snap.epoch,
+                        },
+                        None => false,
+                    };
+                    if newer_version {
+                        return Err(self.write_conflict(holder));
+                    }
+                    // Committed-and-visible holder: fall through to
+                    // check_update_constraints' UniqueViolation.
+                }
+            } else if let Some(ghost) = self.find_pk_visible(&new_pk, snap) {
+                if ghost != rid {
+                    return Err(self.write_conflict(ghost));
+                }
+            }
+        }
+        self.check_update_constraints(rid, &old_row, &new_row)?;
+        if in_place {
+            // Own uncommitted image: nobody else can see it, so move its
+            // entries physically — except keys a committed history
+            // version still needs.
+            self.retire_version_entries(rid, &old_row, false, Some(&new_row));
+        } else {
+            let begin = self.meta.get(&rid).map(|m| m.begin).unwrap_or(0);
+            self.history.entry(rid).or_default().push(OldVersion {
+                begin,
+                end: VersionEnd::Pending(tid),
+                row: old_row.clone(),
+            });
+            self.meta.insert(
+                rid,
+                RowMeta {
+                    begin: 0,
+                    writer: Some(tid),
+                },
+            );
+            // Old entries stay: they serve the history version until
+            // vacuum. New entries are appended below.
+        }
+        self.pk_entry_add(&new_pk, rid);
+        self.index_entries_add(rid, &new_row);
+        self.stats_remove(&old_row);
+        self.stats_add(&new_row);
+        self.rows.insert(rid, new_row);
+        Ok((old_row, !in_place))
+    }
+
+    /// Versioned delete: the committed image moves to history (end
+    /// pending on `tid`) and stays visible to every other snapshot until
+    /// the transaction commits; deleting the transaction's own
+    /// uncommitted image removes it physically. Returns the image and
+    /// whether a history version was pushed.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::WriteConflict`] per the write gate.
+    pub fn delete_txn(&mut self, rid: RowId, tid: TxnId, snap: &Snapshot) -> Result<(Row, bool)> {
+        let in_place = self.write_gate(rid, tid, snap)?;
+        let row = match self.rows.remove(&rid) {
+            Some(r) => r,
+            // Deleted by a newer committed transaction (see update_txn).
+            None if self.history.contains_key(&rid) => return Err(self.write_conflict(rid)),
+            None => return Err(StorageError::Eval(format!("delete of missing row {rid}"))),
+        };
+        self.stats_remove(&row);
+        if in_place {
+            self.meta.remove(&rid);
+            self.retire_version_entries(rid, &row, false, None);
+            Ok((row, false))
+        } else {
+            let begin = self.meta.get(&rid).map(|m| m.begin).unwrap_or(0);
+            self.history.entry(rid).or_default().push(OldVersion {
+                begin,
+                end: VersionEnd::Pending(tid),
+                row: row.clone(),
+            });
+            self.meta.remove(&rid);
+            // pk and index entries stay for the history version.
+            Ok((row, true))
+        }
+    }
+
+    /// Commit stamping: every version `tid` wrote on these rows becomes
+    /// committed at `epoch` — new images get `begin = epoch`, superseded
+    /// images get `end = epoch`. Runs under the engine latch, before the
+    /// commit epoch is published, so the flip is atomic for readers.
+    pub fn commit_rows<I: IntoIterator<Item = RowId>>(&mut self, rids: I, tid: TxnId, epoch: u64) {
+        for rid in rids {
+            if let Some(m) = self.meta.get_mut(&rid) {
+                if m.writer == Some(tid) {
+                    *m = RowMeta {
+                        begin: epoch,
+                        writer: None,
+                    };
+                }
+            }
+            if let Some(chain) = self.history.get_mut(&rid) {
+                for v in chain.iter_mut() {
+                    if v.end == VersionEnd::Pending(tid) {
+                        v.end = VersionEnd::At(epoch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rolls back an uncommitted [`Table::insert_txn`]: the row never
+    /// existed for anyone, so its entries are removed physically.
+    pub(crate) fn undo_insert(&mut self, rid: RowId) {
+        let Some(row) = self.rows.remove(&rid) else {
+            return;
+        };
+        self.meta.remove(&rid);
+        self.stats_remove(&row);
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        self.pk_entry_remove(&pk, rid);
+        self.index_entries_remove(rid, &row);
+    }
+
+    /// Rolls back an uncommitted [`Table::update_txn`]: restores the
+    /// pre-image and (when the update pushed a history version) pops it
+    /// back into the heap's metadata.
+    pub(crate) fn undo_update(&mut self, rid: RowId, before: Row, pushed: bool, tid: TxnId) {
+        let replaced = self.rows.insert(rid, before.clone());
+        if let Some(new_image) = &replaced {
+            self.stats_remove(new_image);
+        }
+        self.stats_add(&before);
+        if pushed {
+            self.pop_pending_version(rid, tid);
+        }
+        if let Some(new_image) = replaced {
+            self.retire_version_entries(rid, &new_image, false, Some(&before));
+        }
+        let pk = before.get(self.schema.primary_key_pos()).clone();
+        self.pk_entry_add(&pk, rid);
+        self.index_entries_add(rid, &before);
+    }
+
+    /// Rolls back an uncommitted [`Table::delete_txn`].
+    pub(crate) fn undo_delete(&mut self, rid: RowId, row: Row, pushed: bool, tid: TxnId) {
+        self.stats_add(&row);
+        if pushed {
+            self.pop_pending_version(rid, tid);
+        } else {
+            self.meta.insert(
+                rid,
+                RowMeta {
+                    begin: 0,
+                    writer: Some(tid),
+                },
+            );
+        }
+        let pk = row.get(self.schema.primary_key_pos()).clone();
+        self.pk_entry_add(&pk, rid);
+        self.index_entries_add(rid, &row);
+        self.rows.insert(rid, row);
+    }
+
+    /// Pops the history version `tid` left pending on `rid` back into
+    /// the heap metadata (rollback of the superseding write).
+    fn pop_pending_version(&mut self, rid: RowId, tid: TxnId) {
+        let Some(chain) = self.history.get_mut(&rid) else {
+            debug_assert!(false, "undo expected a pushed version for {rid}");
+            return;
+        };
+        let Some(pos) = chain
+            .iter()
+            .rposition(|v| v.end == VersionEnd::Pending(tid))
+        else {
+            debug_assert!(false, "undo expected a pending version for {rid}");
+            return;
+        };
+        let popped = chain.remove(pos);
+        if chain.is_empty() {
+            self.history.remove(&rid);
+        }
+        if popped.begin == 0 {
+            // Absent meta *means* committed-at-0: restore the implicit
+            // state rather than an equivalent explicit entry.
+            self.meta.remove(&rid);
+        } else {
+            self.meta.insert(
+                rid,
+                RowMeta {
+                    begin: popped.begin,
+                    writer: None,
+                },
+            );
+        }
+    }
+
+    /// Removes `gone`'s pk and index entries for `rid` — except keys
+    /// that a retained history version, the current heap image (when
+    /// `keep_heap`), or `also_keep` still carries, which snapshot
+    /// readers still need to find.
+    fn retire_version_entries(
+        &mut self,
+        rid: RowId,
+        gone: &Row,
+        keep_heap: bool,
+        also_keep: Option<&Row>,
+    ) {
+        let hist = self.history.get(&rid);
+        let heap = if keep_heap { self.rows.get(&rid) } else { None };
+        let also_keep = also_keep.or(heap);
+        let pk_pos = self.schema.primary_key_pos();
+        let gone_pk = gone.get(pk_pos).clone();
+        let pk_kept = also_keep.is_some_and(|r| r.get(pk_pos) == &gone_pk)
+            || hist.is_some_and(|c| c.iter().any(|v| v.row.get(pk_pos) == &gone_pk));
+        // Decide every removal first (immutable borrows of history and
+        // indexes), then apply (mutable) — and compare key columns in
+        // place rather than materializing history row clones.
+        let retired: Vec<Option<Vec<Value>>> = self
+            .indexes
+            .iter()
+            .map(|idx| {
+                let key = idx.key_of(gone);
+                let kept = also_keep
+                    .is_some_and(|r| idx.key_pos.iter().zip(&key).all(|(&p, kv)| r.get(p) == kv))
+                    || hist.is_some_and(|c| {
+                        c.iter().any(|v| {
+                            idx.key_pos
+                                .iter()
+                                .zip(&key)
+                                .all(|(&p, kv)| v.row.get(p) == kv)
+                        })
+                    });
+                (!kept).then_some(key)
+            })
+            .collect();
+        if !pk_kept {
+            self.pk_entry_remove(&gone_pk, rid);
+        }
+        for (idx, key) in self.indexes.iter_mut().zip(retired) {
+            if let Some(key) = key {
+                if let Some(set) = idx.map.get_mut(&key) {
+                    set.remove(&rid);
+                    if set.is_empty() {
+                        idx.map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- MVCC: vacuum -----
+
+    /// Prunes history versions no snapshot at or after `horizon` can
+    /// see (their end epoch is `<= horizon`), removes the index/pk
+    /// entries that served only those versions, and collapses settled
+    /// row metadata back to the implicit committed state. Uncommitted
+    /// versions and versions still visible at the horizon are never
+    /// touched. Returns the number of versions pruned.
+    pub fn vacuum(&mut self, horizon: u64) -> u64 {
+        let mut pruned = 0u64;
+        let rids: Vec<RowId> = self.history.keys().copied().collect();
+        for rid in rids {
+            let mut chain = self.history.remove(&rid).unwrap_or_default();
+            let (dead, live): (Vec<OldVersion>, Vec<OldVersion>) = chain
+                .drain(..)
+                .partition(|v| matches!(v.end, VersionEnd::At(e) if e <= horizon));
+            if !live.is_empty() {
+                self.history.insert(rid, live);
+            }
+            pruned += dead.len() as u64;
+            for v in dead {
+                self.retire_version_entries(rid, &v.row, true, None);
+            }
+        }
+        // Settled committed rows (begin at or below the horizon, no
+        // remaining history) revert to the zero-cost implicit state.
+        let Table { meta, history, .. } = self;
+        meta.retain(|rid, m| m.writer.is_some() || m.begin > horizon || history.contains_key(rid));
+        pruned
+    }
+
+    /// Superseded versions currently retained (diagnostics and tests).
+    pub fn history_versions(&self) -> usize {
+        self.history.values().map(Vec::len).sum()
+    }
+
+    /// Heap rows carrying explicit version metadata — uncommitted
+    /// writes plus committed rows vacuum has not yet settled
+    /// (diagnostics and tests).
+    pub fn versioned_rows(&self) -> usize {
+        self.meta.len()
     }
 
     /// Creates a secondary index, backfilling existing rows.
@@ -482,6 +1303,17 @@ impl Table {
                 });
             }
             set.insert(*rid);
+        }
+        // Backfill retained history versions too, so index scans by a
+        // snapshot older than the newest images still find their rows
+        // (dead versions never count toward uniqueness — every unique
+        // check is liveness-aware; vacuum reclaims these entries with
+        // their versions).
+        for (rid, chain) in &self.history {
+            for v in chain {
+                let key = idx.key_of(&v.row);
+                idx.map.entry(key).or_default().insert(*rid);
+            }
         }
         self.indexes.push(idx);
         Ok(())
@@ -524,11 +1356,26 @@ impl Table {
             })
     }
 
-    /// Row ids matching an exact key on `idx`.
+    /// Row ids matching an exact key on `idx` (newest-version view).
     pub fn index_lookup(&self, idx: &Index, key: &[Value]) -> Vec<RowId> {
+        self.index_lookup_impl(idx, key, None)
+    }
+
+    /// Snapshot-aware [`Table::index_lookup`]: only rows whose version
+    /// visible to `snap` carries `key`.
+    pub fn index_lookup_visible(&self, idx: &Index, key: &[Value], snap: &Snapshot) -> Vec<RowId> {
+        self.index_lookup_impl(idx, key, Some(snap))
+    }
+
+    fn index_lookup_impl(&self, idx: &Index, key: &[Value], vis: Option<&Snapshot>) -> Vec<RowId> {
         idx.map
             .get(key)
-            .map(|s| s.iter().copied().collect())
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|&rid| self.vis_keep_idx(vis, idx, key, rid))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -539,6 +1386,27 @@ impl Table {
         from: &crate::plan::Bound,
         to: &crate::plan::Bound,
         reverse: bool,
+    ) -> Vec<RowId> {
+        self.pk_range_scan_impl(from, to, reverse, None)
+    }
+
+    /// Snapshot-aware [`Table::pk_range_scan`].
+    pub fn pk_range_scan_visible(
+        &self,
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+        snap: &Snapshot,
+    ) -> Vec<RowId> {
+        self.pk_range_scan_impl(from, to, reverse, Some(snap))
+    }
+
+    fn pk_range_scan_impl(
+        &self,
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+        vis: Option<&Snapshot>,
     ) -> Vec<RowId> {
         use std::ops::Bound as B;
         let lo = match from {
@@ -554,7 +1422,17 @@ impl Table {
         if range_is_empty(&lo, &hi) {
             return Vec::new();
         }
-        let mut out: Vec<RowId> = self.pk_index.range((lo, hi)).map(|(_, r)| *r).collect();
+        let pos = self.schema.primary_key_pos();
+        let mut out: Vec<RowId> = Vec::new();
+        // At most one id per key can match its entry: the live one (no
+        // snapshot) or the one whose visible version carries the key.
+        for (pk, rids) in self.pk_index.range((lo, hi)) {
+            let hit = rids.iter().rev().copied().find(|&rid| match vis {
+                None => self.rows.get(&rid).is_some_and(|r| r.get(pos) == pk),
+                Some(s) => self.visible(rid, s).is_some_and(|r| r.get(pos) == pk),
+            });
+            out.extend(hit);
+        }
         if reverse {
             out.reverse();
         }
@@ -571,6 +1449,32 @@ impl Table {
         from: &crate::plan::Bound,
         to: &crate::plan::Bound,
         reverse: bool,
+    ) -> Vec<RowId> {
+        self.index_range_scan_impl(idx, eq_prefix, from, to, reverse, None)
+    }
+
+    /// Snapshot-aware [`Table::index_range_scan`].
+    pub fn index_range_scan_visible(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+        snap: &Snapshot,
+    ) -> Vec<RowId> {
+        self.index_range_scan_impl(idx, eq_prefix, from, to, reverse, Some(snap))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn index_range_scan_impl(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        from: &crate::plan::Bound,
+        to: &crate::plan::Bound,
+        reverse: bool,
+        vis: Option<&Snapshot>,
     ) -> Vec<RowId> {
         use std::ops::Bound as B;
         let p = eq_prefix.len();
@@ -618,7 +1522,12 @@ impl Table {
                 }
                 crate::plan::Bound::Unbounded => {}
             }
-            blocks.push(rids.iter().copied().collect());
+            blocks.push(
+                rids.iter()
+                    .copied()
+                    .filter(|&rid| self.vis_keep_idx(vis, idx, key, rid))
+                    .collect(),
+            );
         }
         flatten_key_blocks(blocks, reverse)
     }
@@ -626,6 +1535,27 @@ impl Table {
     /// Row ids from `idx` whose key starts with `prefix` (a proper prefix
     /// of the key columns), in full key order (reversed when `reverse`).
     pub fn index_prefix_scan(&self, idx: &Index, prefix: &[Value], reverse: bool) -> Vec<RowId> {
+        self.index_prefix_scan_impl(idx, prefix, reverse, None)
+    }
+
+    /// Snapshot-aware [`Table::index_prefix_scan`].
+    pub fn index_prefix_scan_visible(
+        &self,
+        idx: &Index,
+        prefix: &[Value],
+        reverse: bool,
+        snap: &Snapshot,
+    ) -> Vec<RowId> {
+        self.index_prefix_scan_impl(idx, prefix, reverse, Some(snap))
+    }
+
+    fn index_prefix_scan_impl(
+        &self,
+        idx: &Index,
+        prefix: &[Value],
+        reverse: bool,
+        vis: Option<&Snapshot>,
+    ) -> Vec<RowId> {
         use std::ops::Bound as B;
         let p = prefix.len();
         let start: B<Vec<Value>> = if p == 0 {
@@ -638,7 +1568,12 @@ impl Table {
             if key.len() < p || key[..p] != prefix[..] {
                 break;
             }
-            blocks.push(rids.iter().copied().collect());
+            blocks.push(
+                rids.iter()
+                    .copied()
+                    .filter(|&rid| self.vis_keep_idx(vis, idx, key, rid))
+                    .collect(),
+            );
         }
         flatten_key_blocks(blocks, reverse)
     }
@@ -647,6 +1582,27 @@ impl Table {
     /// key order (`keys` must be sorted; reversed when `reverse`). Used
     /// for `IN (...)` and OR-equality chains.
     pub fn index_multi_lookup(&self, idx: &Index, keys: &[Value], reverse: bool) -> Vec<RowId> {
+        self.index_multi_lookup_impl(idx, keys, reverse, None)
+    }
+
+    /// Snapshot-aware [`Table::index_multi_lookup`].
+    pub fn index_multi_lookup_visible(
+        &self,
+        idx: &Index,
+        keys: &[Value],
+        reverse: bool,
+        snap: &Snapshot,
+    ) -> Vec<RowId> {
+        self.index_multi_lookup_impl(idx, keys, reverse, Some(snap))
+    }
+
+    fn index_multi_lookup_impl(
+        &self,
+        idx: &Index,
+        keys: &[Value],
+        reverse: bool,
+        vis: Option<&Snapshot>,
+    ) -> Vec<RowId> {
         let mut out = Vec::new();
         let ordered_keys: Vec<&Value> = if reverse {
             keys.iter().rev().collect()
@@ -658,12 +1614,19 @@ impl Table {
             // the key order is reversed — see flatten_key_blocks.
             for key in ordered_keys {
                 if let Some(set) = idx.map.get(std::slice::from_ref(key)) {
-                    out.extend(set.iter().copied());
+                    out.extend(set.iter().copied().filter(|&rid| {
+                        self.vis_keep_idx(vis, idx, std::slice::from_ref(key), rid)
+                    }));
                 }
             }
         } else {
             for key in ordered_keys {
-                out.extend(self.index_prefix_scan(idx, std::slice::from_ref(key), reverse));
+                out.extend(self.index_prefix_scan_impl(
+                    idx,
+                    std::slice::from_ref(key),
+                    reverse,
+                    vis,
+                ));
             }
         }
         out
@@ -680,6 +1643,29 @@ impl Table {
         eq_prefix: &[Value],
         keys: &[Value],
         reverse: bool,
+    ) -> Vec<RowId> {
+        self.index_in_scan_impl(idx, eq_prefix, keys, reverse, None)
+    }
+
+    /// Snapshot-aware [`Table::index_in_scan`].
+    pub fn index_in_scan_visible(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        keys: &[Value],
+        reverse: bool,
+        snap: &Snapshot,
+    ) -> Vec<RowId> {
+        self.index_in_scan_impl(idx, eq_prefix, keys, reverse, Some(snap))
+    }
+
+    fn index_in_scan_impl(
+        &self,
+        idx: &Index,
+        eq_prefix: &[Value],
+        keys: &[Value],
+        reverse: bool,
+        vis: Option<&Snapshot>,
     ) -> Vec<RowId> {
         let p = eq_prefix.len();
         debug_assert!(p < idx.def.columns.len(), "IN column must exist");
@@ -698,10 +1684,14 @@ impl Table {
             if full {
                 if let Some(set) = idx.map.get(&probe) {
                     // Postings stay in rid (heap) order within one key.
-                    out.extend(set.iter().copied());
+                    out.extend(
+                        set.iter()
+                            .copied()
+                            .filter(|&rid| self.vis_keep_idx(vis, idx, &probe, rid)),
+                    );
                 }
             } else {
-                out.extend(self.index_prefix_scan(idx, &probe, reverse));
+                out.extend(self.index_prefix_scan_impl(idx, &probe, reverse, vis));
             }
         }
         out
@@ -717,6 +1707,8 @@ impl Table {
     pub fn truncate(&mut self) {
         self.rows.clear();
         self.pk_index.clear();
+        self.meta.clear();
+        self.history.clear();
         for idx in &mut self.indexes {
             idx.map.clear();
         }
@@ -1048,6 +2040,147 @@ mod tests {
         assert_eq!(t.page_of(RowId(0)), 0);
         assert_eq!(t.page_of(RowId(3)), 0);
         assert_eq!(t.page_of(RowId(4)), 1);
+    }
+
+    fn snap(epoch: u64) -> Snapshot {
+        Snapshot {
+            epoch,
+            writer: None,
+        }
+    }
+
+    fn snap_w(epoch: u64, tid: u64) -> Snapshot {
+        Snapshot {
+            epoch,
+            writer: Some(tid),
+        }
+    }
+
+    #[test]
+    fn versioned_update_serves_old_and_new_snapshots() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        // Txn 7 at snapshot epoch 0 updates the age; commit at epoch 1.
+        let (before, pushed) = t
+            .update_txn(rid, row![1i64, "a", "a@x", 31i64], 7, &snap_w(0, 7))
+            .unwrap();
+        assert_eq!(before.get(3), &Value::Int(30));
+        assert!(pushed, "superseding a committed version pushes history");
+        // Uncommitted: only the writer sees the new image.
+        assert_eq!(t.visible(rid, &snap(0)).unwrap().get(3), &Value::Int(30));
+        assert_eq!(
+            t.visible(rid, &snap_w(0, 7)).unwrap().get(3),
+            &Value::Int(31)
+        );
+        t.commit_rows([rid], 7, 1);
+        // Old snapshot keeps the old version; new snapshot sees the new.
+        assert_eq!(t.visible(rid, &snap(0)).unwrap().get(3), &Value::Int(30));
+        assert_eq!(t.visible(rid, &snap(1)).unwrap().get(3), &Value::Int(31));
+        // The stale age-30 index entry filters out per snapshot.
+        let idx_name = "users_age".to_owned();
+        let idx = t.index_by_name(&idx_name).unwrap();
+        assert_eq!(
+            t.index_lookup_visible(idx, &[Value::Int(30)], &snap(1)),
+            vec![]
+        );
+        let idx = t.index_by_name(&idx_name).unwrap();
+        assert_eq!(
+            t.index_lookup_visible(idx, &[Value::Int(30)], &snap(0)),
+            vec![rid]
+        );
+    }
+
+    #[test]
+    fn versioned_delete_stays_visible_until_snapshot_passes() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        let (_, pushed) = t.delete_txn(rid, 9, &snap_w(0, 9)).unwrap();
+        assert!(pushed);
+        assert!(
+            t.visible(rid, &snap_w(0, 9)).is_none(),
+            "own delete visible"
+        );
+        assert!(t.visible(rid, &snap(0)).is_some(), "others still see it");
+        t.commit_rows([rid], 9, 1);
+        assert!(t.visible(rid, &snap(0)).is_some());
+        assert!(t.visible(rid, &snap(1)).is_none());
+        assert_eq!(t.visible_len(&snap(0)), 1);
+        assert_eq!(t.visible_len(&snap(1)), 0);
+        assert_eq!(t.find_pk_visible(&Value::Int(1), &snap(0)), Some(rid));
+        assert_eq!(t.find_pk_visible(&Value::Int(1), &snap(1)), None);
+    }
+
+    #[test]
+    fn write_gate_rejects_stale_snapshots() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        t.update_txn(rid, row![1i64, "a", "a@x", 31i64], 3, &snap_w(0, 3))
+            .unwrap();
+        t.commit_rows([rid], 3, 1);
+        // Txn 4 still reads at epoch 0: first-updater-wins.
+        let err = t
+            .update_txn(rid, row![1i64, "a", "a@x", 32i64], 4, &snap_w(0, 4))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::WriteConflict { .. }));
+        let err = t.delete_txn(rid, 4, &snap_w(0, 4)).unwrap_err();
+        assert!(matches!(err, StorageError::WriteConflict { .. }));
+        // A fresh snapshot proceeds.
+        t.update_txn(rid, row![1i64, "a", "a@x", 32i64], 4, &snap_w(1, 4))
+            .unwrap();
+    }
+
+    #[test]
+    fn vacuum_prunes_only_below_horizon_and_settles_meta() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 0i64]).unwrap();
+        for e in 1..=4u64 {
+            t.update_txn(
+                rid,
+                row![1i64, "a", "a@x", e as i64],
+                100 + e,
+                &snap_w(e - 1, 100 + e),
+            )
+            .unwrap();
+            t.commit_rows([rid], 100 + e, e);
+        }
+        assert_eq!(t.history_versions(), 4);
+        // Horizon 2: versions ending at or before epoch 2 die, the rest
+        // stay (a snapshot at epoch 2 still needs the [2, 3) version).
+        assert_eq!(t.vacuum(2), 2);
+        assert_eq!(t.history_versions(), 2);
+        assert_eq!(t.visible(rid, &snap(2)).unwrap().get(3), &Value::Int(2));
+        assert_eq!(t.visible(rid, &snap(4)).unwrap().get(3), &Value::Int(4));
+        // Horizon 4: everything settles, meta collapses to implicit.
+        t.vacuum(4);
+        assert_eq!(t.history_versions(), 0);
+        assert_eq!(t.versioned_rows(), 0);
+        assert_eq!(t.visible(rid, &snap(4)).unwrap().get(3), &Value::Int(4));
+    }
+
+    #[test]
+    fn undo_restores_exact_version_state() {
+        let mut t = users_table();
+        let rid = t.insert(row![1i64, "a", "a@x", 30i64]).unwrap();
+        let (before, pushed) = t
+            .update_txn(rid, row![1i64, "a", "a@x", 31i64], 5, &snap_w(0, 5))
+            .unwrap();
+        t.undo_update(rid, before, pushed, 5);
+        assert_eq!(t.history_versions(), 0, "pending version popped back");
+        assert_eq!(t.versioned_rows(), 0, "meta restored to committed");
+        assert_eq!(t.visible(rid, &snap(0)).unwrap().get(3), &Value::Int(30));
+        // Delete + undo round-trips the same way.
+        let (row, pushed) = t.delete_txn(rid, 6, &snap_w(0, 6)).unwrap();
+        t.undo_delete(rid, row, pushed, 6);
+        assert_eq!(t.visible(rid, &snap(0)).unwrap().get(0), &Value::Int(1));
+        assert_eq!(t.find_pk(&Value::Int(1)), Some(rid));
+        // Insert + undo leaves no trace at all.
+        let rid2 = t
+            .insert_txn(row![2i64, "b", "b@x", 9i64], 8, &snap_w(0, 8))
+            .unwrap();
+        t.undo_insert(rid2);
+        assert!(t.get(rid2).is_none());
+        assert_eq!(t.find_pk(&Value::Int(2)), None);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -124,7 +124,13 @@ proptest! {
                                 deltas[to as usize] += amount;
                             }
                             Ok(false) => {}
-                            Err(StorageError::Deadlock { .. }) => {}
+                            // Both abort kinds leave no trace: deadlock
+                            // victims, and first-updater-wins losers whose
+                            // snapshot was superseded mid-transaction
+                            // (without the conflict check the read-compute-
+                            // write UPDATE would silently lose an update).
+                            Err(StorageError::Deadlock { .. })
+                            | Err(StorageError::WriteConflict { .. }) => {}
                             Err(e) => panic!("unexpected engine error: {e}"),
                         }
                     }

@@ -1,8 +1,20 @@
-//! Wall-clock multi-writer driver: N OS threads hammer one shared
-//! deployment with the BatchPost transactional mix, exercising the
-//! engine's row-lock concurrency (thread-scoped transactions, 2PL,
-//! deadlock detection) and the commit pipeline's per-key flush ordering
-//! for real — no virtual time, no activity scanning.
+//! Wall-clock multi-writer (and multi-reader) driver: N OS threads
+//! hammer one shared deployment with the BatchPost transactional mix,
+//! exercising the engine's row-lock concurrency (thread-scoped
+//! transactions, 2PL, deadlock detection, first-updater-wins write
+//! conflicts) and the commit pipeline's per-key flush ordering for real
+//! — no virtual time, no activity scanning.
+//!
+//! With `reader_threads > 0` the driver additionally runs a
+//! reader-heavy mixed scenario: dedicated threads open *read-only
+//! transactions* that scan walls and users while the writers churn.
+//! Under MVCC snapshot reads these readers take no locks at all, so
+//! they must never deadlock and never observe a torn state — each
+//! reader transaction re-runs its first query at the end and any
+//! difference is counted as a `snapshot_violations` (must stay zero).
+//! Setting `reader_locking` re-enables the legacy PR-4 behaviour
+//! (SELECTs take table shared locks and block behind writers), which is
+//! the measurable baseline the MVCC experiment compares against.
 //!
 //! Unlike [`crate::driver::run`] (which measures the paper's saturation
 //! curves deterministically in simulated time), this driver measures the
@@ -49,6 +61,16 @@ pub struct ConcurrencyConfig {
     /// has while its transaction is open. A global lock serializes this
     /// window across all clients; row locks overlap it. 0 disables.
     pub think_us: u64,
+    /// Dedicated reader threads running read-only transactions (wall +
+    /// user scans with an intra-transaction repeat-read consistency
+    /// check) for as long as the writers run. 0 disables.
+    pub reader_threads: usize,
+    /// SELECT statements per reader transaction (at least 2: the first
+    /// query is re-run at the end as the snapshot-consistency check).
+    pub reads_per_reader_txn: usize,
+    /// Legacy baseline: readers take table-level shared locks (and block
+    /// behind writer transactions) instead of MVCC snapshot reads.
+    pub reader_locking: bool,
 }
 
 impl Default for ConcurrencyConfig {
@@ -64,6 +86,9 @@ impl Default for ConcurrencyConfig {
             rng_seed: 42,
             single_lock: false,
             think_us: 0,
+            reader_threads: 0,
+            reads_per_reader_txn: 4,
+            reader_locking: false,
         }
     }
 }
@@ -82,6 +107,12 @@ pub struct ConcurrencyResult {
     /// Transactions aborted by strict-mode lock timeouts or commit-time
     /// rejections.
     pub lock_aborts: u64,
+    /// Transactions aborted first-updater-wins: another writer committed
+    /// a newer version of a row this transaction's snapshot had read.
+    /// A correctness feature, not an error — the caller retries on a
+    /// fresh snapshot (the 2PL baseline would instead have silently
+    /// serialized these through lock waits).
+    pub write_conflicts: u64,
     /// Any other error (must stay zero).
     pub errors: u64,
     /// Wall-clock duration of the measured phase.
@@ -99,25 +130,54 @@ pub struct ConcurrencyResult {
     pub lock_waits: u64,
     /// Interleaved autocommit reads aborted as deadlock victims (the
     /// statement fails and is simply skipped; nothing to roll back).
+    /// Zero under MVCC snapshot reads — readers take no locks.
     pub read_deadlocks: u64,
     /// Interleaved autocommit reads failing with any other error (must
     /// stay zero).
     pub read_errors: u64,
+    /// Read-only transactions the dedicated reader threads completed.
+    pub read_txns: u64,
+    /// SELECT statements those transactions issued.
+    pub read_stmts: u64,
+    /// Reader transactions whose repeated query returned a different
+    /// answer inside one transaction — a broken snapshot. Must be zero.
+    pub snapshot_violations: u64,
+    /// Reader transactions per wall-clock second of the measured phase.
+    pub read_txns_per_sec: f64,
 }
 
 impl ConcurrencyResult {
     /// Transactions that terminated at all (any outcome).
     pub fn attempts(&self) -> u64 {
-        self.committed + self.rolled_back + self.deadlock_aborts + self.lock_aborts + self.errors
+        self.committed
+            + self.rolled_back
+            + self.deadlock_aborts
+            + self.lock_aborts
+            + self.write_conflicts
+            + self.errors
     }
 
-    /// Fraction of attempts aborted by the engine (deadlock or lock).
+    /// Fraction of attempts aborted by the engine's lock layer
+    /// (deadlock victims + lock timeouts). First-updater-wins conflicts
+    /// are tracked separately in [`ConcurrencyResult::conflict_rate`] —
+    /// they are snapshot-isolation serialization failures, not lock
+    /// thrashing.
     pub fn abort_rate(&self) -> f64 {
         let a = self.attempts();
         if a == 0 {
             0.0
         } else {
             (self.deadlock_aborts + self.lock_aborts) as f64 / a as f64
+        }
+    }
+
+    /// Fraction of attempts aborted first-updater-wins.
+    pub fn conflict_rate(&self) -> f64 {
+        let a = self.attempts();
+        if a == 0 {
+            0.0
+        } else {
+            self.write_conflicts as f64 / a as f64
         }
     }
 }
@@ -128,7 +188,17 @@ struct ThreadTally {
     rolled_back: u64,
     deadlock_aborts: u64,
     lock_aborts: u64,
+    write_conflicts: u64,
     errors: u64,
+    read_deadlocks: u64,
+    read_errors: u64,
+}
+
+#[derive(Default)]
+struct ReaderTally {
+    read_txns: u64,
+    read_stmts: u64,
+    snapshot_violations: u64,
     read_deadlocks: u64,
     read_errors: u64,
 }
@@ -150,10 +220,48 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         strategy: Some(cachegenie::ConsistencyStrategy::UpdateInPlace),
         ..Default::default()
     })?;
+    env.db.set_reader_table_locks(cfg.reader_locking);
     let users = cfg.seed.users.max(2) as i64;
     let threads = cfg.threads.max(1);
-    let barrier = Arc::new(Barrier::new(threads));
+    // Readers share the start barrier so reads tallied against the
+    // measured window cannot begin before the writers do.
+    let barrier = Arc::new(Barrier::new(threads + cfg.reader_threads));
     let global = Arc::new(Mutex::new(()));
+    let writers_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Dedicated readers: read-only transactions scanning walls and
+    // users for as long as the writers run. Each transaction re-runs
+    // its first query before COMMIT — under a pinned snapshot the
+    // answer must be identical no matter how many writers committed in
+    // between.
+    let reader_handles: Vec<std::thread::JoinHandle<ReaderTally>> = (0..cfg.reader_threads)
+        .map(|t| {
+            let db = env.db.clone();
+            let done = Arc::clone(&writers_done);
+            let barrier = Arc::clone(&barrier);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.rng_seed.wrapping_add(0x9d1d + t as u64));
+                let mut tally = ReaderTally::default();
+                barrier.wait();
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let wall = rng.gen_range(1..=users as usize) as i64;
+                    match reader_txn(&db, wall, cfg.reads_per_reader_txn) {
+                        Ok((stmts, consistent)) => {
+                            tally.read_txns += 1;
+                            tally.read_stmts += stmts;
+                            if !consistent {
+                                tally.snapshot_violations += 1;
+                            }
+                        }
+                        Err(StorageError::Deadlock { .. }) => tally.read_deadlocks += 1,
+                        Err(_) => tally.read_errors += 1,
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
 
     let start = Instant::now();
     let handles: Vec<std::thread::JoinHandle<ThreadTally>> = (0..threads)
@@ -191,6 +299,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                         Ok(true) => tally.committed += 1,
                         Ok(false) => tally.rolled_back += 1,
                         Err(StorageError::Deadlock { .. }) => tally.deadlock_aborts += 1,
+                        Err(StorageError::WriteConflict { .. }) => tally.write_conflicts += 1,
                         Err(StorageError::TransactionAborted(_))
                         | Err(StorageError::LockTimeout { .. }) => tally.lock_aborts += 1,
                         Err(_) => tally.errors += 1,
@@ -224,14 +333,29 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         result.rolled_back += t.rolled_back;
         result.deadlock_aborts += t.deadlock_aborts;
         result.lock_aborts += t.lock_aborts;
+        result.write_conflicts += t.write_conflicts;
         result.errors += t.errors;
         result.read_deadlocks += t.read_deadlocks;
         result.read_errors += t.read_errors;
     }
     result.elapsed = start.elapsed();
+    writers_done.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in reader_handles {
+        let t = h.join().expect("reader thread panicked");
+        result.read_txns += t.read_txns;
+        result.read_stmts += t.read_stmts;
+        result.snapshot_violations += t.snapshot_violations;
+        result.read_deadlocks += t.read_deadlocks;
+        result.read_errors += t.read_errors;
+    }
     let done = result.committed + result.rolled_back;
     result.throughput_txns_per_sec = if result.elapsed.as_secs_f64() > 0.0 {
         done as f64 / result.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    result.read_txns_per_sec = if result.elapsed.as_secs_f64() > 0.0 {
+        result.read_txns as f64 / result.elapsed.as_secs_f64()
     } else {
         0.0
     };
@@ -301,6 +425,43 @@ fn poke_pair(
     }
 }
 
+/// One read-only analytics transaction: counts a wall's posts, pages
+/// through users, then re-runs the first count before COMMIT. Returns
+/// `(statements issued, snapshot consistent)` — under MVCC the repeated
+/// count must be identical however many writers committed in between,
+/// because both reads resolve against the transaction's pinned
+/// snapshot. On any error the transaction is rolled back and the error
+/// returned for tallying.
+fn reader_txn(db: &genie_storage::Database, wall: i64, stmts: usize) -> Result<(u64, bool)> {
+    db.execute_sql("BEGIN", &[])?;
+    let run = (|| {
+        let mut issued = 0u64;
+        let count_sql = "SELECT COUNT(*) FROM wall_posts WHERE user_id = $1";
+        let first = db.execute_sql(count_sql, &[Value::Int(wall)])?;
+        issued += 1;
+        for i in 0..stmts.saturating_sub(2) {
+            db.execute_sql(
+                "SELECT id, last_login FROM users WHERE id = $1",
+                &[Value::Int(wall + i as i64)],
+            )?;
+            issued += 1;
+        }
+        let again = db.execute_sql(count_sql, &[Value::Int(wall)])?;
+        issued += 1;
+        Ok((issued, first.result.rows == again.result.rows))
+    })();
+    match run {
+        Ok(r) => {
+            db.execute_sql("COMMIT", &[])?;
+            Ok(r)
+        }
+        Err(e) => {
+            let _ = db.execute_sql("ROLLBACK", &[]);
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +515,30 @@ mod tests {
             r.lock_stats_deadlocks,
             "every lock-manager victim surfaced as one aborted txn or read: {r:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_readers_never_block_never_deadlock_never_tear() {
+        let cfg = ConcurrencyConfig {
+            threads: 2,
+            txns_per_thread: 60,
+            reader_threads: 2,
+            reads_per_reader_txn: 4,
+            think_us: 50, // writers hold row locks across real time
+            ..Default::default()
+        };
+        let r = run_concurrent(&cfg).unwrap();
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert!(r.read_txns > 0, "readers made progress: {r:?}");
+        assert_eq!(
+            r.read_deadlocks, 0,
+            "lock-free readers cannot deadlock: {r:?}"
+        );
+        assert_eq!(r.read_errors, 0, "{r:?}");
+        assert_eq!(
+            r.snapshot_violations, 0,
+            "repeated reads inside one txn must agree: {r:?}"
+        );
+        assert_eq!(r.coherence_violations, 0, "{r:?}");
     }
 }

@@ -1,0 +1,129 @@
+//! MVCC snapshot readers: a long analytics transaction scans the wall
+//! while BatchPost writer threads commit bursts underneath it — the
+//! scan never blocks, never deadlocks, and every read inside it agrees
+//! with the snapshot it pinned at BEGIN, no matter how many commits
+//! land meanwhile.
+//!
+//! Under the pre-MVCC engine (table-shared reader locks), the analytics
+//! transaction would stall behind every open writer transaction and
+//! hold its own shared locks against them; you can watch that world by
+//! flipping `db.set_reader_table_locks(true)` below.
+//!
+//! Run with: `cargo run --example snapshot_readers`
+
+use cachegenie_repro::social::{build_app, AppConfig, SeedConfig};
+use cachegenie_repro::storage::Value;
+use std::error::Error;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let env = build_app(&AppConfig {
+        seed: SeedConfig {
+            users: 20,
+            ..SeedConfig::tiny()
+        },
+        ..Default::default()
+    })?;
+    let db = env.db.clone();
+    // Flip to `true` to feel the PR-4 baseline: the analytics scan
+    // below will wait behind every writer transaction's intent locks.
+    db.set_reader_table_locks(false);
+
+    // --- writers: BatchPost bursts with application think time -------
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let app = env.app.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut committed = 0u64;
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let wall = (w as i64 * 5 + i) % 20 + 1;
+                    let sender = (i % 20) + 1;
+                    // Each burst holds its row locks across the pacing
+                    // callback — the window a blocking reader would
+                    // stall in.
+                    let paced = app.post_wall_batch_paced(wall, sender, 3, false, &|| {
+                        std::thread::sleep(Duration::from_micros(200));
+                    });
+                    if paced.is_ok() {
+                        committed += 1;
+                    }
+                    i += 1;
+                }
+                committed
+            })
+        })
+        .collect();
+
+    // --- the long analytics scan -------------------------------------
+    // One read-only transaction: pin a snapshot, then take slow,
+    // repeated measurements while the writers churn.
+    std::thread::sleep(Duration::from_millis(20)); // let writers warm up
+    let t0 = Instant::now();
+    db.execute_sql("BEGIN", &[])?;
+    let count = |db: &cachegenie_repro::storage::Database| -> Result<i64, Box<dyn Error>> {
+        Ok(db
+            .execute_sql("SELECT COUNT(*) FROM wall_posts", &[])?
+            .result
+            .rows[0]
+            .get(0)
+            .as_int()
+            .unwrap_or(0))
+    };
+    let baseline = count(&db)?;
+    let mut max_stmt = Duration::ZERO;
+    let mut per_user_total = 0i64;
+    for user in 1..=20i64 {
+        let s = Instant::now();
+        let n = db
+            .execute_sql(
+                "SELECT COUNT(*) FROM wall_posts WHERE user_id = $1",
+                &[Value::Int(user)],
+            )?
+            .result
+            .rows[0]
+            .get(0)
+            .as_int()
+            .unwrap_or(0);
+        max_stmt = max_stmt.max(s.elapsed());
+        per_user_total += n;
+        std::thread::sleep(Duration::from_millis(2)); // slow analytics
+    }
+    let recheck = count(&db)?;
+    db.execute_sql("COMMIT", &[])?;
+    let scan_elapsed = t0.elapsed();
+
+    stop.store(true, Ordering::Relaxed);
+    let committed: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let final_count = count(&db)?;
+
+    println!("snapshot_readers: long analytics scan vs {committed} committed write bursts");
+    println!("  snapshot total at BEGIN ......... {baseline} posts");
+    println!("  sum of 20 per-user counts ....... {per_user_total} posts");
+    println!("  total re-checked at end of txn .. {recheck} posts");
+    println!("  total after txn (fresh snapshot)  {final_count} posts");
+    println!(
+        "  scan wall time {scan_elapsed:?}, slowest statement {max_stmt:?}, \
+         reader lock waits: 0 by construction"
+    );
+
+    // The guarantees, asserted:
+    assert_eq!(
+        baseline, recheck,
+        "the snapshot must not move during the transaction"
+    );
+    assert_eq!(
+        baseline, per_user_total,
+        "per-user counts must sum to the snapshot total (one consistent cut)"
+    );
+    assert!(
+        final_count >= baseline,
+        "commits that landed during the scan become visible afterwards"
+    );
+    println!("  consistent snapshot, zero blocking — ok");
+    Ok(())
+}

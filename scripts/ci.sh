@@ -19,6 +19,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc (public-API doctests: transactions, snapshots, vacuum)"
+cargo test --doc -q
+
 echo "==> cargo build --benches (criterion harnesses compile)"
 cargo build --benches -q
 
@@ -28,7 +31,10 @@ cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
 echo "==> trigger_audit --check (commit-pipeline effect-coalescing regressions)"
 cargo run --release -q -p genie-bench --bin trigger_audit -- --check > /dev/null
 
-echo "==> concurrency_audit --check (multi-writer thread sweep: no livelock, abort ceiling, cache coherence)"
+echo "==> concurrency_audit --check (multi-writer thread sweep + MVCC reader gate: no livelock, abort/conflict ceilings, zero reader blocking, cache coherence)"
 cargo run --release -q -p genie-bench --bin concurrency_audit -- --check > /dev/null
+
+echo "==> exp_mvcc (snapshot readers vs table-S-lock baseline: zero lock waits, >= baseline read throughput, zero violations)"
+cargo run --release -q -p genie-bench --bin exp_mvcc -- --readers 1,4 --txns 80 > /dev/null
 
 echo "ci.sh: all green"
