@@ -6,7 +6,7 @@
 //! throughput, Update above Invalidate, with latencies rising steeply
 //! past ~15 clients.
 
-use genie_bench::{scale_from_args, summarize, write_result, TextTable, MODES};
+use genie_bench::{scale_from_args, summarize, write_result, BenchJson, TextTable, MODES};
 use genie_workload::{run, WorkloadConfig};
 
 fn main() {
@@ -22,10 +22,11 @@ fn main() {
     // constant totals avoid dataset-growth skew between points).
     let total_sessions = base.clients * base.sessions_per_client;
     let total_warmup = base.clients * base.warmup_sessions_per_client;
+    let mut tp_by_mode: Vec<Vec<f64>> = vec![Vec::new(); MODES.len()];
     for &clients in &client_counts {
         let mut tp = vec![clients.to_string()];
         let mut lt = vec![clients.to_string()];
-        for mode in MODES {
+        for (m, mode) in MODES.into_iter().enumerate() {
             let r = run(&WorkloadConfig {
                 mode,
                 clients,
@@ -39,6 +40,7 @@ fn main() {
             }
             tp.push(format!("{:.1}", r.throughput_pages_per_sec));
             lt.push(format!("{:.3}", r.mean_latency_s()));
+            tp_by_mode[m].push(r.throughput_pages_per_sec);
         }
         tput.row(tp);
         lat.row(lt);
@@ -51,4 +53,15 @@ fn main() {
     println!("Figure 2b — mean page latency (s):\n{}", lat.render());
     write_result("fig2a_throughput.csv", &tput.to_csv());
     write_result("fig2b_latency.csv", &lat.to_csv());
+    let mut json = BenchJson::new("exp1_clients").ints(
+        "clients",
+        &client_counts.iter().map(|&c| c as u64).collect::<Vec<_>>(),
+    );
+    for (m, mode) in MODES.into_iter().enumerate() {
+        json = json.nums(
+            &format!("{}_pages_per_sec", mode.label().to_lowercase()),
+            &tp_by_mode[m],
+        );
+    }
+    json.write();
 }

@@ -5,17 +5,19 @@
 //! advantage grows with the read fraction, reaching ~8× at 100% reads,
 //! where Update and Invalidate converge (nothing gets invalidated).
 
-use genie_bench::{scale_from_args, write_result, TextTable, MODES};
+use genie_bench::{scale_from_args, write_result, BenchJson, TextTable, MODES};
 use genie_workload::{run, PageMix, WorkloadConfig};
 
 fn main() {
     let base = scale_from_args();
     println!("Experiment 2: throughput vs percentage of read pages");
     println!("(reproduces Figure 3a)\n");
+    let read_pcts = [0u32, 20, 40, 60, 80, 100];
     let mut table = TextTable::new(&["read_pct", "NoCache", "Invalidate", "Update"]);
-    for read_pct in [0u32, 20, 40, 60, 80, 100] {
+    let mut tp_by_mode: Vec<Vec<f64>> = vec![Vec::new(); MODES.len()];
+    for &read_pct in &read_pcts {
         let mut row = vec![read_pct.to_string()];
-        for mode in MODES {
+        for (m, mode) in MODES.into_iter().enumerate() {
             let r = run(&WorkloadConfig {
                 mode,
                 mix: PageMix::with_read_percent(read_pct),
@@ -23,9 +25,21 @@ fn main() {
             })
             .expect("run");
             row.push(format!("{:.1}", r.throughput_pages_per_sec));
+            tp_by_mode[m].push(r.throughput_pages_per_sec);
         }
         table.row(row);
     }
     println!("{}", table.render());
     write_result("fig3a_mix.csv", &table.to_csv());
+    let mut json = BenchJson::new("exp2_mix").ints(
+        "read_pct",
+        &read_pcts.iter().map(|&p| p as u64).collect::<Vec<_>>(),
+    );
+    for (m, mode) in MODES.into_iter().enumerate() {
+        json = json.nums(
+            &format!("{}_pages_per_sec", mode.label().to_lowercase()),
+            &tp_by_mode[m],
+        );
+    }
+    json.write();
 }

@@ -7,18 +7,20 @@
 //! while NoCache stays flat (it is CPU-bound recomputing results that are
 //! already in its buffer pool).
 
-use genie_bench::{scale_from_args, write_result, TextTable, MODES};
+use genie_bench::{scale_from_args, write_result, BenchJson, TextTable, MODES};
 use genie_workload::{run, WorkloadConfig};
 
 fn main() {
     let base = scale_from_args();
     println!("Experiment 3: throughput vs Zipf exponent");
     println!("(reproduces Figure 3b)\n");
+    let exponents = [11u32, 12, 14, 16, 18, 20];
     let mut table = TextTable::new(&["zipf_a", "NoCache", "Invalidate", "Update"]);
-    for a10 in [11u32, 12, 14, 16, 18, 20] {
+    let mut tp_by_mode: Vec<Vec<f64>> = vec![Vec::new(); MODES.len()];
+    for &a10 in &exponents {
         let a = a10 as f64 / 10.0;
         let mut row = vec![format!("{a:.1}")];
-        for mode in MODES {
+        for (m, mode) in MODES.into_iter().enumerate() {
             let r = run(&WorkloadConfig {
                 mode,
                 zipf_a: a,
@@ -31,9 +33,24 @@ fn main() {
             })
             .expect("run");
             row.push(format!("{:.1}", r.throughput_pages_per_sec));
+            tp_by_mode[m].push(r.throughput_pages_per_sec);
         }
         table.row(row);
     }
     println!("{}", table.render());
     write_result("fig3b_zipf.csv", &table.to_csv());
+    let mut json = BenchJson::new("exp3_zipf").nums(
+        "zipf_a",
+        &exponents
+            .iter()
+            .map(|&a| a as f64 / 10.0)
+            .collect::<Vec<_>>(),
+    );
+    for (m, mode) in MODES.into_iter().enumerate() {
+        json = json.nums(
+            &format!("{}_pages_per_sec", mode.label().to_lowercase()),
+            &tp_by_mode[m],
+        );
+    }
+    json.write();
 }

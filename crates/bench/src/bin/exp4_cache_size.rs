@@ -7,7 +7,7 @@
 //! the database costs both cached systems throughput while still beating
 //! NoCache.
 
-use genie_bench::{scale_from_args, write_result, TextTable};
+use genie_bench::{scale_from_args, write_result, BenchJson, TextTable};
 use genie_workload::{run, CacheMode, WorkloadConfig};
 
 fn main() {
@@ -25,6 +25,8 @@ fn main() {
         "Inval_hit%",
         "Upd_hit%",
     ]);
+    let mut inval_tps = Vec::new();
+    let mut upd_tps = Vec::new();
     for &kib in &sizes_kib {
         let mut row = vec![kib.to_string()];
         let mut hits = Vec::new();
@@ -37,6 +39,11 @@ fn main() {
             .expect("run");
             row.push(format!("{:.1}", r.throughput_pages_per_sec));
             hits.push(format!("{:.1}", r.genie_stats.hit_ratio() * 100.0));
+            if mode == CacheMode::Invalidate {
+                inval_tps.push(r.throughput_pages_per_sec);
+            } else {
+                upd_tps.push(r.throughput_pages_per_sec);
+            }
         }
         row.extend(hits);
         table.row(row);
@@ -82,4 +89,13 @@ fn main() {
     ]);
     println!("Colocated-cache variant (pages/s):\n{}", coda.render());
     write_result("exp4_colocated.csv", &coda.to_csv());
+    BenchJson::new("exp4_cache_size")
+        .ints(
+            "cache_kib",
+            &sizes_kib.iter().map(|&k| k as u64).collect::<Vec<_>>(),
+        )
+        .nums("invalidate_pages_per_sec", &inval_tps)
+        .nums("update_pages_per_sec", &upd_tps)
+        .num("nocache_pages_per_sec", nocache.throughput_pages_per_sec)
+        .write();
 }

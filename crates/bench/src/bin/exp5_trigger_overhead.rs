@@ -5,7 +5,7 @@
 //! Expected shape (paper): Update 75 → 104 req/s ideal, Invalidate
 //! 62 → 80, i.e. triggers cost 22–28% of throughput on a loaded system.
 
-use genie_bench::{scale_from_args, write_result, TextTable};
+use genie_bench::{scale_from_args, write_result, BenchJson, TextTable};
 use genie_workload::{run, CacheMode, WorkloadConfig};
 
 fn main() {
@@ -13,6 +13,7 @@ fn main() {
     println!("Experiment 5: trigger (cache-consistency) overhead");
     println!("(reproduces §5.4 Experiment 5)\n");
     let mut table = TextTable::new(&["mode", "with_triggers", "ideal_no_triggers", "overhead_pct"]);
+    let mut json = BenchJson::new("exp5_trigger_overhead");
     for mode in [CacheMode::Update, CacheMode::Invalidate] {
         let real = run(&WorkloadConfig {
             mode,
@@ -33,7 +34,19 @@ fn main() {
             format!("{:.1}", ideal.throughput_pages_per_sec),
             format!("{:.1}", overhead),
         ]);
+        let label = mode.label().to_lowercase();
+        json = json
+            .num(
+                &format!("{label}_with_triggers_pages_per_sec"),
+                real.throughput_pages_per_sec,
+            )
+            .num(
+                &format!("{label}_ideal_pages_per_sec"),
+                ideal.throughput_pages_per_sec,
+            )
+            .num(&format!("{label}_overhead_pct"), overhead);
     }
+    json.write();
     println!("{}", table.render());
     println!("(paper: triggers reduce throughput by 22-28% on a loaded database)");
     write_result("exp5_trigger_overhead.csv", &table.to_csv());

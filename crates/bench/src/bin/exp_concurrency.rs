@@ -13,9 +13,17 @@
 //! cargo run --release -p genie-bench --bin exp_concurrency -- --threads 1,2,4,8 --txns 300
 //! ```
 
-use genie_bench::{write_result, TextTable};
+use genie_bench::{write_result, BenchJson, TextTable};
 use genie_social::SeedConfig;
 use genie_workload::{run_concurrent, ConcurrencyConfig};
+
+/// Required disjoint-table speedup over the pre-sharding engine
+/// (single statement latch + whole-transaction serialization) at the
+/// widest swept thread count when that count reaches 8. Writers on
+/// disjoint tables share nothing above the catalog read latch, so the
+/// sharded engine overlaps their whole transactions — think time
+/// included — while the old engine ran them strictly one at a time.
+const DISJOINT_SPEEDUP_TARGET: f64 = 5.0;
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -68,6 +76,8 @@ fn main() {
         "violations",
     ]);
     let mut total_violations = 0u64;
+    let mut row_lock_tps = Vec::new();
+    let mut single_lock_tps = Vec::new();
     for &t in &threads {
         let locked = run_concurrent(&ConcurrencyConfig {
             threads: t,
@@ -83,6 +93,8 @@ fn main() {
         assert_eq!(locked.errors, 0, "row-lock run errored: {locked:?}");
         assert_eq!(serial.errors, 0, "baseline run errored: {serial:?}");
         total_violations += locked.coherence_violations + serial.coherence_violations;
+        row_lock_tps.push(locked.throughput_txns_per_sec);
+        single_lock_tps.push(serial.throughput_txns_per_sec);
         table.row(vec![
             t.to_string(),
             format!("{:.0}", locked.throughput_txns_per_sec),
@@ -101,8 +113,101 @@ fn main() {
     println!("{}", table.render());
     println!(
         "(post-run cross-check re-evaluates every touched cached object against the \
-         database; violations must be 0)"
+         database; violations must be 0)\n"
     );
     assert_eq!(total_violations, 0, "coherence violations detected");
     write_result("exp_concurrency.csv", &table.to_csv());
+
+    // Disjoint-table mix: each writer owns its own table, so per-table
+    // latching lets whole transactions (think time included) overlap.
+    // The baseline is the pre-sharding engine shape — one statement
+    // latch plus whole-transaction serialization — which serializes
+    // every think window across all clients.
+    println!("Disjoint-table mix: per-table latching vs the pre-shard single latch");
+    let disjoint_base = ConcurrencyConfig {
+        txns_per_thread: txns.min(100),
+        posts_per_txn: 4,
+        think_us: 500,
+        disjoint_tables: true,
+        seed: SeedConfig {
+            users: 20,
+            ..SeedConfig::tiny()
+        },
+        ..Default::default()
+    };
+    let mut dtable = TextTable::new(&[
+        "threads",
+        "sharded_txn/s",
+        "single_latch_txn/s",
+        "speedup",
+        "table_latch_waits",
+    ]);
+    let mut sharded_tps = Vec::new();
+    let mut baseline_tps = Vec::new();
+    let mut last_speedup = 0.0;
+    let mut last_threads = 0usize;
+    for &t in &threads {
+        let sharded = run_concurrent(&ConcurrencyConfig {
+            threads: t,
+            ..disjoint_base.clone()
+        })
+        .expect("sharded disjoint run");
+        let serial = run_concurrent(&ConcurrencyConfig {
+            threads: t,
+            serial_latch: true,
+            single_lock: true,
+            ..disjoint_base.clone()
+        })
+        .expect("single-latch disjoint run");
+        assert_eq!(sharded.errors, 0, "sharded run errored: {sharded:?}");
+        assert_eq!(serial.errors, 0, "single-latch run errored: {serial:?}");
+        assert_eq!(
+            sharded.latch_table_waits, 0,
+            "disjoint writers hit a table latch: {sharded:?}"
+        );
+        let speedup =
+            sharded.throughput_txns_per_sec / serial.throughput_txns_per_sec.max(f64::EPSILON);
+        dtable.row(vec![
+            t.to_string(),
+            format!("{:.0}", sharded.throughput_txns_per_sec),
+            format!("{:.0}", serial.throughput_txns_per_sec),
+            format!("{speedup:.2}x"),
+            sharded.latch_table_waits.to_string(),
+        ]);
+        sharded_tps.push(sharded.throughput_txns_per_sec);
+        baseline_tps.push(serial.throughput_txns_per_sec);
+        last_speedup = speedup;
+        last_threads = t;
+    }
+    println!("{}", dtable.render());
+    write_result("exp_concurrency_disjoint.csv", &dtable.to_csv());
+    if last_threads >= 8 {
+        assert!(
+            last_speedup >= DISJOINT_SPEEDUP_TARGET,
+            "disjoint-table speedup {last_speedup:.2}x at {last_threads} threads below \
+             {DISJOINT_SPEEDUP_TARGET:.1}x target"
+        );
+        println!(
+            "disjoint speedup at {last_threads} threads: {last_speedup:.2}x \
+             (target {DISJOINT_SPEEDUP_TARGET:.1}x)"
+        );
+    } else {
+        println!(
+            "disjoint speedup at {last_threads} threads: {last_speedup:.2}x \
+             (gate applies from 8 threads)"
+        );
+    }
+
+    BenchJson::new("exp_concurrency")
+        .ints(
+            "threads",
+            &threads.iter().map(|&t| t as u64).collect::<Vec<_>>(),
+        )
+        .int("txns_per_thread", txns as u64)
+        .nums("row_lock_txns_per_sec", &row_lock_tps)
+        .nums("single_lock_txns_per_sec", &single_lock_tps)
+        .nums("disjoint_sharded_txns_per_sec", &sharded_tps)
+        .nums("disjoint_single_latch_txns_per_sec", &baseline_tps)
+        .num("disjoint_speedup_at_max_threads", last_speedup)
+        .write();
 }

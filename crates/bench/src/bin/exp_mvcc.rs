@@ -21,7 +21,7 @@
 //! cargo run --release -p genie-bench --bin exp_mvcc -- --readers 1,2,4,8 --txns 200
 //! ```
 
-use genie_bench::{write_result, TextTable};
+use genie_bench::{write_result, BenchJson, TextTable};
 use genie_social::SeedConfig;
 use genie_workload::{run_concurrent, ConcurrencyConfig};
 
@@ -76,6 +76,8 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     let mut snap_reads_total = 0.0f64;
     let mut slock_reads_total = 0.0f64;
+    let mut snap_tps = Vec::new();
+    let mut slock_tps = Vec::new();
     for &r in &readers {
         let snap = run_concurrent(&ConcurrencyConfig {
             reader_threads: r,
@@ -90,6 +92,8 @@ fn main() {
         .expect("s-lock baseline run");
         snap_reads_total += snap.read_txns_per_sec;
         slock_reads_total += slock.read_txns_per_sec;
+        snap_tps.push(snap.read_txns_per_sec);
+        slock_tps.push(slock.read_txns_per_sec);
 
         // The headline MVCC guarantees, per cell.
         if snap.lock_waits != 0 || snap.lock_stats_deadlocks != 0 {
@@ -165,4 +169,18 @@ fn main() {
         snap_reads_total / slock_reads_total.max(f64::EPSILON)
     );
     write_result("exp_mvcc.csv", &table.to_csv());
+    BenchJson::new("exp_mvcc")
+        .ints(
+            "reader_threads",
+            &readers.iter().map(|&r| r as u64).collect::<Vec<_>>(),
+        )
+        .int("writer_threads", base.threads as u64)
+        .int("txns_per_thread", txns as u64)
+        .nums("snapshot_read_txns_per_sec", &snap_tps)
+        .nums("slock_read_txns_per_sec", &slock_tps)
+        .num(
+            "aggregate_read_speedup",
+            snap_reads_total / slock_reads_total.max(f64::EPSILON),
+        )
+        .write();
 }

@@ -1,0 +1,212 @@
+//! Vectorized / parallel scan experiment: row-at-a-time vs morsel-driven
+//! batch execution.
+//!
+//! Builds one wide table (large enough to clear the engine's parallel
+//! morsel threshold), then times the same scan-heavy query pair — a
+//! predicated `COUNT(*)` (the count-pushdown path) and a filtered
+//! `ORDER BY ... LIMIT` top-k (the per-worker partial-merge path) —
+//! under three engine shapes:
+//!
+//! 1. row-at-a-time (`set_batch_scan(false)`), the pre-vectorization
+//!    interpreter;
+//! 2. batched execution, one worker (`set_batch_scan(true)`);
+//! 3. batched execution with a worker-count sweep (morsel-driven
+//!    parallelism).
+//!
+//! `--check` turns the report into a CI gate: batched execution must
+//! not lose to row-at-a-time, and with 4 workers the combined speedup
+//! over row-at-a-time must reach 1.5x — the parallel leg is skipped
+//! when the host lacks 4 hardware threads, since a morsel scheduler
+//! cannot beat the clock on cores it does not have.
+//!
+//! ```text
+//! cargo run --release -p genie-bench --bin exp_parallel_scan
+//! cargo run --release -p genie-bench --bin exp_parallel_scan -- --check --quick
+//! ```
+
+use genie_bench::{write_result, BenchJson, TextTable};
+use genie_storage::{Database, DbConfig, Value};
+use std::time::Instant;
+
+/// Batched single-worker execution must stay at least this fraction of
+/// row-at-a-time throughput (i.e. batching never regresses; in practice
+/// it wins comfortably and the gate just guards the sign).
+const BATCH_FLOOR: f64 = 1.0;
+
+/// Required combined speedup of batch + 4 workers over row-at-a-time.
+const PARALLEL_TARGET: f64 = 1.5;
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Seeds `rows` rows of `scan_t` in bulk transactions. Column values
+/// come from a tiny deterministic LCG so selectivities are stable
+/// across runs without an RNG dependency.
+fn build_db(rows: i64) -> Database {
+    let db = Database::new(DbConfig {
+        buffer_pool_bytes: 8 * 1024 * 1024,
+        ..Default::default()
+    });
+    db.execute_sql(
+        "CREATE TABLE scan_t (id INT PRIMARY KEY, grp INT NOT NULL, val INT NOT NULL)",
+        &[],
+    )
+    .expect("create scan_t");
+    let mut state: i64 = 88172645463325252;
+    let mut next = || {
+        // xorshift: cheap, deterministic, well-spread.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.rem_euclid(1_000_000)
+    };
+    let mut id = 1;
+    while id <= rows {
+        db.execute_sql("BEGIN", &[]).expect("begin");
+        let end = (id + 1999).min(rows);
+        while id <= end {
+            db.execute_sql(
+                "INSERT INTO scan_t (id, grp, val) VALUES ($1, $2, $3)",
+                &[Value::Int(id), Value::Int(next() % 100), Value::Int(next())],
+            )
+            .expect("insert");
+            id += 1;
+        }
+        db.execute_sql("COMMIT", &[]).expect("commit");
+    }
+    db
+}
+
+/// Runs the scan pair `reps` times and returns scanned rows per second.
+/// The `COUNT(*)` answer is cross-checked against the first measurement
+/// so a broken scan path cannot masquerade as a fast one.
+fn measure(db: &Database, rows: i64, reps: usize, expect_count: &mut Option<i64>) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        let count = db
+            .execute_sql(
+                "SELECT COUNT(*) FROM scan_t WHERE val < $1",
+                &[Value::Int(500_000)],
+            )
+            .expect("count scan");
+        let got = match count.result.rows[0].get(0) {
+            Value::Int(n) => *n,
+            v => panic!("COUNT(*) returned {v:?}"),
+        };
+        match expect_count {
+            Some(e) => assert_eq!(*e, got, "scan modes disagree on COUNT(*)"),
+            None => *expect_count = Some(got),
+        }
+        let topk = db
+            .execute_sql(
+                "SELECT id, val FROM scan_t WHERE grp < $1 ORDER BY val DESC LIMIT 10",
+                &[Value::Int(50)],
+            )
+            .expect("topk scan");
+        assert_eq!(topk.result.rows.len(), 10, "top-k short of LIMIT");
+    }
+    // Both queries walk the full table once per rep.
+    (rows as f64 * 2.0 * reps as f64) / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows: i64 = arg_after(&args, "--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 20_000 } else { 60_000 });
+    let reps: usize = arg_after(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 15 } else { 40 });
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("Parallel scan experiment: row-at-a-time vs vectorized morsels");
+    println!("({rows} rows x {reps} reps, {hw} hardware threads)\n");
+    let db = build_db(rows);
+    let mut expect = None;
+
+    // Warm the buffer pool so mode one is not charged for cold misses.
+    db.set_batch_scan(false);
+    db.set_scan_workers(1);
+    measure(&db, rows, 2, &mut expect);
+
+    let row_tp = measure(&db, rows, reps, &mut expect);
+    db.set_batch_scan(true);
+    let workers: Vec<usize> = [1usize, 2, 4].into_iter().collect();
+    let mut batch_tp = Vec::new();
+    let mut table = TextTable::new(&["mode", "rows/s", "vs_row"]);
+    table.row(vec![
+        "row-at-a-time".into(),
+        format!("{row_tp:.0}"),
+        "1.00x".into(),
+    ]);
+    for &w in &workers {
+        db.set_scan_workers(w);
+        let tp = measure(&db, rows, reps, &mut expect);
+        table.row(vec![
+            format!("batch x{w}"),
+            format!("{tp:.0}"),
+            format!("{:.2}x", tp / row_tp),
+        ]);
+        batch_tp.push(tp);
+    }
+    println!("{}", table.render());
+
+    let batch1_speedup = batch_tp[0] / row_tp;
+    let batch4_speedup = batch_tp[2] / row_tp;
+    let parallel_gate = hw >= 4;
+    println!("batch x1 vs row: {batch1_speedup:.2}x (floor {BATCH_FLOOR:.2}x)");
+    if parallel_gate {
+        println!("batch x4 vs row: {batch4_speedup:.2}x (target {PARALLEL_TARGET:.1}x)");
+    } else {
+        println!(
+            "batch x4 vs row: {batch4_speedup:.2}x (informational: {hw} hardware \
+             thread(s), parallel gate needs 4)"
+        );
+    }
+
+    write_result("exp_parallel_scan.csv", &table.to_csv());
+    BenchJson::new("exp_parallel_scan")
+        .int("rows", rows as u64)
+        .int("reps", reps as u64)
+        .int("hardware_threads", hw as u64)
+        .num("row_at_a_time_rows_per_sec", row_tp)
+        .ints(
+            "workers",
+            &workers.iter().map(|&w| w as u64).collect::<Vec<_>>(),
+        )
+        .nums("batch_rows_per_sec", &batch_tp)
+        .num("speedup_batch_x1", batch1_speedup)
+        .num("speedup_batch_x4", batch4_speedup)
+        .write();
+
+    if check {
+        let mut failures = Vec::new();
+        if batch1_speedup < BATCH_FLOOR {
+            failures.push(format!(
+                "batched execution lost to row-at-a-time: {batch1_speedup:.2}x < {BATCH_FLOOR:.2}x"
+            ));
+        }
+        if parallel_gate && batch4_speedup < PARALLEL_TARGET {
+            failures.push(format!(
+                "batch x4 speedup {batch4_speedup:.2}x below target {PARALLEL_TARGET:.1}x"
+            ));
+        }
+        if failures.is_empty() {
+            println!("\nexp_parallel_scan: all checks passed");
+        } else {
+            eprintln!("\nexp_parallel_scan: {} failure(s):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -95,6 +95,113 @@ pub fn write_result(name: &str, content: &str) {
     }
 }
 
+/// Machine-readable benchmark summary: a flat, ordered JSON object
+/// written as `results/BENCH_<name>.json` next to the human-readable
+/// output. Built field by field so every experiment binary emits the
+/// same shape without a serialization dependency:
+///
+/// ```no_run
+/// genie_bench::BenchJson::new("exp_demo")
+///     .int("threads", 8)
+///     .num("throughput_txns_per_sec", 1234.5)
+///     .nums("speedups", &[1.0, 1.9, 3.7])
+///     .write();
+/// ```
+#[derive(Debug)]
+pub struct BenchJson {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchJson {
+    /// Starts a summary for the experiment called `name`.
+    pub fn new(name: &str) -> Self {
+        BenchJson {
+            name: name.to_owned(),
+            fields: vec![("experiment".to_owned(), json_str(name))],
+        }
+    }
+
+    fn push(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(self, key: &str, v: u64) -> Self {
+        self.push(key, v.to_string())
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    #[must_use]
+    pub fn num(self, key: &str, v: f64) -> Self {
+        self.push(key, json_num(v))
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str_field(self, key: &str, v: &str) -> Self {
+        self.push(key, json_str(v))
+    }
+
+    /// Adds an integer-array field (e.g. the swept thread counts).
+    #[must_use]
+    pub fn ints(self, key: &str, vs: &[u64]) -> Self {
+        let items: Vec<String> = vs.iter().map(u64::to_string).collect();
+        self.push(key, format!("[{}]", items.join(",")))
+    }
+
+    /// Adds a float-array field (e.g. per-thread-count throughputs).
+    #[must_use]
+    pub fn nums(self, key: &str, vs: &[f64]) -> Self {
+        let items: Vec<String> = vs.iter().map(|v| json_num(*v)).collect();
+        self.push(key, format!("[{}]", items.join(",")))
+    }
+
+    /// Renders the JSON object (insertion order, two-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            let _ = writeln!(out, "  {}: {v}{comma}", json_str(k));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `results/BENCH_<name>.json`.
+    pub fn write(self) {
+        write_result(&format!("BENCH_{}.json", self.name), &self.render());
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// A plain-text table builder for experiment output.
 #[derive(Debug, Default)]
 pub struct TextTable {
@@ -187,6 +294,27 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("clients,Update,NoCache\n"));
         assert!(csv.contains("5,70.1,30.0"));
+    }
+
+    #[test]
+    fn bench_json_renders_flat_object() {
+        let j = BenchJson::new("exp_demo")
+            .int("threads", 8)
+            .num("throughput", 123.5)
+            .num("bad", f64::NAN)
+            .str_field("mode", "row \"latch\"")
+            .ints("sweep", &[1, 2, 4])
+            .nums("speedups", &[1.0, 1.9]);
+        let s = j.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"experiment\": \"exp_demo\""));
+        assert!(s.contains("\"threads\": 8,"));
+        assert!(s.contains("\"throughput\": 123.5,"));
+        assert!(s.contains("\"bad\": null,"));
+        assert!(s.contains("\"mode\": \"row \\\"latch\\\"\","));
+        assert!(s.contains("\"sweep\": [1,2,4],"));
+        assert!(s.contains("\"speedups\": [1,1.9]\n"));
     }
 
     #[test]

@@ -7,7 +7,14 @@
 //!
 //! The model is page-LRU with a dirty bit, which is close enough to
 //! Postgres' clock sweep for the shapes the evaluation depends on.
+//!
+//! The pool is shared by all statement threads, so its state lives behind
+//! one internal mutex and the API takes `&self`. It is deliberately *not*
+//! sharded: a single LRU clock keeps eviction order globally deterministic,
+//! which the plan-audit baselines depend on, and each touch holds the mutex
+//! only for a hash-map probe.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Identity of one heap page: `(table_id, page_number)`.
@@ -39,15 +46,20 @@ struct Frame {
     dirty: bool,
 }
 
-/// The pool model. Not thread-safe by itself; the database wraps it in its
-/// own lock.
+/// Mutable pool state: frame table, LRU clock, counters.
+#[derive(Debug)]
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// The pool model. Thread-safe: all methods take `&self`.
 #[derive(Debug)]
 pub struct BufferPool {
     page_bytes: usize,
     capacity_pages: usize,
-    frames: HashMap<PageId, Frame>,
-    clock: u64,
-    stats: PoolStats,
+    inner: Mutex<PoolInner>,
 }
 
 /// Outcome of touching one page.
@@ -72,9 +84,11 @@ impl BufferPool {
         BufferPool {
             page_bytes,
             capacity_pages: (capacity_bytes / page_bytes).max(1),
-            frames: HashMap::new(),
-            clock: 0,
-            stats: PoolStats::default(),
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                clock: 0,
+                stats: PoolStats::default(),
+            }),
         }
     }
 
@@ -94,32 +108,33 @@ impl BufferPool {
     }
 
     /// Touches `page` for reading; returns hit/miss and eviction effects.
-    pub fn touch(&mut self, page: PageId) -> Touch {
+    pub fn touch(&self, page: PageId) -> Touch {
         self.touch_inner(page, false)
     }
 
     /// Touches `page` for writing (marks it dirty).
-    pub fn touch_write(&mut self, page: PageId) -> Touch {
+    pub fn touch_write(&self, page: PageId) -> Touch {
         self.touch_inner(page, true)
     }
 
-    fn touch_inner(&mut self, page: PageId, write: bool) -> Touch {
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some(f) = self.frames.get_mut(&page) {
+    fn touch_inner(&self, page: PageId, write: bool) -> Touch {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(f) = inner.frames.get_mut(&page) {
             f.stamp = stamp;
             f.dirty |= write;
-            self.stats.hits += 1;
+            inner.stats.hits += 1;
             return Touch {
                 hit: true,
                 writebacks: 0,
             };
         }
-        self.stats.misses += 1;
+        inner.stats.misses += 1;
         let mut writebacks = 0;
-        while self.frames.len() >= self.capacity_pages {
-            if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, f)| f.stamp) {
-                let f = self.frames.remove(&victim).expect("victim present");
+        while inner.frames.len() >= self.capacity_pages {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
+                let f = inner.frames.remove(&victim).expect("victim present");
                 if f.dirty {
                     writebacks += 1;
                 }
@@ -127,15 +142,15 @@ impl BufferPool {
                 break;
             }
         }
-        self.stats.writebacks += writebacks;
-        self.frames.insert(
+        inner.stats.writebacks += writebacks;
+        inner.frames.insert(
             page,
             Frame {
                 stamp,
                 dirty: write,
             },
         );
-        self.stats.resident = self.frames.len();
+        inner.stats.resident = inner.frames.len();
         Touch {
             hit: false,
             writebacks,
@@ -143,34 +158,38 @@ impl BufferPool {
     }
 
     /// Drops every frame belonging to `table` (used by DROP TABLE / TRUNCATE).
-    pub fn invalidate_table(&mut self, table: u32) {
-        self.frames.retain(|p, _| p.table != table);
-        self.stats.resident = self.frames.len();
+    pub fn invalidate_table(&self, table: u32) {
+        let mut inner = self.inner.lock();
+        inner.frames.retain(|p, _| p.table != table);
+        inner.stats.resident = inner.frames.len();
     }
 
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
-        let mut s = self.stats;
-        s.resident = self.frames.len();
+        let inner = self.inner.lock();
+        let mut s = inner.stats;
+        s.resident = inner.frames.len();
         s
     }
 
     /// Zeroes the hit/miss counters but keeps residency (used between
     /// warm-up and measurement intervals).
-    pub fn reset_stats(&mut self) {
-        self.stats = PoolStats {
-            resident: self.frames.len(),
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = PoolStats {
+            resident: inner.frames.len(),
             ..Default::default()
         };
     }
 
     /// Hit ratio since the last reset, or 1.0 with no traffic.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.stats.hits + self.stats.misses;
+        let stats = self.inner.lock().stats;
+        let total = stats.hits + stats.misses;
         if total == 0 {
             1.0
         } else {
-            self.stats.hits as f64 / total as f64
+            stats.hits as f64 / total as f64
         }
     }
 }
@@ -185,7 +204,7 @@ mod tests {
 
     #[test]
     fn first_touch_misses_second_hits() {
-        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
+        let bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
         assert!(!bp.touch(pid(1, 0)).hit);
         assert!(bp.touch(pid(1, 0)).hit);
         assert_eq!(bp.stats().hits, 1);
@@ -194,7 +213,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_coldest() {
-        let mut bp = BufferPool::new(8 * 1024 * 2, 8 * 1024); // 2 pages
+        let bp = BufferPool::new(8 * 1024 * 2, 8 * 1024); // 2 pages
         bp.touch(pid(1, 0));
         bp.touch(pid(1, 1));
         bp.touch(pid(1, 0)); // page 0 now hottest
@@ -205,7 +224,7 @@ mod tests {
 
     #[test]
     fn dirty_eviction_writes_back() {
-        let mut bp = BufferPool::new(8 * 1024, 8 * 1024); // 1 page
+        let bp = BufferPool::new(8 * 1024, 8 * 1024); // 1 page
         bp.touch_write(pid(1, 0));
         let t = bp.touch(pid(1, 1));
         assert_eq!(t.writebacks, 1);
@@ -214,7 +233,7 @@ mod tests {
 
     #[test]
     fn clean_eviction_does_not_write_back() {
-        let mut bp = BufferPool::new(8 * 1024, 8 * 1024);
+        let bp = BufferPool::new(8 * 1024, 8 * 1024);
         bp.touch(pid(1, 0));
         let t = bp.touch(pid(1, 1));
         assert_eq!(t.writebacks, 0);
@@ -222,7 +241,7 @@ mod tests {
 
     #[test]
     fn rewrite_keeps_dirty_until_evicted() {
-        let mut bp = BufferPool::new(8 * 1024 * 2, 8 * 1024);
+        let bp = BufferPool::new(8 * 1024 * 2, 8 * 1024);
         bp.touch_write(pid(1, 0));
         bp.touch(pid(1, 0)); // read does not clean it
         bp.touch(pid(1, 1));
@@ -238,7 +257,7 @@ mod tests {
 
     #[test]
     fn invalidate_table_drops_frames() {
-        let mut bp = BufferPool::new(8 * 1024 * 8, 8 * 1024);
+        let bp = BufferPool::new(8 * 1024 * 8, 8 * 1024);
         bp.touch(pid(1, 0));
         bp.touch(pid(2, 0));
         bp.invalidate_table(1);
@@ -248,7 +267,7 @@ mod tests {
 
     #[test]
     fn hit_ratio_and_reset() {
-        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
+        let bp = BufferPool::new(8 * 1024 * 4, 8 * 1024);
         bp.touch(pid(1, 0));
         bp.touch(pid(1, 0));
         assert!((bp.hit_ratio() - 0.5).abs() < 1e-9);
@@ -259,8 +278,8 @@ mod tests {
 
     #[test]
     fn working_set_larger_than_pool_thrashes() {
-        let mut bp = BufferPool::new(8 * 1024 * 4, 8 * 1024); // 4 pages
-                                                              // Cycle through 8 pages twice: LRU gives 0% hit rate on the rescan.
+        let bp = BufferPool::new(8 * 1024 * 4, 8 * 1024); // 4 pages
+                                                          // Cycle through 8 pages twice: LRU gives 0% hit rate on the rescan.
         for _ in 0..2 {
             for p in 0..8 {
                 bp.touch(pid(1, p));
@@ -268,5 +287,24 @@ mod tests {
         }
         assert_eq!(bp.stats().hits, 0);
         assert_eq!(bp.stats().misses, 16);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let bp = BufferPool::new(8 * 1024 * 64, 8 * 1024);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let bp = &bp;
+                s.spawn(move || {
+                    for p in 0..8 {
+                        bp.touch(pid(t, p));
+                        bp.touch(pid(t, p));
+                    }
+                });
+            }
+        });
+        let stats = bp.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+        assert_eq!(stats.misses, 32, "each page misses exactly once");
     }
 }

@@ -1,14 +1,23 @@
-//! The table catalog: name → [`Table`] mapping with dense table ids.
+//! The table catalog: name → latched [`Table`] mapping with dense ids.
+//!
+//! Each table sits inside its own [`RwLock`] cell — the *per-table latch*
+//! of the engine's latch hierarchy (catalog read-write latch above, lock
+//! manager below; see `docs/ARCHITECTURE.md`). Structural operations
+//! (`create_table`, `create_index`, vacuum) take `&mut self`, which the
+//! engine only has while holding the catalog latch exclusively, so they
+//! can reach tables through [`RwLock::get_mut`] without touching the
+//! per-table latches at all — one reason the hierarchy cannot deadlock.
 
 use crate::error::{Result, StorageError};
 use crate::schema::{IndexDef, TableSchema};
 use crate::table::Table;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
-/// All tables in a database. Wrapped by [`crate::Database`]'s lock.
+/// All tables in a database, each behind its own latch cell.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, RwLock<Table>>,
     next_id: u32,
 }
 
@@ -42,7 +51,7 @@ impl Catalog {
                 })?;
             }
         }
-        self.tables.insert(name, table);
+        self.tables.insert(name, RwLock::new(table));
         Ok(())
     }
 
@@ -55,17 +64,21 @@ impl Catalog {
         self.table_mut(table)?.create_index(def)
     }
 
-    /// Immutable table lookup.
-    pub fn table(&self, name: &str) -> Result<&Table> {
+    /// The latch cell for `name`. Callers latch it in canonical (sorted
+    /// name) order relative to any other table latches they hold.
+    pub fn latch(&self, name: &str) -> Result<&RwLock<Table>> {
         self.tables
             .get(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup, bypassing the per-table latch. Sound only
+    /// because `&mut self` implies the catalog latch is held exclusively,
+    /// which excludes every per-table latch holder.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(RwLock::get_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
@@ -79,19 +92,29 @@ impl Catalog {
         self.tables.keys().cloned().collect()
     }
 
-    /// Total rows across all tables (diagnostics).
+    /// Total rows across all tables (diagnostics). Latches each table
+    /// briefly in sorted order.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.read().len()).sum()
     }
 
-    /// Iterates over all tables (vacuum, version diagnostics).
-    pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+    /// Iterates over the latch cells in sorted-name order.
+    pub fn latches(&self) -> impl Iterator<Item = (&str, &RwLock<Table>)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
     }
 
-    /// Mutable iteration over all tables (vacuum).
+    /// Mutable iteration over all tables (vacuum; requires the catalog
+    /// latch held exclusively, see [`Catalog::table_mut`]).
     pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
-        self.tables.values_mut()
+        self.tables.values_mut().map(RwLock::get_mut)
+    }
+
+    /// Named mutable iteration, for building an exclusive-mode table set
+    /// (same soundness argument as [`Catalog::table_mut`]).
+    pub fn tables_mut_named(&mut self) -> impl Iterator<Item = (&str, &mut Table)> {
+        self.tables
+            .iter_mut()
+            .map(|(n, t)| (n.as_str(), t.get_mut()))
     }
 }
 
@@ -109,8 +132,8 @@ mod tests {
         c.create_table(schema("a")).unwrap();
         c.create_table(schema("b")).unwrap();
         assert!(c.has_table("a"));
-        assert_eq!(c.table("a").unwrap().id(), 0);
-        assert_eq!(c.table("b").unwrap().id(), 1);
+        assert_eq!(c.latch("a").unwrap().read().id(), 0);
+        assert_eq!(c.latch("b").unwrap().read().id(), 1);
         assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
     }
 
@@ -128,8 +151,19 @@ mod tests {
     fn unknown_table_error() {
         let c = Catalog::new();
         assert!(matches!(
-            c.table("ghost"),
+            c.latch("ghost"),
             Err(StorageError::UnknownTable(_))
         ));
+    }
+
+    #[test]
+    fn latch_cells_are_independent() {
+        let mut c = Catalog::new();
+        c.create_table(schema("a")).unwrap();
+        c.create_table(schema("b")).unwrap();
+        let _wa = c.latch("a").unwrap().write();
+        // A writer on `a` must not block any access to `b`.
+        let rb = c.latch("b").unwrap().try_read();
+        assert!(rb.is_some(), "disjoint tables share no latch");
     }
 }

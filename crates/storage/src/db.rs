@@ -6,23 +6,32 @@
 //! and the physical [`CostReport`], which the benchmark harness prices into
 //! simulated time.
 //!
-//! # Concurrency model (MVCC + 2PL writers)
+//! # Concurrency model (latch hierarchy + MVCC + 2PL writers)
 //!
-//! The engine distinguishes **latches** from **locks**, and since the
-//! MVCC refactor **readers from writers** (see `docs/ISOLATION.md` for
-//! the full isolation model and `docs/ARCHITECTURE.md` for the crate
-//! map):
+//! The engine distinguishes **latches** (short-duration protection of
+//! physical structures) from **locks** (transaction-duration 2PL on
+//! logical rows), and **readers from writers** (see `docs/ISOLATION.md`
+//! for the isolation model and `docs/ARCHITECTURE.md` for the full
+//! latch-vs-lock discussion):
 //!
-//! * One internal mutex — the *latch* — protects the physical structures
-//!   (catalog, heaps, indexes, buffer pool). It is held only for the
-//!   duration of one statement's execution or one commit's trigger
-//!   firing, and never while waiting for a lock.
+//! * Latches form a three-level hierarchy replacing the old single
+//!   engine mutex: a **catalog read-write latch** (DDL and vacuum take
+//!   it exclusively; every statement takes it shared), **per-table
+//!   latches** acquired in canonical sorted-name order from the
+//!   statement's planned table set ([`crate::catalog::Catalog`]), and an
+//!   **epoch mutex** serializing commit-epoch allocation. Statements on
+//!   disjoint tables execute fully in parallel; two statements touching
+//!   the same table exclude each other exactly as the old mutex did.
+//!   Every thread acquires strictly downward in that order and never
+//!   blocks on a lock-manager lock while holding any latch, so the
+//!   hierarchy cannot deadlock.
 //! * **Reads are lock-free snapshot reads.** Every transaction pins the
 //!   current commit epoch at `BEGIN`; every autocommit statement pins
-//!   the latest committed epoch. Scans and probes resolve row versions
-//!   against that snapshot ([`crate::Table::visible`]), so readers never
-//!   take lock-manager locks, never wait behind writer transactions,
-//!   and can never deadlock.
+//!   the latest committed epoch *after* latching its tables. Scans and
+//!   probes resolve row versions against that snapshot
+//!   ([`crate::Table::visible`]), so readers never take lock-manager
+//!   locks, never wait behind writer transactions, and can never
+//!   deadlock.
 //! * **Writers keep strict 2PL**: write statements take table-level
 //!   intent locks plus per-`(table, pk)` exclusive row locks (escalating
 //!   to a table exclusive lock when the predicate does not pin primary
@@ -35,16 +44,19 @@
 //!   the calling thread, and subsequent statements from that thread join
 //!   it, so N threads drive N concurrent transactions through one shared
 //!   [`Database`] handle (see [`Database::begin_concurrent`]).
-//! * COMMIT fires the transaction's coalesced triggers under the latch
-//!   against the *commit-point snapshot* (latest committed state plus
-//!   the transaction's own writes — never another transaction's
-//!   in-flight rows), stamps every written version with the new commit
-//!   epoch, publishes the epoch, and only then — after releasing the
-//!   latch — runs the [`CommitHook`]'s deferred cache publication; the
-//!   hook serializes per-key publication so two committing writers can
-//!   never interleave physical cache operations on one key.
+//! * COMMIT write-latches exactly the tables the transaction touched,
+//!   fires the transaction's coalesced triggers (when any match, under
+//!   the exclusive catalog latch) against the *commit-point snapshot*
+//!   (latest committed state plus the transaction's own writes — never
+//!   another transaction's in-flight rows), stamps every written version
+//!   with the new commit epoch under the epoch mutex, publishes the
+//!   epoch, and only then — after releasing its latches — runs the
+//!   [`CommitHook`]'s deferred cache publication; the hook serializes
+//!   per-key publication so two committing writers can never interleave
+//!   physical cache operations on one key.
 //! * Old row versions are reclaimed by [`Database::vacuum`] (also run
-//!   inline every few hundred commits): only versions invisible to the
+//!   inline every few hundred commits, after the committing statement
+//!   has dropped all latches and locks): only versions invisible to the
 //!   oldest live snapshot are pruned, so a long-running reader pins the
 //!   horizon instead of ever seeing a row disappear.
 
@@ -52,17 +64,18 @@ use crate::bufferpool::{BufferPool, PoolStats};
 use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
-use crate::exec::{self, ExecView, RowChange, UndoOp};
-use crate::lockmgr::{LockManager, LockMode, LockStats, TxnId};
+use crate::exec::{self, ExecView, RowChange, ScanOpts, UndoOp};
+use crate::latch::{LatchPlan, TableSet};
+use crate::lockmgr::{LatchCounters, LatchStats, LockManager, LockMode, LockStats, TxnId};
 use crate::query::{QueryResult, Select, Statement};
 use crate::row::RowId;
 use crate::schema::{IndexDef, TableSchema};
 use crate::table::Snapshot;
 use crate::trigger::{Trigger, TriggerCtx, TriggerEvent, TriggerManager};
 use crate::value::Value;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
 
@@ -73,8 +86,8 @@ use std::thread::ThreadId;
 const VACUUM_COMMIT_INTERVAL: u64 = 256;
 
 /// Deferred cache-publication step returned by [`CommitHook::commit_apply`].
-/// The engine runs it after releasing its internal latch (but before
-/// releasing the transaction's row locks), so slow external effects never
+/// The engine runs it after releasing its latches (but before releasing
+/// the transaction's row locks), so slow external effects never
 /// serialize unrelated statements.
 pub type DeferredPublish = Option<Box<dyn FnOnce() + Send>>;
 
@@ -90,12 +103,12 @@ pub trait CommitHook: Send + Sync {
     fn begin_apply(&self);
 
     /// Called after every commit-time trigger fired successfully, still
-    /// under the engine latch. The hook seals the buffered effects,
+    /// under the commit's latches. The hook seals the buffered effects,
     /// may rewrite `cost`'s cache-op counters to the physical (coalesced)
     /// numbers (`group_commit` distinguishes a transaction's COMMIT from
     /// a single autocommitted statement, which keeps its per-statement
     /// accounting), and returns the deferred publication step the engine
-    /// runs once the latch is released. Returning an error aborts the
+    /// runs once the latches are released. Returning an error aborts the
     /// transaction — the hook must have discarded its buffer before
     /// returning it.
     ///
@@ -143,6 +156,41 @@ pub struct DbStats {
     pub commits: u64,
     /// Transactions rolled back.
     pub rollbacks: u64,
+}
+
+/// Lock-free engine counters. Statements on disjoint tables run fully in
+/// parallel, so bookkeeping cannot live behind any latch — each counter
+/// is an independent atomic, snapshotted into [`DbStats`] on demand.
+#[derive(Debug, Default)]
+struct DbCounters {
+    statements: AtomicU64,
+    selects: AtomicU64,
+    writes: AtomicU64,
+    triggers_fired: AtomicU64,
+    commits: AtomicU64,
+    rollbacks: AtomicU64,
+}
+
+impl DbCounters {
+    fn snapshot(&self) -> DbStats {
+        DbStats {
+            statements: self.statements.load(Ordering::Relaxed),
+            selects: self.selects.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            triggers_fired: self.triggers_fired.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.statements.store(0, Ordering::Relaxed);
+        self.selects.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.triggers_fired.store(0, Ordering::Relaxed);
+        self.commits.store(0, Ordering::Relaxed);
+        self.rollbacks.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Retained MVCC version state (see [`Database::version_stats`]).
@@ -193,18 +241,75 @@ struct TxnState {
     wrote: bool,
 }
 
-struct Inner {
-    catalog: Catalog,
+/// The latched engine core: catalog (tables behind per-table latch
+/// cells), buffer pool (internally synchronized), triggers and the
+/// commit hook (read-mostly registries behind their own `RwLock`s), and
+/// the engine-wide counters. The catalog `RwLock` is the root of the
+/// latch hierarchy — see the module docs.
+struct Engine {
+    catalog: RwLock<Catalog>,
     pool: BufferPool,
-    triggers: TriggerManager,
-    stats: DbStats,
-    commit_hook: Option<Arc<dyn CommitHook>>,
+    triggers: RwLock<TriggerManager>,
+    commit_hook: RwLock<Option<Arc<dyn CommitHook>>>,
+    counters: DbCounters,
+    /// Latch contention counters (see [`Database::latch_stats`]). The
+    /// concurrency audit asserts zero table-latch waits for workloads on
+    /// disjoint tables.
+    latches: LatchCounters,
+    /// Serializes commit-epoch allocation: two commits on disjoint
+    /// tables hold no common table latch, so without this mutex both
+    /// could stamp their versions at the same epoch. Taken strictly
+    /// below every other latch, held only for the stamp-and-publish
+    /// instant.
+    epoch_mutex: Mutex<()>,
+    /// Forces every statement and commit onto the exclusive catalog
+    /// latch — the measurable single-latch baseline the concurrency
+    /// experiments compare per-table latching against.
+    serial_latch: AtomicBool,
+    /// Vectorized (batch-at-a-time) scan execution; on by default. Off
+    /// reverts to row-at-a-time interpretation, the measurable baseline
+    /// for `exp_parallel_scan`.
+    batch_scan: AtomicBool,
+    /// Worker threads for morsel-driven parallel scans (1 = serial).
+    scan_workers: AtomicUsize,
 }
 
-/// State shared outside the latch: the lock manager and the thread-keyed
-/// transaction map. Taking the transaction-map mutex while holding the
-/// latch is allowed; the reverse order is not (it would deadlock), and no
-/// code path does it.
+impl Engine {
+    /// Shared catalog latch, counting a wait if it blocks (a DDL or
+    /// vacuum holds it exclusively).
+    fn catalog_read(&self) -> RwLockReadGuard<'_, Catalog> {
+        match self.catalog.try_read() {
+            Some(g) => g,
+            None => {
+                self.latches.note_catalog_read_wait();
+                self.catalog.read()
+            }
+        }
+    }
+
+    /// Exclusive catalog latch, counting a wait if it blocks.
+    fn catalog_write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        match self.catalog.try_write() {
+            Some(g) => g,
+            None => {
+                self.latches.note_catalog_write_wait();
+                self.catalog.write()
+            }
+        }
+    }
+
+    fn scan_opts(&self) -> ScanOpts {
+        ScanOpts {
+            batch: self.batch_scan.load(Ordering::Relaxed),
+            workers: self.scan_workers.load(Ordering::Relaxed).max(1),
+        }
+    }
+}
+
+/// State shared outside the latches: the lock manager and the
+/// thread-keyed transaction map. Taking these leaf mutexes while holding
+/// a latch is allowed; the reverse order (blocking on a latch while
+/// holding one of them) is not, and no code path does it.
 struct EngineShared {
     locks: LockManager,
     txns: Mutex<HashMap<ThreadId, TxnState>>,
@@ -217,17 +322,20 @@ struct EngineShared {
     doomed: Mutex<HashMap<ThreadId, TxnId>>,
     next_tid: AtomicU64,
     /// BEGIN/COMMIT/ROLLBACK statements executed — counted outside the
-    /// latch so transaction control never serializes behind an unrelated
-    /// statement just to bump a counter. Folded into
+    /// latches so transaction control never serializes behind an
+    /// unrelated statement just to bump a counter. Folded into
     /// [`DbStats::statements`] by [`Database::stats`].
     ctrl_statements: AtomicU64,
-    /// Latest committed epoch. Bumped under the latch *after* the commit
-    /// stamps its versions, so a snapshot at epoch E always sees a fully
-    /// stamped state. Read lock-free by BEGIN and autocommit statements.
+    /// Latest committed epoch. Bumped under the epoch mutex *after* the
+    /// commit stamps its versions — while the commit still write-latches
+    /// every table it touched — so a snapshot at epoch E always sees a
+    /// fully stamped state on any table it latches. Read lock-free by
+    /// BEGIN and autocommit statements.
     commit_epoch: AtomicU64,
     /// Refcounted epochs of open transactions' snapshots; the minimum is
-    /// the vacuum horizon. Autocommit statements execute entirely under
-    /// the latch (which vacuum also needs), so they never register.
+    /// the vacuum horizon. Autocommit statements hold the shared catalog
+    /// latch for their whole execution (which vacuum needs exclusively),
+    /// so they never register.
     live_snaps: Mutex<BTreeMap<u64, u64>>,
     /// Write commits since the last inline vacuum sweep.
     commits_since_vacuum: AtomicU64,
@@ -246,6 +354,25 @@ impl EngineShared {
 
 /// One lock request a statement needs before executing.
 type LockReq = (String, Option<Value>, LockMode);
+
+/// The table a write statement targets, if it is a write.
+fn write_target(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::Insert(i) => Some(&i.table),
+        Statement::Update(u) => Some(&u.table),
+        Statement::Delete(d) => Some(&d.table),
+        _ => None,
+    }
+}
+
+/// The table an undo record belongs to.
+fn undo_table(op: &UndoOp) -> &str {
+    match op {
+        UndoOp::Insert { table, .. }
+        | UndoOp::Delete { table, .. }
+        | UndoOp::Update { table, .. } => table,
+    }
+}
 
 /// An embedded relational database with row-level triggers.
 ///
@@ -274,7 +401,7 @@ type LockReq = (String, Option<Value>, LockMode);
 /// ```
 #[derive(Clone)]
 pub struct Database {
-    inner: Arc<Mutex<Inner>>,
+    engine: Arc<Engine>,
     shared: Arc<EngineShared>,
 }
 
@@ -286,10 +413,10 @@ impl Default for Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let catalog = self.engine.catalog_read();
         f.debug_struct("Database")
-            .field("tables", &inner.catalog.table_names())
-            .field("triggers", &inner.triggers.len())
+            .field("tables", &catalog.table_names())
+            .field("triggers", &self.engine.triggers.read().len())
             .finish()
     }
 }
@@ -298,13 +425,18 @@ impl Database {
     /// Creates a database with the given configuration.
     pub fn new(config: DbConfig) -> Self {
         Database {
-            inner: Arc::new(Mutex::new(Inner {
-                catalog: Catalog::new(),
+            engine: Arc::new(Engine {
+                catalog: RwLock::new(Catalog::new()),
                 pool: BufferPool::new(config.buffer_pool_bytes, config.page_bytes),
-                triggers: TriggerManager::new(),
-                stats: DbStats::default(),
-                commit_hook: None,
-            })),
+                triggers: RwLock::new(TriggerManager::new()),
+                commit_hook: RwLock::new(None),
+                counters: DbCounters::default(),
+                latches: LatchCounters::default(),
+                epoch_mutex: Mutex::new(()),
+                serial_latch: AtomicBool::new(false),
+                batch_scan: AtomicBool::new(true),
+                scan_workers: AtomicUsize::new(1),
+            }),
             shared: Arc::new(EngineShared {
                 locks: LockManager::new(),
                 txns: Mutex::new(HashMap::new()),
@@ -321,23 +453,24 @@ impl Database {
 
     // ----- DDL -----
 
-    /// Creates a table. DDL takes only the engine latch; run it before
-    /// opening the database to concurrent traffic.
+    /// Creates a table. DDL takes the exclusive catalog latch, waiting
+    /// out every in-flight statement and excluded by none afterwards —
+    /// safe to run concurrently with traffic on other tables.
     ///
     /// # Errors
     ///
     /// [`StorageError::AlreadyExists`] for duplicate names.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
-        self.inner.lock().catalog.create_table(schema)
+        self.engine.catalog_write().create_table(schema)
     }
 
-    /// Creates a secondary index.
+    /// Creates a secondary index (exclusive catalog latch, like all DDL).
     ///
     /// # Errors
     ///
     /// See [`crate::Table::create_index`].
     pub fn create_index(&self, table: &str, def: IndexDef) -> Result<()> {
-        self.inner.lock().catalog.create_index(table, def)
+        self.engine.catalog_write().create_index(table, def)
     }
 
     /// Registers a trigger.
@@ -346,34 +479,34 @@ impl Database {
     ///
     /// [`StorageError::AlreadyExists`] on duplicate trigger names.
     pub fn create_trigger(&self, trigger: Trigger) -> Result<()> {
-        self.inner.lock().triggers.register(trigger)
+        self.engine.triggers.write().register(trigger)
     }
 
     /// Drops a trigger by name; returns whether it existed.
     pub fn drop_trigger(&self, name: &str) -> bool {
-        self.inner.lock().triggers.drop_trigger(name)
+        self.engine.triggers.write().drop_trigger(name)
     }
 
     /// Removes every trigger.
     pub fn clear_triggers(&self) {
-        self.inner.lock().triggers.clear();
+        self.engine.triggers.write().clear();
     }
 
     /// Globally enables or disables trigger firing (Experiment 5 measures
     /// the workload with triggers off).
     pub fn set_triggers_enabled(&self, enabled: bool) {
-        self.inner.lock().triggers.set_enabled(enabled);
+        self.engine.triggers.write().set_enabled(enabled);
     }
 
     /// Number of registered triggers.
     pub fn trigger_count(&self) -> usize {
-        self.inner.lock().triggers.len()
+        self.engine.triggers.read().len()
     }
 
     /// Registers the commit-time effect hook (CacheGenie's cache-batch
     /// pipeline). Replaces any previous hook.
     pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) {
-        self.inner.lock().commit_hook = Some(hook);
+        *self.engine.commit_hook.write() = Some(hook);
     }
 
     /// True while the **calling thread** has an explicit transaction
@@ -391,7 +524,38 @@ impl Database {
     /// Total lines of generated trigger source attached to registered
     /// triggers (the paper's §5.2 metric).
     pub fn trigger_source_lines(&self) -> usize {
-        self.inner.lock().triggers.generated_source_lines()
+        self.engine.triggers.read().generated_source_lines()
+    }
+
+    // ----- execution tuning knobs -----
+
+    /// Forces every statement and commit onto the exclusive catalog
+    /// latch, reproducing the old single-engine-mutex behaviour. This is
+    /// the measurable baseline for the latch-sharding experiments; off
+    /// by default.
+    pub fn set_serial_latch(&self, enabled: bool) {
+        self.engine.serial_latch.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Toggles vectorized (batch-at-a-time) scan execution. On by
+    /// default; off reverts to row-at-a-time interpretation, the
+    /// measurable baseline for `exp_parallel_scan`.
+    pub fn set_batch_scan(&self, enabled: bool) {
+        self.engine.batch_scan.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Sets the number of worker threads morsel-driven parallel scans
+    /// may use (1 = serial; values above 1 only engage on scans large
+    /// enough to amortize thread startup).
+    pub fn set_scan_workers(&self, workers: usize) {
+        self.engine
+            .scan_workers
+            .store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Latch contention counters since the last [`Database::reset_stats`].
+    pub fn latch_stats(&self) -> LatchStats {
+        self.engine.latches.snapshot()
     }
 
     // ----- statements -----
@@ -584,8 +748,15 @@ impl Database {
     /// [`StorageError::UnknownTable`] for an unknown FROM/JOIN table, plus
     /// any predicate-evaluation error (e.g. a missing parameter).
     pub fn explain(&self, select: &Select, params: &[Value]) -> Result<crate::plan::QueryPlan> {
-        let inner = self.inner.lock();
-        crate::plan::plan_query(&inner.catalog, select, params)
+        let engine = &*self.engine;
+        let catalog = engine.catalog_read();
+        let mut names = BTreeSet::new();
+        names.insert(select.from.table.clone());
+        for j in &select.joins {
+            names.insert(j.table.table.clone());
+        }
+        let tables = TableSet::latch(&catalog, &LatchPlan::reads(names), &engine.latches)?;
+        crate::plan::plan_query(&tables, select, params)
     }
 
     /// Parses `sql` (a SELECT, or an `EXPLAIN SELECT`) and explains it.
@@ -605,7 +776,7 @@ impl Database {
 
     /// Engine statistics.
     pub fn stats(&self) -> DbStats {
-        let mut stats = self.inner.lock().stats;
+        let mut stats = self.engine.counters.snapshot();
         stats.statements += self.shared.ctrl_statements.load(Ordering::Relaxed);
         stats
     }
@@ -633,11 +804,14 @@ impl Database {
     }
 
     /// Reclaims row versions no live snapshot can see. Runs inline every
-    /// few hundred commits too; call it explicitly after bulk churn or
-    /// in tests. Returns the number of versions pruned.
+    /// few hundred commits too (after the triggering statement has
+    /// dropped every latch and lock); call it explicitly after bulk
+    /// churn or in tests. Returns the number of versions pruned.
     ///
-    /// A long-running reader transaction pins the horizon: versions it
-    /// can still see survive any number of vacuum calls.
+    /// Takes the exclusive catalog latch, so it waits out in-flight
+    /// statements and reaches all tables without touching per-table
+    /// latches. A long-running reader transaction pins the horizon:
+    /// versions it can still see survive any number of vacuum calls.
     ///
     /// # Example
     ///
@@ -659,17 +833,23 @@ impl Database {
     /// # }
     /// ```
     pub fn vacuum(&self) -> u64 {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.engine.catalog_write();
         self.shared.commits_since_vacuum.store(0, Ordering::Relaxed);
-        self.vacuum_locked(&mut inner)
+        let horizon = self.vacuum_horizon();
+        let mut pruned = 0;
+        for table in catalog.tables_mut() {
+            pruned += table.vacuum(horizon);
+        }
+        pruned
     }
 
     /// Point-in-time counts of retained version state (diagnostics,
     /// vacuum tests, and the MVCC benchmark).
     pub fn version_stats(&self) -> VersionStats {
-        let inner = self.inner.lock();
+        let catalog = self.engine.catalog_read();
         let mut v = VersionStats::default();
-        for t in inner.catalog.tables() {
+        for (_, cell) in catalog.latches() {
+            let t = cell.read();
             v.history_versions += t.history_versions() as u64;
             v.versioned_rows += t.versioned_rows() as u64;
         }
@@ -688,22 +868,22 @@ impl Database {
 
     /// Buffer-pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
-        self.inner.lock().pool.stats()
+        self.engine.pool.stats()
     }
 
-    /// Resets engine, pool, and lock statistics (between warm-up and
-    /// measurement).
+    /// Resets engine, pool, lock, and latch statistics (between warm-up
+    /// and measurement).
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.lock();
-        inner.stats = DbStats::default();
-        inner.pool.reset_stats();
+        self.engine.counters.reset();
+        self.engine.pool.reset_stats();
+        self.engine.latches.reset();
         self.shared.locks.reset_stats();
         self.shared.ctrl_statements.store(0, Ordering::Relaxed);
     }
 
     /// Table names in deterministic order.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.lock().catalog.table_names()
+        self.engine.catalog_read().table_names()
     }
 
     /// Row count of `table`.
@@ -712,7 +892,9 @@ impl Database {
     ///
     /// [`StorageError::UnknownTable`] if absent.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.inner.lock().catalog.table(table)?.len())
+        let catalog = self.engine.catalog_read();
+        let n = catalog.latch(table)?.read().len();
+        Ok(n)
     }
 
     /// A clone of `table`'s schema.
@@ -721,7 +903,9 @@ impl Database {
     ///
     /// [`StorageError::UnknownTable`] if absent.
     pub fn schema(&self, table: &str) -> Result<TableSchema> {
-        Ok(self.inner.lock().catalog.table(table)?.schema().clone())
+        let catalog = self.engine.catalog_read();
+        let schema = catalog.latch(table)?.read().schema().clone();
+        Ok(schema)
     }
 
     // ----- transaction control (thread-scoped) -----
@@ -782,13 +966,14 @@ impl Database {
         self.commit_txn_for(std::thread::current().id())
     }
 
-    /// Commits `thread`'s transaction: coalesces its buffered row
-    /// changes, fires triggers once per net change inside the
-    /// commit-hook bracket (under the latch), publishes the hook's
-    /// deferred cache effects outside the latch, and finally releases the
-    /// transaction's locks (2PL shrinking phase). A failing trigger body
-    /// or hook rejection aborts the whole transaction instead — undo
-    /// applied, nothing published.
+    /// Commits `thread`'s transaction: write-latches the tables it
+    /// touched (or the whole catalog when its triggers must fire),
+    /// coalesces its buffered row changes, fires triggers once per net
+    /// change inside the commit-hook bracket, stamps and publishes the
+    /// commit epoch, then — latches released — publishes the hook's
+    /// deferred cache effects and releases the transaction's locks (2PL
+    /// shrinking phase). A failing trigger body or hook rejection aborts
+    /// the whole transaction instead — undo applied, nothing published.
     fn commit_txn_for(&self, thread: ThreadId) -> Result<CostReport> {
         let TxnState {
             tid,
@@ -815,10 +1000,93 @@ impl Database {
             }
             txn
         };
+        let engine = &*self.engine;
         let mut cost = CostReport::new();
+        // Decide up front whether any enabled trigger watches a changed
+        // table; only then must the commit run under the exclusive
+        // catalog latch (trigger queries may read arbitrary tables, and
+        // the hook's effect batch must not interleave with another
+        // firing commit). A trigger registered concurrently with this
+        // commit does not apply to it — registration linearizes at the
+        // registry lock, before or after this read.
+        let fire = {
+            let trg = engine.triggers.read();
+            trg.is_enabled() && changes.iter().any(|c| trg.has_for_table(&c.table))
+        };
+        let exclusive = fire || engine.serial_latch.load(Ordering::Relaxed);
+        let result = if exclusive {
+            let mut guard = engine.catalog_write();
+            let mut tables = TableSet::exclusive(&mut guard);
+            self.commit_latched(&mut tables, tid, undo, changes, wrote, &mut cost, fire)
+        } else {
+            let catalog = engine.catalog_read();
+            let names: BTreeSet<String> = undo
+                .iter()
+                .map(|op| undo_table(op).to_owned())
+                .chain(changes.iter().map(|c| c.table.clone()))
+                .collect();
+            let latched =
+                match TableSet::latch(&catalog, &LatchPlan::writes(names), &engine.latches) {
+                    Ok(mut tables) => self.commit_latched(
+                        &mut tables,
+                        tid,
+                        undo,
+                        changes,
+                        wrote,
+                        &mut cost,
+                        false,
+                    ),
+                    Err(e) => Err(e),
+                };
+            latched
+        };
+        match result {
+            Ok((publish, vacuum_due)) => {
+                self.release_snapshot(snap);
+                if let Some(p) = publish {
+                    p();
+                }
+                self.release_txn_locks(tid, &targets);
+                if vacuum_due {
+                    self.vacuum();
+                }
+                Ok(cost)
+            }
+            Err(e) => {
+                // commit_latched already applied the undo log; finish
+                // the abort bookkeeping (mirrors rollback_state).
+                {
+                    let mut d = self.shared.doomed.lock();
+                    if d.get(&thread) == Some(&tid) {
+                        d.remove(&thread);
+                    }
+                }
+                engine.counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                self.release_snapshot(snap);
+                self.release_txn_locks(tid, &targets);
+                Err(e)
+            }
+        }
+    }
+
+    /// The latched portion of COMMIT, shared by the per-table and
+    /// exclusive paths. Returns the deferred publication step and
+    /// whether an inline vacuum is due (run by the caller after all
+    /// latches drop — vacuum needs the exclusive catalog latch).
+    #[allow(clippy::too_many_arguments)] // the full TxnState payload plus latch context
+    fn commit_latched(
+        &self,
+        tables: &mut TableSet<'_>,
+        tid: TxnId,
+        undo: Vec<UndoOp>,
+        changes: Vec<RowChange>,
+        wrote: bool,
+        cost: &mut CostReport,
+        fire: bool,
+    ) -> Result<(DeferredPublish, bool)> {
+        let engine = &*self.engine;
         let mut publish: DeferredPublish = None;
-        let mut inner = self.inner.lock();
-        let changes = coalesce_changes(&inner.catalog, changes);
+        let changes = coalesce_changes(tables, changes);
         if !changes.is_empty() {
             // Commit-point snapshot: triggers see every committed state
             // plus this transaction's own (still uncommitted) writes —
@@ -829,52 +1097,37 @@ impl Database {
                 epoch: self.shared.commit_epoch.load(Ordering::Acquire),
                 writer: Some(tid),
             };
-            match inner.run_commit_bracket(&changes, &mut cost, true, &trigger_snap) {
+            match self.run_commit_bracket(tables, &changes, cost, true, &trigger_snap, fire) {
                 Ok(p) => publish = p,
                 Err(e) => {
-                    drop(inner);
-                    self.rollback_state(
-                        thread,
-                        TxnState {
-                            tid,
-                            snap,
-                            targets,
-                            undo,
-                            changes: Vec::new(),
-                            wrote,
-                        },
-                    )?;
+                    exec::apply_undo(tables, undo, tid)?;
                     return Err(StorageError::TransactionAborted(e.to_string()));
                 }
             }
         }
+        let mut vacuum_due = false;
         if wrote {
             cost.wal_appends += 1;
             // Install every version this transaction wrote at the next
-            // epoch, then publish the epoch — all under the latch, so
-            // readers (who also latch per statement) see the flip
-            // atomically, and the deferred cache publication below runs
-            // strictly after the epoch is visible.
-            self.stamp_commit(&mut inner, &undo, tid);
+            // epoch, then publish the epoch — all while this commit
+            // still write-latches every table it touched, so readers
+            // (who latch per statement) see the flip atomically, and
+            // the deferred cache publication runs strictly after the
+            // epoch is visible.
+            self.stamp_commit(tables, &undo, tid);
+            vacuum_due = self.note_commit_for_vacuum();
         }
-        inner.flush_stats_for(&changes);
-        inner.stats.commits += 1;
-        if wrote {
-            self.maybe_vacuum(&mut inner);
-        }
-        drop(inner);
-        self.release_snapshot(snap);
-        if let Some(p) = publish {
-            p();
-        }
-        self.release_txn_locks(tid, &targets);
-        Ok(cost)
+        flush_stats_for(tables, &changes);
+        engine.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok((publish, vacuum_due))
     }
 
     /// Stamps every row version `tid` wrote (derived from its undo log)
-    /// with the next commit epoch, then publishes that epoch. Must run
-    /// under the latch.
-    fn stamp_commit(&self, inner: &mut Inner, undo: &[UndoOp], tid: TxnId) {
+    /// with the next commit epoch, then publishes that epoch. The caller
+    /// write-latches every touched table; the epoch mutex serializes
+    /// epoch allocation against commits on disjoint tables.
+    fn stamp_commit(&self, tables: &mut TableSet<'_>, undo: &[UndoOp], tid: TxnId) {
+        let _serialize = self.engine.epoch_mutex.lock();
         let epoch = self.shared.commit_epoch.load(Ordering::Acquire) + 1;
         let mut touched: BTreeMap<&str, Vec<RowId>> = BTreeMap::new();
         for op in undo {
@@ -888,37 +1141,27 @@ impl Database {
         for (table, mut rids) in touched {
             rids.sort_unstable();
             rids.dedup();
-            if let Ok(t) = inner.catalog.table_mut(table) {
+            if let Ok(t) = tables.table_mut(table) {
                 t.commit_rows(rids, tid, epoch);
             }
         }
         self.shared.commit_epoch.store(epoch, Ordering::Release);
     }
 
-    /// Inline vacuum: every [`VACUUM_COMMIT_INTERVAL`] write commits,
-    /// prune versions below the oldest live snapshot. Runs under the
-    /// latch the caller already holds.
-    fn maybe_vacuum(&self, inner: &mut Inner) {
+    /// Books one write commit toward the inline-vacuum cadence; true
+    /// when the caller should run [`Database::vacuum`] after dropping
+    /// its latches and locks.
+    fn note_commit_for_vacuum(&self) -> bool {
         let n = self
             .shared
             .commits_since_vacuum
             .fetch_add(1, Ordering::Relaxed)
             + 1;
         if n < VACUUM_COMMIT_INTERVAL {
-            return;
+            return false;
         }
         self.shared.commits_since_vacuum.store(0, Ordering::Relaxed);
-        self.vacuum_locked(inner);
-    }
-
-    /// The vacuum sweep proper; caller holds the latch.
-    fn vacuum_locked(&self, inner: &mut Inner) -> u64 {
-        let horizon = self.vacuum_horizon();
-        let mut pruned = 0;
-        for table in inner.catalog.tables_mut() {
-            pruned += table.vacuum(horizon);
-        }
-        pruned
+        true
     }
 
     /// The oldest epoch any live snapshot still reads at (the newest
@@ -957,9 +1200,10 @@ impl Database {
         self.rollback_state(thread, txn)
     }
 
-    /// The one rollback sequence: applies the undo log under the latch,
-    /// books the rollback, releases the transaction's locks, and clears
-    /// a matching cross-thread doom mark. Every abort path funnels here.
+    /// The one rollback sequence: applies the undo log under write
+    /// latches on the written tables, books the rollback, releases the
+    /// transaction's locks, and clears a matching cross-thread doom
+    /// mark. Every abort path funnels here.
     fn rollback_state(&self, thread: ThreadId, txn: TxnState) -> Result<()> {
         {
             let mut d = self.shared.doomed.lock();
@@ -967,10 +1211,26 @@ impl Database {
                 d.remove(&thread);
             }
         }
-        let mut inner = self.inner.lock();
-        let undone = exec::apply_undo(&mut inner.catalog, txn.undo, txn.tid);
-        inner.stats.rollbacks += 1;
-        drop(inner);
+        let engine = &*self.engine;
+        let undone = if engine.serial_latch.load(Ordering::Relaxed) {
+            let mut guard = engine.catalog_write();
+            let mut tables = TableSet::exclusive(&mut guard);
+            exec::apply_undo(&mut tables, txn.undo, txn.tid)
+        } else {
+            let catalog = engine.catalog_read();
+            let names: BTreeSet<String> = txn
+                .undo
+                .iter()
+                .map(|op| undo_table(op).to_owned())
+                .collect();
+            let applied =
+                match TableSet::latch(&catalog, &LatchPlan::writes(names), &engine.latches) {
+                    Ok(mut tables) => exec::apply_undo(&mut tables, txn.undo, txn.tid),
+                    Err(e) => Err(e),
+                };
+            applied
+        };
+        engine.counters.rollbacks.fetch_add(1, Ordering::Relaxed);
         self.release_snapshot(txn.snap);
         self.release_txn_locks(txn.tid, &txn.targets);
         undone
@@ -1050,9 +1310,10 @@ impl Database {
     // ----- statement execution -----
 
     /// Executes one non-transaction-control statement: plans its lock
-    /// set, acquires it (fast path under the latch; blocking path with
-    /// the latch released), runs the statement body, then publishes
-    /// deferred effects and releases statement-duration locks.
+    /// set, acquires it (fast path under the shared catalog latch;
+    /// blocking path with every latch released), latches the statement's
+    /// tables, runs the statement body, then publishes deferred effects
+    /// and releases statement-duration locks.
     ///
     /// The calling thread's [`TxnState`] (if any) is *removed* from the
     /// transaction map for the statement's duration and reinstated at
@@ -1132,12 +1393,14 @@ impl Database {
             armed: autocommit,
         };
 
-        let mut inner = self.inner.lock();
+        let engine = &*self.engine;
+        let mut catalog = engine.catalog_read();
         let reqs = plan_locks(
-            &inner.catalog,
+            &catalog,
             stmt,
             params,
             self.shared.reader_locks.load(Ordering::Relaxed),
+            &engine.latches,
         )?;
         if let Some(t) = txn.as_deref_mut() {
             // Record before acquiring: even an acquisition aborted by
@@ -1152,23 +1415,70 @@ impl Database {
                 .is_none()
         });
         if let Some(first) = blocked_from {
-            // Contended: never wait while holding the latch. The granted
-            // prefix stays held; only the remainder (still in canonical
-            // order) is acquired blockingly.
-            drop(inner);
+            // Contended: never wait on a lock while holding any latch
+            // (the lock holder may need our tables' latches to finish
+            // its own commit). The granted prefix stays held; only the
+            // remainder (still in canonical order) is acquired
+            // blockingly, then the catalog latch is re-taken.
+            drop(catalog);
             for (t, pk, m) in &reqs[first..] {
                 // On failure, `auto_release` (autocommit) frees the
                 // partial grants; a transaction keeps its locks until
                 // its own rollback.
                 self.shared.locks.acquire(tid, t, pk.as_ref(), *m)?;
             }
-            inner = self.inner.lock();
+            catalog = engine.catalog_read();
         }
 
-        let result = self.execute_body(&mut inner, stmt, params, txn, tid);
+        // Escalate to the exclusive catalog latch when per-table
+        // latching cannot carry the statement: DDL restructures the
+        // catalog itself; the serial-latch baseline serializes
+        // everything by design; and an autocommit write whose target
+        // table has an enabled trigger fires that trigger immediately —
+        // trigger queries may read arbitrary tables, and the commit
+        // hook's effect batch must not interleave with another firing
+        // statement.
+        let exclusive = matches!(
+            stmt,
+            Statement::CreateTable(_) | Statement::CreateIndex { .. }
+        ) || engine.serial_latch.load(Ordering::Relaxed)
+            || (autocommit && stmt.is_write() && {
+                let trg = engine.triggers.read();
+                trg.is_enabled() && write_target(stmt).is_some_and(|t| trg.has_for_table(t))
+            });
+
+        let result = if exclusive {
+            drop(catalog);
+            let mut guard = engine.catalog_write();
+            match stmt {
+                Statement::CreateTable(schema) => {
+                    engine.counters.statements.fetch_add(1, Ordering::Relaxed);
+                    guard
+                        .create_table(schema.clone())
+                        .map(|()| (ExecOutcome::default(), None, false))
+                }
+                Statement::CreateIndex { table, def } => {
+                    engine.counters.statements.fetch_add(1, Ordering::Relaxed);
+                    guard
+                        .create_index(table, def.clone())
+                        .map(|()| (ExecOutcome::default(), None, false))
+                }
+                _ => {
+                    let mut tables = TableSet::exclusive(&mut guard);
+                    self.execute_body(&mut tables, stmt, params, txn, tid, true)
+                }
+            }
+        } else {
+            let r = LatchPlan::for_statement(&catalog, stmt, &engine.latches).and_then(|plan| {
+                let mut tables = TableSet::latch(&catalog, &plan, &engine.latches)?;
+                self.execute_body(&mut tables, stmt, params, txn, tid, false)
+            });
+            drop(catalog);
+            r
+        };
+
         match result {
-            Ok((outcome, publish)) => {
-                drop(inner);
+            Ok((outcome, publish, vacuum_due)) => {
                 if let Some(p) = publish {
                     p();
                 }
@@ -1184,26 +1494,34 @@ impl Database {
                         );
                     }
                 }
+                if vacuum_due {
+                    self.vacuum();
+                }
                 Ok(outcome)
             }
             Err(e) => Err(e),
         }
     }
 
-    /// The latched portion of statement execution. Reads resolve
-    /// against the transaction's pinned snapshot (or the latest
-    /// committed epoch for autocommit); writes carry an [`ExecView`]
+    /// The latched portion of statement execution, running against the
+    /// statement's [`TableSet`]. Reads resolve against the transaction's
+    /// pinned snapshot (or the latest committed epoch for autocommit —
+    /// loaded *after* latching, so the epoch's versions are fully
+    /// visible on every latched table); writes carry an [`ExecView`]
     /// pairing that snapshot with the latest epoch for constraint
-    /// probes.
+    /// probes. `fire` says whether autocommit triggers may fire here
+    /// (true only on the exclusive-latch path).
     fn execute_body(
         &self,
-        inner: &mut Inner,
+        tables: &mut TableSet<'_>,
         stmt: &Statement,
         params: &[Value],
         txn: Option<&mut TxnState>,
         tid: TxnId,
-    ) -> Result<(ExecOutcome, DeferredPublish)> {
-        inner.stats.statements += 1;
+        fire: bool,
+    ) -> Result<(ExecOutcome, DeferredPublish, bool)> {
+        let engine = &*self.engine;
+        engine.counters.statements.fetch_add(1, Ordering::Relaxed);
         let latest = self.shared.commit_epoch.load(Ordering::Acquire);
         let (read_snap, txn_snap_epoch) = match &txn {
             Some(t) => (
@@ -1231,19 +1549,20 @@ impl Database {
         let mut cost = CostReport::new();
         match stmt {
             Statement::Select(sel) => {
-                inner.stats.selects += 1;
+                engine.counters.selects.fetch_add(1, Ordering::Relaxed);
                 let result = exec::run_select(
-                    &inner.catalog,
-                    &mut inner.pool,
+                    tables,
+                    &engine.pool,
                     sel,
                     params,
                     &mut cost,
                     &read_snap,
+                    &engine.scan_opts(),
                 )?;
-                Ok((ExecOutcome { result, cost }, None))
+                Ok((ExecOutcome { result, cost }, None, false))
             }
             Statement::Explain(sel) => {
-                let plan = crate::plan::plan_query(&inner.catalog, sel, params)?;
+                let plan = crate::plan::plan_query(tables, sel, params)?;
                 let rows = plan
                     .lines()
                     .into_iter()
@@ -1259,51 +1578,26 @@ impl Database {
                         cost,
                     },
                     None,
+                    false,
                 ))
             }
             Statement::Insert(ins) => {
-                inner.stats.writes += 1;
-                let effect = exec::run_insert(
-                    &mut inner.catalog,
-                    &mut inner.pool,
-                    ins,
-                    params,
-                    &mut cost,
-                    &view,
-                )?;
-                self.finish_write(inner, effect, &mut cost, txn, &view)
+                engine.counters.writes.fetch_add(1, Ordering::Relaxed);
+                let effect = exec::run_insert(tables, &engine.pool, ins, params, &mut cost, &view)?;
+                self.finish_write(tables, effect, &mut cost, txn, &view, fire)
             }
             Statement::Update(upd) => {
-                inner.stats.writes += 1;
-                let effect = exec::run_update(
-                    &mut inner.catalog,
-                    &mut inner.pool,
-                    upd,
-                    params,
-                    &mut cost,
-                    &view,
-                )?;
-                self.finish_write(inner, effect, &mut cost, txn, &view)
+                engine.counters.writes.fetch_add(1, Ordering::Relaxed);
+                let effect = exec::run_update(tables, &engine.pool, upd, params, &mut cost, &view)?;
+                self.finish_write(tables, effect, &mut cost, txn, &view, fire)
             }
             Statement::Delete(del) => {
-                inner.stats.writes += 1;
-                let effect = exec::run_delete(
-                    &mut inner.catalog,
-                    &mut inner.pool,
-                    del,
-                    params,
-                    &mut cost,
-                    &view,
-                )?;
-                self.finish_write(inner, effect, &mut cost, txn, &view)
+                engine.counters.writes.fetch_add(1, Ordering::Relaxed);
+                let effect = exec::run_delete(tables, &engine.pool, del, params, &mut cost, &view)?;
+                self.finish_write(tables, effect, &mut cost, txn, &view, fire)
             }
-            Statement::CreateTable(schema) => {
-                inner.catalog.create_table(schema.clone())?;
-                Ok((ExecOutcome::default(), None))
-            }
-            Statement::CreateIndex { table, def } => {
-                inner.catalog.create_index(table, def.clone())?;
-                Ok((ExecOutcome::default(), None))
+            Statement::CreateTable(_) | Statement::CreateIndex { .. } => {
+                unreachable!("DDL runs under the exclusive catalog latch")
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 unreachable!("transaction control handled in execute()")
@@ -1315,17 +1609,18 @@ impl Database {
     /// and undo log buffer in [`TxnState`] — triggers fire (coalesced) at
     /// COMMIT, so an aborted transaction publishes no cache effects and
     /// the WAL sees one group append per transaction. Autocommit keeps the
-    /// immediate path: triggers fire now (inside the hook bracket, so the
-    /// cache publication still serializes per key against concurrent
-    /// committers) and the statement pays its own WAL append.
+    /// immediate path: the hook bracket runs now (with triggers firing
+    /// when `fire` — the exclusive-latch path — otherwise provably no
+    /// trigger matches), and the statement pays its own WAL append.
     fn finish_write(
         &self,
-        inner: &mut Inner,
+        tables: &mut TableSet<'_>,
         effect: exec::WriteEffect,
         cost: &mut CostReport,
         txn: Option<&mut TxnState>,
         view: &ExecView,
-    ) -> Result<(ExecOutcome, DeferredPublish)> {
+        fire: bool,
+    ) -> Result<(ExecOutcome, DeferredPublish, bool)> {
         if let Some(txn) = txn {
             txn.undo.extend(effect.undo);
             txn.wrote |= !effect.changes.is_empty();
@@ -1336,6 +1631,7 @@ impl Database {
                     cost: *cost,
                 },
                 None,
+                false,
             ));
         }
         // Autocommit: triggers fire now, against the latest committed
@@ -1345,29 +1641,141 @@ impl Database {
             epoch: view.latest_epoch,
             writer: view.snap.writer,
         };
-        match inner.run_commit_bracket(&effect.changes, cost, false, &trigger_snap) {
+        match self.run_commit_bracket(tables, &effect.changes, cost, false, &trigger_snap, fire) {
             Ok(publish) => {
                 cost.wal_appends += 1; // autocommit
+                let mut vacuum_due = false;
                 if !effect.undo.is_empty() {
-                    self.stamp_commit(inner, &effect.undo, view.tid());
-                    self.maybe_vacuum(inner);
+                    self.stamp_commit(tables, &effect.undo, view.tid());
+                    vacuum_due = self.note_commit_for_vacuum();
                 }
-                inner.flush_stats_for(&effect.changes);
+                flush_stats_for(tables, &effect.changes);
                 Ok((
                     ExecOutcome {
                         result: QueryResult::affected(effect.affected),
                         cost: *cost,
                     },
                     publish,
+                    vacuum_due,
                 ))
             }
             Err(e) => {
                 // A failing trigger (or hook rejection) aborts the
                 // statement: undo its row changes, publish nothing.
-                exec::apply_undo(&mut inner.catalog, effect.undo, view.tid())?;
+                exec::apply_undo(tables, effect.undo, view.tid())?;
                 Err(e)
             }
         }
+    }
+
+    /// The commit-hook bracket shared by transaction COMMIT and
+    /// autocommitted write statements: open the effect buffer, fire
+    /// triggers over `changes` (when `fire`; per-table-latched commits
+    /// run with `fire == false` because no enabled trigger matches any
+    /// changed table, so the bracket is empty and interleaving with a
+    /// concurrent firing commit is harmless), then either seal the
+    /// buffered effects (returning the deferred publication step) or
+    /// discard them on a trigger failure. The caller handles undo and
+    /// error wrapping.
+    fn run_commit_bracket(
+        &self,
+        tables: &TableSet<'_>,
+        changes: &[RowChange],
+        cost: &mut CostReport,
+        group_commit: bool,
+        trigger_snap: &Snapshot,
+        fire: bool,
+    ) -> Result<DeferredPublish> {
+        let hook = self.engine.commit_hook.read().clone();
+        if let Some(h) = &hook {
+            h.begin_apply();
+        }
+        let fired = if fire {
+            self.fire_triggers(tables, changes, cost, trigger_snap)
+        } else {
+            Ok(())
+        };
+        match fired {
+            Ok(()) => match &hook {
+                Some(h) => h.commit_apply(cost, group_commit),
+                None => Ok(None),
+            },
+            Err(e) => {
+                if let Some(h) = &hook {
+                    h.abort_apply();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Fires commit-time triggers. Their queries read `trigger_snap`:
+    /// the latest committed state plus the committing transaction's own
+    /// writes — never another transaction's uncommitted rows. Runs only
+    /// on the exclusive-latch path, where `tables` covers every table a
+    /// trigger query might read; trigger queries run serially (no
+    /// vectorized parallel scans inside a commit).
+    fn fire_triggers(
+        &self,
+        tables: &TableSet<'_>,
+        changes: &[RowChange],
+        cost: &mut CostReport,
+        trigger_snap: &Snapshot,
+    ) -> Result<()> {
+        let engine = &*self.engine;
+        let triggers = engine.triggers.read();
+        if changes.is_empty() || !triggers.is_enabled() {
+            return Ok(());
+        }
+        let opts = ScanOpts::serial();
+        for change in changes {
+            let matching = triggers.matching(&change.table, change.event);
+            for trigger in matching {
+                engine
+                    .counters
+                    .triggers_fired
+                    .fetch_add(1, Ordering::Relaxed);
+                cost.triggers_fired += 1;
+                let mut query_cost = CostReport::new();
+                {
+                    let pool = &engine.pool;
+                    let mut query_fn = |sel: &Select, params: &[Value]| {
+                        exec::run_select(
+                            tables,
+                            pool,
+                            sel,
+                            params,
+                            &mut query_cost,
+                            trigger_snap,
+                            &opts,
+                        )
+                    };
+                    let mut ctx = TriggerCtx {
+                        event: change.event,
+                        table: &change.table,
+                        old: change.old.as_ref(),
+                        new: change.new.as_ref(),
+                        query_fn: &mut query_fn,
+                        cost,
+                    };
+                    trigger
+                        .body
+                        .fire(&mut ctx)
+                        .map_err(|e| StorageError::TriggerFailed {
+                            trigger: trigger.name.clone(),
+                            detail: e.to_string(),
+                        })?;
+                }
+                // Work done by trigger-issued queries counts as trigger
+                // work plus real page traffic.
+                cost.trigger_rows_scanned += query_cost.rows_scanned;
+                cost.index_probes += query_cost.index_probes;
+                cost.page_hits += query_cost.page_hits;
+                cost.page_misses += query_cost.page_misses;
+                cost.page_writebacks += query_cost.page_writebacks;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1378,12 +1786,14 @@ impl Database {
 /// exclusive lock. **Scans take no locks at all** — they read a version
 /// snapshot — unless `lock_reads` re-enables the legacy table-shared
 /// lock behaviour (the measurable pre-MVCC baseline). DDL relies on the
-/// latch alone.
+/// exclusive catalog latch alone. Runs under the shared catalog latch,
+/// taking brief counted per-table read latches to extract primary keys.
 fn plan_locks(
     catalog: &Catalog,
     stmt: &Statement,
     params: &[Value],
     lock_reads: bool,
+    counters: &LatchCounters,
 ) -> Result<Vec<LockReq>> {
     let mut reqs: Vec<LockReq> = Vec::new();
     match stmt {
@@ -1394,14 +1804,15 @@ fn plan_locks(
                 tables.insert(j.table.table.as_str());
             }
             for t in tables {
-                catalog.table(t)?;
+                catalog.latch(t)?;
                 if lock_reads {
                     reqs.push((t.to_owned(), None, LockMode::Shared));
                 }
             }
         }
         Statement::Insert(ins) => {
-            let table = catalog.table(&ins.table)?;
+            let guard = crate::latch::read_counted(catalog.latch(&ins.table)?, counters);
+            let table = &*guard;
             let schema = table.schema();
             let pk_pos = if ins.columns.is_empty() {
                 Some(schema.primary_key_pos())
@@ -1430,7 +1841,8 @@ fn plan_locks(
             );
         }
         Statement::Update(upd) => {
-            let table = catalog.table(&upd.table)?;
+            let guard = crate::latch::read_counted(catalog.latch(&upd.table)?, counters);
+            let table = &*guard;
             let mut keys =
                 crate::plan::pk_target_keys(table, &upd.table, upd.predicate.as_ref(), params)?;
             // An assignment to the pk column moves the row; lock the
@@ -1455,7 +1867,8 @@ fn plan_locks(
             push_write_locks(&mut reqs, &upd.table, keys);
         }
         Statement::Delete(del) => {
-            let table = catalog.table(&del.table)?;
+            let guard = crate::latch::read_counted(catalog.latch(&del.table)?, counters);
+            let table = &*guard;
             let keys =
                 crate::plan::pk_target_keys(table, &del.table, del.predicate.as_ref(), params)?;
             push_write_locks(&mut reqs, &del.table, keys);
@@ -1633,98 +2046,14 @@ impl std::fmt::Debug for TxnHandle<'_> {
     }
 }
 
-impl Inner {
-    /// The commit-hook bracket shared by transaction COMMIT and
-    /// autocommitted write statements: open the effect buffer, fire
-    /// triggers over `changes`, then either seal the buffered effects
-    /// (returning the deferred publication step) or discard them on a
-    /// trigger failure. The caller handles undo and error wrapping.
-    fn run_commit_bracket(
-        &mut self,
-        changes: &[RowChange],
-        cost: &mut CostReport,
-        group_commit: bool,
-        trigger_snap: &Snapshot,
-    ) -> Result<DeferredPublish> {
-        let hook = self.commit_hook.clone();
-        if let Some(h) = &hook {
-            h.begin_apply();
+/// Applies pending (statement/commit-batched) statistics deltas for
+/// every table named in `changes`.
+fn flush_stats_for(tables: &TableSet<'_>, changes: &[RowChange]) {
+    let names: BTreeSet<&str> = changes.iter().map(|c| c.table.as_str()).collect();
+    for t in names {
+        if let Ok(table) = tables.table(t) {
+            table.flush_stats();
         }
-        match self.fire_triggers(changes, cost, trigger_snap) {
-            Ok(()) => match &hook {
-                Some(h) => h.commit_apply(cost, group_commit),
-                None => Ok(None),
-            },
-            Err(e) => {
-                if let Some(h) = &hook {
-                    h.abort_apply();
-                }
-                Err(e)
-            }
-        }
-    }
-
-    /// Applies pending (statement/commit-batched) statistics deltas for
-    /// every table named in `changes`.
-    fn flush_stats_for(&mut self, changes: &[RowChange]) {
-        let tables: BTreeSet<&str> = changes.iter().map(|c| c.table.as_str()).collect();
-        for t in tables {
-            if let Ok(table) = self.catalog.table(t) {
-                table.flush_stats();
-            }
-        }
-    }
-
-    /// Fires commit-time triggers. Their queries read `trigger_snap`:
-    /// the latest committed state plus the committing transaction's own
-    /// writes — never another transaction's uncommitted rows.
-    fn fire_triggers(
-        &mut self,
-        changes: &[RowChange],
-        cost: &mut CostReport,
-        trigger_snap: &Snapshot,
-    ) -> Result<()> {
-        if changes.is_empty() || !self.triggers.is_enabled() {
-            return Ok(());
-        }
-        for change in changes {
-            let matching = self.triggers.matching(&change.table, change.event);
-            for trigger in matching {
-                self.stats.triggers_fired += 1;
-                cost.triggers_fired += 1;
-                let mut query_cost = CostReport::new();
-                {
-                    let catalog = &self.catalog;
-                    let pool = &mut self.pool;
-                    let mut query_fn = |sel: &Select, params: &[Value]| {
-                        exec::run_select(catalog, pool, sel, params, &mut query_cost, trigger_snap)
-                    };
-                    let mut ctx = TriggerCtx {
-                        event: change.event,
-                        table: &change.table,
-                        old: change.old.as_ref(),
-                        new: change.new.as_ref(),
-                        query_fn: &mut query_fn,
-                        cost,
-                    };
-                    trigger
-                        .body
-                        .fire(&mut ctx)
-                        .map_err(|e| StorageError::TriggerFailed {
-                            trigger: trigger.name.clone(),
-                            detail: e.to_string(),
-                        })?;
-                }
-                // Work done by trigger-issued queries counts as trigger
-                // work plus real page traffic.
-                cost.trigger_rows_scanned += query_cost.rows_scanned;
-                cost.index_probes += query_cost.index_probes;
-                cost.page_hits += query_cost.page_hits;
-                cost.page_misses += query_cost.page_misses;
-                cost.page_writebacks += query_cost.page_writebacks;
-            }
-        }
-        Ok(())
     }
 }
 
@@ -1732,7 +2061,7 @@ impl Inner {
 /// (table, primary key), preserving first-touch order — N statements
 /// touching the same row fire that row's triggers once at commit, and a
 /// row inserted then deleted inside the transaction publishes nothing.
-fn coalesce_changes(catalog: &Catalog, changes: Vec<RowChange>) -> Vec<RowChange> {
+fn coalesce_changes(tables: &TableSet<'_>, changes: Vec<RowChange>) -> Vec<RowChange> {
     if changes.len() <= 1 {
         return changes;
     }
@@ -1740,7 +2069,7 @@ fn coalesce_changes(catalog: &Catalog, changes: Vec<RowChange>) -> Vec<RowChange
     // change lists are small enough for linear lookup.
     let mut net: Vec<((String, Value), Option<RowChange>)> = Vec::with_capacity(changes.len());
     for change in changes {
-        let Ok(pk_pos) = catalog
+        let Ok(pk_pos) = tables
             .table(&change.table)
             .map(|t| t.schema().primary_key_pos())
         else {

@@ -1,22 +1,40 @@
 //! The executor: mechanically walks whatever the planner chose.
 //!
-//! SELECTs ask [`crate::plan::plan_query`] for a [`QueryPlan`] — driving
+//! SELECTs ask the planner (`crate::plan::plan_query`) for a [`QueryPlan`] — driving
 //! table access path, join steps in cost-chosen order, ORDER BY / LIMIT
-//! handling — and then pump base rows one at a time through the join
-//! pipeline and the residual WHERE. Row-at-a-time pumping is what makes
+//! handling. Join queries pump base rows one at a time through the join
+//! pipeline and the residual WHERE; row-at-a-time pumping is what makes
 //! plans with `fetch_limit` (ORDER BY satisfied by an index scan, or no
 //! ORDER BY at all) stop scanning as soon as `LIMIT + OFFSET` output rows
-//! exist, instead of materializing every match. Every physical decision
-//! (page touch, index probe, sort) is recorded in the statement's
-//! [`CostReport`] so the benchmark harness can price it.
+//! exist, instead of materializing every match.
+//!
+//! Join-free scans instead run **vectorized**: rids are processed in
+//! `BATCH_ROWS`-sized morsels, the WHERE clause is compiled into a
+//! `CompiledPred` of column-vs-constant atoms evaluated column-at-a-time
+//! over a `RowBatch`, and only surviving rows are materialized (cloned).
+//! With [`ScanOpts::workers`] > 1 and a large enough rid list, morsels are
+//! claimed by worker threads from a shared atomic cursor (morsel-driven
+//! parallelism) and outputs are merged back in morsel order, so results
+//! are identical to the serial scan. `SELECT COUNT(*) ... WHERE` counts
+//! survivors without materializing anything.
+//!
+//! Every physical decision (page touch, index probe, sort) is recorded in
+//! the statement's [`CostReport`] so the benchmark harness can price it.
+//! Scans charge a page touch for every rid they *examine* — including
+//! versions invisible to the snapshot — because a real heap scan reads the
+//! page before it can decide visibility.
+//!
+//! The executor reaches tables only through a `TableSet` — the latched
+//! view assembled by the engine (see `crate::latch`) — never through the
+//! catalog directly.
 
 use crate::plan::{JoinMethod, QueryPlan};
 
 use crate::bufferpool::{BufferPool, PageId};
-use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::{Result, StorageError};
-use crate::expr::{ColumnRef, Expr};
+use crate::expr::{CmpOp, ColumnRef, Expr};
+use crate::latch::TableSet;
 use crate::lockmgr::TxnId;
 use crate::query::{AggFunc, Delete, Insert, JoinKind, QueryResult, Select, SelectItem, Update};
 use crate::row::{Row, RowId};
@@ -239,7 +257,7 @@ fn coerce_for(table: &Table, column: &str, v: &Value) -> Value {
         .unwrap_or_else(|| v.clone())
 }
 
-fn touch_read(pool: &mut BufferPool, table: &Table, rid: RowId, cost: &mut CostReport) {
+fn touch_read(pool: &BufferPool, table: &Table, rid: RowId, cost: &mut CostReport) {
     let t = pool.touch(PageId {
         table: table.id(),
         page: table.page_of(rid),
@@ -255,6 +273,33 @@ fn touch_read(pool: &mut BufferPool, table: &Table, rid: RowId, cost: &mut CostR
 // ---------------------------------------------------------------------
 // SELECT
 // ---------------------------------------------------------------------
+
+/// Per-statement scan tuning, snapshotted from the `Database` knobs at
+/// statement start.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOpts {
+    /// Vectorized batch execution for join-free scans (default on).
+    pub batch: bool,
+    /// Worker threads for morsel-driven parallel scans; 1 means serial.
+    pub workers: usize,
+}
+
+impl Default for ScanOpts {
+    fn default() -> Self {
+        ScanOpts {
+            batch: true,
+            workers: 1,
+        }
+    }
+}
+
+impl ScanOpts {
+    /// Serial vectorized execution — used for trigger-body queries,
+    /// which already run inside a commit.
+    pub(crate) fn serial() -> Self {
+        ScanOpts::default()
+    }
+}
 
 /// One prepared join step: the plan's probe method and residual ON
 /// conditions, bound against the execution-order layout.
@@ -278,7 +323,7 @@ fn join_step(
     step: &JoinStep<'_>,
     left: &Row,
     params: &[Value],
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     cost: &mut CostReport,
     out: &mut Vec<Row>,
     snap: &Snapshot,
@@ -318,10 +363,12 @@ fn join_step(
     };
     let mut matched = false;
     for rid in candidates {
+        // Page touch precedes the visibility check: a scan reads the
+        // page before it can decide whether the version is visible.
+        touch_read(pool, jt, rid, cost);
         let Some(r) = jt.visible(rid, snap) else {
             continue;
         };
-        touch_read(pool, jt, rid, cost);
         cost.rows_scanned += 1;
         let mut combined = Vec::with_capacity(left.arity() + r.arity());
         combined.extend_from_slice(left.values());
@@ -349,18 +396,20 @@ fn join_step(
 }
 
 /// Executes a SELECT at the given read snapshot. Never takes or waits
-/// for any lock: visibility comes entirely from the version metadata,
-/// so readers proceed while writer transactions hold row locks.
+/// for any lock-manager lock: visibility comes entirely from the version
+/// metadata, so readers proceed while writer transactions hold row locks.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_select(
-    catalog: &Catalog,
-    pool: &mut BufferPool,
+    tables: &TableSet<'_>,
+    pool: &BufferPool,
     sel: &Select,
     params: &[Value],
     cost: &mut CostReport,
     snap: &Snapshot,
+    opts: &ScanOpts,
 ) -> Result<QueryResult> {
-    let qplan: QueryPlan = crate::plan::plan_query(catalog, sel, params)?;
-    let base = catalog.table(&qplan.base.table)?;
+    let qplan: QueryPlan = crate::plan::plan_query(tables, sel, params)?;
+    let base = tables.table(&qplan.base.table)?;
 
     // COUNT(*) pushdown: the planner proved the path yields exactly the
     // matching rows, so answer from pk-map / posting-list sizes without
@@ -376,7 +425,7 @@ pub(crate) fn run_select(
     exec_layout.push_table(&qplan.base_binding, base);
     let mut steps: Vec<JoinStep<'_>> = Vec::with_capacity(qplan.joins.len());
     for jp in &qplan.joins {
-        let jt = catalog.table(&jp.table)?;
+        let jt = tables.table(&jp.table)?;
         let method = match &jp.method {
             JoinMethod::PkProbe { outer } => BoundMethod::Pk(outer.bind(&exec_layout.binder())?),
             JoinMethod::IndexProbe { index, outers } => {
@@ -407,9 +456,9 @@ pub(crate) fn run_select(
     // projection bind against, and the output column order. When the
     // planner rotated the join order, combined rows are remapped into it.
     let mut syn_layout = Layout::default();
-    syn_layout.push_table(sel.from.binding_name(), catalog.table(&sel.from.table)?);
+    syn_layout.push_table(sel.from.binding_name(), tables.table(&sel.from.table)?);
     for j in &sel.joins {
-        syn_layout.push_table(j.table.binding_name(), catalog.table(&j.table.table)?);
+        syn_layout.push_table(j.table.binding_name(), tables.table(&j.table.table)?);
     }
     let perm = exec_layout.permutation_to(&syn_layout);
     let layout = syn_layout;
@@ -464,41 +513,97 @@ pub(crate) fn run_select(
         None
     };
 
-    let mut current: Vec<Row> = Vec::new();
-    'scan: for rid in rid_list {
-        let Some(r0) = base.visible(rid, snap) else {
-            continue;
+    let vectorized = opts.batch && steps.is_empty();
+
+    // COUNT(*) with a residual predicate: count batch survivors without
+    // materializing a single row. Plain COUNT(*) (no predicate or an
+    // index-exact one) never reaches here — `count_only` answered it.
+    if vectorized
+        && target.is_none()
+        && sel.group_by.is_empty()
+        && sel.order_by.is_empty()
+        && matches!(
+            &sel.projection[..],
+            [SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            }]
+        )
+    {
+        let n = count_matching(
+            base,
+            &rid_list,
+            bound_pred.as_ref(),
+            params,
+            pool,
+            cost,
+            snap,
+            opts.workers,
+        )?;
+        let alias = match &sel.projection[..] {
+            [SelectItem::Aggregate { alias, .. }] => alias.clone(),
+            _ => None,
         };
-        touch_read(pool, base, rid, cost);
-        cost.rows_scanned += 1;
-        let mut batch: Vec<Row> = vec![r0.clone()];
-        for step in &steps {
-            if batch.is_empty() {
-                break;
-            }
-            let mut next = Vec::new();
-            for left in &batch {
-                join_step(step, left, params, pool, cost, &mut next, snap)?;
-            }
-            batch = next;
-        }
-        for row in batch {
-            let row = match &perm {
-                Some(p) => Row::new(p.iter().map(|&i| row.get(i).clone()).collect()),
-                None => row,
+        cost.rows_returned += 1;
+        return Ok(QueryResult {
+            columns: vec![alias.unwrap_or_else(|| "count".to_owned())],
+            rows: vec![Row::new(vec![Value::Int(n)])],
+            rows_affected: 0,
+        });
+    }
+
+    let mut current: Vec<Row> = Vec::new();
+    if vectorized {
+        scan_vectorized(
+            base,
+            &rid_list,
+            bound_pred.as_ref(),
+            params,
+            pool,
+            cost,
+            snap,
+            target,
+            &mut topk,
+            &mut current,
+            opts,
+        )?;
+    } else {
+        'scan: for rid in rid_list {
+            touch_read(pool, base, rid, cost);
+            let Some(r0) = base.visible(rid, snap) else {
+                continue;
             };
-            let keep = match &bound_pred {
-                Some(pred) => pred.matches(&row, params)?,
-                None => true,
-            };
-            if keep {
-                match &mut topk {
-                    Some(tk) => tk.offer(row, params)?,
-                    None => {
-                        current.push(row);
-                        if let Some(t) = target {
-                            if current.len() >= t {
-                                break 'scan;
+            cost.rows_scanned += 1;
+            let mut batch: Vec<Row> = vec![r0.clone()];
+            for step in &steps {
+                if batch.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                for left in &batch {
+                    join_step(step, left, params, pool, cost, &mut next, snap)?;
+                }
+                batch = next;
+            }
+            for row in batch {
+                let row = match &perm {
+                    Some(p) => Row::new(p.iter().map(|&i| row.get(i).clone()).collect()),
+                    None => row,
+                };
+                let keep = match &bound_pred {
+                    Some(pred) => pred.matches(&row, params)?,
+                    None => true,
+                };
+                if keep {
+                    match &mut topk {
+                        Some(tk) => tk.offer(row, params)?,
+                        None => {
+                            current.push(row);
+                            if let Some(t) = target {
+                                if current.len() >= t {
+                                    break 'scan;
+                                }
                             }
                         }
                     }
@@ -548,16 +653,7 @@ pub(crate) fn run_select(
                 Ok((kv, r))
             })
             .collect::<Result<_>>()?;
-        decorated.sort_by(|(ka, _), (kb, _)| {
-            for (i, (_, desc)) in keys.iter().enumerate() {
-                let ord = ka[i].cmp(&kb[i]);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        decorated.sort_by(|(ka, _), (kb, _)| cmp_order_keys(&keys, ka, kb));
         current = decorated.into_iter().map(|(_, r)| r).collect();
     }
 
@@ -578,6 +674,436 @@ pub(crate) fn run_select(
         rows,
         rows_affected: 0,
     })
+}
+
+/// Compares two ORDER BY key tuples under the keys' ASC/DESC directions.
+fn cmp_order_keys(keys: &[(Expr, bool)], a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (i, (_, desc)) in keys.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+// ---------------------------------------------------------------------
+// Vectorized scans
+// ---------------------------------------------------------------------
+
+/// Rows per scan morsel. One morsel is the unit of vectorized predicate
+/// evaluation and of parallel work distribution.
+pub(crate) const BATCH_ROWS: usize = 1024;
+
+/// Minimum rid-list size before a parallel scan pays for its threads.
+const PARALLEL_MIN_RIDS: usize = 4096;
+
+/// One WHERE conjunct, pre-compiled for the vectorized path.
+enum Atom {
+    /// `column <op> constant` — the shape ORM filters overwhelmingly
+    /// take. Evaluated column-at-a-time with zero per-row allocation.
+    Cmp { pos: usize, op: CmpOp, val: Value },
+    /// Anything else falls back to the interpreted expression.
+    Generic(Expr),
+}
+
+/// Tri-state truth of one atom on one row (SQL three-valued logic).
+enum Truth {
+    True,
+    False,
+    Null,
+}
+
+impl Atom {
+    fn truth(&self, row: &Row, params: &[Value]) -> Result<Truth> {
+        match self {
+            Atom::Cmp { pos, op, val } => Ok(match row.get(*pos).sql_cmp(val) {
+                Some(ord) if op.holds(ord) => Truth::True,
+                Some(_) => Truth::False,
+                None => Truth::Null,
+            }),
+            Atom::Generic(e) => Ok(match e.eval(row, params)? {
+                Value::Bool(true) => Truth::True,
+                Value::Bool(false) => Truth::False,
+                _ => Truth::Null,
+            }),
+        }
+    }
+}
+
+/// A WHERE clause compiled into conjunct atoms. Evaluation mirrors the
+/// interpreted `AND` chain exactly: FALSE short-circuits, NULL makes the
+/// row non-matching but keeps evaluating (so an error in a later
+/// conjunct still surfaces), and a row matches only if every atom is TRUE.
+struct CompiledPred {
+    atoms: Vec<Atom>,
+}
+
+impl CompiledPred {
+    fn compile(pred: Option<&Expr>, params: &[Value]) -> CompiledPred {
+        let mut atoms = Vec::new();
+        if let Some(p) = pred {
+            for c in p.conjuncts() {
+                atoms.push(compile_atom(c, params));
+            }
+        }
+        CompiledPred { atoms }
+    }
+
+    fn matches(&self, row: &Row, params: &[Value]) -> Result<bool> {
+        let mut all_true = true;
+        for atom in &self.atoms {
+            match atom.truth(row, params)? {
+                Truth::True => {}
+                Truth::False => return Ok(false),
+                Truth::Null => all_true = false,
+            }
+        }
+        Ok(all_true)
+    }
+}
+
+fn compile_atom(e: &Expr, params: &[Value]) -> Atom {
+    if let Expr::Cmp(a, op, b) = e {
+        if let (Expr::BoundColumn(pos), Some(val)) = (&**a, const_operand(b, params)) {
+            return Atom::Cmp {
+                pos: *pos,
+                op: *op,
+                val,
+            };
+        }
+    }
+    Atom::Generic(e.clone())
+}
+
+fn const_operand(e: &Expr, params: &[Value]) -> Option<Value> {
+    match e {
+        Expr::Literal(v) => Some(v.clone()),
+        // A missing parameter stays Generic so evaluation reports it.
+        Expr::Param(i) => params.get(*i).cloned(),
+        _ => None,
+    }
+}
+
+/// One morsel of visible rows with a survivor bitmap. Rows are borrowed
+/// from the table (zero-copy); predicate columns are read column-at-a-
+/// time across the batch; only survivors are ever cloned (late
+/// materialization).
+struct RowBatch<'a> {
+    rows: Vec<&'a Row>,
+    /// Survivor bitmap: row still matches every atom applied so far.
+    sel: Vec<bool>,
+    /// Row still participates in atom evaluation. Diverges from `sel`
+    /// only on NULL atoms, which exclude the row from the result but —
+    /// matching interpreted `AND` — keep evaluating later conjuncts.
+    live: Vec<bool>,
+}
+
+impl<'a> RowBatch<'a> {
+    /// Touches every examined rid's page and collects the visible rows.
+    fn gather(
+        table: &'a Table,
+        rids: &[RowId],
+        pool: &BufferPool,
+        cost: &mut CostReport,
+        snap: &Snapshot,
+    ) -> RowBatch<'a> {
+        let mut rows = Vec::with_capacity(rids.len());
+        for &rid in rids {
+            touch_read(pool, table, rid, cost);
+            if let Some(r) = table.visible(rid, snap) {
+                rows.push(r);
+            }
+        }
+        cost.rows_scanned += rows.len() as u64;
+        let n = rows.len();
+        RowBatch {
+            rows,
+            sel: vec![true; n],
+            live: vec![true; n],
+        }
+    }
+
+    /// The batch's values of one column, contiguous (column-major view).
+    fn column(&self, pos: usize) -> Vec<&'a Value> {
+        self.rows.iter().map(|r| r.get(pos)).collect()
+    }
+
+    /// Applies every predicate atom across the batch, column-at-a-time.
+    fn filter(&mut self, pred: &CompiledPred, params: &[Value]) -> Result<()> {
+        for atom in &pred.atoms {
+            match atom {
+                Atom::Cmp { pos, op, val } => {
+                    let col = self.column(*pos);
+                    for (i, v) in col.iter().enumerate() {
+                        if self.live[i] {
+                            match v.sql_cmp(val) {
+                                Some(ord) if op.holds(ord) => {}
+                                Some(_) => {
+                                    self.sel[i] = false;
+                                    self.live[i] = false;
+                                }
+                                None => self.sel[i] = false,
+                            }
+                        }
+                    }
+                }
+                Atom::Generic(e) => {
+                    for i in 0..self.rows.len() {
+                        if self.live[i] {
+                            match e.eval(self.rows[i], params)? {
+                                Value::Bool(true) => {}
+                                Value::Bool(false) => {
+                                    self.sel[i] = false;
+                                    self.live[i] = false;
+                                }
+                                _ => self.sel[i] = false,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Surviving rows in batch (heap) order.
+    fn selected(&self) -> impl Iterator<Item = &'a Row> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.sel)
+            .filter(|(_, s)| **s)
+            .map(|(r, _)| *r)
+    }
+}
+
+/// The vectorized join-free scan. Serial by default; with `workers > 1`
+/// and a large enough rid list (and no early-exit target), morsels are
+/// distributed to worker threads.
+#[allow(clippy::too_many_arguments)]
+fn scan_vectorized(
+    base: &Table,
+    rid_list: &[RowId],
+    pred: Option<&Expr>,
+    params: &[Value],
+    pool: &BufferPool,
+    cost: &mut CostReport,
+    snap: &Snapshot,
+    target: Option<usize>,
+    topk: &mut Option<TopK>,
+    out: &mut Vec<Row>,
+    opts: &ScanOpts,
+) -> Result<()> {
+    let compiled = CompiledPred::compile(pred, params);
+    if opts.workers > 1 && rid_list.len() >= PARALLEL_MIN_RIDS && target.is_none() {
+        return scan_parallel(
+            base,
+            rid_list,
+            &compiled,
+            params,
+            pool,
+            cost,
+            snap,
+            topk,
+            out,
+            opts.workers,
+        );
+    }
+    if let Some(t) = target {
+        // Early-exit shape: rid-at-a-time so the scan stops at exactly
+        // the same row — and the same cost — as the row engine. The win
+        // here is the compiled predicate on the borrowed row: no clone
+        // unless the row matches.
+        debug_assert!(topk.is_none(), "fetch_limit implies no late sort");
+        for &rid in rid_list {
+            touch_read(pool, base, rid, cost);
+            let Some(r) = base.visible(rid, snap) else {
+                continue;
+            };
+            cost.rows_scanned += 1;
+            if compiled.matches(r, params)? {
+                out.push(r.clone());
+                if out.len() >= t {
+                    break;
+                }
+            }
+        }
+        return Ok(());
+    }
+    for chunk in rid_list.chunks(BATCH_ROWS) {
+        let mut batch = RowBatch::gather(base, chunk, pool, cost, snap);
+        batch.filter(&compiled, params)?;
+        for r in batch.selected() {
+            match topk.as_mut() {
+                Some(tk) => tk.offer(r.clone(), params)?,
+                None => out.push(r.clone()),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `COUNT(*) WHERE ...` without materialization: batch survivors are
+/// counted, never cloned. Scans every rid (counts cannot early-exit), so
+/// serial cost equals the row engine's.
+#[allow(clippy::too_many_arguments)]
+fn count_matching(
+    base: &Table,
+    rid_list: &[RowId],
+    pred: Option<&Expr>,
+    params: &[Value],
+    pool: &BufferPool,
+    cost: &mut CostReport,
+    snap: &Snapshot,
+    workers: usize,
+) -> Result<i64> {
+    let compiled = CompiledPred::compile(pred, params);
+    if workers > 1 && rid_list.len() >= PARALLEL_MIN_RIDS {
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let n_morsels = rid_list.len().div_ceil(BATCH_ROWS);
+        let worker_results: Vec<Result<(CostReport, i64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers.min(n_morsels))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut wcost = CostReport::default();
+                        let mut n = 0i64;
+                        loop {
+                            let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if m >= n_morsels {
+                                break;
+                            }
+                            let lo = m * BATCH_ROWS;
+                            let hi = (lo + BATCH_ROWS).min(rid_list.len());
+                            let mut batch =
+                                RowBatch::gather(base, &rid_list[lo..hi], pool, &mut wcost, snap);
+                            batch.filter(&compiled, params)?;
+                            n += batch.selected().count() as i64;
+                        }
+                        Ok((wcost, n))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let mut total = 0i64;
+        for r in worker_results {
+            let (wcost, n) = r?;
+            *cost += wcost;
+            total += n;
+        }
+        return Ok(total);
+    }
+    let mut n = 0i64;
+    for chunk in rid_list.chunks(BATCH_ROWS) {
+        let mut batch = RowBatch::gather(base, chunk, pool, cost, snap);
+        batch.filter(&compiled, params)?;
+        n += batch.selected().count() as i64;
+    }
+    Ok(n)
+}
+
+/// Morsel-driven parallel scan: workers claim morsels from a shared
+/// cursor, evaluate them with the vectorized path, and return survivors
+/// tagged with their arrival rank `(morsel << 32) | seq`. The main
+/// thread merges by rank, which reproduces the serial scan's row order
+/// exactly — including ORDER BY tie-breaks. With a Top-K each worker
+/// keeps only its own best `cap` rows (per-worker partials); a row a
+/// worker drops is provably outside the global top `cap`, because the
+/// `cap` rows that beat it locally also precede it in merged order.
+///
+/// Only reachable when the user opts in (`workers > 1`), because page
+/// touches interleave nondeterministically: totals still add up, but
+/// hit/miss splits can differ run to run.
+#[allow(clippy::too_many_arguments)]
+fn scan_parallel(
+    base: &Table,
+    rid_list: &[RowId],
+    compiled: &CompiledPred,
+    params: &[Value],
+    pool: &BufferPool,
+    cost: &mut CostReport,
+    snap: &Snapshot,
+    topk: &mut Option<TopK>,
+    out: &mut Vec<Row>,
+    workers: usize,
+) -> Result<()> {
+    let spec: Option<(&[(Expr, bool)], usize)> = topk.as_ref().map(|tk| (&tk.keys[..], tk.cap));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let n_morsels = rid_list.len().div_ceil(BATCH_ROWS);
+    type Tagged = (u64, Row);
+    let worker_results: Vec<Result<(CostReport, Vec<Tagged>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n_morsels))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut wcost = CostReport::default();
+                    // With a Top-K spec: kept sorted by (keys, rank),
+                    // truncated to cap. Otherwise: plain arrival order.
+                    let mut local: Vec<(Vec<Value>, u64, Row)> = Vec::new();
+                    loop {
+                        let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let lo = m * BATCH_ROWS;
+                        let hi = (lo + BATCH_ROWS).min(rid_list.len());
+                        let mut batch =
+                            RowBatch::gather(base, &rid_list[lo..hi], pool, &mut wcost, snap);
+                        batch.filter(compiled, params)?;
+                        for (seq, r) in batch.selected().enumerate() {
+                            let rank = ((m as u64) << 32) | seq as u64;
+                            match spec {
+                                Some((keys, cap)) => {
+                                    if cap == 0 {
+                                        continue;
+                                    }
+                                    let kv = keys
+                                        .iter()
+                                        .map(|(e, _)| e.eval(r, params))
+                                        .collect::<Result<Vec<_>>>()?;
+                                    let pos =
+                                        local.partition_point(
+                                            |(ek, erank, _)| match cmp_order_keys(keys, ek, &kv) {
+                                                std::cmp::Ordering::Equal => *erank < rank,
+                                                o => o == std::cmp::Ordering::Less,
+                                            },
+                                        );
+                                    if pos < cap {
+                                        local.insert(pos, (kv, rank, r.clone()));
+                                        local.truncate(cap);
+                                    }
+                                }
+                                None => local.push((Vec::new(), rank, r.clone())),
+                            }
+                        }
+                    }
+                    Ok((wcost, local.into_iter().map(|(_, t, r)| (t, r)).collect()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    let mut merged: Vec<Tagged> = Vec::new();
+    for r in worker_results {
+        let (wcost, rows) = r?;
+        *cost += wcost;
+        merged.extend(rows);
+    }
+    // Rank order == the serial scan's arrival order.
+    merged.sort_by_key(|(rank, _)| *rank);
+    for (_, row) in merged {
+        match topk.as_mut() {
+            Some(tk) => tk.offer(row, params)?,
+            None => out.push(row),
+        }
+    }
+    Ok(())
 }
 
 /// Bounded top-k accumulator for `ORDER BY ... LIMIT k` without a usable
@@ -603,17 +1129,6 @@ impl TopK {
         }
     }
 
-    fn cmp_keys(&self, a: &[Value], b: &[Value]) -> std::cmp::Ordering {
-        for (i, (_, desc)) in self.keys.iter().enumerate() {
-            let ord = a[i].cmp(&b[i]);
-            let ord = if *desc { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    }
-
     fn offer(&mut self, row: Row, params: &[Value]) -> Result<()> {
         if self.cap == 0 {
             return Ok(());
@@ -625,9 +1140,9 @@ impl TopK {
             .collect::<Result<Vec<_>>>()?;
         // First slot that sorts strictly after the candidate; equal keys
         // land before it (the candidate arrived later — stable order).
-        let pos = self
-            .entries
-            .partition_point(|(ek, _)| self.cmp_keys(ek, &kv) != std::cmp::Ordering::Greater);
+        let pos = self.entries.partition_point(|(ek, _)| {
+            cmp_order_keys(&self.keys, ek, &kv) != std::cmp::Ordering::Greater
+        });
         if pos >= self.cap {
             return Ok(()); // worse than every kept row
         }
@@ -943,15 +1458,15 @@ fn aggregate(func: AggFunc, arg: Option<&Expr>, rows: &[Row], params: &[Value]) 
 /// Executes an INSERT under `view` (versioned: the rows stay invisible
 /// to other snapshots until the transaction commits).
 pub(crate) fn run_insert(
-    catalog: &mut Catalog,
-    pool: &mut BufferPool,
+    tables: &mut TableSet<'_>,
+    pool: &BufferPool,
     ins: &Insert,
     params: &[Value],
     cost: &mut CostReport,
     view: &ExecView,
 ) -> Result<WriteEffect> {
     // Evaluate all rows up front (no row context in VALUES).
-    let schema = catalog.table(&ins.table)?.schema().clone();
+    let schema = tables.table(&ins.table)?.schema().clone();
     let mut full_rows = Vec::with_capacity(ins.rows.len());
     for exprs in &ins.rows {
         let row = if ins.columns.is_empty() {
@@ -987,11 +1502,11 @@ pub(crate) fn run_insert(
 
     // Foreign-key checks (charge one probe per FK per row).
     for row in &full_rows {
-        check_foreign_keys(catalog, pool, &schema, row, cost, view)?;
+        check_foreign_keys(tables, pool, &schema, row, cost, view)?;
     }
 
     let tid = view.tid();
-    let table = catalog.table_mut(&ins.table)?;
+    let table = tables.table_mut(&ins.table)?;
     let mut effect = WriteEffect::default();
     for row in full_rows {
         // Statement atomicity: a failure on row N (unique violation,
@@ -1062,9 +1577,12 @@ fn undo_same_table(table: &mut Table, undo: Vec<UndoOp>, tid: TxnId) {
 /// a parent under another transaction's uncommitted delete *or pk move*
 /// fails the check too (that write may commit, orphaning the child).
 /// Only a parent both committed-visible and not pending removal passes.
+///
+/// Parent tables are read-latched by the statement's latch plan, which
+/// collects FK parents precisely for these probes.
 fn check_foreign_keys(
-    catalog: &Catalog,
-    pool: &mut BufferPool,
+    tables: &TableSet<'_>,
+    pool: &BufferPool,
     schema: &crate::schema::TableSchema,
     row: &Row,
     cost: &mut CostReport,
@@ -1077,7 +1595,7 @@ fn check_foreign_keys(
         if v.is_null() {
             continue;
         }
-        let ref_table = catalog.table(&fk.ref_table)?;
+        let ref_table = tables.table(&fk.ref_table)?;
         cost.index_probes += 1;
         let v = coerce_for(ref_table, &fk.ref_column, v);
         match ref_table.fk_probe(&v, &fk_snap) {
@@ -1112,22 +1630,22 @@ fn check_foreign_keys(
 /// touching a row whose newest committed version postdates the snapshot
 /// aborts with [`StorageError::WriteConflict`].
 pub(crate) fn run_update(
-    catalog: &mut Catalog,
-    pool: &mut BufferPool,
+    tables: &mut TableSet<'_>,
+    pool: &BufferPool,
     upd: &Update,
     params: &[Value],
     cost: &mut CostReport,
     view: &ExecView,
 ) -> Result<WriteEffect> {
-    let schema = catalog.table(&upd.table)?.schema().clone();
+    let schema = tables.table(&upd.table)?.schema().clone();
     let mut layout = Layout::default();
-    layout.push_table(&upd.table, catalog.table(&upd.table)?);
+    layout.push_table(&upd.table, tables.table(&upd.table)?);
     let snap = view.snap;
     let tid = view.tid();
 
     // Plan matching rows against the snapshot.
     let match_rids = {
-        let table = catalog.table(&upd.table)?;
+        let table = tables.table(&upd.table)?;
         let rids = plan_write_rids(
             table,
             &upd.table,
@@ -1146,10 +1664,10 @@ pub(crate) fn run_update(
         };
         let mut matched = Vec::new();
         for rid in candidates {
+            touch_read(pool, table, rid, cost);
             let Some(row) = table.visible(rid, &snap) else {
                 continue;
             };
-            touch_read(pool, table, rid, cost);
             cost.rows_scanned += 1;
             let keep = match &bound {
                 Some(p) => p.matches(row, params)?,
@@ -1171,7 +1689,7 @@ pub(crate) fn run_update(
 
     let mut effect = WriteEffect::default();
     let applied = apply_update_rows(
-        catalog,
+        tables,
         pool,
         upd,
         &schema,
@@ -1187,7 +1705,7 @@ pub(crate) fn run_update(
         // N also undoes rows 1..N-1 (their versions would otherwise
         // leak on a writer that never commits).
         undo_same_table(
-            catalog.table_mut(&upd.table)?,
+            tables.table_mut(&upd.table)?,
             std::mem::take(&mut effect.undo),
             tid,
         );
@@ -1200,8 +1718,8 @@ pub(crate) fn run_update(
 /// can roll back a half-applied statement on error.
 #[allow(clippy::too_many_arguments)]
 fn apply_update_rows(
-    catalog: &mut Catalog,
-    pool: &mut BufferPool,
+    tables: &mut TableSet<'_>,
+    pool: &BufferPool,
     upd: &Update,
     schema: &crate::schema::TableSchema,
     sets: &[(usize, Expr)],
@@ -1214,7 +1732,7 @@ fn apply_update_rows(
     let snap = view.snap;
     let tid = view.tid();
     for &rid in match_rids {
-        let old = catalog
+        let old = tables
             .table(&upd.table)?
             .visible(rid, &snap)
             .cloned()
@@ -1225,8 +1743,8 @@ fn apply_update_rows(
             new.values_mut()[*pos] = v;
         }
         // FK checks against the new image.
-        check_foreign_keys(catalog, pool, schema, &new, cost, view)?;
-        let table = catalog.table_mut(&upd.table)?;
+        check_foreign_keys(tables, pool, schema, &new, cost, view)?;
+        let table = tables.table_mut(&upd.table)?;
         // The write gate guarantees `before` equals the version the
         // snapshot matched (or the transaction's own newer image).
         let (before, pushed) = table.update_txn(rid, new.clone(), tid, &snap)?;
@@ -1250,7 +1768,7 @@ fn apply_update_rows(
     Ok(())
 }
 
-fn touch_write_raw(pool: &mut BufferPool, table: u32, page: u64, cost: &mut CostReport) {
+fn touch_write_raw(pool: &BufferPool, table: u32, page: u64, cost: &mut CostReport) {
     let t = pool.touch_write(PageId { table, page });
     if t.hit {
         cost.page_hits += 1;
@@ -1264,19 +1782,19 @@ fn touch_write_raw(pool: &mut BufferPool, table: u32, page: u64, cost: &mut Cost
 /// snapshot and pass the first-updater-wins gate; the deleted versions
 /// stay visible to older snapshots until vacuumed.
 pub(crate) fn run_delete(
-    catalog: &mut Catalog,
-    pool: &mut BufferPool,
+    tables: &mut TableSet<'_>,
+    pool: &BufferPool,
     del: &Delete,
     params: &[Value],
     cost: &mut CostReport,
     view: &ExecView,
 ) -> Result<WriteEffect> {
     let mut layout = Layout::default();
-    layout.push_table(&del.table, catalog.table(&del.table)?);
+    layout.push_table(&del.table, tables.table(&del.table)?);
     let snap = view.snap;
     let tid = view.tid();
     let match_rids = {
-        let table = catalog.table(&del.table)?;
+        let table = tables.table(&del.table)?;
         let rids = plan_write_rids(
             table,
             &del.table,
@@ -1295,10 +1813,10 @@ pub(crate) fn run_delete(
         };
         let mut matched = Vec::new();
         for rid in candidates {
+            touch_read(pool, table, rid, cost);
             let Some(row) = table.visible(rid, &snap) else {
                 continue;
             };
-            touch_read(pool, table, rid, cost);
             cost.rows_scanned += 1;
             let keep = match &bound {
                 Some(p) => p.matches(row, params)?,
@@ -1311,7 +1829,7 @@ pub(crate) fn run_delete(
         matched
     };
 
-    let table = catalog.table_mut(&del.table)?;
+    let table = tables.table_mut(&del.table)?;
     let mut effect = WriteEffect::default();
     for rid in match_rids {
         // Statement atomicity: see run_insert.
@@ -1344,12 +1862,13 @@ pub(crate) fn run_delete(
 /// Applies `tid`'s undo operations in reverse order (transaction
 /// rollback): uncommitted versions disappear, pushed history versions
 /// pop back into place, and no other snapshot ever observes an
-/// intermediate state.
-pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>, tid: TxnId) -> Result<()> {
+/// intermediate state. The table set must write-cover every table the
+/// undo log names (commit/rollback latch exactly that set).
+pub(crate) fn apply_undo(tables: &mut TableSet<'_>, undo: Vec<UndoOp>, tid: TxnId) -> Result<()> {
     for op in undo.into_iter().rev() {
         match op {
             UndoOp::Insert { table, rid } => {
-                catalog.table_mut(&table)?.undo_insert(rid);
+                tables.table_mut(&table)?.undo_insert(rid);
             }
             UndoOp::Delete {
                 table,
@@ -1357,9 +1876,7 @@ pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>, tid: TxnId) -
                 row,
                 pushed,
             } => {
-                catalog
-                    .table_mut(&table)?
-                    .undo_delete(rid, row, pushed, tid);
+                tables.table_mut(&table)?.undo_delete(rid, row, pushed, tid);
             }
             UndoOp::Update {
                 table,
@@ -1367,7 +1884,7 @@ pub(crate) fn apply_undo(catalog: &mut Catalog, undo: Vec<UndoOp>, tid: TxnId) -
                 before,
                 pushed,
             } => {
-                catalog
+                tables
                     .table_mut(&table)?
                     .undo_update(rid, before, pushed, tid);
             }

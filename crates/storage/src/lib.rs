@@ -8,7 +8,11 @@
 //!   foreign-key checks ([`TableSchema`], [`Table`]);
 //! * a SQL-subset parser and a planner/executor covering the query shapes
 //!   a Django-style ORM emits — point lookups, index scans, inner/left
-//!   joins, aggregates, `ORDER BY ... LIMIT` ([`sql`], [`Select`]);
+//!   joins, aggregates, `ORDER BY ... LIMIT` ([`sql`], [`Select`]) —
+//!   with scan-shaped plans executed vectorized (~1024-row batches over
+//!   a compiled predicate, optionally morsel-parallel across worker
+//!   threads; [`Database::set_batch_scan`],
+//!   [`Database::set_scan_workers`]);
 //! * **row-level AFTER triggers** fired synchronously inside write
 //!   statements — the primitive CacheGenie uses to keep the cache
 //!   consistent ([`Trigger`], [`TriggerCtx`]);
@@ -18,7 +22,10 @@
 //!   row/table write locking with fair FIFO waiter queues,
 //!   wait-for-graph deadlock detection, and first-updater-wins
 //!   write-conflict detection ([`Database::transaction`],
-//!   [`Database::begin_concurrent`], [`lockmgr::LockManager`]);
+//!   [`Database::begin_concurrent`], [`lockmgr::LockManager`]), all
+//!   running under a sharded latch hierarchy — catalog read-write latch
+//!   over per-table latches — so statements on disjoint tables never
+//!   serialize ([`Database::latch_stats`], `docs/ARCHITECTURE.md`);
 //! * a buffer-pool *model* that classifies page touches as hits or misses
 //!   and emits a per-statement [`CostReport`], which the benchmark harness
 //!   prices into simulated time ([`BufferPool`]).
@@ -60,6 +67,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub(crate) mod latch;
 pub mod lockmgr;
 pub mod plan;
 pub mod query;
@@ -79,7 +87,7 @@ pub use db::{
 };
 pub use error::{Result, StorageError};
 pub use expr::{ArithOp, CmpOp, ColumnRef, Expr};
-pub use lockmgr::{LockManager, LockMode, LockStats, TxnId};
+pub use lockmgr::{LatchStats, LockManager, LockMode, LockStats, TxnId};
 pub use plan::{AccessPath, Bound, JoinMethod, JoinPlan, Plan, QueryPlan};
 pub use query::{
     AggFunc, Delete, Insert, Join, JoinKind, OrderKey, QueryResult, Select, SelectItem, Statement,

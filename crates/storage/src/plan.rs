@@ -12,7 +12,7 @@
 //!    counts for equality prefixes, equi-width histograms for ranges —
 //!    falling back to the System-R constants only when a column has no
 //!    usable statistics.
-//! 2. [`plan_query`] builds a [`QueryPlan`] for a whole SELECT: it
+//! 2. `plan_query` builds a [`QueryPlan`] for a whole SELECT: it
 //!    enumerates cost-ranked left-deep join orders (for the 2–4 table
 //!    inner-join chains a Django-style ORM emits), plans the driving
 //!    table through `plan_access`, picks a probe method per join step
@@ -46,10 +46,10 @@
 //! whether the chosen path already satisfies `ORDER BY` (possibly by
 //! scanning in reverse), letting the executor skip the sort.
 
-use crate::catalog::Catalog;
 use crate::cost::CostReport;
 use crate::error::Result;
 use crate::expr::{CmpOp, Expr};
+use crate::latch::TableSet;
 use crate::query::{AggFunc, JoinKind, OrderKey, Select, SelectItem};
 use crate::row::Row;
 use crate::stats::ColumnStats;
@@ -1266,10 +1266,14 @@ fn resolvable_in(e: &Expr, slots: &[&Slot<'_>]) -> bool {
     })
 }
 
-/// Plans a whole SELECT. The entry point behind [`crate::Database::explain`]
-/// and the executor.
-pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<QueryPlan> {
-    let base_table = catalog.table(&sel.from.table)?;
+/// Plans a whole SELECT against the statement's latched table set. The
+/// entry point behind [`crate::Database::explain`] and the executor.
+pub(crate) fn plan_query(
+    tables: &TableSet<'_>,
+    sel: &Select,
+    params: &[Value],
+) -> Result<QueryPlan> {
+    let base_table = tables.table(&sel.from.table)?;
     let base_binding = sel.from.binding_name().to_owned();
 
     // Single-table fast path: the PR-1 planner plus LIMIT pushdown.
@@ -1316,7 +1320,7 @@ pub fn plan_query(catalog: &Catalog, sel: &Select, params: &[Value]) -> Result<Q
         slots.push(Slot {
             binding: j.table.binding_name().to_owned(),
             table_name: j.table.table.clone(),
-            table: catalog.table(&j.table.table)?,
+            table: tables.table(&j.table.table)?,
         });
     }
     let n = slots.len();

@@ -285,7 +285,7 @@ impl Table {
     /// statement (autocommit) and commit boundaries, so estimates never
     /// lag committed data by more than one epoch. Takes `&self` — the
     /// queue lives behind its own mutex, so concurrent enqueuers (writer
-    /// threads under the engine latch) and lazy planner-side flushes
+    /// threads under their table latches) and lazy planner-side flushes
     /// never race.
     pub fn flush_stats(&self) {
         self.stats.lock().apply_pending();
@@ -1066,8 +1066,9 @@ impl Table {
 
     /// Commit stamping: every version `tid` wrote on these rows becomes
     /// committed at `epoch` — new images get `begin = epoch`, superseded
-    /// images get `end = epoch`. Runs under the engine latch, before the
-    /// commit epoch is published, so the flip is atomic for readers.
+    /// images get `end = epoch`. Runs under this table's write latch (or
+    /// the exclusive catalog latch), before the commit epoch is
+    /// published, so the flip is atomic for readers of this table.
     pub fn commit_rows<I: IntoIterator<Item = RowId>>(&mut self, rids: I, tid: TxnId, epoch: u64) {
         for rid in rids {
             if let Some(m) = self.meta.get_mut(&rid) {

@@ -235,6 +235,13 @@ impl TriggerManager {
             .collect()
     }
 
+    /// Whether any enabled trigger watches `table` (any event). The
+    /// engine uses this to decide if a write on `table` must run in
+    /// exclusive (trigger-firing) mode.
+    pub fn has_for_table(&self, table: &str) -> bool {
+        self.enabled && self.triggers.iter().any(|t| t.table == table)
+    }
+
     /// Every registered trigger.
     pub fn all(&self) -> &[Trigger] {
         &self.triggers

@@ -31,6 +31,10 @@ use rand::{Rng, SeedableRng};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
+/// Rows seeded into each `shard_<t>` scratch table for the
+/// disjoint-table mix.
+const SHARD_ROWS: i64 = 64;
+
 /// Configuration for one multi-writer run.
 #[derive(Debug, Clone)]
 pub struct ConcurrencyConfig {
@@ -71,6 +75,18 @@ pub struct ConcurrencyConfig {
     /// Legacy baseline: readers take table-level shared locks (and block
     /// behind writer transactions) instead of MVCC snapshot reads.
     pub reader_locking: bool,
+    /// Pin every writer thread to its own scratch table (`shard_<t>`,
+    /// created and seeded before the measured phase) instead of the
+    /// shared social mix. With per-table latching, disjoint writers
+    /// share nothing above the catalog read latch, so the run must show
+    /// **zero table-latch waits** — the latch-sharding gate. Ignores
+    /// `poke_pct` / `abort_pct` / `read_every`.
+    pub disjoint_tables: bool,
+    /// Force the pre-sharding engine shape: every statement and commit
+    /// takes the catalog latch exclusively, exactly one statement in
+    /// flight engine-wide. The measurable baseline latch sharding is
+    /// compared against.
+    pub serial_latch: bool,
 }
 
 impl Default for ConcurrencyConfig {
@@ -89,6 +105,8 @@ impl Default for ConcurrencyConfig {
             reader_threads: 0,
             reads_per_reader_txn: 4,
             reader_locking: false,
+            disjoint_tables: false,
+            serial_latch: false,
         }
     }
 }
@@ -144,6 +162,13 @@ pub struct ConcurrencyResult {
     pub snapshot_violations: u64,
     /// Reader transactions per wall-clock second of the measured phase.
     pub read_txns_per_sec: f64,
+    /// Engine latch acquisitions (catalog or table level) that blocked
+    /// at least once during the run.
+    pub latch_waits: u64,
+    /// The table-level subset of `latch_waits`. A disjoint-table run
+    /// must report **zero**: threads pinned to different tables never
+    /// meet on a per-table latch.
+    pub latch_table_waits: u64,
 }
 
 impl ConcurrencyResult {
@@ -221,8 +246,27 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         ..Default::default()
     })?;
     env.db.set_reader_table_locks(cfg.reader_locking);
+    env.db.set_serial_latch(cfg.serial_latch);
     let users = cfg.seed.users.max(2) as i64;
     let threads = cfg.threads.max(1);
+    if cfg.disjoint_tables {
+        // One scratch table per writer thread, seeded before the clock
+        // starts. The measured phase then updates only `shard_<t>` from
+        // thread `t`: per-table latches and row locks are provably
+        // uncontended, so any table-latch wait is a sharding bug.
+        for t in 0..threads {
+            env.db.execute_sql(
+                &format!("CREATE TABLE shard_{t} (id INT PRIMARY KEY, n INT NOT NULL)"),
+                &[],
+            )?;
+            for id in 1..=SHARD_ROWS {
+                env.db.execute_sql(
+                    &format!("INSERT INTO shard_{t} (id, n) VALUES ($1, 0)"),
+                    &[Value::Int(id)],
+                )?;
+            }
+        }
+    }
     // Readers share the start barrier so reads tallied against the
     // measured window cannot begin before the writers do.
     let barrier = Arc::new(Barrier::new(threads + cfg.reader_threads));
@@ -288,7 +332,9 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                             std::thread::yield_now();
                         }
                     };
-                    let outcome = if rng.gen_range(0..100u32) < cfg.poke_pct {
+                    let outcome = if cfg.disjoint_tables {
+                        disjoint_txn(&db, t, &mut rng, cfg.posts_per_txn, i as i64, &think)
+                    } else if rng.gen_range(0..100u32) < cfg.poke_pct {
                         poke_pair(&db, wall, sender, i as i64, &think)
                     } else {
                         let abort = rng.gen_range(0..100u32) < cfg.abort_pct;
@@ -305,7 +351,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                         Err(_) => tally.errors += 1,
                     }
                     drop(_serial);
-                    if cfg.read_every > 0 && i % cfg.read_every == 0 {
+                    if !cfg.disjoint_tables && cfg.read_every > 0 && i % cfg.read_every == 0 {
                         // Autocommit cached read interleaving with other
                         // threads' open transactions. A multi-table read
                         // can itself be chosen as a deadlock victim;
@@ -362,6 +408,9 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
     let locks = env.db.lock_stats();
     result.lock_stats_deadlocks = locks.deadlocks;
     result.lock_waits = locks.waits;
+    let latches = env.db.latch_stats();
+    result.latch_waits = latches.total_waits();
+    result.latch_table_waits = latches.table_waits();
 
     // Post-run cross-check on the quiescent system: every cached object
     // the mix can have touched, for every user.
@@ -411,6 +460,43 @@ fn poke_pair(
             "UPDATE users SET last_login = $1 WHERE id = $2",
             &[Value::Timestamp(1_000_000 + seq), Value::Int(b)],
         )?;
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            db.execute_sql("COMMIT", &[])?;
+            Ok(true)
+        }
+        Err(e) => {
+            let _ = db.execute_sql("ROLLBACK", &[]);
+            Err(e)
+        }
+    }
+}
+
+/// One disjoint-table transaction: `updates` single-row UPDATEs against
+/// this thread's own `shard_<t>` table, with application think time
+/// between statements. No other thread ever touches this table, so the
+/// only shared structures on the hot path are the catalog read latch
+/// and the commit epoch — the shape that isolates latch-sharding
+/// scaling from row-lock contention. On any error the transaction is
+/// rolled back and the error returned for tallying.
+fn disjoint_txn(
+    db: &genie_storage::Database,
+    shard: usize,
+    rng: &mut StdRng,
+    updates: usize,
+    seq: i64,
+    pace: &dyn Fn(),
+) -> Result<bool> {
+    let sql = format!("UPDATE shard_{shard} SET n = $1 WHERE id = $2");
+    db.execute_sql("BEGIN", &[])?;
+    let run = (|| {
+        for _ in 0..updates.max(1) {
+            let id = rng.gen_range(1..=SHARD_ROWS);
+            db.execute_sql(&sql, &[Value::Int(seq), Value::Int(id)])?;
+            pace();
+        }
         Ok(())
     })();
     match run {
@@ -515,6 +601,44 @@ mod tests {
             r.lock_stats_deadlocks,
             "every lock-manager victim surfaced as one aborted txn or read: {r:?}"
         );
+    }
+
+    #[test]
+    fn disjoint_tables_show_zero_table_latch_waits() {
+        let cfg = ConcurrencyConfig {
+            threads: 4,
+            txns_per_thread: 50,
+            posts_per_txn: 3,
+            think_us: 20,
+            ..Default::default()
+        };
+        let r = run_concurrent(&ConcurrencyConfig {
+            disjoint_tables: true,
+            ..cfg
+        })
+        .unwrap();
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert_eq!(r.committed, 4 * 50, "every disjoint txn commits: {r:?}");
+        assert_eq!(
+            r.latch_table_waits, 0,
+            "threads pinned to disjoint tables must never meet on a table latch: {r:?}"
+        );
+        assert_eq!(r.lock_stats_deadlocks, 0, "{r:?}");
+        assert_eq!(r.coherence_violations, 0, "{r:?}");
+    }
+
+    #[test]
+    fn serial_latch_baseline_still_correct() {
+        let r = run_concurrent(&ConcurrencyConfig {
+            threads: 3,
+            txns_per_thread: 30,
+            serial_latch: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert!(r.committed > 0);
+        assert_eq!(r.coherence_violations, 0, "{r:?}");
     }
 
     #[test]

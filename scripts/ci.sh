@@ -31,8 +31,11 @@ cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
 echo "==> trigger_audit --check (commit-pipeline effect-coalescing regressions)"
 cargo run --release -q -p genie-bench --bin trigger_audit -- --check > /dev/null
 
-echo "==> concurrency_audit --check (multi-writer thread sweep + MVCC reader gate: no livelock, abort/conflict ceilings, zero reader blocking, cache coherence)"
+echo "==> concurrency_audit --check (multi-writer thread sweep + MVCC reader gate + disjoint-table latch gate: no livelock, abort/conflict ceilings, zero reader blocking, zero table-latch waits, cache coherence)"
 cargo run --release -q -p genie-bench --bin concurrency_audit -- --check > /dev/null
+
+echo "==> exp_parallel_scan --check (vectorized scans: batch >= row-at-a-time, 4-worker scaling on multi-core hosts)"
+cargo run --release -q -p genie-bench --bin exp_parallel_scan -- --check --quick > /dev/null
 
 echo "==> exp_mvcc (snapshot readers vs table-S-lock baseline: zero lock waits, >= baseline read throughput, zero violations)"
 cargo run --release -q -p genie-bench --bin exp_mvcc -- --readers 1,4 --txns 80 > /dev/null
