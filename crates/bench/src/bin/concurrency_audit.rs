@@ -250,6 +250,75 @@ fn main() {
         Err(e) => failures.push(format!("disjoint-table latch mix: run failed: {e}")),
     }
 
+    // Cache-tier gate: the cache-heavy mix with hot-key replication
+    // runs through a node kill and rejoin. The post-run sweep must find
+    // zero coherence violations, the schedule must actually execute,
+    // and the hot keys must have served reads from replica copies.
+    let cache_cfg = ConcurrencyConfig {
+        threads: 4,
+        txns_per_thread: 90,
+        read_every: 1,    // a cached read after every transaction
+        hot_read_pct: 80, // skewed onto users 1-4 to trip promotion
+        node_kill: true,
+        cluster: genie_cache::ClusterConfig {
+            servers: 4,
+            hot_key_replicas: 2,
+            hot_key_threshold: 8,
+            ..Default::default()
+        },
+        seed: SeedConfig {
+            users: 20,
+            ..SeedConfig::tiny()
+        },
+        ..Default::default()
+    };
+    match run_concurrent(&cache_cfg) {
+        Ok(r) => {
+            println!(
+                "{:<26} {:>7} {:>9.0} {:>9} {:>10} {:>10.3} {:>9} {:>10}",
+                "cache tier kill/rejoin",
+                4,
+                r.throughput_txns_per_sec,
+                r.deadlock_aborts,
+                r.write_conflicts,
+                r.abort_rate(),
+                r.checked_objects,
+                r.coherence_violations
+            );
+            if r.node_kills != 1 || r.node_revives != 1 {
+                failures.push(format!(
+                    "cache tier kill/rejoin: schedule did not execute \
+                     ({} kills / {} revives, expected 1/1)",
+                    r.node_kills, r.node_revives
+                ));
+            }
+            if r.coherence_violations > 0 {
+                failures.push(format!(
+                    "cache tier kill/rejoin: {} coherence violations over {} objects \
+                     through a node kill",
+                    r.coherence_violations, r.checked_objects
+                ));
+            }
+            if r.cache_hot_promotions == 0 {
+                failures.push(
+                    "cache tier kill/rejoin: the skewed mix never promoted a hot key".to_owned(),
+                );
+            }
+            if r.cache_replica_reads == 0 {
+                failures.push(
+                    "cache tier kill/rejoin: no read was served by a hot-key replica".to_owned(),
+                );
+            }
+            if r.errors + r.read_errors > 0 {
+                failures.push(format!(
+                    "cache tier kill/rejoin: {} txn errors, {} read errors",
+                    r.errors, r.read_errors
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("cache tier kill/rejoin: run failed: {e}")),
+    }
+
     if failures.is_empty() {
         println!("\nconcurrency_audit: all checks passed");
     } else {

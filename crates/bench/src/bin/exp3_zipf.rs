@@ -38,7 +38,46 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
+
+    // Per-node view at the paper's most cache-friendly skew: a 4-server
+    // cluster under Update, with the store-level hit/miss counters split
+    // by origin. Application traffic should hit hard while trigger
+    // (maintenance) traffic shows its own read pattern, and the
+    // consistent-hash ring should spread items across all nodes.
+    let r = run(&WorkloadConfig {
+        mode: genie_workload::CacheMode::Update,
+        zipf_a: 1.2,
+        cache_servers: 4,
+        sessions_per_client: base.sessions_per_client * 2,
+        warmup_sessions_per_client: base.warmup_sessions_per_client * 4,
+        ..base.clone()
+    })
+    .expect("per-node run");
+    let mut node_table = TextTable::new(&[
+        "node",
+        "items",
+        "app hits",
+        "app misses",
+        "trig hits",
+        "trig misses",
+    ]);
+    let mut app_hits_by_node = Vec::new();
+    for s in &r.per_server {
+        node_table.row(vec![
+            s.index.to_string(),
+            s.items.to_string(),
+            s.store.app_hits.to_string(),
+            s.store.app_misses.to_string(),
+            s.store.trigger_hits.to_string(),
+            s.store.trigger_misses.to_string(),
+        ]);
+        app_hits_by_node.push(s.store.app_hits);
+    }
+    println!("per-node store counters (Update, a=1.2, 4 servers):");
+    println!("{}", node_table.render());
+
     write_result("fig3b_zipf.csv", &table.to_csv());
+    write_result("exp3_per_node.csv", &node_table.to_csv());
     let mut json = BenchJson::new("exp3_zipf").nums(
         "zipf_a",
         &exponents
@@ -52,5 +91,6 @@ fn main() {
             &tp_by_mode[m],
         );
     }
+    json = json.ints("per_node_app_hits", &app_hits_by_node);
     json.write();
 }

@@ -9,11 +9,14 @@
 
 use crate::codec::{hash_key, Payload};
 use crate::error::Result;
-use crate::store::{CacheStore, StoreConfig, StoreStats, ValueWithCas};
+use crate::hotkey::{HotKeyConfig, HotKeyDetector};
+use crate::replica::ReplicaTable;
+use crate::shard::{split_capacity, ShardedStore};
+use crate::store::{CacheOrigin, CacheStore, EvictionPolicy, StoreStats, ValueWithCas};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cluster configuration.
@@ -21,7 +24,8 @@ use std::sync::Arc;
 pub struct ClusterConfig {
     /// Number of cache servers.
     pub servers: usize,
-    /// Total memory budget in bytes, split evenly across servers
+    /// Total memory budget in bytes, split across servers with the
+    /// remainder distributed over the first servers so no byte is lost
     /// (the paper's Experiment 4 sweeps this from 64 MB to 512 MB).
     pub capacity_bytes: usize,
     /// Per-item size limit.
@@ -32,6 +36,19 @@ pub struct ClusterConfig {
     /// memcached bumps on every touch (`true`); §4 of the paper proposes a
     /// modified policy (`false`) which we expose for the ablation bench.
     pub bump_lru_on_trigger: bool,
+    /// Lock stripes per server (rounded up to a power of two). With 1,
+    /// a server degenerates to the pre-shard single-mutex store.
+    pub shards_per_server: usize,
+    /// Eviction policy for every shard ([`EvictionPolicy::Clock`] keeps
+    /// GETs off the eviction structure; `LruStamp` is the exact-order
+    /// legacy baseline).
+    pub eviction: EvictionPolicy,
+    /// Copies of each hot key, counting the primary. `1` disables
+    /// hot-key replication entirely.
+    pub hot_key_replicas: usize,
+    /// Estimated access count at which a key is promoted to replicated
+    /// (fed to the count-min [`HotKeyDetector`]).
+    pub hot_key_threshold: u64,
 }
 
 impl Default for ClusterConfig {
@@ -42,18 +59,12 @@ impl Default for ClusterConfig {
             item_limit_bytes: 1024 * 1024,
             vnodes: 64,
             bump_lru_on_trigger: true,
+            shards_per_server: 8,
+            eviction: EvictionPolicy::Clock,
+            hot_key_replicas: 1,
+            hot_key_threshold: 64,
         }
     }
-}
-
-/// Who is issuing a cache operation; affects LRU policy (see
-/// [`ClusterConfig::bump_lru_on_trigger`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheOrigin {
-    /// The web application / ORM read path.
-    Application,
-    /// A database trigger body maintaining consistency.
-    Trigger,
 }
 
 /// Aggregated statistics across all servers.
@@ -64,6 +75,29 @@ pub struct ClusterStats {
     /// Total bytes used across servers.
     pub bytes_used: usize,
     /// Total live items.
+    pub items: usize,
+    /// Reads of replicated keys served by a non-primary copy.
+    pub replica_reads: u64,
+    /// Keys promoted to replicated by the hot-key detector.
+    pub hot_key_promotions: u64,
+    /// Keys currently holding a replica set.
+    pub replicated_keys: usize,
+    /// Servers currently marked dead.
+    pub dead_nodes: usize,
+}
+
+/// Per-server statistics (for the per-node exp3 report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Server index.
+    pub index: usize,
+    /// Whether the node is alive.
+    pub alive: bool,
+    /// The node's store counters (all shards summed).
+    pub store: StoreStats,
+    /// Bytes accounted on the node.
+    pub bytes_used: usize,
+    /// Live items on the node.
     pub items: usize,
 }
 
@@ -79,8 +113,14 @@ impl ClusterStats {
     }
 }
 
+/// One cache server: a lock-striped store plus liveness.
+struct ServerNode {
+    store: ShardedStore,
+    alive: AtomicBool,
+}
+
 struct ClusterInner {
-    servers: Vec<Mutex<CacheStore>>,
+    servers: Vec<ServerNode>,
     /// (ring position, server index), sorted by position.
     ring: Vec<(u64, usize)>,
     /// Logical "now" for TTL expiry; the benchmark driver advances this
@@ -112,6 +152,20 @@ struct ClusterInner {
     /// revokes the lease, so a racing fill computed from pre-commit
     /// database state is dropped instead of caching a stale value.
     leases: Vec<Mutex<LeaseTable>>,
+    /// Global lease-token mint: tokens are unique and monotonic across
+    /// every lease shard, so a token minted for one key can never
+    /// validate a fill routed through another shard.
+    next_lease: AtomicU64,
+    /// Copies of each hot key, counting the primary (1 = off).
+    replica_count: usize,
+    /// Hot-key frequency sketch feeding promotion.
+    hot: HotKeyDetector,
+    /// key -> replica server set, primary first.
+    replicas: ReplicaTable,
+    /// Reads of replicated keys served by a non-primary copy.
+    replica_reads: AtomicU64,
+    /// Keys promoted to replicated.
+    promotions: AtomicU64,
 }
 
 /// Number of lease-table shards (keys hash to one; ordering arguments
@@ -121,7 +175,6 @@ const LEASE_SHARDS: usize = 16;
 #[derive(Debug, Default)]
 struct LeaseTable {
     outstanding: HashMap<String, u64>,
-    next: u64,
 }
 
 /// CAS tokens handed out for buffered (not yet published) values. Kept in
@@ -245,12 +298,20 @@ impl CacheCluster {
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.servers > 0, "cluster needs at least one server");
         assert!(config.vnodes > 0, "cluster needs at least one vnode");
-        let per_server = StoreConfig {
-            capacity_bytes: config.capacity_bytes / config.servers,
-            item_limit_bytes: config.item_limit_bytes,
-        };
-        let servers: Vec<Mutex<CacheStore>> = (0..config.servers)
-            .map(|_| Mutex::new(CacheStore::new(per_server.clone())))
+        // Remainder-preserving split: per-server budgets sum to exactly
+        // the configured total.
+        let caps = split_capacity(config.capacity_bytes, config.servers);
+        let servers: Vec<ServerNode> = caps
+            .into_iter()
+            .map(|cap| ServerNode {
+                store: ShardedStore::new(
+                    cap,
+                    config.item_limit_bytes,
+                    config.shards_per_server,
+                    config.eviction,
+                ),
+                alive: AtomicBool::new(true),
+            })
             .collect();
         let mut ring = Vec::with_capacity(config.servers * config.vnodes);
         for s in 0..config.servers {
@@ -271,6 +332,15 @@ impl CacheCluster {
                 leases: (0..LEASE_SHARDS)
                     .map(|_| Mutex::new(LeaseTable::default()))
                     .collect(),
+                next_lease: AtomicU64::new(0),
+                replica_count: config.hot_key_replicas.max(1),
+                hot: HotKeyDetector::new(&HotKeyConfig {
+                    threshold: config.hot_key_threshold,
+                    ..HotKeyConfig::default()
+                }),
+                replicas: ReplicaTable::new(),
+                replica_reads: AtomicU64::new(0),
+                promotions: AtomicU64::new(0),
             }),
         }
     }
@@ -367,10 +437,16 @@ impl CacheCluster {
     /// state can never overwrite fresher data (the classic stale-fill
     /// race under concurrent writers).
     pub fn lease(&self, key: &str) -> u64 {
-        let mut leases = self.inner.lease_shard(key).lock();
-        leases.next += 1;
-        let token = leases.next;
-        leases.outstanding.insert(key.to_owned(), token);
+        // Tokens come from one cluster-global monotonic counter, not a
+        // per-shard one: they are unique across all lease shards, so a
+        // token minted for a key in one shard can never accidentally
+        // validate a fill for a key in another.
+        let token = self.inner.next_lease.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .lease_shard(key)
+            .lock()
+            .outstanding
+            .insert(key.to_owned(), token);
         token
     }
 
@@ -411,36 +487,154 @@ impl CacheCluster {
     /// Aggregated statistics.
     pub fn stats(&self) -> ClusterStats {
         let mut agg = ClusterStats::default();
-        for s in &self.inner.servers {
-            let s = s.lock();
-            let st = s.stats();
-            agg.store.gets += st.gets;
-            agg.store.hits += st.hits;
-            agg.store.misses += st.misses;
-            agg.store.sets += st.sets;
-            agg.store.deletes += st.deletes;
-            agg.store.evictions += st.evictions;
-            agg.store.cas_ops += st.cas_ops;
-            agg.store.cas_conflicts += st.cas_conflicts;
-            agg.store.expired += st.expired;
-            agg.bytes_used += s.bytes_used();
-            agg.items += s.len();
+        for node in &self.inner.servers {
+            agg.store.merge(&node.store.stats());
+            agg.bytes_used += node.store.bytes_used();
+            agg.items += node.store.len();
+            if !node.alive.load(Ordering::Relaxed) {
+                agg.dead_nodes += 1;
+            }
         }
+        agg.replica_reads = self.inner.replica_reads.load(Ordering::Relaxed);
+        agg.hot_key_promotions = self.inner.promotions.load(Ordering::Relaxed);
+        agg.replicated_keys = self.inner.replicas.len();
         agg
     }
 
+    /// Per-node statistics, in server-index order.
+    pub fn per_server_stats(&self) -> Vec<ServerStats> {
+        self.inner
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(index, node)| ServerStats {
+                index,
+                alive: node.alive.load(Ordering::Relaxed),
+                store: node.store.stats(),
+                bytes_used: node.store.bytes_used(),
+                items: node.store.len(),
+            })
+            .collect()
+    }
+
     /// Zeroes all server counters (between warm-up and measurement).
+    /// Keeps stored data, the replica table, and the hot-key sketch:
+    /// hotness learned during warm-up stays learned.
     pub fn reset_stats(&self) {
-        for s in &self.inner.servers {
-            s.lock().reset_stats();
+        for node in &self.inner.servers {
+            node.store.reset_stats();
         }
+        self.inner.replica_reads.store(0, Ordering::Relaxed);
+        self.inner.promotions.store(0, Ordering::Relaxed);
     }
 
     /// Empties every server.
     pub fn flush_all(&self) {
-        for s in &self.inner.servers {
-            s.lock().flush_all();
+        for node in &self.inner.servers {
+            node.store.flush_all();
         }
+    }
+
+    /// Total configured capacity across servers (sums to the exact
+    /// [`ClusterConfig::capacity_bytes`] budget — no remainder lost).
+    pub fn capacity_bytes(&self) -> usize {
+        self.inner
+            .servers
+            .iter()
+            .map(|n| n.store.capacity_bytes())
+            .sum()
+    }
+
+    /// Marks a node dead: its memory is wiped (a real node crash loses
+    /// RAM), keys it owned rehash to ring successors as misses, and hot
+    /// keys it carried are re-replicated from surviving copies. Returns
+    /// false if the node is already dead or is the last one alive.
+    pub fn kill_node(&self, idx: usize) -> bool {
+        let inner = &self.inner;
+        if idx >= inner.servers.len() {
+            return false;
+        }
+        let alive_elsewhere = inner
+            .servers
+            .iter()
+            .enumerate()
+            .any(|(i, n)| i != idx && n.alive.load(Ordering::Relaxed));
+        if !alive_elsewhere {
+            return false;
+        }
+        if !inner.servers[idx].alive.swap(false, Ordering::SeqCst) {
+            return false;
+        }
+        inner.servers[idx].store.flush_all();
+        inner.rebalance_replicas();
+        true
+    }
+
+    /// Brings a dead node back: it rejoins the ring *cold* (its store is
+    /// flushed — anything it held predates the failure), keys whose arc
+    /// it owns rehash back to it as misses, and entries those keys left
+    /// on interim successors are dropped so a later failover can never
+    /// resurrect them stale. Returns false if the node was already alive.
+    pub fn revive_node(&self, idx: usize) -> bool {
+        let inner = &self.inner;
+        if idx >= inner.servers.len() {
+            return false;
+        }
+        if inner.servers[idx].alive.load(Ordering::Relaxed) {
+            return false;
+        }
+        inner.servers[idx].store.flush_all();
+        inner.servers[idx].alive.store(true, Ordering::SeqCst);
+        inner.drop_rehashed_keys(idx);
+        inner.rebalance_replicas();
+        true
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.inner.alive(idx)
+    }
+
+    /// How many nodes are alive.
+    pub fn alive_count(&self) -> usize {
+        self.inner
+            .servers
+            .iter()
+            .filter(|n| n.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The replica set for `key` (primary first), if it was promoted.
+    pub fn replica_set(&self, key: &str) -> Option<Vec<usize>> {
+        self.inner.replicas.get(key).map(|s| s.to_vec())
+    }
+
+    /// True when every *present* copy of `key` across its replica set
+    /// holds byte-identical data (an evicted/missing copy is coherent:
+    /// it refills on next read). Keys without a replica set are
+    /// trivially coherent.
+    pub fn replicas_coherent(&self, key: &str) -> bool {
+        let Some(set) = self.inner.replicas.get(key) else {
+            return true;
+        };
+        let now = self.inner.now.load(Ordering::Relaxed);
+        let mut first: Option<Bytes> = None;
+        for &m in set.iter() {
+            if !self.inner.alive(m) {
+                continue;
+            }
+            let copy = self.inner.servers[m]
+                .store
+                .with(key, |s| s.peek(key, now).map(|(d, _)| d));
+            if let Some(d) = copy {
+                match &first {
+                    None => first = Some(d),
+                    Some(f) if *f != d => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+        true
     }
 }
 
@@ -502,20 +696,20 @@ impl PreparedEffectBatch {
     pub fn publish(self) -> EffectBatchSummary {
         let summary = self.summary();
         for (key, op, _) in self.entries {
-            self.inner.revoke_lease(&key);
+            // store_set/store_delete revoke the key's fill lease and
+            // update *every* replica while holding the key's lease-shard
+            // mutex — the publication is atomic per key with respect to
+            // fills, other writers, and replica-set changes.
             match op {
                 PendingOp::Set { data, ttl } => {
-                    let stored = self
-                        .inner
-                        .with_server(&key, |s, now| s.set(&key, data, ttl, now));
-                    if stored.is_err() {
+                    if self.inner.store_set(&key, data, ttl).is_err() {
                         // Mirror the trigger fallback: when a value cannot
                         // be stored, invalidate rather than leave staleness.
-                        self.inner.with_server(&key, |s, _| s.delete(&key));
+                        self.inner.store_delete(&key);
                     }
                 }
                 PendingOp::Delete => {
-                    self.inner.with_server(&key, |s, _| s.delete(&key));
+                    self.inner.store_delete(&key);
                 }
             }
             // The store now holds this batch's value; retire the sealed
@@ -558,28 +752,330 @@ impl ClusterInner {
         &self.leases[hash_key(key) as usize % LEASE_SHARDS]
     }
 
-    /// Revokes any outstanding fill lease on `key`. Called before every
-    /// physical mutation of the key (direct handle ops and batch
-    /// flushes alike).
-    fn revoke_lease(&self, key: &str) {
-        self.lease_shard(key).lock().outstanding.remove(key);
+    fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
     }
 
-    fn server_for(&self, key: &str) -> usize {
+    fn alive(&self, idx: usize) -> bool {
+        self.servers[idx].alive.load(Ordering::Relaxed)
+    }
+
+    /// Index of the first ring position at or after `key`'s hash.
+    fn ring_start(&self, key: &str) -> usize {
         let h = hash_key(key);
-        // First ring position >= h, wrapping.
         match self.ring.binary_search_by(|(pos, _)| pos.cmp(&h)) {
-            Ok(i) => self.ring[i].1,
-            Err(i) if i < self.ring.len() => self.ring[i].1,
-            Err(_) => self.ring[0].1,
+            Ok(i) => i,
+            Err(i) if i < self.ring.len() => i,
+            Err(_) => 0,
         }
     }
 
-    fn with_server<T>(&self, key: &str, f: impl FnOnce(&mut CacheStore, u64) -> T) -> T {
+    /// The alive server owning `key`'s arc: the ring successor, walking
+    /// past dead nodes. With every node dead (prevented by `kill_node`)
+    /// it falls back to the raw ring owner.
+    fn server_for(&self, key: &str) -> usize {
+        // One server owns every arc, and kill_node refuses to take the
+        // last alive node down — skip the hash + ring walk entirely.
+        if self.servers.len() == 1 {
+            return 0;
+        }
+        let start = self.ring_start(key);
+        let n = self.ring.len();
+        for off in 0..n {
+            let (_, s) = self.ring[(start + off) % n];
+            if self.alive(s) {
+                return s;
+            }
+        }
+        self.ring[start].1
+    }
+
+    /// The first `replica_count` distinct alive servers on `key`'s ring
+    /// walk, primary first.
+    fn replica_members(&self, key: &str) -> Vec<usize> {
+        let start = self.ring_start(key);
+        let n = self.ring.len();
+        let mut out = Vec::with_capacity(self.replica_count);
+        for off in 0..n {
+            let (_, s) = self.ring[(start + off) % n];
+            if self.alive(s) && !out.contains(&s) {
+                out.push(s);
+                if out.len() == self.replica_count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every server a write to `key` must land on: the whole alive
+    /// replica set for hot keys, else just the primary.
+    fn write_targets(&self, key: &str) -> Vec<usize> {
+        if let Some(set) = self.replicas.get(key) {
+            let live: Vec<usize> = set.iter().copied().filter(|&s| self.alive(s)).collect();
+            if !live.is_empty() {
+                return live;
+            }
+        }
+        vec![self.server_for(key)]
+    }
+
+    /// Which server serves a read of `key`: round-robin over alive
+    /// replicas for hot keys, else the primary.
+    fn read_server_for(&self, key: &str) -> usize {
+        // With replication off the table is permanently empty; skip the
+        // per-read lock + probe entirely (the common fast path).
+        if self.replica_count > 1 {
+            if let Some(set) = self.replicas.get(key) {
+                let pick = self.replicas.pick(&set, |s| self.alive(s));
+                if pick != set[0] {
+                    self.replica_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return pick;
+            }
+        }
+        self.server_for(key)
+    }
+
+    /// Runs `f` against `key`'s primary store shard (CAS-token reads and
+    /// trigger fall-through reads need the authoritative copy).
+    fn with_primary<T>(&self, key: &str, f: impl FnOnce(&mut CacheStore, u64) -> T) -> T {
         let idx = self.server_for(key);
-        let now = self.now.load(Ordering::Relaxed);
-        let mut store = self.servers[idx].lock();
-        f(&mut store, now)
+        let now = self.now();
+        self.servers[idx].store.with(key, |s| f(s, now))
+    }
+
+    /// Runs `f` against whichever store shard serves reads of `key`.
+    fn with_read<T>(&self, key: &str, f: impl FnOnce(&mut CacheStore, u64) -> T) -> T {
+        let idx = self.read_server_for(key);
+        let now = self.now();
+        self.servers[idx].store.with(key, |s| f(s, now))
+    }
+
+    // ----- multi-replica mutations -----
+    //
+    // Every mutation of a key holds the key's lease-shard mutex across
+    // the lease revocation AND all replica store writes. Fills and the
+    // promotion/rebalance copies hold the same mutex, so for any one
+    // key, multi-copy updates are atomic with respect to each other:
+    // no interleaving can leave two replicas with values from two
+    // different writers. Lock order is always lease shard -> one store
+    // shard at a time, never the reverse, so no deadlock is possible.
+
+    /// Unconditional store of `data` on every replica of `key`.
+    fn store_set(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
+        let mut shard = self.lease_shard(key).lock();
+        shard.outstanding.remove(key);
+        let now = self.now();
+        let mut first: Option<Result<()>> = None;
+        for idx in self.write_targets(key) {
+            let r = self.servers[idx]
+                .store
+                .with(key, |s| s.set(key, data.clone(), ttl, now));
+            if first.is_none() {
+                first = Some(r);
+            }
+        }
+        first.unwrap_or(Ok(()))
+    }
+
+    /// Deletes `key` from every replica; returns whether the primary
+    /// copy existed.
+    fn store_delete(&self, key: &str) -> bool {
+        let mut shard = self.lease_shard(key).lock();
+        shard.outstanding.remove(key);
+        let mut first: Option<bool> = None;
+        for idx in self.write_targets(key) {
+            let r = self.servers[idx].store.with(key, |s| s.delete(key));
+            if first.is_none() {
+                first = Some(r);
+            }
+        }
+        first.unwrap_or(false)
+    }
+
+    /// Add on the primary; on success the value is mirrored to the
+    /// other replicas (plain set — add's only-if-absent contract is
+    /// decided by the authoritative copy).
+    fn store_add(&self, key: &str, data: Bytes, ttl: Option<u64>) -> Result<()> {
+        let mut shard = self.lease_shard(key).lock();
+        shard.outstanding.remove(key);
+        let now = self.now();
+        let targets = self.write_targets(key);
+        let primary = targets[0];
+        self.servers[primary]
+            .store
+            .with(key, |s| s.add(key, data.clone(), ttl, now))?;
+        for &idx in &targets[1..] {
+            let _ = self.servers[idx]
+                .store
+                .with(key, |s| s.set(key, data.clone(), ttl, now));
+        }
+        Ok(())
+    }
+
+    /// CAS on the primary; on success the new value is mirrored to the
+    /// other replicas.
+    fn store_cas(&self, key: &str, data: Bytes, token: u64, ttl: Option<u64>) -> Result<()> {
+        let mut shard = self.lease_shard(key).lock();
+        shard.outstanding.remove(key);
+        let now = self.now();
+        let targets = self.write_targets(key);
+        let primary = targets[0];
+        self.servers[primary]
+            .store
+            .with(key, |s| s.cas(key, data.clone(), token, ttl, now))?;
+        for &idx in &targets[1..] {
+            let _ = self.servers[idx]
+                .store
+                .with(key, |s| s.set(key, data.clone(), ttl, now));
+        }
+        Ok(())
+    }
+
+    /// Increment on the primary; the resulting count is mirrored to the
+    /// other replicas with its remaining TTL.
+    fn store_incr(&self, key: &str, delta: i64) -> Result<Option<i64>> {
+        let mut shard = self.lease_shard(key).lock();
+        shard.outstanding.remove(key);
+        let now = self.now();
+        let targets = self.write_targets(key);
+        let primary = targets[0];
+        let new = self.servers[primary]
+            .store
+            .with(key, |s| s.incr(key, delta, now))?;
+        if let Some(n) = new {
+            let ttl = self.servers[primary]
+                .store
+                .with(key, |s| s.peek(key, now).and_then(|(_, ttl)| ttl));
+            let data = Payload::Count(n).encode();
+            for &idx in &targets[1..] {
+                let _ = self.servers[idx]
+                    .store
+                    .with(key, |s| s.set(key, data.clone(), ttl, now));
+            }
+        }
+        Ok(new)
+    }
+
+    // ----- hot-key replication -----
+
+    /// Feeds the hot-key sketch from an application read and promotes
+    /// the key once it crosses the threshold.
+    fn record_access(&self, key: &str) {
+        if self.replica_count <= 1 {
+            return;
+        }
+        if self.hot.record(key) && self.replicas.get(key).is_none() {
+            self.promote(key);
+        }
+    }
+
+    /// Installs a replica set for a newly hot key and copies its
+    /// current value to the secondaries, atomically with respect to
+    /// writers of the key (same lease-shard mutex).
+    fn promote(&self, key: &str) {
+        let _shard = self.lease_shard(key).lock();
+        if self.replicas.get(key).is_some() {
+            return;
+        }
+        let members = self.replica_members(key);
+        if members.len() < 2 {
+            return;
+        }
+        let now = self.now();
+        let value = self.servers[members[0]]
+            .store
+            .with(key, |s| s.peek(key, now));
+        if let Some((data, ttl)) = value {
+            for &m in &members[1..] {
+                let _ = self.servers[m]
+                    .store
+                    .with(key, |s| s.set(key, data.clone(), ttl, now));
+            }
+        }
+        self.replicas.insert(key, members);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recomputes every hot key's replica set after a membership change,
+    /// copying the surviving value onto new members and dropping copies
+    /// from members that left the set. Runs per key under that key's
+    /// lease-shard mutex, so it serializes with writers and fills.
+    fn rebalance_replicas(&self) {
+        for key in self.replicas.keys() {
+            let _shard = self.lease_shard(&key).lock();
+            let Some(old) = self.replicas.get(&key) else {
+                continue;
+            };
+            let members = self.replica_members(&key);
+            if members.len() < 2 {
+                // Not enough alive nodes to replicate: demote. Stray
+                // copies (if any) are on the sole alive node anyway.
+                self.replicas.remove(&key);
+                continue;
+            }
+            let now = self.now();
+            // Any alive holder has a maintained (fresh) copy: writes go
+            // to all alive members, and a revived node rejoins flushed.
+            let mut value = None;
+            for &m in old.iter().chain(members.iter()) {
+                if !self.alive(m) {
+                    continue;
+                }
+                if let Some(v) = self.servers[m].store.with(&key, |s| s.peek(&key, now)) {
+                    value = Some(v);
+                    break;
+                }
+            }
+            if let Some((data, ttl)) = value {
+                for &m in &members {
+                    let missing = self.servers[m]
+                        .store
+                        .with(&key, |s| s.peek(&key, now).is_none());
+                    if missing {
+                        let _ = self.servers[m]
+                            .store
+                            .with(&key, |s| s.set(&key, data.clone(), ttl, now));
+                    }
+                }
+            }
+            // Members that left the set must not keep a copy a later
+            // failover could serve stale.
+            for &m in old.iter() {
+                if self.alive(m) && !members.contains(&m) {
+                    self.servers[m].store.with(&key, |s| {
+                        s.delete(&key);
+                    });
+                }
+            }
+            self.replicas.insert(&key, members);
+        }
+    }
+
+    /// After `revived` rejoins: every entry another server holds for a
+    /// key whose arc now belongs to `revived` is unreachable via normal
+    /// routing — drop it so a later failover cannot resurrect it stale.
+    /// (Replica-set members keep their copies; the replica table routes
+    /// to them explicitly and `rebalance_replicas` prunes those.)
+    fn drop_rehashed_keys(&self, revived: usize) {
+        for (i, node) in self.servers.iter().enumerate() {
+            if i == revived || !node.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            for key in node.store.keys() {
+                if self.server_for(&key) != revived {
+                    continue;
+                }
+                let kept_by_replica_set =
+                    self.replicas.get(&key).is_some_and(|set| set.contains(&i));
+                if !kept_by_replica_set {
+                    node.store.with(&key, |s| {
+                        s.delete(&key);
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -620,9 +1116,17 @@ impl CacheHandle {
         guard.as_mut().map(f)
     }
 
-    /// Fetches raw bytes.
+    /// Fetches raw bytes. Application-origin reads feed the hot-key
+    /// sketch and may be served by any replica of a hot key;
+    /// trigger-origin reads go through [`CacheHandle::gets`] so they
+    /// observe batch overlays and sealed in-flight values.
     pub fn get(&self, key: &str) -> Option<Bytes> {
-        self.gets(key).map(|v| v.data)
+        if self.origin == CacheOrigin::Trigger {
+            return self.gets(key).map(|v| v.data);
+        }
+        self.inner.record_access(key);
+        self.inner
+            .with_read(key, |s, now| s.get_as(key, now, self.bump, self.origin))
     }
 
     /// Fetches raw bytes plus the CAS token (memcached `gets`). During a
@@ -652,12 +1156,14 @@ impl CacheHandle {
                 Some(PendingOp::Delete) => None,
                 None => self.inner.read_with_miss_revoke(key, || {
                     self.inner
-                        .with_server(key, |s, now| s.gets(key, now, self.bump))
+                        .with_primary(key, |s, now| s.gets_as(key, now, self.bump, self.origin))
                 }),
             },
+            // CAS tokens are per-store: a `gets` outside any batch reads
+            // the primary so the token always validates there.
             None => self
                 .inner
-                .with_server(key, |s, now| s.gets(key, now, self.bump)),
+                .with_primary(key, |s, now| s.gets_as(key, now, self.bump, self.origin)),
         }
     }
 
@@ -681,9 +1187,7 @@ impl CacheHandle {
         {
             return Ok(());
         }
-        self.inner.revoke_lease(key);
-        self.inner
-            .with_server(key, |s, now| s.set(key, data, ttl, now))
+        self.inner.store_set(key, data, ttl)
     }
 
     /// Stores only if absent.
@@ -706,7 +1210,7 @@ impl CacheHandle {
                 let exists = match self.inner.sealed_pending(key) {
                     Some(PendingOp::Set { .. }) => true,
                     Some(PendingOp::Delete) => false,
-                    None => self.inner.with_server(key, |s, now| s.contains(key, now)),
+                    None => self.inner.with_primary(key, |s, now| s.contains(key, now)),
                 };
                 if !deleted && exists {
                     return Err(crate::CacheError::AlreadyStored);
@@ -716,11 +1220,7 @@ impl CacheHandle {
                 });
                 Ok(())
             }
-            None => {
-                self.inner.revoke_lease(key);
-                self.inner
-                    .with_server(key, |s, now| s.add(key, data, ttl, now))
-            }
+            None => self.inner.store_add(key, data, ttl),
         }
     }
 
@@ -753,11 +1253,7 @@ impl CacheHandle {
         });
         match routed {
             Some(r) => r,
-            None => {
-                self.inner.revoke_lease(key);
-                self.inner
-                    .with_server(key, |s, now| s.cas(key, data, token, ttl, now))
-            }
+            None => self.inner.store_cas(key, data, token, ttl),
         }
     }
 
@@ -780,17 +1276,14 @@ impl CacheHandle {
                 let existed = match self.inner.sealed_pending(key) {
                     Some(PendingOp::Set { .. }) => true,
                     Some(PendingOp::Delete) => false,
-                    None => self.inner.with_server(key, |s, now| s.contains(key, now)),
+                    None => self.inner.with_primary(key, |s, now| s.contains(key, now)),
                 };
                 self.with_batch(|b| {
                     b.put(key, PendingOp::Delete);
                 });
                 existed
             }
-            None => {
-                self.inner.revoke_lease(key);
-                self.inner.with_server(key, |s, _| s.delete(key))
-            }
+            None => self.inner.store_delete(key),
         }
     }
 
@@ -836,7 +1329,7 @@ impl CacheHandle {
                     Some(PendingOp::Delete) => None,
                     None => self.inner.read_with_miss_revoke(key, || {
                         self.inner
-                            .with_server(key, |s, now| s.get_with_ttl(key, now, self.bump))
+                            .with_primary(key, |s, now| s.get_with_ttl(key, now, self.bump))
                     }),
                 };
                 let Some((data, ttl)) = current else {
@@ -857,11 +1350,7 @@ impl CacheHandle {
                 });
                 Ok(Some(new))
             }
-            None => {
-                self.inner.revoke_lease(key);
-                self.inner
-                    .with_server(key, |s, now| s.incr(key, delta, now))
-            }
+            None => self.inner.store_incr(key, delta),
         }
     }
 
@@ -884,12 +1373,12 @@ impl CacheHandle {
                     .inner
                     .read_with_miss_revoke(key, || {
                         self.inner
-                            .with_server(key, |s, now| s.contains(key, now))
+                            .with_primary(key, |s, now| s.contains(key, now))
                             .then_some(())
                     })
                     .is_some(),
             },
-            None => self.inner.with_server(key, |s, now| s.contains(key, now)),
+            None => self.inner.with_primary(key, |s, now| s.contains(key, now)),
         }
     }
 
@@ -942,12 +1431,22 @@ impl CacheHandle {
             return Ok(false);
         }
         leases.outstanding.remove(key);
-        // The store write happens under the key's lease-shard lock: a
+        // The store writes happen under the key's lease-shard lock: a
         // mutation of this key arriving later must first revoke (waiting
-        // on the same shard), so its store write is ordered after this
-        // fill and wins.
-        self.inner
-            .with_server(key, |s, now| s.set(key, data, ttl, now))?;
+        // on the same shard), so its store writes are ordered after this
+        // fill and win. Hot keys fill every alive replica, so a replica
+        // read after the fill cannot miss what the primary has.
+        let now = self.inner.now();
+        let mut first: Option<Result<()>> = None;
+        for idx in self.inner.write_targets(key) {
+            let r = self.inner.servers[idx]
+                .store
+                .with(key, |s| s.set(key, data.clone(), ttl, now));
+            if first.is_none() {
+                first = Some(r);
+            }
+        }
+        first.unwrap_or(Ok(()))?;
         Ok(true)
     }
 
@@ -1088,6 +1587,9 @@ mod tests {
             item_limit_bytes: 1024,
             vnodes: 8,
             bump_lru_on_trigger: false,
+            // One stripe: all three keys share one eviction domain.
+            shards_per_server: 1,
+            ..Default::default()
         });
         let app = c.handle(CacheOrigin::Application);
         let trig = c.handle(CacheOrigin::Trigger);

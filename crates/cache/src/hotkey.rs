@@ -1,0 +1,202 @@
+//! Hot-key detection: a fixed-memory count-min sketch fed by per-key
+//! access counts. The cluster records every application-origin GET;
+//! when a key's estimated frequency crosses the configured threshold
+//! the detector reports it hot and the cluster promotes it to a
+//! replicated key (see [`crate::ReplicaTable`]).
+//!
+//! The sketch is all atomics — recording an access takes no lock and
+//! the read path never blocks on detection. Estimates only ever
+//! over-count (hash collisions), which for this use is benign: the
+//! worst case is replicating a key slightly early. Counters are halved
+//! every `decay_every` recorded accesses so yesterday's celebrity does
+//! not stay hot forever.
+
+use crate::codec::hash_key;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Rows in the sketch; each access increments one counter per row and
+/// the estimate is the minimum across rows.
+const DEPTH: usize = 4;
+
+/// Tuning for [`HotKeyDetector`].
+#[derive(Debug, Clone)]
+pub struct HotKeyConfig {
+    /// Estimated access count at which a key is reported hot.
+    pub threshold: u64,
+    /// Counters per sketch row (rounded up to a power of two).
+    pub width: usize,
+    /// Halve every counter after this many recorded accesses
+    /// (0 disables decay).
+    pub decay_every: u64,
+}
+
+impl Default for HotKeyConfig {
+    fn default() -> Self {
+        HotKeyConfig {
+            threshold: 64,
+            width: 1024,
+            decay_every: 65_536,
+        }
+    }
+}
+
+/// Lock-free count-min sketch with periodic decay.
+#[derive(Debug)]
+pub struct HotKeyDetector {
+    width: u64,
+    threshold: u64,
+    decay_every: u64,
+    counters: Vec<AtomicU32>,
+    recorded: AtomicU64,
+}
+
+impl HotKeyDetector {
+    /// Builds a detector from `config`.
+    pub fn new(config: &HotKeyConfig) -> Self {
+        let width = config.width.max(16).next_power_of_two() as u64;
+        let counters = (0..(width as usize * DEPTH))
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        HotKeyDetector {
+            width,
+            threshold: config.threshold.max(1),
+            decay_every: config.decay_every,
+            counters,
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured hotness threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Records one access to `key` and returns true if its estimate is
+    /// now at or above the threshold. Callers deduplicate promotion
+    /// (a key already replicated keeps reporting hot).
+    pub fn record(&self, key: &str) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        let mut estimate = u32::MAX;
+        for row in 0..DEPTH {
+            let idx = self.slot(h1, h2, row);
+            let prev = self.counters[idx].fetch_add(1, Ordering::Relaxed);
+            estimate = estimate.min(prev.saturating_add(1));
+        }
+        if self.decay_every > 0 {
+            let n = self.recorded.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(self.decay_every) {
+                self.decay();
+            }
+        }
+        u64::from(estimate) >= self.threshold
+    }
+
+    /// Current frequency estimate for `key` (over-counts, never under).
+    pub fn estimate(&self, key: &str) -> u64 {
+        let (h1, h2) = Self::hashes(key);
+        let mut estimate = u32::MAX;
+        for row in 0..DEPTH {
+            let idx = self.slot(h1, h2, row);
+            estimate = estimate.min(self.counters[idx].load(Ordering::Relaxed));
+        }
+        u64::from(estimate)
+    }
+
+    /// Zeroes the sketch (cluster stats reset).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.recorded.store(0, Ordering::Relaxed);
+    }
+
+    fn slot(&self, h1: u64, h2: u64, row: usize) -> usize {
+        let h = h1.wrapping_add(h2.wrapping_mul(row as u64 + 1));
+        (row as u64 * self.width + (h & (self.width - 1))) as usize
+    }
+
+    /// Two independent mixes of the key hash (Kirsch–Mitzenmacher
+    /// double hashing drives the per-row slots).
+    fn hashes(key: &str) -> (u64, u64) {
+        let h = hash_key(key);
+        let mut h2 = h ^ 0x9e37_79b9_7f4a_7c15;
+        h2 ^= h2 >> 33;
+        h2 = h2.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h2 ^= h2 >> 33;
+        (h, h2 | 1)
+    }
+
+    fn decay(&self) {
+        // Racy halving is fine: concurrent increments lost to the
+        // store-after-load only delay hotness detection slightly.
+        for c in &self.counters {
+            let v = c.load(Ordering::Relaxed);
+            if v > 0 {
+                c.store(v / 2, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(threshold: u64) -> HotKeyDetector {
+        HotKeyDetector::new(&HotKeyConfig {
+            threshold,
+            width: 256,
+            decay_every: 0,
+        })
+    }
+
+    #[test]
+    fn crosses_threshold_after_enough_accesses() {
+        let d = detector(10);
+        for i in 0..9 {
+            assert!(!d.record("hot"), "access {i} should stay cold");
+        }
+        assert!(d.record("hot"), "10th access crosses threshold");
+        assert!(d.record("hot"), "stays hot afterwards");
+        assert!(d.estimate("hot") >= 10);
+    }
+
+    #[test]
+    fn cold_keys_stay_cold() {
+        let d = detector(50);
+        for i in 0..400 {
+            // 400 distinct keys, one access each: none can reach 50
+            // even with sketch over-counting across 4 rows of 256.
+            let hot = d.record(&format!("key{i}"));
+            assert!(!hot, "key{i} misreported hot");
+        }
+    }
+
+    #[test]
+    fn decay_halves_estimates() {
+        let d = HotKeyDetector::new(&HotKeyConfig {
+            threshold: 1000,
+            width: 256,
+            decay_every: 100,
+        });
+        for _ in 0..100 {
+            d.record("k");
+        }
+        // The 100th record triggered decay: estimate dropped to ~50.
+        assert!(
+            d.estimate("k") <= 60,
+            "estimate {} not decayed",
+            d.estimate("k")
+        );
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let d = detector(5);
+        for _ in 0..20 {
+            d.record("k");
+        }
+        d.reset();
+        assert_eq!(d.estimate("k"), 0);
+    }
+}

@@ -20,14 +20,20 @@
 pub mod cluster;
 pub mod codec;
 pub mod error;
+pub mod hotkey;
 pub mod lock;
+pub mod replica;
+pub mod shard;
 pub mod store;
 
 pub use cluster::{
-    CacheCluster, CacheHandle, CacheOrigin, ClusterConfig, ClusterStats, EffectBatchSummary,
-    PreparedEffectBatch,
+    CacheCluster, CacheHandle, ClusterConfig, ClusterStats, EffectBatchSummary,
+    PreparedEffectBatch, ServerStats,
 };
 pub use codec::{hash_key, Payload};
 pub use error::{CacheError, Result};
+pub use hotkey::{HotKeyConfig, HotKeyDetector};
 pub use lock::{KeyLockTable, LockOutcome, TxnId};
-pub use store::{CacheStore, StoreConfig, StoreStats, ValueWithCas};
+pub use replica::ReplicaTable;
+pub use shard::{split_capacity, ShardedStore};
+pub use store::{CacheOrigin, CacheStore, EvictionPolicy, StoreConfig, StoreStats, ValueWithCas};

@@ -1,0 +1,116 @@
+//! Replica placement for hot keys: which servers hold a copy of each
+//! replicated key, plus round-robin read spreading.
+//!
+//! The table maps `key -> [server indices]` with the **primary first**
+//! (the ring owner at promotion time). Reads of a replicated key pick
+//! an alive member round-robin; writes go to every alive member under
+//! the key's lease-shard lock (see `cluster.rs` for the ordering
+//! argument). Membership changes (promotion, node kill/rejoin
+//! rebalance) swap the whole vector atomically behind an `RwLock`, so
+//! readers only ever observe complete replica sets.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared table of hot-key replica sets.
+#[derive(Debug, Default)]
+pub struct ReplicaTable {
+    map: RwLock<HashMap<String, Arc<Vec<usize>>>>,
+    rr: AtomicU64,
+}
+
+impl ReplicaTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The replica set for `key`, primary first, if the key is hot.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<usize>>> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Installs (or replaces) the replica set for `key`.
+    pub fn insert(&self, key: &str, servers: Vec<usize>) {
+        self.map.write().insert(key.to_owned(), Arc::new(servers));
+    }
+
+    /// Demotes `key` back to a plain single-owner key.
+    pub fn remove(&self, key: &str) {
+        self.map.write().remove(key);
+    }
+
+    /// Drops every replica set.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Number of replicated keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if nothing is replicated.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// All replicated keys (cloned) — for rebalance sweeps.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+
+    /// Picks a member of `servers` to serve a read, round-robin over
+    /// the members `alive` admits; falls back to the primary if no
+    /// member is alive (the caller handles the resulting miss).
+    pub fn pick(&self, servers: &[usize], alive: impl Fn(usize) -> bool) -> usize {
+        let live: Vec<usize> = servers.iter().copied().filter(|&s| alive(s)).collect();
+        if live.is_empty() {
+            return servers[0];
+        }
+        let n = self.rr.fetch_add(1, Ordering::Relaxed);
+        live[(n % live.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let t = ReplicaTable::new();
+        assert!(t.get("k").is_none());
+        t.insert("k", vec![2, 0, 1]);
+        assert_eq!(*t.get("k").unwrap(), vec![2, 0, 1]);
+        assert_eq!(t.len(), 1);
+        t.remove("k");
+        assert!(t.get("k").is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pick_round_robins_over_alive_members() {
+        let t = ReplicaTable::new();
+        let servers = vec![0, 1, 2];
+        let mut seen = [0usize; 3];
+        for _ in 0..30 {
+            seen[t.pick(&servers, |_| true)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 10), "uneven spread {seen:?}");
+    }
+
+    #[test]
+    fn pick_skips_dead_members() {
+        let t = ReplicaTable::new();
+        let servers = vec![0, 1, 2];
+        for _ in 0..20 {
+            let s = t.pick(&servers, |s| s != 1);
+            assert_ne!(s, 1, "picked a dead member");
+        }
+        // All dead: fall back to the primary (caller sees a miss).
+        assert_eq!(t.pick(&servers, |_| false), 0);
+    }
+}

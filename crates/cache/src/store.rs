@@ -1,5 +1,21 @@
-//! A single cache server: LRU store with byte-accurate memory accounting,
-//! TTL expiry, and CAS — the feature set memcached 1.4.5 offers the paper.
+//! A single cache server shard: byte-accurate memory accounting, TTL
+//! expiry, CAS, and a pluggable eviction policy — the feature set
+//! memcached 1.4.5 offers the paper, plus the CLOCK read path the
+//! scale-out tier needs.
+//!
+//! Two eviction policies are provided:
+//!
+//! * [`EvictionPolicy::Clock`] (default) — a CLOCK ring with one
+//!   reference bit per entry. A GET only sets the bit; it never touches
+//!   the eviction structure, so concurrent readers of a sharded store
+//!   spend no time maintaining global recency order and allocate
+//!   nothing. Eviction sweeps the ring, clearing bits until it finds an
+//!   unreferenced victim (second-chance LRU approximation).
+//! * [`EvictionPolicy::LruStamp`] — the exact-order legacy policy: a
+//!   `stamp -> key` BTreeMap where every bumped GET re-inserts the key
+//!   under a fresh stamp (a `String` clone and two tree writes per
+//!   read). Kept as the measured pre-shard baseline for
+//!   `exp_cache_scale` and for workloads that want exact LRU.
 
 use crate::error::{CacheError, Result};
 use bytes::Bytes;
@@ -8,13 +24,38 @@ use std::collections::{BTreeMap, HashMap};
 /// Per-item bookkeeping overhead we model (hash entry, LRU link, CAS).
 const ITEM_OVERHEAD: usize = 60;
 
-/// Configuration of one cache server.
+/// Who is touching the cache: the application read path or the
+/// trigger/maintenance write path. Stats are split on this axis so
+/// trigger-maintenance traffic can be quantified per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOrigin {
+    /// Application reads/writes (page serving).
+    Application,
+    /// Trigger-driven maintenance (cache update/invalidate code).
+    Trigger,
+}
+
+/// How a store picks eviction victims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// CLOCK / second-chance: GETs set a per-entry reference bit and
+    /// never write the eviction structure.
+    #[default]
+    Clock,
+    /// Exact LRU via a global stamp map: every bumped GET rewrites the
+    /// order BTreeMap (the pre-shard behaviour, kept as a baseline).
+    LruStamp,
+}
+
+/// Configuration of one cache server shard.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Memory budget in bytes; LRU eviction keeps usage at or below this.
+    /// Memory budget in bytes; eviction keeps usage at or below this.
     pub capacity_bytes: usize,
     /// Per-item size limit (memcached defaults to 1 MiB).
     pub item_limit_bytes: usize,
+    /// Eviction victim selection policy.
+    pub eviction: EvictionPolicy,
 }
 
 impl Default for StoreConfig {
@@ -22,6 +63,7 @@ impl Default for StoreConfig {
         StoreConfig {
             capacity_bytes: 64 * 1024 * 1024,
             item_limit_bytes: 1024 * 1024,
+            eviction: EvictionPolicy::Clock,
         }
     }
 }
@@ -35,11 +77,19 @@ pub struct StoreStats {
     pub hits: u64,
     /// get/gets that found nothing (or an expired entry).
     pub misses: u64,
+    /// Hits from application-origin reads.
+    pub app_hits: u64,
+    /// Misses from application-origin reads.
+    pub app_misses: u64,
+    /// Hits from trigger-origin reads (maintenance fall-through).
+    pub trigger_hits: u64,
+    /// Misses from trigger-origin reads.
+    pub trigger_misses: u64,
     /// set/add/cas stores that succeeded.
     pub sets: u64,
     /// delete calls that removed an entry.
     pub deletes: u64,
-    /// Entries evicted by the LRU for space.
+    /// Entries evicted for space.
     pub evictions: u64,
     /// cas attempts.
     pub cas_ops: u64,
@@ -49,10 +99,34 @@ pub struct StoreStats {
     pub expired: u64,
 }
 
+impl StoreStats {
+    /// Field-wise accumulation, for aggregating shards and servers.
+    pub fn merge(&mut self, o: &StoreStats) {
+        self.gets += o.gets;
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.app_hits += o.app_hits;
+        self.app_misses += o.app_misses;
+        self.trigger_hits += o.trigger_hits;
+        self.trigger_misses += o.trigger_misses;
+        self.sets += o.sets;
+        self.deletes += o.deletes;
+        self.evictions += o.evictions;
+        self.cas_ops += o.cas_ops;
+        self.cas_conflicts += o.cas_conflicts;
+        self.expired += o.expired;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     data: Bytes,
+    /// LruStamp policy: position in the order map. Unique.
     stamp: u64,
+    /// Clock policy: index of this key in the ring vector.
+    ring: usize,
+    /// Clock policy: second-chance reference bit, set by bumped GETs.
+    referenced: bool,
     cas: u64,
     /// Absolute expiry instant (same unit as the caller's `now`), if any.
     expires_at: Option<u64>,
@@ -68,14 +142,17 @@ impl Entry {
     }
 }
 
-/// One cache server. Single-threaded by itself; the cluster wraps each
-/// server in its own lock.
+/// One cache server shard. Single-threaded by itself; the cluster wraps
+/// each shard in its own lock (see [`crate::ShardedStore`]).
 #[derive(Debug)]
 pub struct CacheStore {
     config: StoreConfig,
     map: HashMap<String, Entry>,
-    /// stamp -> key, oldest first. Stamps are unique.
+    /// LruStamp policy: stamp -> key, oldest first.
     lru: BTreeMap<u64, String>,
+    /// Clock policy: the ring of live keys; `hand` is the sweep cursor.
+    ring: Vec<String>,
+    hand: usize,
     next_stamp: u64,
     next_cas: u64,
     bytes: usize,
@@ -98,6 +175,8 @@ impl CacheStore {
             config,
             map: HashMap::new(),
             lru: BTreeMap::new(),
+            ring: Vec::new(),
+            hand: 0,
             next_stamp: 0,
             next_cas: 1,
             bytes: 0,
@@ -106,10 +185,21 @@ impl CacheStore {
     }
 
     /// Fetches `key`. `now` drives TTL expiry; `bump` controls whether the
-    /// hit refreshes LRU recency (the paper notes trigger touches bump LRU
+    /// hit refreshes recency (the paper notes trigger touches bump LRU
     /// in unmodified memcached and suggests an opt-out).
     pub fn get(&mut self, key: &str, now: u64, bump: bool) -> Option<Bytes> {
-        self.gets(key, now, bump).map(|v| v.data)
+        self.get_as(key, now, bump, CacheOrigin::Application)
+    }
+
+    /// [`CacheStore::get`] with an explicit traffic origin for stats.
+    pub fn get_as(
+        &mut self,
+        key: &str,
+        now: u64,
+        bump: bool,
+        origin: CacheOrigin,
+    ) -> Option<Bytes> {
+        self.gets_as(key, now, bump, origin).map(|v| v.data)
     }
 
     /// Like [`CacheStore::get`] but also returns the entry's remaining
@@ -132,34 +222,63 @@ impl CacheStore {
 
     /// Like [`CacheStore::get`] but also returns the CAS token.
     pub fn gets(&mut self, key: &str, now: u64, bump: bool) -> Option<ValueWithCas> {
+        self.gets_as(key, now, bump, CacheOrigin::Application)
+    }
+
+    /// [`CacheStore::gets`] with an explicit traffic origin for stats.
+    pub fn gets_as(
+        &mut self,
+        key: &str,
+        now: u64,
+        bump: bool,
+        origin: CacheOrigin,
+    ) -> Option<ValueWithCas> {
         self.stats.gets += 1;
         if self.purge_if_expired(key, now) {
-            self.stats.misses += 1;
+            self.count_miss(origin);
             return None;
         }
         // Split borrow: compute new stamp first.
         let stamp = self.next_stamp;
         match self.map.get_mut(key) {
             Some(e) => {
-                self.stats.hits += 1;
                 let out = ValueWithCas {
                     data: e.data.clone(),
                     cas: e.cas,
                 };
                 if bump {
-                    let old = e.stamp;
-                    e.stamp = stamp;
-                    self.next_stamp += 1;
-                    self.lru.remove(&old);
-                    self.lru.insert(stamp, key.to_owned());
+                    match self.config.eviction {
+                        // CLOCK: a read only flips the reference bit —
+                        // no order-map write, no allocation.
+                        EvictionPolicy::Clock => e.referenced = true,
+                        EvictionPolicy::LruStamp => {
+                            let old = e.stamp;
+                            e.stamp = stamp;
+                            self.next_stamp += 1;
+                            self.lru.remove(&old);
+                            self.lru.insert(stamp, key.to_owned());
+                        }
+                    }
                 }
+                self.count_hit(origin);
                 Some(out)
             }
             None => {
-                self.stats.misses += 1;
+                self.count_miss(origin);
                 None
             }
         }
+    }
+
+    /// Reads `key` and its remaining TTL without touching stats,
+    /// recency, or expiry bookkeeping. Used by the replication layer to
+    /// copy values between nodes without polluting hit/miss counters.
+    pub fn peek(&self, key: &str, now: u64) -> Option<(Bytes, Option<u64>)> {
+        let e = self.map.get(key)?;
+        if e.expired(now) {
+            return None;
+        }
+        Some((e.data.clone(), e.expires_at.map(|t| t.saturating_sub(now))))
     }
 
     /// Stores `key`, replacing any existing value. `ttl` is a relative
@@ -265,7 +384,7 @@ impl CacheStore {
         Ok(Some(new))
     }
 
-    /// True if a live (unexpired) entry exists; does not touch LRU.
+    /// True if a live (unexpired) entry exists; does not touch recency.
     pub fn contains(&mut self, key: &str, now: u64) -> bool {
         !self.purge_if_expired(key, now) && self.map.contains_key(key)
     }
@@ -274,7 +393,15 @@ impl CacheStore {
     pub fn flush_all(&mut self) {
         self.map.clear();
         self.lru.clear();
+        self.ring.clear();
+        self.hand = 0;
         self.bytes = 0;
+    }
+
+    /// All live keys (cloned). Used by node rejoin to drop entries whose
+    /// ownership moved back to the revived node.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
     }
 
     /// Counter snapshot.
@@ -309,6 +436,22 @@ impl CacheStore {
 
     // ----- internals -----
 
+    fn count_hit(&mut self, origin: CacheOrigin) {
+        self.stats.hits += 1;
+        match origin {
+            CacheOrigin::Application => self.stats.app_hits += 1,
+            CacheOrigin::Trigger => self.stats.trigger_hits += 1,
+        }
+    }
+
+    fn count_miss(&mut self, origin: CacheOrigin) {
+        self.stats.misses += 1;
+        match origin {
+            CacheOrigin::Application => self.stats.app_misses += 1,
+            CacheOrigin::Trigger => self.stats.trigger_misses += 1,
+        }
+    }
+
     fn check_size(&self, data: &Bytes) -> Result<()> {
         if data.len() > self.config.item_limit_bytes {
             return Err(CacheError::ValueTooLarge {
@@ -337,18 +480,47 @@ impl CacheStore {
         let entry = Entry {
             data,
             stamp,
+            // New entries start unreferenced: a key inserted and never
+            // read again is the first CLOCK victim, matching LRU for
+            // the insert-then-bump test traces.
+            ring: self.ring.len(),
+            referenced: false,
             cas,
             expires_at: ttl.map(|d| now.saturating_add(d)),
         };
         self.bytes += entry.size(key);
-        self.lru.insert(stamp, key.to_owned());
+        match self.config.eviction {
+            EvictionPolicy::Clock => self.ring.push(key.to_owned()),
+            EvictionPolicy::LruStamp => {
+                self.lru.insert(stamp, key.to_owned());
+            }
+        }
         self.map.insert(key.to_owned(), entry);
     }
 
     fn remove_entry(&mut self, key: &str) -> bool {
         if let Some(e) = self.map.remove(key) {
             self.bytes -= e.size(key);
-            self.lru.remove(&e.stamp);
+            match self.config.eviction {
+                EvictionPolicy::Clock => {
+                    // swap_remove keeps the ring dense; the entry that
+                    // moved into the hole needs its index patched.
+                    let idx = e.ring;
+                    self.ring.swap_remove(idx);
+                    if idx < self.ring.len() {
+                        let moved = self.ring[idx].clone();
+                        if let Some(m) = self.map.get_mut(&moved) {
+                            m.ring = idx;
+                        }
+                    }
+                    if self.hand >= self.ring.len() {
+                        self.hand = 0;
+                    }
+                }
+                EvictionPolicy::LruStamp => {
+                    self.lru.remove(&e.stamp);
+                }
+            }
             true
         } else {
             false
@@ -356,6 +528,41 @@ impl CacheStore {
     }
 
     fn evict_to_capacity(&mut self) {
+        match self.config.eviction {
+            EvictionPolicy::Clock => self.evict_clock(),
+            EvictionPolicy::LruStamp => self.evict_lru(),
+        }
+    }
+
+    fn evict_clock(&mut self) {
+        while self.bytes > self.config.capacity_bytes {
+            if self.ring.is_empty() {
+                break;
+            }
+            let idx = self.hand % self.ring.len();
+            let key = self.ring[idx].clone();
+            let referenced = self
+                .map
+                .get_mut(&key)
+                .map(|e| {
+                    let r = e.referenced;
+                    e.referenced = false;
+                    r
+                })
+                .unwrap_or(false);
+            if referenced {
+                // Second chance: clear the bit and advance the hand.
+                self.hand = (idx + 1) % self.ring.len();
+            } else {
+                // Victim. remove_entry swap-fills the hole, so the hand
+                // stays put and examines the entry that moved in.
+                self.remove_entry(&key);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn evict_lru(&mut self) {
         while self.bytes > self.config.capacity_bytes {
             let Some((&stamp, _)) = self.lru.iter().next() else {
                 break;
@@ -375,9 +582,14 @@ mod tests {
     use crate::Payload;
 
     fn small_store(capacity: usize) -> CacheStore {
+        store_with_policy(capacity, EvictionPolicy::Clock)
+    }
+
+    fn store_with_policy(capacity: usize, eviction: EvictionPolicy) -> CacheStore {
         CacheStore::new(StoreConfig {
             capacity_bytes: capacity,
             item_limit_bytes: 1024,
+            eviction,
         })
     }
 
@@ -397,33 +609,63 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest_first() {
-        // Each entry ~ key(2) + data(10) + 60 ≈ 72 bytes; room for ~3.
-        let mut s = small_store(220);
-        for i in 0..3 {
-            s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
-                .unwrap();
+        for policy in [EvictionPolicy::Clock, EvictionPolicy::LruStamp] {
+            // Each entry ~ key(2) + data(10) + 60 ≈ 72 bytes; room for ~3.
+            let mut s = store_with_policy(220, policy);
+            for i in 0..3 {
+                s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
+                    .unwrap();
+            }
+            // Touch k0 so k1 becomes coldest.
+            s.get("k0", 0, true);
+            s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
+            assert!(
+                s.get("k0", 0, true).is_some(),
+                "{policy:?}: k0 was touched, survives"
+            );
+            assert!(
+                s.get("k1", 0, true).is_none(),
+                "{policy:?}: k1 was coldest, evicted"
+            );
+            assert!(s.stats().evictions >= 1);
+            assert!(s.bytes_used() <= s.capacity_bytes());
         }
-        // Touch k0 so k1 becomes coldest.
-        s.get("k0", 0, true);
-        s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
-        assert!(s.get("k0", 0, true).is_some(), "k0 was touched, survives");
-        assert!(s.get("k1", 0, true).is_none(), "k1 was coldest, evicted");
-        assert!(s.stats().evictions >= 1);
-        assert!(s.bytes_used() <= s.capacity_bytes());
     }
 
     #[test]
     fn no_bump_get_leaves_lru_order() {
+        for policy in [EvictionPolicy::Clock, EvictionPolicy::LruStamp] {
+            let mut s = store_with_policy(220, policy);
+            for i in 0..3 {
+                s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
+                    .unwrap();
+            }
+            // Touch k0 WITHOUT bump: k0 stays coldest and is evicted next.
+            s.get("k0", 0, false);
+            s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
+            assert!(
+                s.get("k0", 0, false).is_none(),
+                "{policy:?}: k0 not bumped, evicted"
+            );
+            assert!(s.get("k1", 0, false).is_some(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn clock_second_chance_survives_full_sweep() {
+        // All entries referenced: the first eviction pass clears every
+        // bit, the second pass evicts the entry under the hand — the
+        // sweep must terminate and free space.
         let mut s = small_store(220);
         for i in 0..3 {
             s.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]), None, 0)
                 .unwrap();
+            s.get(&format!("k{i}"), 0, true);
         }
-        // Touch k0 WITHOUT bump: k0 stays coldest and is evicted next.
-        s.get("k0", 0, false);
         s.set("k3", Bytes::from(vec![0u8; 10]), None, 0).unwrap();
-        assert!(s.get("k0", 0, false).is_none(), "k0 not bumped, evicted");
-        assert!(s.get("k1", 0, false).is_some());
+        assert!(s.bytes_used() <= s.capacity_bytes());
+        assert_eq!(s.len(), 3);
+        assert!(s.stats().evictions >= 1);
     }
 
     #[test]
@@ -526,12 +768,17 @@ mod tests {
 
     #[test]
     fn flush_all_clears() {
-        let mut s = small_store(10_000);
-        s.set("a", bytes_of("1"), None, 0).unwrap();
-        s.set("b", bytes_of("2"), None, 0).unwrap();
-        s.flush_all();
-        assert!(s.is_empty());
-        assert_eq!(s.bytes_used(), 0);
+        for policy in [EvictionPolicy::Clock, EvictionPolicy::LruStamp] {
+            let mut s = store_with_policy(10_000, policy);
+            s.set("a", bytes_of("1"), None, 0).unwrap();
+            s.set("b", bytes_of("2"), None, 0).unwrap();
+            s.flush_all();
+            assert!(s.is_empty());
+            assert_eq!(s.bytes_used(), 0);
+            // The store keeps working after a flush.
+            s.set("c", bytes_of("3"), None, 0).unwrap();
+            assert!(s.get("c", 0, true).is_some());
+        }
     }
 
     #[test]
@@ -546,21 +793,78 @@ mod tests {
 
     #[test]
     fn memory_bound_never_exceeded_under_churn() {
-        let mut s = small_store(500);
-        for i in 0..200 {
-            s.set(
-                &format!("key{i}"),
-                Bytes::from(vec![0u8; (i % 40) as usize]),
-                None,
-                0,
-            )
-            .unwrap();
-            assert!(
-                s.bytes_used() <= s.capacity_bytes(),
-                "iteration {i}: {} > {}",
-                s.bytes_used(),
-                s.capacity_bytes()
-            );
+        for policy in [EvictionPolicy::Clock, EvictionPolicy::LruStamp] {
+            let mut s = store_with_policy(500, policy);
+            for i in 0..200 {
+                s.set(
+                    &format!("key{i}"),
+                    Bytes::from(vec![0u8; (i % 40) as usize]),
+                    None,
+                    0,
+                )
+                .unwrap();
+                assert!(
+                    s.bytes_used() <= s.capacity_bytes(),
+                    "{policy:?} iteration {i}: {} > {}",
+                    s.bytes_used(),
+                    s.capacity_bytes()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn clock_ring_stays_consistent_under_churn() {
+        // Interleave sets, deletes, and evictions; every surviving key
+        // must still be readable (ring indices patched correctly).
+        let mut s = small_store(600);
+        for i in 0..300 {
+            let k = format!("key{}", i % 23);
+            match i % 5 {
+                0..=2 => {
+                    s.set(&k, Bytes::from(vec![0u8; (i % 30) as usize]), None, 0)
+                        .unwrap();
+                }
+                3 => {
+                    s.delete(&k);
+                }
+                _ => {
+                    s.get(&k, 0, true);
+                }
+            }
+        }
+        for k in s.keys() {
+            assert!(s.get(&k, 0, false).is_some(), "live key {k} readable");
+        }
+        assert!(s.bytes_used() <= s.capacity_bytes());
+    }
+
+    #[test]
+    fn origin_split_stats() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("v"), None, 0).unwrap();
+        s.get_as("k", 0, true, CacheOrigin::Application);
+        s.get_as("k", 0, false, CacheOrigin::Trigger);
+        s.get_as("miss", 0, true, CacheOrigin::Application);
+        s.get_as("miss", 0, false, CacheOrigin::Trigger);
+        let st = s.stats();
+        assert_eq!(st.app_hits, 1);
+        assert_eq!(st.trigger_hits, 1);
+        assert_eq!(st.app_misses, 1);
+        assert_eq!(st.trigger_misses, 1);
+        assert_eq!(st.hits, st.app_hits + st.trigger_hits);
+        assert_eq!(st.misses, st.app_misses + st.trigger_misses);
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats_or_recency() {
+        let mut s = small_store(10_000);
+        s.set("k", bytes_of("v"), Some(100), 0).unwrap();
+        let before = s.stats();
+        assert_eq!(s.peek("k", 0).unwrap().0, bytes_of("v"));
+        assert_eq!(s.peek("k", 0).unwrap().1, Some(100));
+        assert!(s.peek("k", 100).is_none(), "expired for peek");
+        assert!(s.peek("ghost", 0).is_none());
+        assert_eq!(s.stats(), before);
     }
 }

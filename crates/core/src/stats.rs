@@ -60,6 +60,19 @@ pub struct GenieStatsSnapshot {
     /// Read-through fills dropped because a committing writer invalidated
     /// the fill lease first (the fill would have cached a stale value).
     pub fills_dropped: u64,
+    /// Store-level hits from application-origin reads, summed across the
+    /// cache cluster (filled in by [`crate::CacheGenie::stats`]).
+    pub store_app_hits: u64,
+    /// Store-level misses from application-origin reads.
+    pub store_app_misses: u64,
+    /// Store-level hits from trigger-origin reads (maintenance traffic).
+    pub store_trigger_hits: u64,
+    /// Store-level misses from trigger-origin reads.
+    pub store_trigger_misses: u64,
+    /// Reads of replicated hot keys served by a non-primary copy.
+    pub cache_replica_reads: u64,
+    /// Keys the hot-key detector promoted to replicated.
+    pub cache_hot_promotions: u64,
 }
 
 impl GenieStats {
@@ -85,6 +98,9 @@ impl GenieStats {
             commit_aborts: self.commit_aborts.load(Ordering::Relaxed),
             txn_bypasses: self.txn_bypasses.load(Ordering::Relaxed),
             fills_dropped: self.fills_dropped.load(Ordering::Relaxed),
+            // Store-level and replication counters live in the cache
+            // cluster; CacheGenie::stats() merges them in.
+            ..GenieStatsSnapshot::default()
         }
     }
 

@@ -24,6 +24,7 @@
 //! the database — any mismatch is a coherence violation in the commit
 //! pipeline.
 
+use genie_cache::ClusterConfig;
 use genie_social::{build_app, AppConfig, SeedConfig};
 use genie_storage::{Result, StorageError, Value};
 use rand::rngs::StdRng;
@@ -87,6 +88,21 @@ pub struct ConcurrencyConfig {
     /// flight engine-wide. The measurable baseline latch sharding is
     /// compared against.
     pub serial_latch: bool,
+    /// Cache-cluster shape for the deployment (servers, shards per
+    /// server, hot-key replication). The default single-server shape
+    /// keeps the legacy mixes unchanged; the cache-tier scenarios set
+    /// multiple servers plus replication here.
+    pub cluster: ClusterConfig,
+    /// Percentage of interleaved cached reads aimed at a small fixed
+    /// hot user set (users 1–4) instead of a uniform target — drives
+    /// the hot-key detector so replication actually engages. 0 keeps
+    /// the uniform legacy behaviour.
+    pub hot_read_pct: u32,
+    /// Kill one cache node when writer thread 0 is a third of the way
+    /// through its transactions and revive it at two thirds — the
+    /// failure/rejoin schedule. Requires `cluster.servers >= 2`; the
+    /// post-run coherence sweep must still find zero violations.
+    pub node_kill: bool,
 }
 
 impl Default for ConcurrencyConfig {
@@ -107,6 +123,9 @@ impl Default for ConcurrencyConfig {
             reader_locking: false,
             disjoint_tables: false,
             serial_latch: false,
+            cluster: ClusterConfig::default(),
+            hot_read_pct: 0,
+            node_kill: false,
         }
     }
 }
@@ -169,6 +188,14 @@ pub struct ConcurrencyResult {
     /// must report **zero**: threads pinned to different tables never
     /// meet on a per-table latch.
     pub latch_table_waits: u64,
+    /// Cache nodes killed mid-run by the failure schedule.
+    pub node_kills: u64,
+    /// Killed nodes revived mid-run.
+    pub node_revives: u64,
+    /// Reads of replicated hot keys served by a non-primary copy.
+    pub cache_replica_reads: u64,
+    /// Keys the hot-key detector promoted to replicated during the run.
+    pub cache_hot_promotions: u64,
 }
 
 impl ConcurrencyResult {
@@ -217,6 +244,8 @@ struct ThreadTally {
     errors: u64,
     read_deadlocks: u64,
     read_errors: u64,
+    node_kills: u64,
+    node_revives: u64,
 }
 
 #[derive(Default)]
@@ -243,8 +272,13 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
     let env = build_app(&AppConfig {
         seed: cfg.seed.clone(),
         strategy: Some(cachegenie::ConsistencyStrategy::UpdateInPlace),
+        cluster: cfg.cluster.clone(),
         ..Default::default()
     })?;
+    assert!(
+        !cfg.node_kill || cfg.cluster.servers >= 2,
+        "node_kill needs at least two cache servers"
+    );
     env.db.set_reader_table_locks(cfg.reader_locking);
     env.db.set_serial_latch(cfg.serial_latch);
     let users = cfg.seed.users.max(2) as i64;
@@ -312,6 +346,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         .map(|t| {
             let app = env.app.clone();
             let db = env.db.clone();
+            let cluster = env.genie.cluster().clone();
             let barrier = Arc::clone(&barrier);
             let global = Arc::clone(&global);
             let cfg = cfg.clone();
@@ -320,6 +355,18 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                 let mut tally = ThreadTally::default();
                 barrier.wait();
                 for i in 0..cfg.txns_per_thread {
+                    // Deterministic failure schedule, driven by thread 0's
+                    // own progress: node 1 dies a third of the way in and
+                    // rejoins at two thirds, while every other thread keeps
+                    // hammering the cluster through both transitions.
+                    if cfg.node_kill && t == 0 {
+                        if i == cfg.txns_per_thread / 3 && cluster.kill_node(1) {
+                            tally.node_kills += 1;
+                        }
+                        if i == 2 * cfg.txns_per_thread / 3 && cluster.revive_node(1) {
+                            tally.node_revives += 1;
+                        }
+                    }
                     // The baseline holds one global mutex across the whole
                     // transaction — exactly the old engine-wide lock.
                     let _serial = cfg.single_lock.then(|| global.lock().unwrap());
@@ -357,7 +404,16 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                         // can itself be chosen as a deadlock victim;
                         // anything else failing is a real bug, so tally
                         // instead of swallowing.
-                        match app.lookup_bm(sender) {
+                        // Skewing the read target onto a tiny hot set
+                        // pushes those users' cached objects over the
+                        // hot-key threshold, so the run exercises
+                        // replication, not just the primary path.
+                        let target = if rng.gen_range(0..100u32) < cfg.hot_read_pct {
+                            rng.gen_range(1..=4.min(users) as usize) as i64
+                        } else {
+                            sender
+                        };
+                        match app.lookup_bm(target) {
                             Ok(_) => {}
                             Err(StorageError::Deadlock { .. }) => tally.read_deadlocks += 1,
                             Err(_) => tally.read_errors += 1,
@@ -383,6 +439,8 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         result.errors += t.errors;
         result.read_deadlocks += t.read_deadlocks;
         result.read_errors += t.read_errors;
+        result.node_kills += t.node_kills;
+        result.node_revives += t.node_revives;
     }
     result.elapsed = start.elapsed();
     writers_done.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -411,6 +469,20 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
     let latches = env.db.latch_stats();
     result.latch_waits = latches.total_waits();
     result.latch_table_waits = latches.table_waits();
+    let gs = env.genie.stats();
+    result.cache_replica_reads = gs.cache_replica_reads;
+    result.cache_hot_promotions = gs.cache_hot_promotions;
+    // If the schedule killed a node and the revive point was never
+    // reached (tiny txns_per_thread), bring it back before the sweep:
+    // coherence is defined over the fully-alive cluster.
+    if cfg.node_kill {
+        let cluster = env.genie.cluster();
+        for idx in 0..cfg.cluster.servers {
+            if !cluster.is_alive(idx) && cluster.revive_node(idx) {
+                result.node_revives += 1;
+            }
+        }
+    }
 
     // Post-run cross-check on the quiescent system: every cached object
     // the mix can have touched, for every user.
@@ -639,6 +711,40 @@ mod tests {
         assert_eq!(r.errors, 0, "{r:?}");
         assert!(r.committed > 0);
         assert_eq!(r.coherence_violations, 0, "{r:?}");
+    }
+
+    #[test]
+    fn cache_mix_survives_node_kill_and_rejoin() {
+        let cfg = ConcurrencyConfig {
+            threads: 3,
+            txns_per_thread: 60,
+            read_every: 1,    // cache-heavy: a cached read after every txn
+            hot_read_pct: 80, // skewed onto users 1-4 to trip promotion
+            node_kill: true,
+            cluster: ClusterConfig {
+                servers: 4,
+                hot_key_replicas: 2,
+                hot_key_threshold: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = run_concurrent(&cfg).unwrap();
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert_eq!(r.read_errors, 0, "{r:?}");
+        assert_eq!(
+            r.node_kills, 1,
+            "schedule killed node 1 exactly once: {r:?}"
+        );
+        assert_eq!(r.node_revives, 1, "and revived it exactly once: {r:?}");
+        assert!(
+            r.cache_hot_promotions > 0,
+            "the skewed read mix must promote at least one hot key: {r:?}"
+        );
+        assert_eq!(
+            r.coherence_violations, 0,
+            "kill/rejoin must not leave stale cache state: {r:?}"
+        );
     }
 
     #[test]

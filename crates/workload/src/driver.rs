@@ -215,6 +215,7 @@ pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
         },
         per_page: metrics,
         cache_stats: env.cluster.stats(),
+        per_server: env.cluster.per_server_stats(),
         genie_stats: env.genie.stats(),
         db_stats: env.db.stats(),
         pool_stats: env.db.pool_stats(),

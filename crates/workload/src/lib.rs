@@ -22,12 +22,14 @@
 //! # }
 //! ```
 
+pub mod cache_scale;
 pub mod concurrent;
 pub mod costmodel;
 pub mod driver;
 pub mod metrics;
 pub mod spec;
 
+pub use cache_scale::{run_cache_scale, CacheScaleConfig, CacheScaleResult};
 pub use concurrent::{run_concurrent, ConcurrencyConfig, ConcurrencyResult};
 pub use costmodel::CostParams;
 pub use driver::run;

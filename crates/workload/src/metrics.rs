@@ -2,7 +2,7 @@
 
 use crate::spec::{CacheMode, PageKind};
 use cachegenie::GenieStatsSnapshot;
-use genie_cache::ClusterStats;
+use genie_cache::{ClusterStats, ServerStats};
 use genie_sim::{Percentiles, SimDuration};
 use genie_storage::{DbStats, PoolStats};
 use std::collections::BTreeMap;
@@ -54,8 +54,11 @@ pub struct RunResult {
     pub throughput_pages_per_sec: f64,
     /// Per-page-type latency breakdown (Table 2).
     pub per_page: BTreeMap<PageKind, PageTypeMetrics>,
-    /// Cache-layer counters.
+    /// Cache-layer counters (aggregate across servers).
     pub cache_stats: ClusterStats,
+    /// Per-server cache counters with the hit/miss split by origin —
+    /// shows how evenly the consistent-hash ring spread the load.
+    pub per_server: Vec<ServerStats>,
     /// Middleware counters.
     pub genie_stats: GenieStatsSnapshot,
     /// Database counters.
@@ -131,6 +134,7 @@ mod tests {
             throughput_pages_per_sec: 3.0,
             per_page,
             cache_stats: Default::default(),
+            per_server: Vec::new(),
             genie_stats: Default::default(),
             db_stats: Default::default(),
             pool_stats: Default::default(),

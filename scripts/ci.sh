@@ -31,7 +31,7 @@ cargo run --release -q -p genie-bench --bin plan_audit -- --check > /dev/null
 echo "==> trigger_audit --check (commit-pipeline effect-coalescing regressions)"
 cargo run --release -q -p genie-bench --bin trigger_audit -- --check > /dev/null
 
-echo "==> concurrency_audit --check (multi-writer thread sweep + MVCC reader gate + disjoint-table latch gate: no livelock, abort/conflict ceilings, zero reader blocking, zero table-latch waits, cache coherence)"
+echo "==> concurrency_audit --check (multi-writer thread sweep + MVCC reader gate + disjoint-table latch gate + cache-tier kill/rejoin gate: no livelock, abort/conflict ceilings, zero reader blocking, zero table-latch waits, cache coherence through node failure)"
 cargo run --release -q -p genie-bench --bin concurrency_audit -- --check > /dev/null
 
 echo "==> exp_parallel_scan --check (vectorized scans: batch >= row-at-a-time, 4-worker scaling on multi-core hosts)"
@@ -39,5 +39,8 @@ cargo run --release -q -p genie-bench --bin exp_parallel_scan -- --check --quick
 
 echo "==> exp_mvcc (snapshot readers vs table-S-lock baseline: zero lock waits, >= baseline read throughput, zero violations)"
 cargo run --release -q -p genie-bench --bin exp_mvcc -- --readers 1,4 --txns 80 > /dev/null
+
+echo "==> exp_cache_scale --check (cache tier: sharded stores >= 2x single-mutex baseline at 8 threads, near-flat p99 across 1-8 servers, zero violations through node kill/rejoin)"
+cargo run --release -q -p genie-bench --bin exp_cache_scale -- --check --quick > /dev/null
 
 echo "ci.sh: all green"
