@@ -319,6 +319,139 @@ fn main() {
         Err(e) => failures.push(format!("cache tier kill/rejoin: run failed: {e}")),
     }
 
+    // Durability gate: the full writer mix on a durable database, with
+    // a crash image copied out of the live log directory mid-run and
+    // fuzzy checkpoints firing concurrently. The torn image must
+    // recover to a committed prefix that still passes the coherence
+    // sweep, and the final quiescent directory must recover to the
+    // exact post-run state (digest + epoch).
+    let base = std::env::temp_dir().join(format!("genie-audit-wal-{}", std::process::id()));
+    let wal_dir = base.join("live");
+    let copy_dir = base.join("crash");
+    let durable_cfg = ConcurrencyConfig {
+        threads: 4,
+        txns_per_thread: 120,
+        wal_dir: Some(wal_dir.clone()),
+        crash_copy_dir: Some(copy_dir.clone()),
+        wal_config: genie_storage::WalConfig {
+            checkpoint_every: 200,
+            ..Default::default()
+        },
+        seed: SeedConfig {
+            users: 20,
+            ..SeedConfig::tiny()
+        },
+        ..Default::default()
+    };
+    match run_concurrent(&durable_cfg) {
+        Ok(r) => {
+            println!(
+                "{:<26} {:>7} {:>9.0} {:>9} {:>10} {:>10.3} {:>9} {:>10}",
+                "durable mix + crash image",
+                4,
+                r.throughput_txns_per_sec,
+                r.deadlock_aborts,
+                r.write_conflicts,
+                r.abort_rate(),
+                r.checked_objects,
+                r.coherence_violations
+            );
+            if r.errors + r.read_errors > 0 {
+                failures.push(format!(
+                    "durable mix: {} txn errors, {} read errors",
+                    r.errors, r.read_errors
+                ));
+            }
+            if r.coherence_violations > 0 {
+                failures.push(format!(
+                    "durable mix: {} coherence violations",
+                    r.coherence_violations
+                ));
+            }
+            if !r.crash_copy_taken {
+                failures.push("durable mix: mid-run crash image was never taken".to_owned());
+            }
+            if r.wal_checkpoints == 0 {
+                failures.push("durable mix: no fuzzy checkpoint fired mid-run".to_owned());
+            }
+            // Recover the torn mid-run image and run the full app +
+            // coherence sweep on top of it: a recovered prefix is a
+            // valid deployment, not just a pile of rows.
+            match genie_storage::Database::open_with_recovery(&copy_dir) {
+                Ok(recovered) => {
+                    if recovered.commit_epoch() > r.commit_epoch {
+                        failures.push(format!(
+                            "durable mix: crash image recovered epoch {} beyond the live run's {}",
+                            recovered.commit_epoch(),
+                            r.commit_epoch
+                        ));
+                    }
+                    match genie_social::build_app_on(
+                        recovered,
+                        &genie_social::AppConfig {
+                            seed: durable_cfg.seed.clone(),
+                            ..Default::default()
+                        },
+                    ) {
+                        Ok(env) => {
+                            if env.seeded.rows != 0 {
+                                failures.push(
+                                    "durable mix: recovered deployment re-seeded over live data"
+                                        .to_owned(),
+                                );
+                            }
+                            for user in 1..=20i64 {
+                                for name in ["wall_post_count", "friend_count", "user_by_id"] {
+                                    match env
+                                        .genie
+                                        .verify_coherence(name, &[genie_storage::Value::Int(user)])
+                                    {
+                                        Ok(true) => {}
+                                        Ok(false) => failures.push(format!(
+                                            "durable mix: recovered image incoherent on \
+                                             {name}({user})"
+                                        )),
+                                        Err(e) => failures.push(format!(
+                                            "durable mix: coherence sweep on recovered image \
+                                             failed: {e}"
+                                        )),
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => failures.push(format!(
+                            "durable mix: rebuilding the app on the recovered image failed: {e}"
+                        )),
+                    }
+                }
+                Err(e) => failures.push(format!(
+                    "durable mix: recovering the torn crash image failed: {e}"
+                )),
+            }
+            // The quiescent final directory must reproduce the live
+            // state bit-for-bit.
+            match genie_storage::Database::open_with_recovery(&wal_dir) {
+                Ok(recovered) => {
+                    if recovered.commit_epoch() != r.commit_epoch
+                        || recovered.content_digest() != r.content_digest
+                    {
+                        failures.push(format!(
+                            "durable mix: final recovery diverged (epoch {} vs {}, \
+                             digest {:#x} vs {:#x})",
+                            recovered.commit_epoch(),
+                            r.commit_epoch,
+                            recovered.content_digest(),
+                            r.content_digest
+                        ));
+                    }
+                }
+                Err(e) => failures.push(format!("durable mix: final recovery failed: {e}")),
+            }
+        }
+        Err(e) => failures.push(format!("durable mix: run failed: {e}")),
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
     if failures.is_empty() {
         println!("\nconcurrency_audit: all checks passed");
     } else {

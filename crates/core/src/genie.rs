@@ -182,7 +182,7 @@ impl CommitHook for EffectPipeline {
         self.cluster.begin_effect_batch();
     }
 
-    fn commit_apply(&self, cost: &mut CostReport, group_commit: bool) -> Result<DeferredPublish> {
+    fn commit_apply(&self, cost: &mut CostReport, txn_commit: bool) -> Result<DeferredPublish> {
         // Optional §3.3 strict mode: 2PL write locks on the touched keys,
         // shared with application-side StrictTxns. Bounded attempts model
         // deadlock-by-timeout; exhaustion aborts the transaction.
@@ -207,7 +207,7 @@ impl CommitHook for EffectPipeline {
             }
             return Ok(None);
         };
-        if group_commit {
+        if txn_commit {
             // Autocommitted statements keep their per-statement
             // accounting (the paper's measured per-firing costs); only a
             // transaction's COMMIT reports the group-coalesced numbers.

@@ -260,6 +260,11 @@ impl ModelRegistry {
     /// (Django's `syncdb`). Tables are created before FK constraints are
     /// meaningful, so models may reference each other freely.
     ///
+    /// Idempotent over an existing catalog: tables and indexes that are
+    /// already present are left alone, so `sync` is safe to run against
+    /// a database recovered from its write-ahead log (whose catalog was
+    /// rebuilt by replay) as well as a fresh one.
+    ///
     /// # Errors
     ///
     /// Schema or FK resolution errors; unknown referenced models report
@@ -276,13 +281,23 @@ impl ModelRegistry {
                 let target = self.model(&fk.ref_model)?;
                 b = b.foreign_key(&fk.column, target.table(), "id");
             }
-            db.create_table(b.build()?)?;
+            match db.create_table(b.build()?) {
+                Ok(()) | Err(StorageError::AlreadyExists(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
         // Secondary indexes: FK columns (Django indexes FKs automatically)
         // plus explicitly indexed fields.
+        fn ensure_index(db: &Database, table: &str, def: IndexDef) -> Result<()> {
+            match db.create_index(table, def) {
+                Ok(()) | Err(StorageError::AlreadyExists(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
         for model in self.models.values() {
             for fk in model.foreign_keys() {
-                db.create_index(
+                ensure_index(
+                    db,
                     model.table(),
                     IndexDef {
                         name: format!("{}_{}_idx", model.table(), fk.column),
@@ -293,7 +308,8 @@ impl ModelRegistry {
             }
             for f in model.fields() {
                 if f.indexed && !f.unique {
-                    db.create_index(
+                    ensure_index(
+                        db,
                         model.table(),
                         IndexDef {
                             name: format!("{}_{}_idx", model.table(), f.name),
@@ -304,7 +320,8 @@ impl ModelRegistry {
                 }
             }
             for cols in model.index_together() {
-                db.create_index(
+                ensure_index(
+                    db,
                     model.table(),
                     IndexDef {
                         name: format!("{}_{}_idx", model.table(), cols.join("_")),

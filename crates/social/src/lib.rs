@@ -94,14 +94,35 @@ impl Default for AppConfig {
 ///
 /// Propagates schema, seeding, and declaration errors.
 pub fn build_app(config: &AppConfig) -> Result<AppEnv> {
+    build_app_on(Database::new(config.db.clone()), config)
+}
+
+/// Like [`build_app`], but wires the deployment around an existing
+/// database — in particular one reopened with
+/// [`Database::open_with_recovery`] after a crash. Schema sync is
+/// idempotent over the recovered catalog, and seeding runs only when the
+/// `users` table is empty: recovered data is never re-seeded on top of
+/// itself.
+///
+/// # Errors
+///
+/// Propagates schema, seeding, and declaration errors.
+pub fn build_app_on(db: Database, config: &AppConfig) -> Result<AppEnv> {
     let registry = Arc::new(models::build_registry()?);
-    let db = Database::new(config.db.clone());
     registry.sync(&db)?;
     let session = OrmSession::new(db.clone(), Arc::clone(&registry));
     let app = SocialApp::new(session.clone());
     // Seed before declaring cached objects so the bulk load pays no
-    // trigger costs (the paper seeds offline, then measures).
-    let seeded = seed::seed(&app, &config.seed)?;
+    // trigger costs (the paper seeds offline, then measures). A database
+    // that already carries data (a recovered one) keeps what it has.
+    let seeded = if db.row_count("users")? == 0 {
+        seed::seed(&app, &config.seed)?
+    } else {
+        SeedStats {
+            users: db.row_count("users")?,
+            rows: 0,
+        }
+    };
     let cluster = CacheCluster::new(config.cluster.clone());
     let genie = CacheGenie::new(
         db.clone(),

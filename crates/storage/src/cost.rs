@@ -27,9 +27,20 @@ pub struct CostReport {
     pub page_misses: u64,
     /// Dirty pages written back on eviction (disk writes).
     pub page_writebacks: u64,
-    /// WAL appends (one per write statement when autocommitted, one per
-    /// transaction commit otherwise).
+    /// WAL appends: one redo record per *writing* commit (one per write
+    /// statement when autocommitted, one per transaction commit
+    /// otherwise). Read-only commits and rolled-back transactions
+    /// append nothing.
     pub wal_appends: u64,
+    /// Framed bytes this commit's redo record added to the log —
+    /// measured from the log writer, `0` without a durable log.
+    pub wal_bytes: u64,
+    /// Physical log syncs **this thread performed** while waiting for
+    /// durability. Under group commit most committers ride a leader's
+    /// batch and report `0`; the per-commit baseline reports `1` per
+    /// writing commit. Summed across threads this equals the log
+    /// writer's sync count exactly.
+    pub wal_syncs: u64,
     /// Number of trigger bodies fired.
     pub triggers_fired: u64,
     /// Cache operations performed from inside trigger bodies.
@@ -73,6 +84,8 @@ impl AddAssign for CostReport {
         self.page_misses += rhs.page_misses;
         self.page_writebacks += rhs.page_writebacks;
         self.wal_appends += rhs.wal_appends;
+        self.wal_bytes += rhs.wal_bytes;
+        self.wal_syncs += rhs.wal_syncs;
         self.triggers_fired += rhs.triggers_fired;
         self.trigger_cache_ops += rhs.trigger_cache_ops;
         self.trigger_connections += rhs.trigger_connections;

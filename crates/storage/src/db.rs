@@ -59,6 +59,17 @@
 //!   has dropped all latches and locks): only versions invisible to the
 //!   oldest live snapshot are pruned, so a long-running reader pins the
 //!   horizon instead of ever seeing a row disappear.
+//! * **Durability is optional** and changes the commit pipeline's tail:
+//!   a database opened with [`Database::create_durable`] /
+//!   [`Database::open_with_recovery`] serializes each writing commit's
+//!   net row changes into a redo record, enqueues it on the group-commit
+//!   log writer *under the epoch mutex* (so log order equals epoch
+//!   order), stamps its versions, and only **publishes** the epoch to
+//!   readers after the record is durable — the log's prefix-durability
+//!   guarantee means no reader can ever observe a commit a crash could
+//!   still lose, and the deferred cache publication runs strictly after
+//!   durability. See `docs/DURABILITY.md` for the log format, the
+//!   checkpoint/truncation protocol, and the recovery invariants.
 
 use crate::bufferpool::{BufferPool, PoolStats};
 use crate::catalog::Catalog;
@@ -73,8 +84,13 @@ use crate::schema::{IndexDef, TableSchema};
 use crate::table::Snapshot;
 use crate::trigger::{Trigger, TriggerCtx, TriggerEvent, TriggerManager};
 use crate::value::Value;
+use crate::wal::{
+    self, CheckpointImage, CheckpointStats, RecoveryReport, TableImage, Wal, WalConfig, WalStats,
+    WalTicket,
+};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
@@ -105,7 +121,7 @@ pub trait CommitHook: Send + Sync {
     /// Called after every commit-time trigger fired successfully, still
     /// under the commit's latches. The hook seals the buffered effects,
     /// may rewrite `cost`'s cache-op counters to the physical (coalesced)
-    /// numbers (`group_commit` distinguishes a transaction's COMMIT from
+    /// numbers (`txn_commit` distinguishes a transaction's COMMIT from
     /// a single autocommitted statement, which keeps its per-statement
     /// accounting), and returns the deferred publication step the engine
     /// runs once the latches are released. Returning an error aborts the
@@ -115,7 +131,7 @@ pub trait CommitHook: Send + Sync {
     /// # Errors
     ///
     /// Any error (e.g. a strict-mode lock timeout) aborts the commit.
-    fn commit_apply(&self, cost: &mut CostReport, group_commit: bool) -> Result<DeferredPublish>;
+    fn commit_apply(&self, cost: &mut CostReport, txn_commit: bool) -> Result<DeferredPublish>;
 
     /// Called when the transaction aborts after `begin_apply` (a trigger
     /// body failed). The hook discards the buffered effects.
@@ -326,12 +342,24 @@ struct EngineShared {
     /// unrelated statement just to bump a counter. Folded into
     /// [`DbStats::statements`] by [`Database::stats`].
     ctrl_statements: AtomicU64,
-    /// Latest committed epoch. Bumped under the epoch mutex *after* the
-    /// commit stamps its versions — while the commit still write-latches
-    /// every table it touched — so a snapshot at epoch E always sees a
-    /// fully stamped state on any table it latches. Read lock-free by
-    /// BEGIN and autocommit statements.
+    /// Latest **published** committed epoch. Read lock-free by BEGIN and
+    /// autocommit statements. Without a durable log it is bumped under
+    /// the epoch mutex right after the commit stamps its versions —
+    /// while the commit still write-latches every table it touched — so
+    /// a snapshot at epoch E always sees a fully stamped state on any
+    /// table it latches. With a log it lags [`EngineShared::next_epoch`]:
+    /// each committer publishes its own epoch (`fetch_max`) only once
+    /// its redo record is durable, so a snapshot can never include a
+    /// commit a crash could still lose.
     commit_epoch: AtomicU64,
+    /// Highest **allocated** (stamped) epoch. Epochs are allocated and
+    /// stamped under the epoch mutex; publication into
+    /// [`EngineShared::commit_epoch`] may trail by the log's group-commit
+    /// latency. Equal to `commit_epoch` whenever the log is idle (or
+    /// absent).
+    next_epoch: AtomicU64,
+    /// The durable redo log; `None` for a purely in-memory database.
+    wal: Option<Arc<Wal>>,
     /// Refcounted epochs of open transactions' snapshots; the minimum is
     /// the vacuum horizon. Autocommit statements hold the shared catalog
     /// latch for their whole execution (which vacuum needs exclusively),
@@ -422,8 +450,13 @@ impl std::fmt::Debug for Database {
 }
 
 impl Database {
-    /// Creates a database with the given configuration.
+    /// Creates an in-memory database with the given configuration (no
+    /// durability; see [`Database::create_durable`]).
     pub fn new(config: DbConfig) -> Self {
+        Database::build(config, None)
+    }
+
+    fn build(config: DbConfig, wal: Option<Arc<Wal>>) -> Self {
         Database {
             engine: Arc::new(Engine {
                 catalog: RwLock::new(Catalog::new()),
@@ -444,6 +477,8 @@ impl Database {
                 next_tid: AtomicU64::new(1),
                 ctrl_statements: AtomicU64::new(0),
                 commit_epoch: AtomicU64::new(0),
+                next_epoch: AtomicU64::new(0),
+                wal,
                 live_snaps: Mutex::new(BTreeMap::new()),
                 commits_since_vacuum: AtomicU64::new(0),
                 reader_locks: AtomicBool::new(false),
@@ -451,26 +486,226 @@ impl Database {
         }
     }
 
+    // ----- durable open / recovery -----
+
+    /// Creates a **durable** database whose commits are backed by a
+    /// write-ahead log in `dir` (created if absent). Every writing
+    /// commit becomes durable — crash-safe — before it is reported
+    /// committed or becomes visible to other snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] when `dir` already contains a log (an
+    /// existing store must go through [`Database::open_with_recovery`],
+    /// never be silently overwritten) or on log I/O failure.
+    pub fn create_durable(
+        dir: impl AsRef<Path>,
+        config: DbConfig,
+        wal_config: WalConfig,
+    ) -> Result<Database> {
+        let wal = Wal::create(dir.as_ref(), wal_config)?;
+        Ok(Database::build(config, Some(Arc::new(wal))))
+    }
+
+    /// Opens the durable database in `dir`, running crash recovery with
+    /// default configuration: replay the checkpoint image plus every
+    /// durable committed record, discard a torn tail, and resume
+    /// logging. An empty or absent `dir` is a valid fresh start.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] on log I/O failure or an unrecoverable
+    /// (non-prefix) corruption.
+    pub fn open_with_recovery(dir: impl AsRef<Path>) -> Result<Database> {
+        Ok(Database::open_with(dir, DbConfig::default(), WalConfig::default())?.0)
+    }
+
+    /// [`Database::open_with_recovery`] with explicit configuration,
+    /// also returning the [`RecoveryReport`] describing what replay did.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] on log I/O failure or an unrecoverable
+    /// (non-prefix) corruption; replaying a valid log never fails.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: DbConfig,
+        wal_config: WalConfig,
+    ) -> Result<(Database, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            StorageError::Wal(format!("create log directory {}: {e}", dir.display()))
+        })?;
+        let scan = wal::read_log(dir)?;
+        // Make the torn-tail truncation durable *before* appending
+        // anything new: a crash during recovery must replay to the same
+        // prefix.
+        wal::cleanup_log(&scan)?;
+        let wal = Wal::resume(dir, wal_config, scan.next_segment)?;
+        let db = Database::build(config, Some(Arc::new(wal)));
+        let report = db.replay(scan)?;
+        Ok((db, report))
+    }
+
+    /// Installs a recovered log scan into this freshly built (still
+    /// unshared) database: the checkpoint image first, then every
+    /// committed record in epoch order. Replay performs **no logging**
+    /// — the surviving log already describes exactly this state, so
+    /// recovery is idempotent across repeated crashes.
+    fn replay(&self, scan: wal::LogScan) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            segments_scanned: scan.segments_scanned,
+            bytes_scanned: scan.bytes_scanned,
+            truncated: scan
+                .truncate
+                .as_ref()
+                .map(|t| (t.segment, t.offset, t.reason.clone())),
+            ..RecoveryReport::default()
+        };
+        let mut catalog = self.engine.catalog_write();
+        let mut cursor = 0u64;
+        if let Some(image) = scan.checkpoint {
+            cursor = image.epoch;
+            report.checkpoint_epoch = image.epoch;
+            for img in image.tables {
+                let name = img.schema.name().to_owned();
+                catalog.create_table(img.schema)?;
+                for def in img.indexes {
+                    match catalog.create_index(&name, def) {
+                        // Implicit unique indexes were re-derived from
+                        // the schema by create_table; skip them.
+                        Ok(()) | Err(StorageError::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                let table = catalog.table_mut(&name)?;
+                for row in img.rows {
+                    table.recover_insert(row)?;
+                }
+            }
+        }
+        for rec in scan.records {
+            match rec {
+                // DDL may predate the checkpoint that captured its table
+                // (the record lands in the post-rotation segment while
+                // the capture still sees the table) — idempotent.
+                wal::WalRecord::CreateTable(schema) => {
+                    report.ddl_records += 1;
+                    match catalog.create_table(schema) {
+                        Ok(()) | Err(StorageError::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                wal::WalRecord::CreateIndex { table, def } => {
+                    report.ddl_records += 1;
+                    match catalog.create_index(&table, def) {
+                        Ok(()) | Err(StorageError::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                wal::WalRecord::Commit { epoch, changes } => {
+                    if epoch <= cursor {
+                        // Folded into the checkpoint image already; the
+                        // record survives in the post-rotation segment.
+                        report.skipped_commits += 1;
+                        continue;
+                    }
+                    if epoch != cursor + 1 {
+                        // Records are enqueued in epoch order and the
+                        // log is prefix-durable, so committed epochs are
+                        // dense. A gap means the store is damaged.
+                        return Err(StorageError::Wal(format!(
+                            "commit-epoch gap in log: expected {}, found {epoch}",
+                            cursor + 1
+                        )));
+                    }
+                    // Two-phase redo: delete every pre-image, then
+                    // insert every post-image. Within one committed
+                    // record the pre-image pks are unique (they existed
+                    // together before the commit) and so are the
+                    // post-image pks — but interleaving them can trip
+                    // spurious unique-violations (two rows swapping
+                    // pks), so each phase runs to completion first.
+                    for ch in &changes {
+                        if let Some(old) = &ch.old {
+                            catalog.table_mut(&ch.table)?.recover_delete(old)?;
+                        }
+                    }
+                    for ch in &changes {
+                        if let Some(new) = &ch.new {
+                            catalog.table_mut(&ch.table)?.recover_insert(new.clone())?;
+                        }
+                    }
+                    cursor = epoch;
+                    report.replayed_commits += 1;
+                }
+            }
+        }
+        // Planner statistics accumulate deltas during replay; settle them
+        // so the first post-recovery query plans like the pre-crash one.
+        for name in catalog.table_names() {
+            catalog.table_mut(&name)?.flush_stats();
+        }
+        drop(catalog);
+        self.shared.commit_epoch.store(cursor, Ordering::Release);
+        self.shared.next_epoch.store(cursor, Ordering::Release);
+        report.recovered_epoch = cursor;
+        Ok(report)
+    }
+
     // ----- DDL -----
 
     /// Creates a table. DDL takes the exclusive catalog latch, waiting
     /// out every in-flight statement and excluded by none afterwards —
-    /// safe to run concurrently with traffic on other tables.
+    /// safe to run concurrently with traffic on other tables. On a
+    /// durable database the schema is logged (and synced) before this
+    /// returns, still under the latch, so no commit record can ever
+    /// precede the record of the table it writes to.
     ///
     /// # Errors
     ///
-    /// [`StorageError::AlreadyExists`] for duplicate names.
+    /// [`StorageError::AlreadyExists`] for duplicate names;
+    /// [`StorageError::Wal`] if the log rejects the append (fail-stop).
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
-        self.engine.catalog_write().create_table(schema)
+        let ticket = {
+            let mut guard = self.engine.catalog_write();
+            let payload = self
+                .shared
+                .wal
+                .as_ref()
+                .map(|_| wal::encode_create_table(&schema));
+            guard.create_table(schema)?;
+            match (&self.shared.wal, payload) {
+                (Some(w), Some(p)) => Some(w.enqueue(p, 0)?),
+                _ => None,
+            }
+        };
+        match ticket {
+            Some(t) => self.wait_ticket(&t).map(|_| ()),
+            None => Ok(()),
+        }
     }
 
-    /// Creates a secondary index (exclusive catalog latch, like all DDL).
+    /// Creates a secondary index (exclusive catalog latch, like all DDL;
+    /// logged before returning on a durable database).
     ///
     /// # Errors
     ///
-    /// See [`crate::Table::create_index`].
+    /// See [`crate::Table::create_index`]; [`StorageError::Wal`] if the
+    /// log rejects the append (fail-stop).
     pub fn create_index(&self, table: &str, def: IndexDef) -> Result<()> {
-        self.engine.catalog_write().create_index(table, def)
+        let ticket = {
+            let mut guard = self.engine.catalog_write();
+            guard.create_index(table, def.clone())?;
+            match &self.shared.wal {
+                Some(w) => Some(w.enqueue(wal::encode_create_index(table, &def), 0)?),
+                None => None,
+            }
+        };
+        match ticket {
+            Some(t) => self.wait_ticket(&t).map(|_| ()),
+            None => Ok(()),
+        }
     }
 
     /// Registers a trigger.
@@ -866,6 +1101,197 @@ impl Database {
         self.shared.reader_locks.store(enabled, Ordering::Relaxed);
     }
 
+    // ----- durability -----
+
+    /// True when commits are backed by a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.shared.wal.is_some()
+    }
+
+    /// Cumulative log-writer counters (records, bytes, syncs, leader
+    /// batches, rotations, checkpoints), when the database is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.shared.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Drains and syncs every enqueued log record (shutdown/test aid —
+    /// commits already wait for their own records).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] once the log is poisoned.
+    pub fn wal_flush(&self) -> Result<()> {
+        if let Some(w) = &self.shared.wal {
+            w.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Takes a fuzzy checkpoint now, blocking if another is in flight:
+    /// captures every table's committed state at a pinned epoch, writes
+    /// it to the checkpoint file atomically, then truncates the log
+    /// prefix the image makes redundant. Concurrent commits proceed
+    /// throughout (the capture latches one table at a time).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] if the database has no durable log, or on
+    /// snapshot/truncation I/O failure.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        match self.checkpoint_with(true)? {
+            Some(stats) => Ok(stats),
+            None => unreachable!("a blocking checkpoint always claims the slot"),
+        }
+    }
+
+    /// Runs an automatic fuzzy checkpoint when the log's commit budget
+    /// is spent. Non-blocking: skips silently when another thread's
+    /// checkpoint is in flight. A failed auto-checkpoint is swallowed —
+    /// it leaves the previous checkpoint and the untruncated log in
+    /// place, costing recovery time, never correctness (and an actual
+    /// log poisoning resurfaces at the very next commit).
+    fn maybe_auto_checkpoint(&self) {
+        if let Some(w) = &self.shared.wal {
+            if w.checkpoint_due() {
+                let _ = self.checkpoint_with(false);
+            }
+        }
+    }
+
+    /// The checkpoint protocol. The ordering is what makes truncating
+    /// the log safe:
+    ///
+    /// 1. **Rotate first.** Everything at or below the sealed segment is
+    ///    on disk; every *later* enqueue lands in the new segment, which
+    ///    truncation keeps.
+    /// 2. **Pin the capture epoch `c = next_epoch` under the epoch
+    ///    mutex.** Epoch allocation and log enqueue happen inside one
+    ///    epoch-mutex section, so every commit whose record could live
+    ///    in a sealed (about-to-be-deleted) segment has epoch `<= c` —
+    ///    reading `c` without the mutex could miss a commit that is
+    ///    flushed to an old segment but not yet visible in the counter,
+    ///    and truncation would delete its only durable copy. The pin in
+    ///    `live_snaps` keeps vacuum from pruning versions out from
+    ///    under the capture.
+    /// 3. **Fuzzy capture** at `Snapshot{c, None}`, one table read
+    ///    latch at a time — commits keep flowing; each is either
+    ///    `<= c` (inside the image) or `> c` (replayed from the
+    ///    surviving log).
+    /// 4. **Publish, then truncate.** The image replaces the checkpoint
+    ///    file atomically (tmp + fsync + rename + dir fsync); only then
+    ///    are sealed segments deleted.
+    fn checkpoint_with(&self, blocking: bool) -> Result<Option<CheckpointStats>> {
+        let Some(w) = self.shared.wal.clone() else {
+            return Err(StorageError::Wal(
+                "checkpoint requires a durable database (Database::create_durable)".into(),
+            ));
+        };
+        let Some(_slot) = w.checkpoint_begin(blocking) else {
+            return Ok(None);
+        };
+        let keep_from = w.rotate()?;
+        let epoch = {
+            let _serialize = self.engine.epoch_mutex.lock();
+            let c = self.shared.next_epoch.load(Ordering::Acquire);
+            *self.shared.live_snaps.lock().entry(c).or_insert(0) += 1;
+            c
+        };
+        let result = self.capture_checkpoint(epoch, &w, keep_from);
+        self.release_snapshot(epoch);
+        result.map(Some)
+    }
+
+    /// Capture + publish + truncate (steps 3–4 above), with the capture
+    /// epoch already pinned by the caller.
+    fn capture_checkpoint(
+        &self,
+        epoch: u64,
+        wal_handle: &Wal,
+        keep_from: u64,
+    ) -> Result<CheckpointStats> {
+        let snap = Snapshot {
+            epoch,
+            writer: None,
+        };
+        let names = self.engine.catalog_read().table_names();
+        let mut tables = Vec::with_capacity(names.len());
+        let (mut total_rows, mut total_tables) = (0u64, 0u64);
+        for name in names {
+            // Re-take the shared catalog latch per table: the capture
+            // never holds more than one table read latch (plus the
+            // catalog latch) at a time, so it cannot participate in a
+            // hold-and-wait cycle with committing writers.
+            let catalog = self.engine.catalog_read();
+            let Ok(cell) = catalog.latch(&name) else {
+                continue;
+            };
+            let t = cell.read();
+            let rows = t.snapshot_rows(&snap);
+            total_tables += 1;
+            total_rows += rows.len() as u64;
+            tables.push(TableImage {
+                schema: t.schema().clone(),
+                indexes: t.indexes().iter().map(|i| i.def().clone()).collect(),
+                rows,
+            });
+        }
+        let image = CheckpointImage { epoch, tables };
+        let bytes = wal::write_checkpoint(wal_handle.dir(), &image)?;
+        let segments_deleted = wal_handle.delete_segments_below(keep_from)?;
+        wal_handle.note_checkpoint();
+        Ok(CheckpointStats {
+            epoch,
+            bytes,
+            segments_deleted,
+            tables: total_tables,
+            rows: total_rows,
+        })
+    }
+
+    /// An order-insensitive digest of the full **published** committed
+    /// state: `commit_epoch`, every table's schema, its index
+    /// definitions (sorted by name), and every visible row in
+    /// primary-key order — FNV-1a over the log codec's canonical byte
+    /// forms. Equal digests mean byte-identical committed states; the
+    /// crash-recovery suite compares a recovered store against the
+    /// pre-crash original's committed prefix.
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= u64::from(b);
+                *hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut hash = FNV_OFFSET;
+        let epoch = self.shared.commit_epoch.load(Ordering::Acquire);
+        mix(&mut hash, &epoch.to_le_bytes());
+        let snap = Snapshot {
+            epoch,
+            writer: None,
+        };
+        for name in self.engine.catalog_read().table_names() {
+            let catalog = self.engine.catalog_read();
+            let Ok(cell) = catalog.latch(&name) else {
+                continue;
+            };
+            let t = cell.read();
+            let mut buf = Vec::new();
+            wal::put_schema(&mut buf, t.schema());
+            let mut defs: Vec<&IndexDef> = t.indexes().iter().map(|i| i.def()).collect();
+            defs.sort_by(|a, b| a.name.cmp(&b.name));
+            for def in defs {
+                wal::put_index_def(&mut buf, def);
+            }
+            for row in t.snapshot_rows(&snap) {
+                wal::put_row(&mut buf, &row);
+            }
+            mix(&mut hash, &buf);
+        }
+        hash
+    }
+
     /// Buffer-pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
         self.engine.pool.stats()
@@ -1041,14 +1467,34 @@ impl Database {
             latched
         };
         match result {
-            Ok((publish, vacuum_due)) => {
+            Ok((publish, ticket, vacuum_due)) => {
                 self.release_snapshot(snap);
+                if let Some(t) = &ticket {
+                    match self.wait_ticket(t) {
+                        Ok(syncs) => {
+                            cost.wal_bytes += t.bytes;
+                            cost.wal_syncs += syncs;
+                        }
+                        Err(e) => {
+                            // The log poisoned mid-batch: this commit's
+                            // durability is unknown and its epoch stays
+                            // unpublished (invisible to every snapshot).
+                            // Release the locks so other threads hit the
+                            // same fail-stop error instead of hanging.
+                            self.release_txn_locks(tid, &targets);
+                            return Err(e);
+                        }
+                    }
+                }
                 if let Some(p) = publish {
                     p();
                 }
                 self.release_txn_locks(tid, &targets);
                 if vacuum_due {
                     self.vacuum();
+                }
+                if ticket.is_some() {
+                    self.maybe_auto_checkpoint();
                 }
                 Ok(cost)
             }
@@ -1083,7 +1529,7 @@ impl Database {
         wrote: bool,
         cost: &mut CostReport,
         fire: bool,
-    ) -> Result<(DeferredPublish, bool)> {
+    ) -> Result<(DeferredPublish, Option<WalTicket>, bool)> {
         let engine = &*self.engine;
         let mut publish: DeferredPublish = None;
         let changes = coalesce_changes(tables, changes);
@@ -1092,9 +1538,15 @@ impl Database {
             // plus this transaction's own (still uncommitted) writes —
             // never another transaction's in-flight rows. The commit is
             // the transaction's serialization point, so cache effects
-            // computed here agree with the post-commit database.
+            // computed here agree with the post-commit database. The
+            // snapshot reads at `next_epoch`, not the published
+            // `commit_epoch`: an earlier commit on these tables may be
+            // stamped but still waiting on the log, and its rows are
+            // committed state this commit must see (safe — this commit's
+            // record can only become durable after that one, log order
+            // being epoch order).
             let trigger_snap = Snapshot {
-                epoch: self.shared.commit_epoch.load(Ordering::Acquire),
+                epoch: self.shared.next_epoch.load(Ordering::Acquire),
                 writer: Some(tid),
             };
             match self.run_commit_bracket(tables, &changes, cost, true, &trigger_snap, fire) {
@@ -1106,29 +1558,66 @@ impl Database {
             }
         }
         let mut vacuum_due = false;
+        let mut ticket = None;
         if wrote {
             cost.wal_appends += 1;
             // Install every version this transaction wrote at the next
-            // epoch, then publish the epoch — all while this commit
-            // still write-latches every table it touched, so readers
-            // (who latch per statement) see the flip atomically, and
-            // the deferred cache publication runs strictly after the
-            // epoch is visible.
-            self.stamp_commit(tables, &undo, tid);
+            // epoch — all while this commit still write-latches every
+            // table it touched, so readers (who latch per statement)
+            // see the flip atomically. Without a log the epoch is
+            // published here too; with one, publication waits for the
+            // redo record (enqueued inside stamp_commit) to be durable.
+            let redo = self
+                .shared
+                .wal
+                .as_ref()
+                .map(|_| wal::encode_commit(&changes));
+            match self.stamp_commit(tables, &undo, tid, redo) {
+                Ok(t) => ticket = t,
+                Err(e) => {
+                    // The log rejected the append (fail-stop poison):
+                    // nothing was stamped — abort cleanly. The sealed
+                    // cache publication is dropped unpublished.
+                    exec::apply_undo(tables, undo, tid)?;
+                    return Err(StorageError::TransactionAborted(e.to_string()));
+                }
+            }
             vacuum_due = self.note_commit_for_vacuum();
         }
         flush_stats_for(tables, &changes);
         engine.counters.commits.fetch_add(1, Ordering::Relaxed);
-        Ok((publish, vacuum_due))
+        Ok((publish, ticket, vacuum_due))
     }
 
     /// Stamps every row version `tid` wrote (derived from its undo log)
-    /// with the next commit epoch, then publishes that epoch. The caller
-    /// write-latches every touched table; the epoch mutex serializes
-    /// epoch allocation against commits on disjoint tables.
-    fn stamp_commit(&self, tables: &mut TableSet<'_>, undo: &[UndoOp], tid: TxnId) {
+    /// with the next commit epoch. On a durable database the redo
+    /// record is enqueued **first**, while nothing is stamped yet — a
+    /// rejected append is then a clean abort — and the caller publishes
+    /// the epoch only after [`Database::wait_ticket`] reports the
+    /// record durable. Without a log the epoch publishes immediately.
+    /// The caller write-latches every touched table; the epoch mutex
+    /// serializes epoch allocation (and log-append order) against
+    /// commits on disjoint tables.
+    fn stamp_commit(
+        &self,
+        tables: &mut TableSet<'_>,
+        undo: &[UndoOp],
+        tid: TxnId,
+        redo: Option<Vec<u8>>,
+    ) -> Result<Option<WalTicket>> {
         let _serialize = self.engine.epoch_mutex.lock();
-        let epoch = self.shared.commit_epoch.load(Ordering::Acquire) + 1;
+        let epoch = self.shared.next_epoch.load(Ordering::Acquire) + 1;
+        let ticket = match (&self.shared.wal, redo) {
+            (Some(w), Some(mut payload)) => {
+                wal::patch_epoch(&mut payload, epoch);
+                // Pure memory (the enqueue never blocks on I/O); holding
+                // the epoch mutex across it makes log order = epoch
+                // order, which is what lets recovery treat any durable
+                // prefix as a dense epoch prefix.
+                Some(w.enqueue(payload, epoch)?)
+            }
+            _ => None,
+        };
         let mut touched: BTreeMap<&str, Vec<RowId>> = BTreeMap::new();
         for op in undo {
             let (table, rid) = match op {
@@ -1145,7 +1634,30 @@ impl Database {
                 t.commit_rows(rids, tid, epoch);
             }
         }
-        self.shared.commit_epoch.store(epoch, Ordering::Release);
+        self.shared.next_epoch.store(epoch, Ordering::Release);
+        if ticket.is_none() {
+            self.shared.commit_epoch.store(epoch, Ordering::Release);
+        }
+        Ok(ticket)
+    }
+
+    /// Parks on the log until `ticket`'s record is durable, then (for a
+    /// commit record) publishes its epoch to readers. Returns the
+    /// physical syncs this thread performed — `0` when it rode another
+    /// leader's batch, the amortization group commit exists for.
+    fn wait_ticket(&self, ticket: &WalTicket) -> Result<u64> {
+        let wal = self.shared.wal.as_ref().expect("wal ticket without a log");
+        let syncs = wal.wait_durable(ticket)?;
+        if ticket.epoch > 0 {
+            // fetch_max, not store: a later commit's waiter may already
+            // have published past this epoch (group commit wakes a whole
+            // batch at once). Log-prefix durability means every epoch up
+            // to the maximum published one is durable.
+            self.shared
+                .commit_epoch
+                .fetch_max(ticket.epoch, Ordering::AcqRel);
+        }
+        Ok(syncs)
     }
 
     /// Books one write commit toward the inline-vacuum cadence; true
@@ -1453,15 +1965,23 @@ impl Database {
             match stmt {
                 Statement::CreateTable(schema) => {
                     engine.counters.statements.fetch_add(1, Ordering::Relaxed);
-                    guard
-                        .create_table(schema.clone())
-                        .map(|()| (ExecOutcome::default(), None, false))
+                    guard.create_table(schema.clone()).and_then(|()| {
+                        let ticket = match &self.shared.wal {
+                            Some(w) => Some(w.enqueue(wal::encode_create_table(schema), 0)?),
+                            None => None,
+                        };
+                        Ok((ExecOutcome::default(), None, false, ticket))
+                    })
                 }
                 Statement::CreateIndex { table, def } => {
                     engine.counters.statements.fetch_add(1, Ordering::Relaxed);
-                    guard
-                        .create_index(table, def.clone())
-                        .map(|()| (ExecOutcome::default(), None, false))
+                    guard.create_index(table, def.clone()).and_then(|()| {
+                        let ticket = match &self.shared.wal {
+                            Some(w) => Some(w.enqueue(wal::encode_create_index(table, def), 0)?),
+                            None => None,
+                        };
+                        Ok((ExecOutcome::default(), None, false, ticket))
+                    })
                 }
                 _ => {
                     let mut tables = TableSet::exclusive(&mut guard);
@@ -1478,7 +1998,16 @@ impl Database {
         };
 
         match result {
-            Ok((outcome, publish, vacuum_due)) => {
+            Ok((mut outcome, publish, vacuum_due, ticket)) => {
+                if let Some(t) = &ticket {
+                    // Durability wait, strictly after every latch above
+                    // dropped — an fsync must never serialize unrelated
+                    // statements. An error here fail-stops the statement
+                    // (autocommit locks release via the drop guard).
+                    let syncs = self.wait_ticket(t)?;
+                    outcome.cost.wal_bytes += t.bytes;
+                    outcome.cost.wal_syncs += syncs;
+                }
                 if let Some(p) = publish {
                     p();
                 }
@@ -1496,6 +2025,9 @@ impl Database {
                 }
                 if vacuum_due {
                     self.vacuum();
+                }
+                if ticket.is_some() {
+                    self.maybe_auto_checkpoint();
                 }
                 Ok(outcome)
             }
@@ -1519,7 +2051,7 @@ impl Database {
         txn: Option<&mut TxnState>,
         tid: TxnId,
         fire: bool,
-    ) -> Result<(ExecOutcome, DeferredPublish, bool)> {
+    ) -> Result<(ExecOutcome, DeferredPublish, bool, Option<WalTicket>)> {
         let engine = &*self.engine;
         engine.counters.statements.fetch_add(1, Ordering::Relaxed);
         let latest = self.shared.commit_epoch.load(Ordering::Acquire);
@@ -1559,7 +2091,7 @@ impl Database {
                     &read_snap,
                     &engine.scan_opts(),
                 )?;
-                Ok((ExecOutcome { result, cost }, None, false))
+                Ok((ExecOutcome { result, cost }, None, false, None))
             }
             Statement::Explain(sel) => {
                 let plan = crate::plan::plan_query(tables, sel, params)?;
@@ -1579,6 +2111,7 @@ impl Database {
                     },
                     None,
                     false,
+                    None,
                 ))
             }
             Statement::Insert(ins) => {
@@ -1611,7 +2144,9 @@ impl Database {
     /// the WAL sees one group append per transaction. Autocommit keeps the
     /// immediate path: the hook bracket runs now (with triggers firing
     /// when `fire` — the exclusive-latch path — otherwise provably no
-    /// trigger matches), and the statement pays its own WAL append.
+    /// trigger matches), and the statement pays its own WAL append — but
+    /// only when it actually changed rows; a write matching nothing
+    /// appends nothing.
     fn finish_write(
         &self,
         tables: &mut TableSet<'_>,
@@ -1620,7 +2155,7 @@ impl Database {
         txn: Option<&mut TxnState>,
         view: &ExecView,
         fire: bool,
-    ) -> Result<(ExecOutcome, DeferredPublish, bool)> {
+    ) -> Result<(ExecOutcome, DeferredPublish, bool, Option<WalTicket>)> {
         if let Some(txn) = txn {
             txn.undo.extend(effect.undo);
             txn.wrote |= !effect.changes.is_empty();
@@ -1632,21 +2167,38 @@ impl Database {
                 },
                 None,
                 false,
+                None,
             ));
         }
         // Autocommit: triggers fire now, against the latest committed
         // state plus this statement's own rows (the statement is its own
-        // commit point).
+        // commit point). `next_epoch`, not `commit_epoch`: a stamped but
+        // not-yet-durable commit on these tables is committed state this
+        // statement must see (see commit_latched).
         let trigger_snap = Snapshot {
-            epoch: view.latest_epoch,
+            epoch: self.shared.next_epoch.load(Ordering::Acquire),
             writer: view.snap.writer,
         };
         match self.run_commit_bracket(tables, &effect.changes, cost, false, &trigger_snap, fire) {
             Ok(publish) => {
-                cost.wal_appends += 1; // autocommit
                 let mut vacuum_due = false;
+                let mut ticket = None;
                 if !effect.undo.is_empty() {
-                    self.stamp_commit(tables, &effect.undo, view.tid());
+                    cost.wal_appends += 1; // the statement is its own commit point
+                    let redo = self
+                        .shared
+                        .wal
+                        .as_ref()
+                        .map(|_| wal::encode_commit(&effect.changes));
+                    match self.stamp_commit(tables, &effect.undo, view.tid(), redo) {
+                        Ok(t) => ticket = t,
+                        Err(e) => {
+                            // Poisoned log: nothing stamped, roll the
+                            // statement's rows back, publish nothing.
+                            exec::apply_undo(tables, effect.undo, view.tid())?;
+                            return Err(e);
+                        }
+                    }
                     vacuum_due = self.note_commit_for_vacuum();
                 }
                 flush_stats_for(tables, &effect.changes);
@@ -1657,6 +2209,7 @@ impl Database {
                     },
                     publish,
                     vacuum_due,
+                    ticket,
                 ))
             }
             Err(e) => {
@@ -1682,7 +2235,7 @@ impl Database {
         tables: &TableSet<'_>,
         changes: &[RowChange],
         cost: &mut CostReport,
-        group_commit: bool,
+        txn_commit: bool,
         trigger_snap: &Snapshot,
         fire: bool,
     ) -> Result<DeferredPublish> {
@@ -1697,7 +2250,7 @@ impl Database {
         };
         match fired {
             Ok(()) => match &hook {
-                Some(h) => h.commit_apply(cost, group_commit),
+                Some(h) => h.commit_apply(cost, txn_commit),
                 None => Ok(None),
             },
             Err(e) => {
@@ -2165,6 +2718,64 @@ fn merge_changes(first: RowChange, second: RowChange) -> Option<RowChange> {
                 old: second.old.or(first.old),
                 new: second.new,
             })
+        }
+    }
+}
+
+/// Internal invariants that need access to engine private state: the
+/// checkpoint's capture pin must hold the vacuum horizon exactly like a
+/// live transaction snapshot does.
+#[cfg(test)]
+mod durability_internal_tests {
+    use super::*;
+
+    #[test]
+    fn pinned_capture_epoch_blocks_vacuum() {
+        let db = Database::default();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, n INT)", &[])
+            .unwrap();
+        db.execute_sql("INSERT INTO t VALUES (1, 0)", &[]).unwrap();
+        // Pin the current epoch the way checkpoint_with does.
+        let pin = {
+            let _serialize = db.engine.epoch_mutex.lock();
+            let c = db.shared.next_epoch.load(Ordering::Acquire);
+            *db.shared.live_snaps.lock().entry(c).or_insert(0) += 1;
+            c
+        };
+        // Churn far past the inline-vacuum cadence: the sweep runs but
+        // must not prune the version the pinned capture still reads.
+        for i in 1..(VACUUM_COMMIT_INTERVAL + 50) {
+            db.execute_sql("UPDATE t SET n = $1 WHERE id = 1", &[Value::Int(i as i64)])
+                .unwrap();
+        }
+        db.vacuum();
+        assert!(
+            db.version_stats().history_versions > 0,
+            "vacuum outran a pinned capture epoch"
+        );
+        assert!(db.vacuum_horizon() <= pin, "horizon passed the pin");
+        db.release_snapshot(pin);
+        db.vacuum();
+        assert_eq!(
+            db.version_stats().history_versions,
+            0,
+            "released pin must unblock pruning"
+        );
+    }
+
+    #[test]
+    fn published_epoch_never_leads_allocated() {
+        let db = Database::default();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+            .unwrap();
+        for i in 0..10 {
+            db.execute_sql("INSERT INTO t VALUES ($1)", &[Value::Int(i)])
+                .unwrap();
+            let published = db.shared.commit_epoch.load(Ordering::Acquire);
+            let allocated = db.shared.next_epoch.load(Ordering::Acquire);
+            assert!(published <= allocated);
+            // In-memory databases publish immediately.
+            assert_eq!(published, allocated);
         }
     }
 }

@@ -87,6 +87,10 @@ pub enum StorageError {
     WriteConflict { table: String, key: String },
     /// An arithmetic or evaluation error inside an expression.
     Eval(String),
+    /// A write-ahead-log failure: log I/O error (the log is fail-stop —
+    /// once poisoned, no later commit is ever reported durable), a
+    /// corrupt checkpoint, or an unrecoverable log during restart.
+    Wal(String),
 }
 
 impl fmt::Display for StorageError {
@@ -139,6 +143,7 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Eval(m) => write!(f, "evaluation error: {m}"),
+            StorageError::Wal(m) => write!(f, "wal: {m}"),
         }
     }
 }

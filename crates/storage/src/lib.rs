@@ -78,6 +78,7 @@ pub mod stats;
 pub mod table;
 pub mod trigger;
 pub mod value;
+pub mod wal;
 
 pub use bufferpool::{BufferPool, PageId, PoolStats};
 pub use cost::CostReport;
@@ -99,3 +100,4 @@ pub use stats::ColumnStats;
 pub use table::{Snapshot, Table};
 pub use trigger::{Trigger, TriggerBody, TriggerCtx, TriggerEvent, TriggerManager};
 pub use value::{Value, ValueType};
+pub use wal::{CheckpointStats, RecoveryReport, SyncPolicy, WalConfig, WalStats};

@@ -830,6 +830,62 @@ impl Table {
         n
     }
 
+    // ----- durability: checkpoint capture and physical redo apply -----
+
+    /// Clones every row visible to `snap`, sorted by primary key — the
+    /// fuzzy-checkpoint capture. Sound under concurrent writers because
+    /// MVCC visibility at a fixed epoch is stable: committed versions
+    /// `<= snap.epoch` are immutable and `snap` owns no pending writes,
+    /// so whatever interleaving the capture races with, each row
+    /// resolves to the same image (the engine pins `snap.epoch` against
+    /// vacuum for the capture's duration).
+    pub fn snapshot_rows(&self, snap: &Snapshot) -> Vec<Row> {
+        let pk_pos = self.schema.primary_key_pos();
+        let mut rows: Vec<Row> = self
+            .scan_rids()
+            .into_iter()
+            .filter_map(|rid| self.visible(rid, snap).cloned())
+            .collect();
+        rows.sort_by(|a, b| a.get(pk_pos).cmp(b.get(pk_pos)));
+        rows
+    }
+
+    /// Physical redo apply (recovery): installs a logged post-image as
+    /// an unversioned row (begin epoch 0 — visible to every snapshot,
+    /// exactly right for state rebuilt below the recovered
+    /// `commit_epoch`). Full index/statistics maintenance and
+    /// constraint checks run; replay orders a record's deletes before
+    /// its inserts, so constraints are evaluated against the record's
+    /// *final* state and committed data always passes.
+    pub(crate) fn recover_insert(&mut self, row: Row) -> Result<RowId> {
+        self.insert(row)
+    }
+
+    /// Physical redo apply (recovery): removes the row whose primary
+    /// key matches a logged pre-image. Pre-images come from a committed
+    /// snapshot, so the key resolves to exactly one live row.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Wal`] when the row is missing — the log and the
+    /// rebuilt state disagree, which recovery must not paper over.
+    pub(crate) fn recover_delete(&mut self, old: &Row) -> Result<Row> {
+        let pk = old.get(self.schema.primary_key_pos());
+        let rid = self.find_pk(pk).ok_or_else(|| {
+            StorageError::Wal(format!(
+                "recovery: no live row with {} = {pk} in table {:?}",
+                self.schema.primary_key(),
+                self.schema.name()
+            ))
+        })?;
+        self.delete(rid).ok_or_else(|| {
+            StorageError::Wal(format!(
+                "recovery: row {rid} vanished mid-replay in table {:?}",
+                self.schema.name()
+            ))
+        })
+    }
+
     /// Entry filter shared by the snapshot scan variants: keep `rid`
     /// only when its visible version actually carries the index `key`
     /// the entry promised. This drops stale entries (the version moved

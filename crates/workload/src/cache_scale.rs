@@ -225,9 +225,15 @@ pub fn run_cache_scale(cfg: &CacheScaleConfig) -> CacheScaleResult {
                     // Failure schedule driven off global progress so it
                     // fires at the same workload fraction regardless of
                     // thread count; only thread 0 flips node state, and
-                    // each transition happens exactly once.
+                    // each transition happens exactly once. Thread 0's
+                    // own progress is a floor: under scheduler skew it
+                    // may run far ahead of the global counter, and both
+                    // transitions must still fire before it runs out of
+                    // iterations.
                     if cfg.node_kill && t == 0 {
-                        let done = progress.load(Ordering::Relaxed);
+                        let done = progress
+                            .load(Ordering::Relaxed)
+                            .max(i as u64 * threads as u64);
                         if !killed && done >= total_ops / 3 && cluster.kill_node(1) {
                             killed = true;
                             tally.node_kills += 1;

@@ -25,10 +25,11 @@
 //! pipeline.
 
 use genie_cache::ClusterConfig;
-use genie_social::{build_app, AppConfig, SeedConfig};
-use genie_storage::{Result, StorageError, Value};
+use genie_social::{build_app, build_app_on, AppConfig, SeedConfig};
+use genie_storage::{Database, Result, StorageError, Value, WalConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -103,6 +104,21 @@ pub struct ConcurrencyConfig {
     /// failure/rejoin schedule. Requires `cluster.servers >= 2`; the
     /// post-run coherence sweep must still find zero violations.
     pub node_kill: bool,
+    /// Run the deployment on a *durable* database: the write-ahead log
+    /// lives in this directory (recreated from scratch at startup) and
+    /// every commit in the mix pays for group-commit durability. `None`
+    /// keeps the in-memory engine.
+    pub wal_dir: Option<PathBuf>,
+    /// Log-writer tuning for the durable run (ignored without
+    /// `wal_dir`). Setting a small `checkpoint_every` makes fuzzy
+    /// checkpoints fire concurrently with the writer mix.
+    pub wal_config: WalConfig,
+    /// Take a live crash image: when writer thread 0 is halfway through
+    /// its transactions it copies the log directory here, byte-for-byte,
+    /// while every other thread keeps committing — so the image's last
+    /// frame is very possibly torn, exactly like a power cut. Requires
+    /// `wal_dir`. The caller recovers from the copy and checks it.
+    pub crash_copy_dir: Option<PathBuf>,
 }
 
 impl Default for ConcurrencyConfig {
@@ -126,6 +142,9 @@ impl Default for ConcurrencyConfig {
             cluster: ClusterConfig::default(),
             hot_read_pct: 0,
             node_kill: false,
+            wal_dir: None,
+            wal_config: WalConfig::default(),
+            crash_copy_dir: None,
         }
     }
 }
@@ -196,6 +215,24 @@ pub struct ConcurrencyResult {
     pub cache_replica_reads: u64,
     /// Keys the hot-key detector promoted to replicated during the run.
     pub cache_hot_promotions: u64,
+    /// Redo records appended to the write-ahead log (durable runs only).
+    pub wal_records: u64,
+    /// Physical log syncs performed. Under group commit this is far
+    /// smaller than `wal_records` — the amortization being measured.
+    pub wal_syncs: u64,
+    /// Leader batches written; `wal_records / wal_batches` is the
+    /// achieved group-commit batch size.
+    pub wal_batches: u64,
+    /// Fuzzy checkpoints completed concurrently with the mix.
+    pub wal_checkpoints: u64,
+    /// True when the mid-run crash image landed in `crash_copy_dir`.
+    pub crash_copy_taken: bool,
+    /// Content digest of the quiescent post-run database — what a
+    /// recovered crash image must reproduce (for the final, non-torn
+    /// copy) and what `verify_coherence` already vouched for.
+    pub content_digest: u64,
+    /// Commit epoch of the quiescent post-run database.
+    pub commit_epoch: u64,
 }
 
 impl ConcurrencyResult {
@@ -246,6 +283,22 @@ struct ThreadTally {
     read_errors: u64,
     node_kills: u64,
     node_revives: u64,
+    crash_copy_taken: bool,
+}
+
+/// Copies every file in `src` into `dst` (recreated), byte-for-byte.
+/// Run against a *live* log directory this produces exactly what a
+/// crash leaves behind: a prefix of the log, possibly cut mid-frame.
+fn copy_live_dir(src: &std::path::Path, dst: &std::path::Path) -> std::io::Result<()> {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let p = entry?.path();
+        if p.is_file() {
+            std::fs::copy(&p, dst.join(p.file_name().unwrap()))?;
+        }
+    }
+    Ok(())
 }
 
 #[derive(Default)]
@@ -269,12 +322,24 @@ struct ReaderTally {
 ///
 /// Panics if a writer thread itself panics (engine invariant breakage).
 pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
-    let env = build_app(&AppConfig {
+    let app_cfg = AppConfig {
         seed: cfg.seed.clone(),
         strategy: Some(cachegenie::ConsistencyStrategy::UpdateInPlace),
         cluster: cfg.cluster.clone(),
         ..Default::default()
-    })?;
+    };
+    let env = match &cfg.wal_dir {
+        Some(dir) => {
+            let _ = std::fs::remove_dir_all(dir);
+            let db = Database::create_durable(dir, app_cfg.db.clone(), cfg.wal_config)?;
+            build_app_on(db, &app_cfg)?
+        }
+        None => build_app(&app_cfg)?,
+    };
+    assert!(
+        cfg.crash_copy_dir.is_none() || cfg.wal_dir.is_some(),
+        "crash_copy_dir needs wal_dir"
+    );
     assert!(
         !cfg.node_kill || cfg.cluster.servers >= 2,
         "node_kill needs at least two cache servers"
@@ -367,6 +432,14 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                             tally.node_revives += 1;
                         }
                     }
+                    // Mid-run crash image: copy the live log directory
+                    // while every other thread keeps committing into it.
+                    if t == 0 && i == cfg.txns_per_thread / 2 {
+                        if let (Some(src), Some(dst)) = (&cfg.wal_dir, &cfg.crash_copy_dir) {
+                            copy_live_dir(src, dst).expect("crash image copy failed");
+                            tally.crash_copy_taken = true;
+                        }
+                    }
                     // The baseline holds one global mutex across the whole
                     // transaction — exactly the old engine-wide lock.
                     let _serial = cfg.single_lock.then(|| global.lock().unwrap());
@@ -441,6 +514,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         result.read_errors += t.read_errors;
         result.node_kills += t.node_kills;
         result.node_revives += t.node_revives;
+        result.crash_copy_taken |= t.crash_copy_taken;
     }
     result.elapsed = start.elapsed();
     writers_done.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -504,6 +578,14 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
             }
         }
     }
+    if let Some(ws) = env.db.wal_stats() {
+        result.wal_records = ws.records;
+        result.wal_syncs = ws.syncs;
+        result.wal_batches = ws.batches;
+        result.wal_checkpoints = ws.checkpoints;
+    }
+    result.content_digest = env.db.content_digest();
+    result.commit_epoch = env.db.commit_epoch();
     Ok(result)
 }
 
@@ -745,6 +827,52 @@ mod tests {
             r.coherence_violations, 0,
             "kill/rejoin must not leave stale cache state: {r:?}"
         );
+    }
+
+    #[test]
+    fn durable_mix_survives_a_mid_run_crash_image() {
+        let base = std::env::temp_dir().join(format!("genie-conc-wal-{}", std::process::id()));
+        let wal_dir = base.join("live");
+        let copy_dir = base.join("crash");
+        let cfg = ConcurrencyConfig {
+            threads: 4,
+            txns_per_thread: 60,
+            wal_dir: Some(wal_dir.clone()),
+            crash_copy_dir: Some(copy_dir.clone()),
+            wal_config: WalConfig {
+                checkpoint_every: 64, // fuzzy checkpoints fire mid-mix
+                ..WalConfig::default()
+            },
+            ..Default::default()
+        };
+        let r = run_concurrent(&cfg).unwrap();
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert_eq!(r.coherence_violations, 0, "{r:?}");
+        assert!(r.crash_copy_taken, "{r:?}");
+        assert!(r.wal_records > 0, "{r:?}");
+        assert!(
+            r.wal_syncs <= r.wal_records,
+            "syncs cannot exceed records: {r:?}"
+        );
+        assert!(r.wal_checkpoints > 0, "auto-checkpoint never fired: {r:?}");
+
+        // The torn mid-run image recovers to *some committed prefix*…
+        let (torn, report) = Database::open_with(
+            &copy_dir,
+            genie_storage::DbConfig::default(),
+            cfg.wal_config,
+        )
+        .unwrap();
+        assert!(torn.commit_epoch() <= r.commit_epoch);
+        assert!(report.recovered_epoch > 0, "image recovered nothing");
+        drop(torn);
+        // …and the final, quiescent directory recovers to the exact
+        // post-run state the coherence sweep verified.
+        let recovered = Database::open_with_recovery(&wal_dir).unwrap();
+        assert_eq!(recovered.commit_epoch(), r.commit_epoch);
+        assert_eq!(recovered.content_digest(), r.content_digest);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

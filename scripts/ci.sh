@@ -43,4 +43,7 @@ cargo run --release -q -p genie-bench --bin exp_mvcc -- --readers 1,4 --txns 80 
 echo "==> exp_cache_scale --check (cache tier: sharded stores >= 2x single-mutex baseline at 8 threads, near-flat p99 across 1-8 servers, zero violations through node kill/rejoin)"
 cargo run --release -q -p genie-bench --bin exp_cache_scale -- --check --quick > /dev/null
 
+echo "==> exp_wal --check (durability: group commit >= 2x per-commit sync at 8 threads, 10k-commit crash recovery to the exact committed state with zero in-flight leakage)"
+cargo run --release -q -p genie-bench --bin exp_wal -- --check --quick > /dev/null
+
 echo "ci.sh: all green"
