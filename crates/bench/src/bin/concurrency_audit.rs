@@ -12,13 +12,19 @@
 //! waits** (no reader ever blocked), **zero reader deadlocks**, and
 //! **zero intra-transaction snapshot violations**.
 //!
+//! A serving scenario then re-checks the same guarantees through the
+//! network front-end: a loopback-TCP client fleet interleaving
+//! `snapshot` MVCC probes with writes must see zero snapshot
+//! violations, drain without dropping a request or leaking a pooled
+//! session, and leave the cache coherent.
+//!
 //! ```text
 //! cargo run --release -p genie-bench --bin concurrency_audit            # report
 //! cargo run --release -p genie-bench --bin concurrency_audit -- --check # CI gate
 //! ```
 
 use genie_social::SeedConfig;
-use genie_workload::{run_concurrent, ConcurrencyConfig};
+use genie_workload::{run_concurrent, run_serve, ConcurrencyConfig, ServeConfig};
 
 /// Engine aborts (deadlock victims + lock timeouts) may claim at most
 /// this fraction of attempted transactions, even on the adversarial
@@ -317,6 +323,72 @@ fn main() {
             }
         }
         Err(e) => failures.push(format!("cache tier kill/rejoin: run failed: {e}")),
+    }
+
+    // Serving gate: the same isolation and coherence guarantees must
+    // hold when clients arrive over loopback TCP through the full
+    // middleware stack. Every fourth request is a protocol-level MVCC
+    // probe (`snapshot` page: repeated reads inside one transaction);
+    // the drain must drop nothing and leak no pooled session, and the
+    // post-drain sweep must find the cache coherent.
+    let serve_cfg = ServeConfig {
+        clients: 6,
+        requests_per_client: 60,
+        snapshot_every: 4,
+        server: genie_server::ServerConfig {
+            workers: 6,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    match run_serve(&serve_cfg) {
+        Ok(r) => {
+            println!(
+                "{:<26} {:>7} {:>9.0} {:>9} {:>10} {:>10} {:>9} {:>10}",
+                "serve front-end mvcc",
+                6,
+                r.achieved_qps,
+                "-",
+                "-",
+                "-",
+                r.checked_objects,
+                r.coherence_violations
+            );
+            if r.requests_ok == 0 {
+                failures.push("serve front-end: no request succeeded".to_owned());
+            }
+            if r.requests_failed != 0 {
+                failures.push(format!(
+                    "serve front-end: {} non-retryable request failures",
+                    r.requests_failed
+                ));
+            }
+            if r.snapshot_violations != 0 {
+                failures.push(format!(
+                    "serve front-end: {} snapshot probes saw a torn repeat read",
+                    r.snapshot_violations
+                ));
+            }
+            if r.coherence_violations > 0 {
+                failures.push(format!(
+                    "serve front-end: {} coherence violations over {} objects",
+                    r.coherence_violations, r.checked_objects
+                ));
+            }
+            match r.shutdown {
+                Some(rep) => {
+                    if rep.dropped_in_flight != 0 || rep.leaked_sessions != 0 {
+                        failures.push(format!(
+                            "serve front-end: drain dropped {} in-flight requests, \
+                             leaked {} sessions",
+                            rep.dropped_in_flight, rep.leaked_sessions
+                        ));
+                    }
+                }
+                None => failures.push("serve front-end: no shutdown report".to_owned()),
+            }
+        }
+        Err(e) => failures.push(format!("serve front-end: run failed: {e}")),
     }
 
     // Durability gate: the full writer mix on a durable database, with

@@ -1,0 +1,45 @@
+//! # genie-server — the loopback TCP front-end
+//!
+//! Serves the CacheGenie social application over a line-delimited
+//! request / length-delimited response protocol on loopback TCP
+//! (`std::net` only — the workspace vendors no async runtime), with the
+//! production middleware stack the paper's deployment implies but never
+//! spells out:
+//!
+//! 1. **Bounded accept queue** — connection overflow sheds with a
+//!    retryable `503` instead of queueing unboundedly.
+//! 2. **Admission control** — a hard cap on concurrently executing page
+//!    requests.
+//! 3. **Per-client rate limiting** — token buckets keyed by the `HELLO`
+//!    principal.
+//! 4. **Pooled sessions** — each request runs on a checked-out ORM
+//!    session over one shared database/cache deployment.
+//! 5. **Per-request metrics** — lock-free log-bucketed latency
+//!    histograms with p50/p99/p999 per page kind.
+//! 6. **Graceful shutdown** — drain in-flight requests, refuse new
+//!    connections, flush the WAL group-commit queue, report zero
+//!    drops/leaks.
+//!
+//! The wire protocol, middleware order, and fault matrix are documented
+//! in `docs/SERVING.md`; protocol conformance lives in
+//! `tests/protocol.rs` and fault injection in `tests/faults.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod middleware;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use client::ServeClient;
+pub use metrics::{LatencyHistogram, PageSummary, ServerMetrics, STATUS_CODES};
+pub use middleware::{Admission, InflightGuard, RateLimiter};
+pub use pool::{PoolSnapshot, SessionLease, SessionPool};
+pub use proto::{
+    parse_request, read_response, retryable, AdminCmd, Page, ProtoError, Request, Response,
+    BAD_REQUEST, INTERNAL, MAX_LINE, NOT_FOUND, RATE_LIMITED, RETRY, SHED, TIMEOUT, TOO_LARGE,
+};
+pub use server::{Server, ServerConfig, ShutdownReport};

@@ -1,0 +1,209 @@
+//! The middleware stack's policy pieces: per-client token-bucket rate
+//! limiting and bounded in-flight admission control.
+//!
+//! Order on the request path (documented in `docs/SERVING.md`):
+//! admission first (protect the server), then the rate limiter (police
+//! the client), then session checkout and page execution. A request
+//! refused by either layer executes nothing and is answered with a
+//! retryable error.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-client token bucket: `burst` capacity, refilled continuously at
+/// `rate_per_sec`. A request spends one token; an empty bucket means
+/// `429`. Buckets are keyed by the principal the connection announced
+/// with `HELLO` (falling back to a per-connection identity), so one
+/// abusive client cannot starve the others.
+#[derive(Debug)]
+pub struct RateLimiter {
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    /// Requests refused (for operational visibility; the server also
+    /// counts per-status).
+    pub rejected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `rate_per_sec` sustained with `burst` slack.
+    /// `rate_per_sec <= 0` disables limiting entirely.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        RateLimiter {
+            rate_per_sec,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// True when `client` may proceed (and one token was spent).
+    pub fn allow(&self, client: &str) -> bool {
+        if self.rate_per_sec <= 0.0 {
+            return true;
+        }
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        let b = buckets.entry(client.to_owned()).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Distinct principals currently tracked.
+    pub fn clients(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+/// Bounded in-flight admission: at most `limit` page requests may
+/// execute concurrently; request `limit + 1` is refused with a
+/// retryable `503` instead of queueing unboundedly — the load-shedding
+/// half of back-pressure (the bounded accept queue is the other half).
+#[derive(Debug)]
+pub struct Admission {
+    limit: usize,
+    inflight: Arc<AtomicUsize>,
+    /// Requests refused at this gate.
+    pub shed: AtomicU64,
+}
+
+impl Admission {
+    /// An admission gate allowing `limit` concurrent requests
+    /// (`limit == 0` means unlimited).
+    pub fn new(limit: usize) -> Self {
+        Admission {
+            limit,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to enter; `None` means shed. The returned guard holds the
+    /// slot until dropped.
+    pub fn try_enter(&self) -> Option<InflightGuard> {
+        if self.limit == 0 {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            return Some(InflightGuard {
+                inflight: Arc::clone(&self.inflight),
+            });
+        }
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(InflightGuard {
+                        inflight: Arc::clone(&self.inflight),
+                    })
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Requests currently holding a slot.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII slot of the admission gate.
+#[derive(Debug)]
+pub struct InflightGuard {
+    inflight: Arc<AtomicUsize>,
+}
+
+impl InflightGuard {
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_reject_then_recover() {
+        let rl = RateLimiter::new(50.0, 2.0);
+        assert!(rl.allow("c"));
+        assert!(rl.allow("c"));
+        assert!(!rl.allow("c"), "burst exhausted");
+        assert_eq!(rl.rejected.load(Ordering::Relaxed), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(rl.allow("c"), "refill after ~3 tokens worth of time");
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let rl = RateLimiter::new(1.0, 1.0);
+        assert!(rl.allow("a"));
+        assert!(!rl.allow("a"));
+        assert!(rl.allow("b"), "b has its own bucket");
+        assert_eq!(rl.clients(), 2);
+    }
+
+    #[test]
+    fn zero_rate_disables_limiting() {
+        let rl = RateLimiter::new(0.0, 1.0);
+        for _ in 0..1000 {
+            assert!(rl.allow("c"));
+        }
+    }
+
+    #[test]
+    fn admission_sheds_above_limit_and_releases() {
+        let a = Admission::new(2);
+        let g1 = a.try_enter().unwrap();
+        let _g2 = a.try_enter().unwrap();
+        assert!(a.try_enter().is_none(), "third concurrent request shed");
+        assert_eq!(a.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(a.inflight(), 2);
+        drop(g1);
+        assert!(a.try_enter().is_some(), "slot freed on guard drop");
+    }
+
+    #[test]
+    fn unlimited_admission_never_sheds() {
+        let a = Admission::new(0);
+        let guards: Vec<_> = (0..64).map(|_| a.try_enter().unwrap()).collect();
+        assert_eq!(a.shed.load(Ordering::Relaxed), 0);
+        drop(guards);
+        assert_eq!(a.inflight(), 0);
+    }
+}

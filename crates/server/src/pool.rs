@@ -1,0 +1,189 @@
+//! The pooled session layer: a fixed set of ORM-session handles over
+//! one shared `Database`/`CacheGenie` deployment, checked out per
+//! request and returned by RAII.
+//!
+//! Sessions share the storage engine, the interceptor, and the id
+//! allocator (clones of one [`SocialApp`]); what the pool adds is
+//! *accounting and bounding* — a hard ceiling on concurrently active
+//! sessions and leak detection: after a drained shutdown every session
+//! must be back in the idle list, so `idle() == capacity()` is the
+//! "zero leaked sessions" invariant the fault-injection and
+//! concurrency suites assert.
+
+use genie_social::SocialApp;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time pool accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Sessions the pool was built with.
+    pub capacity: usize,
+    /// Sessions currently idle (checked in).
+    pub idle: usize,
+    /// Sessions currently leased.
+    pub in_use: usize,
+    /// Total checkouts served.
+    pub checkouts: u64,
+    /// Checkouts refused because the pool was empty.
+    pub exhausted: u64,
+}
+
+struct PoolInner {
+    idle: Mutex<Vec<SocialApp>>,
+    capacity: usize,
+    checkouts: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// A bounded pool of application sessions.
+#[derive(Clone)]
+pub struct SessionPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("SessionPool")
+            .field("capacity", &s.capacity)
+            .field("idle", &s.idle)
+            .finish()
+    }
+}
+
+impl SessionPool {
+    /// Builds a pool of `capacity` sessions cloned from `app` (clones
+    /// share the database, cache, interceptor, and id allocator — a
+    /// session is a cheap per-request handle, not a connection).
+    pub fn new(app: &SocialApp, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SessionPool {
+            inner: Arc::new(PoolInner {
+                idle: Mutex::new((0..capacity).map(|_| app.clone()).collect()),
+                capacity,
+                checkouts: AtomicU64::new(0),
+                exhausted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Checks a session out; `None` when every session is in use (the
+    /// caller sheds the request instead of blocking).
+    pub fn checkout(&self) -> Option<SessionLease> {
+        let app = self.inner.idle.lock().pop();
+        match app {
+            Some(app) => {
+                self.inner.checkouts.fetch_add(1, Ordering::Relaxed);
+                Some(SessionLease {
+                    app: Some(app),
+                    pool: Arc::clone(&self.inner),
+                })
+            }
+            None => {
+                self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Current accounting.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let idle = self.inner.idle.lock().len();
+        PoolSnapshot {
+            capacity: self.inner.capacity,
+            idle,
+            in_use: self.inner.capacity - idle,
+            checkouts: self.inner.checkouts.load(Ordering::Relaxed),
+            exhausted: self.inner.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True when every session is back in the pool — the post-drain
+    /// "zero leaked sessions" invariant.
+    pub fn fully_idle(&self) -> bool {
+        let s = self.snapshot();
+        s.idle == s.capacity
+    }
+}
+
+/// RAII lease of one pooled session; derefs to the application facade
+/// and returns the session on drop (including on unwind).
+pub struct SessionLease {
+    app: Option<SocialApp>,
+    pool: Arc<PoolInner>,
+}
+
+impl std::ops::Deref for SessionLease {
+    type Target = SocialApp;
+
+    fn deref(&self) -> &SocialApp {
+        self.app.as_ref().expect("lease holds a session until drop")
+    }
+}
+
+impl std::fmt::Debug for SessionLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionLease").finish()
+    }
+}
+
+impl Drop for SessionLease {
+    fn drop(&mut self) {
+        if let Some(app) = self.app.take() {
+            self.pool.idle.lock().push(app);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_social::{build_app, AppConfig, SeedConfig};
+
+    fn pool(capacity: usize) -> SessionPool {
+        let env = build_app(&AppConfig {
+            seed: SeedConfig::tiny(),
+            strategy: None,
+            ..Default::default()
+        })
+        .unwrap();
+        SessionPool::new(&env.app, capacity)
+    }
+
+    #[test]
+    fn checkout_and_return() {
+        let p = pool(2);
+        assert!(p.fully_idle());
+        let a = p.checkout().unwrap();
+        let b = p.checkout().unwrap();
+        assert!(p.checkout().is_none(), "pool exhausted");
+        let s = p.snapshot();
+        assert_eq!((s.capacity, s.idle, s.in_use), (2, 0, 2));
+        assert_eq!(s.exhausted, 1);
+        drop(a);
+        drop(b);
+        assert!(p.fully_idle());
+        assert_eq!(p.snapshot().checkouts, 2);
+    }
+
+    #[test]
+    fn lease_survives_panic_unwind() {
+        let p = pool(1);
+        let p2 = p.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _lease = p2.checkout().unwrap();
+            panic!("request handler blew up");
+        }));
+        assert!(p.fully_idle(), "session returned on unwind");
+    }
+
+    #[test]
+    fn leased_session_serves_pages() {
+        let p = pool(1);
+        let lease = p.checkout().unwrap();
+        let stats = lease.lookup_bm(1).unwrap();
+        assert!(stats.queries > 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Protocol conformance: every frame the wire can carry — well-formed,
+//! malformed, oversized, partial, pipelined, unknown — gets a clean
+//! protocol-level answer. No input may panic a worker or wedge a
+//! connection.
+
+use genie_server::{Page, Response, ServeClient, Server, ServerConfig};
+use genie_social::{build_app, AppConfig, AppEnv, SeedConfig};
+use std::io::ErrorKind;
+use std::time::Duration;
+
+fn tiny_env() -> AppEnv {
+    build_app(&AppConfig {
+        seed: SeedConfig::tiny(),
+        strategy: None,
+        ..Default::default()
+    })
+    .expect("build tiny app")
+}
+
+fn start(cfg: ServerConfig) -> (AppEnv, Server) {
+    let env = tiny_env();
+    let server = Server::start(&env, cfg).expect("start server");
+    (env, server)
+}
+
+fn ok_payload(resp: Response) -> String {
+    match resp {
+        Response::Ok(p) => p,
+        Response::Err { code, reason } => panic!("expected OK, got ERR {code} {reason}"),
+    }
+}
+
+fn err_code(resp: Response) -> u16 {
+    match resp {
+        Response::Err { code, .. } => code,
+        Response::Ok(p) => panic!("expected ERR, got OK {p:?}"),
+    }
+}
+
+#[test]
+fn every_page_kind_round_trips() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    ok_payload(c.hello("conformance").unwrap());
+    for kind in Page::all() {
+        let payload = ok_payload(c.page(kind, 1, Some(2)).unwrap());
+        assert!(
+            payload.contains(&format!("page={}", kind.name())),
+            "payload for {} was {payload:?}",
+            kind.name()
+        );
+    }
+    // Arg-less form works for every kind too.
+    for kind in Page::all() {
+        ok_payload(c.page(kind, 2, None).unwrap());
+    }
+    let report = server.shutdown();
+    assert_eq!(report.dropped_in_flight, 0);
+    assert_eq!(report.leaked_sessions, 0);
+}
+
+#[test]
+fn health_metrics_and_admin_endpoints() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let health = ok_payload(c.health().unwrap());
+    assert!(health.contains("status=ok"), "health: {health}");
+    assert!(health.contains("pool_capacity="), "health: {health}");
+    ok_payload(c.page(Page::Wall, 1, None).unwrap());
+    let metrics = ok_payload(c.metrics().unwrap());
+    assert!(
+        metrics.contains("serve_requests_total"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("serve_page_requests{page=\"wall\"} 1"),
+        "metrics: {metrics}"
+    );
+    assert!(metrics.contains("quantile=\"0.99\""), "metrics: {metrics}");
+    let stats = ok_payload(c.admin("stats").unwrap());
+    assert!(stats.contains("pool_capacity="), "stats: {stats}");
+    // Flush is a no-op on an in-memory deployment but must succeed.
+    ok_payload(c.admin("flush").unwrap());
+    // Checkpoint requires durability: clean 400, not a panic.
+    assert_eq!(err_code(c.admin("checkpoint").unwrap()), 400);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_400_and_the_connection_survives() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let cases: &[&str] = &[
+        "FROB 1",          // unknown verb
+        "PAGE",            // missing page kind
+        "PAGE wall",       // missing user
+        "PAGE wall abc",   // non-numeric user
+        "PAGE wall 0",     // non-positive user
+        "PAGE wall -3",    // negative user
+        "PAGE wall 1 2 3", // trailing tokens
+        "PAGE wall 1 xyz", // non-numeric arg
+        "HELLO",           // missing principal
+        "ADMIN",           // missing command
+        "ADMIN reboot",    // unknown admin command
+        "",                // empty line
+    ];
+    for case in cases {
+        let code = err_code(c.request_line(case).unwrap());
+        assert_eq!(code, 400, "case {case:?}");
+        // The same connection still serves a valid request.
+        ok_payload(c.page(Page::Login, 1, None).unwrap());
+    }
+    // Unknown page kind is 404, not 400.
+    assert_eq!(err_code(c.request_line("PAGE nosuch 1").unwrap()), 404);
+    // Non-UTF-8 bytes are a 400, connection survives.
+    c.send_raw(b"\xff\xfe\xfd\n").unwrap();
+    assert_eq!(err_code(c.read_response().unwrap()), 400);
+    ok_payload(c.health().unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_413_and_closes_the_connection() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    // More than MAX_LINE bytes with no terminator: unrecoverable.
+    c.send_raw(&vec![b'A'; 4096]).unwrap();
+    assert_eq!(err_code(c.read_response().unwrap()), 413);
+    // The server closed the connection afterwards (a clean EOF, or an
+    // RST if our unread bytes were still in its receive buffer).
+    let err = c.read_response().unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe
+        ),
+        "unexpected error kind: {err:?}"
+    );
+    // The server itself is unharmed.
+    let mut c2 = ServeClient::connect(server.addr()).unwrap();
+    ok_payload(c2.health().unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    c.send_raw(b"HEALTH\nPAGE login 1\nPAGE nosuch 1\nPAGE wall 1\n")
+        .unwrap();
+    let r1 = ok_payload(c.read_response().unwrap());
+    assert!(r1.contains("status=ok"), "first: {r1}");
+    let r2 = ok_payload(c.read_response().unwrap());
+    assert!(r2.contains("page=login"), "second: {r2}");
+    assert_eq!(err_code(c.read_response().unwrap()), 404);
+    let r4 = ok_payload(c.read_response().unwrap());
+    assert!(r4.contains("page=wall"), "fourth: {r4}");
+    server.shutdown();
+}
+
+#[test]
+fn partially_written_frames_are_reassembled() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    for chunk in [&b"PAGE lo"[..], &b"okup_bm"[..], &b" 1"[..], &b"\n"[..]] {
+        c.send_raw(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let payload = ok_payload(c.read_response().unwrap());
+    assert!(payload.contains("page=lookup_bm"), "payload: {payload}");
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_page_reports_consistency() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let payload = ok_payload(c.page(Page::Snapshot, 1, Some(4)).unwrap());
+    assert!(payload.contains("consistent=true"), "payload: {payload}");
+    assert_eq!(
+        server
+            .metrics()
+            .snapshot_violations
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn quit_is_acknowledged_then_closed() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    let bye = ok_payload(c.quit().unwrap());
+    assert!(bye.contains("bye"));
+    let err = c.read_response().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    server.shutdown();
+}
+
+#[test]
+fn status_codes_are_counted_per_class() {
+    let (_env, server) = start(ServerConfig::default());
+    let mut c = ServeClient::connect(server.addr()).unwrap();
+    ok_payload(c.page(Page::Login, 1, None).unwrap());
+    let _ = c.request_line("PAGE nosuch 1").unwrap();
+    let _ = c.request_line("garbage").unwrap();
+    assert!(server.metrics().status_count(200) >= 1);
+    assert_eq!(server.metrics().status_count(404), 1);
+    assert_eq!(server.metrics().status_count(400), 1);
+    server.shutdown();
+}

@@ -233,6 +233,70 @@ pub struct ConcurrencyResult {
     pub content_digest: u64,
     /// Commit epoch of the quiescent post-run database.
     pub commit_epoch: u64,
+    /// Per-operation-kind latency percentiles over the measured phase
+    /// (wall-clock seconds, full sample sets — the closed-loop answer
+    /// to "what did a transaction cost", not just aggregate
+    /// throughput). Kinds with zero traffic are omitted.
+    pub op_latencies: Vec<OpLatencySummary>,
+}
+
+/// Latency percentiles for one operation kind of the wall-clock mix,
+/// computed from the full sample set after the run (the hot path only
+/// appends to a per-thread `Vec`).
+#[derive(Debug, Clone, Default)]
+pub struct OpLatencySummary {
+    /// Operation label (`batch_post`, `poke`, `disjoint`,
+    /// `cached_read`, `reader_txn`).
+    pub op: &'static str,
+    /// Completed operations measured (any outcome).
+    pub count: u64,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// 99.9th percentile, seconds.
+    pub p999_s: f64,
+}
+
+/// Operation labels, indexed by the sample tag used in the tallies.
+const OP_LABELS: [&str; 5] = [
+    "batch_post",
+    "poke",
+    "disjoint",
+    "cached_read",
+    "reader_txn",
+];
+const OP_BATCH_POST: usize = 0;
+const OP_POKE: usize = 1;
+const OP_DISJOINT: usize = 2;
+const OP_CACHED_READ: usize = 3;
+const OP_READER_TXN: usize = 4;
+
+fn summarize_ops(samples: [Vec<f64>; 5]) -> Vec<OpLatencySummary> {
+    let mut out = Vec::new();
+    for (op, raw) in OP_LABELS.iter().zip(samples) {
+        if raw.is_empty() {
+            continue;
+        }
+        let mut p = genie_sim::Percentiles::new();
+        for s in &raw {
+            p.push(*s);
+        }
+        out.push(OpLatencySummary {
+            op,
+            count: p.len() as u64,
+            mean_s: p.mean().unwrap_or(0.0),
+            p50_s: p.percentile(50.0).unwrap_or(0.0),
+            p95_s: p.percentile(95.0).unwrap_or(0.0),
+            p99_s: p.percentile(99.0).unwrap_or(0.0),
+            p999_s: p.percentile(99.9).unwrap_or(0.0),
+        });
+    }
+    out
 }
 
 impl ConcurrencyResult {
@@ -284,6 +348,9 @@ struct ThreadTally {
     node_kills: u64,
     node_revives: u64,
     crash_copy_taken: bool,
+    /// `(op tag, seconds)` per completed operation; folded into
+    /// [`OpLatencySummary`] rows after the join.
+    latencies: Vec<(usize, f64)>,
 }
 
 /// Copies every file in `src` into `dst` (recreated), byte-for-byte.
@@ -308,6 +375,7 @@ struct ReaderTally {
     snapshot_violations: u64,
     read_deadlocks: u64,
     read_errors: u64,
+    latencies: Vec<f64>,
 }
 
 /// Runs one multi-writer configuration to completion and cross-checks
@@ -389,8 +457,10 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                 barrier.wait();
                 while !done.load(std::sync::atomic::Ordering::Relaxed) {
                     let wall = rng.gen_range(1..=users as usize) as i64;
+                    let t0 = Instant::now();
                     match reader_txn(&db, wall, cfg.reads_per_reader_txn) {
                         Ok((stmts, consistent)) => {
+                            tally.latencies.push(t0.elapsed().as_secs_f64());
                             tally.read_txns += 1;
                             tally.read_stmts += stmts;
                             if !consistent {
@@ -452,15 +522,31 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                             std::thread::yield_now();
                         }
                     };
-                    let outcome = if cfg.disjoint_tables {
-                        disjoint_txn(&db, t, &mut rng, cfg.posts_per_txn, i as i64, &think)
+                    let txn_start = Instant::now();
+                    let (op, outcome) = if cfg.disjoint_tables {
+                        (
+                            OP_DISJOINT,
+                            disjoint_txn(&db, t, &mut rng, cfg.posts_per_txn, i as i64, &think),
+                        )
                     } else if rng.gen_range(0..100u32) < cfg.poke_pct {
-                        poke_pair(&db, wall, sender, i as i64, &think)
+                        (OP_POKE, poke_pair(&db, wall, sender, i as i64, &think))
                     } else {
                         let abort = rng.gen_range(0..100u32) < cfg.abort_pct;
-                        app.post_wall_batch_paced(wall, sender, cfg.posts_per_txn, abort, &think)
-                            .map(|_| !abort)
+                        (
+                            OP_BATCH_POST,
+                            app.post_wall_batch_paced(
+                                wall,
+                                sender,
+                                cfg.posts_per_txn,
+                                abort,
+                                &think,
+                            )
+                            .map(|_| !abort),
+                        )
                     };
+                    tally
+                        .latencies
+                        .push((op, txn_start.elapsed().as_secs_f64()));
                     match outcome {
                         Ok(true) => tally.committed += 1,
                         Ok(false) => tally.rolled_back += 1,
@@ -486,8 +572,11 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
                         } else {
                             sender
                         };
+                        let read_start = Instant::now();
                         match app.lookup_bm(target) {
-                            Ok(_) => {}
+                            Ok(_) => tally
+                                .latencies
+                                .push((OP_CACHED_READ, read_start.elapsed().as_secs_f64())),
                             Err(StorageError::Deadlock { .. }) => tally.read_deadlocks += 1,
                             Err(_) => tally.read_errors += 1,
                         }
@@ -502,8 +591,12 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
         threads,
         ..Default::default()
     };
+    let mut op_samples: [Vec<f64>; 5] = Default::default();
     for h in handles {
         let t = h.join().expect("writer thread panicked");
+        for (op, secs) in &t.latencies {
+            op_samples[*op].push(*secs);
+        }
         result.committed += t.committed;
         result.rolled_back += t.rolled_back;
         result.deadlock_aborts += t.deadlock_aborts;
@@ -520,6 +613,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
     writers_done.store(true, std::sync::atomic::Ordering::Relaxed);
     for h in reader_handles {
         let t = h.join().expect("reader thread panicked");
+        op_samples[OP_READER_TXN].extend_from_slice(&t.latencies);
         result.read_txns += t.read_txns;
         result.read_stmts += t.read_stmts;
         result.snapshot_violations += t.snapshot_violations;
@@ -586,6 +680,7 @@ pub fn run_concurrent(cfg: &ConcurrencyConfig) -> Result<ConcurrencyResult> {
     }
     result.content_digest = env.db.content_digest();
     result.commit_epoch = env.db.commit_epoch();
+    result.op_latencies = summarize_ops(op_samples);
     Ok(result)
 }
 

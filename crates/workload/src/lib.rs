@@ -27,11 +27,13 @@ pub mod concurrent;
 pub mod costmodel;
 pub mod driver;
 pub mod metrics;
+pub mod serve;
 pub mod spec;
 
 pub use cache_scale::{run_cache_scale, CacheScaleConfig, CacheScaleResult};
-pub use concurrent::{run_concurrent, ConcurrencyConfig, ConcurrencyResult};
+pub use concurrent::{run_concurrent, ConcurrencyConfig, ConcurrencyResult, OpLatencySummary};
 pub use costmodel::CostParams;
 pub use driver::run;
 pub use metrics::{PageTypeMetrics, RunResult};
+pub use serve::{run_serve, ServeConfig, ServePageSummary, ServeResult};
 pub use spec::{CacheMode, PageKind, PageMix, WorkloadConfig};

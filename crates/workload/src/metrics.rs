@@ -37,7 +37,13 @@ impl PageTypeMetrics {
 
     /// p95 latency in seconds.
     pub fn p95_s(&mut self) -> f64 {
-        self.latencies.percentile(95.0).unwrap_or(0.0)
+        self.percentile_s(95.0)
+    }
+
+    /// The `p`-th percentile latency in seconds (0.0 when empty), for
+    /// the p50/p99/p999 reporting the serving experiments need.
+    pub fn percentile_s(&mut self, p: f64) -> f64 {
+        self.latencies.percentile(p).unwrap_or(0.0)
     }
 }
 

@@ -46,4 +46,7 @@ cargo run --release -q -p genie-bench --bin exp_cache_scale -- --check --quick >
 echo "==> exp_wal --check (durability: group commit >= 2x per-commit sync at 8 threads, 10k-commit crash recovery to the exact committed state with zero in-flight leakage)"
 cargo run --release -q -p genie-bench --bin exp_wal -- --check --quick > /dev/null
 
+echo "==> exp_serve --check (serving path: paced loopback fleet holds the per-page p99 ceiling with zero shed below the admission threshold, overload sheds retryably, drains drop nothing, zero snapshot/coherence violations)"
+cargo run --release -q -p genie-bench --bin exp_serve -- --check --quick > /dev/null
+
 echo "ci.sh: all green"

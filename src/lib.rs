@@ -12,10 +12,12 @@
 //! * [`orm`] — Django-flavoured ORM
 //! * [`genie`] — CacheGenie itself: cache classes + trigger-based consistency
 //! * [`social`] — the Pinax-like evaluation application
+//! * [`server`] — loopback-TCP network front-end with production middleware
 //! * [`workload`] — workload generator and benchmark driver
 
 pub use genie_cache as cache;
 pub use genie_orm as orm;
+pub use genie_server as server;
 pub use genie_sim as sim;
 pub use genie_social as social;
 pub use genie_storage as storage;
